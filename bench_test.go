@@ -1,0 +1,431 @@
+package informer
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the published statistics), plus ablation
+// benchmarks for the design choices called out in DESIGN.md section 5.
+// Ablations attach their quality outcomes as custom benchmark metrics so
+// `go test -bench` doubles as the ablation report.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/experiments"
+	"github.com/informing-observers/informer/internal/mashup"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/search"
+	"github.com/informing-observers/informer/internal/sentiment"
+	"github.com/informing-observers/informer/internal/services"
+	"github.com/informing-observers/informer/internal/stats"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// benchWorkbench is a down-scaled (but statistically live) workbench shared
+// by the per-iteration experiment benchmarks.
+var (
+	benchWBOnce sync.Once
+	benchWB     *experiments.Workbench
+)
+
+func sharedBenchWB() *experiments.Workbench {
+	benchWBOnce.Do(func() {
+		// Full corpus size (query selectivity is calibrated against it);
+		// a reduced query workload keeps iterations fast.
+		benchWB = experiments.NewWorkbench(experiments.Options{
+			Seed:       42,
+			NumQueries: 60,
+		})
+	})
+	return benchWB
+}
+
+// BenchmarkExpRankingComparison regenerates the Section 4.1 ranking
+// comparison (per-measure Kendall tau + rank-distance distribution).
+func BenchmarkExpRankingComparison(b *testing.B) {
+	wb := sharedBenchWB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunExp41(wb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanDistance, "mean-rank-distance")
+	}
+}
+
+// BenchmarkExpFactorAnalysis regenerates Table 3 (PCA componentization +
+// regression of the baseline rank on component scores).
+func BenchmarkExpFactorAnalysis(b *testing.B) {
+	wb := sharedBenchWB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable3(wb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Components) != 3 {
+			b.Fatalf("components = %d", len(r.Components))
+		}
+	}
+}
+
+// BenchmarkExpANOVA regenerates Table 4 (ANOVA + Bonferroni pairwise
+// comparisons over the 813-account microblog dataset).
+func BenchmarkExpANOVA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable4(3, 813)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 5 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+// BenchmarkExpMashupPipeline regenerates Figure 1: composition parse,
+// instantiation, dataflow run, and one selection event.
+func BenchmarkExpMashupPipeline(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 99, NumSources: 60, CommentText: true})
+	panel := analytics.Build(world, 100)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	env := services.NewEnv(world, panel, di)
+	reg := services.NewRegistry(env)
+	comp, err := mashup.ParseComposition([]byte(experiments.Figure1CompositionJSON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := mashup.NewRuntime(comp, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := rt.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := d.View("infList"); ok && len(v.Items) > 0 {
+			if _, err := rt.Emit(mashup.Event{Source: "infList", Name: "select", Payload: v.Items[0]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExpTable1Measures regenerates the Table 1 measure suite over an
+// HTTP-crawled corpus.
+func BenchmarkExpTable1Measures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable1(7, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Measures) != 19 {
+			b.Fatal("incomplete measures")
+		}
+	}
+}
+
+// BenchmarkExpTable2Measures regenerates the Table 2 measure suite over
+// the microblog dataset.
+func BenchmarkExpTable2Measures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable2(5, 813)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Measures) != 15 {
+			b.Fatal("incomplete measures")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationNormalization contrasts the paper-style quantile
+// benchmarks with plain min-max normalisation. The custom metric is the
+// Spearman correlation between the two rankings: high correlation means
+// the choice is mostly cosmetic on clean data; it diverges once outliers
+// dominate (hence the winsorised default).
+func BenchmarkAblationNormalization(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 5, NumSources: 300})
+	panel := analytics.Build(world, 6)
+	records := quality.SourceRecordsFromWorld(world, panel)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	for _, cfg := range []struct {
+		name string
+		opts *quality.AssessorOptions
+	}{
+		{"quantile-benchmarks", nil},
+		{"plain-minmax", &quality.AssessorOptions{PlainMinMax: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var ranked []*quality.Assessment
+			for i := 0; i < b.N; i++ {
+				a := quality.NewSourceAssessor(records, di, cfg.opts)
+				ranked = a.Rank(records)
+			}
+			if len(ranked) > 0 {
+				b.ReportMetric(ranked[0].Score, "top-score")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationInfluencerStrategy quantifies Section 3.2's spam
+// argument: share of spam bots in the top-10 influencer list per strategy
+// on a 20%-spam corpus.
+func BenchmarkAblationInfluencerStrategy(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 11, NumSources: 80, NumUsers: 300, SpamRate: 0.2})
+	records := quality.ContributorRecordsFromWorld(world)
+	assessor := quality.NewContributorAssessor(records, quality.DomainOfInterest{Categories: world.Categories}, nil)
+	for _, strat := range []quality.InfluencerStrategy{quality.ByActivity, quality.ByRelative, quality.Combined} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var spamShare float64
+			for i := 0; i < b.N; i++ {
+				top := quality.Influencers(assessor, records, quality.InfluencerOptions{
+					Strategy: strat,
+					TopK:     10,
+				})
+				spam := 0
+				for _, inf := range top {
+					if inf.Record.Spammer {
+						spam++
+					}
+				}
+				spamShare = float64(spam) / float64(len(top))
+			}
+			b.ReportMetric(spamShare, "spam-share-top10")
+		})
+	}
+}
+
+// BenchmarkAblationSearchTrafficPrior removes the baseline's traffic prior
+// and reports the pooled Spearman correlation between a source's panel
+// visitors and its mean search position goodness: with the prior the
+// baseline behaves like Google (traffic predicts positioning, the Table 3
+// finding); without it the correlation collapses.
+func BenchmarkAblationSearchTrafficPrior(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 42, NumSources: 600})
+	panel := analytics.Build(world, 43)
+	for _, cfg := range []struct {
+		name              string
+		traffic, pagerank float64
+	}{
+		// PageRank rides on the preferential-attachment link graph, so it
+		// is itself a traffic proxy; the ablation removes both.
+		{"with-traffic-prior", 0.45, 0.35},
+		{"without-traffic-prior", 1e-9, 1e-9},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			engine := search.NewEngine(world, panel, search.Config{
+				Seed:           44,
+				TrafficWeight:  cfg.traffic,
+				PageRankWeight: cfg.pagerank,
+				NoiseSigma:     0.9,
+			})
+			b.ResetTimer()
+			var rho float64
+			for i := 0; i < b.N; i++ {
+				rho = trafficPositionCorrelation(engine, world, panel)
+			}
+			b.ReportMetric(rho, "visitors-vs-goodness-rho")
+		})
+	}
+}
+
+// trafficPositionCorrelation pools search results over a query workload
+// and correlates panel visitors with rank goodness.
+func trafficPositionCorrelation(engine *search.Engine, world *webgen.World, panel *analytics.Panel) float64 {
+	kinds := []webgen.SourceKind{webgen.Blog, webgen.Forum}
+	var visitors, goodness []float64
+	for qi := 0; qi < 40; qi++ {
+		q := fmt.Sprintf("%s %s", world.Categories[qi%6], world.Config.Locations[qi%len(world.Config.Locations)])
+		results := engine.SearchKinds(q, 20, kinds)
+		for i, r := range results {
+			m, _ := panel.BySource(r.SourceID)
+			visitors = append(visitors, m.DailyVisitors)
+			goodness = append(goodness, float64(len(results)-i))
+		}
+	}
+	rho, err := stats.Spearman(visitors, goodness)
+	if err != nil {
+		return 0
+	}
+	return rho
+}
+
+// BenchmarkAblationVarimax contrasts factor analysis with and without
+// varimax rotation; the custom metric is component purity — the share of
+// the ten Table 3 measures assigned to the paper's component.
+func BenchmarkAblationVarimax(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n, p := 400, 10
+	data := stats.NewMatrix(n, p)
+	truth := make([]int, p)
+	for j := 0; j < p; j++ {
+		truth[j] = j % 3
+	}
+	for i := 0; i < n; i++ {
+		f := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		for j := 0; j < p; j++ {
+			// Cross-loadings onto the next factor make the unrotated
+			// solution genuinely ambiguous.
+			cross := f[(truth[j]+1)%3]
+			data.Set(i, j, f[truth[j]]+0.55*cross+0.8*rng.NormFloat64())
+		}
+	}
+	for _, rot := range []bool{false, true} {
+		name := "without-varimax"
+		if rot {
+			name = "with-varimax"
+		}
+		b.Run(name, func(b *testing.B) {
+			var purity float64
+			for i := 0; i < b.N; i++ {
+				fa, err := stats.PrincipalComponents(data, stats.PCAOptions{Components: 3, Varimax: rot})
+				if err != nil {
+					b.Fatal(err)
+				}
+				purity = componentPurity(fa.Assignment, truth)
+			}
+			b.ReportMetric(purity, "component-purity")
+		})
+	}
+}
+
+// componentPurity computes the best-case agreement between an assignment
+// and the ground truth over all label permutations of 3 components.
+func componentPurity(got, want []int) float64 {
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	best := 0
+	for _, p := range perms {
+		match := 0
+		for i := range got {
+			if p[got[i]] == want[i] {
+				match++
+			}
+		}
+		if match > best {
+			best = match
+		}
+	}
+	return float64(best) / float64(len(got))
+}
+
+// --- Micro-benchmarks of the computational kernels ---
+
+func BenchmarkKendallTau(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KendallTau(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCA10x1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := stats.NewMatrix(1000, 10)
+	for i := range data.Data {
+		data.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.PrincipalComponents(data, stats.PCAOptions{Components: 3, Varimax: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOLS3x1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := stats.NewMatrix(1000, 3)
+	y := make([]float64, 1000)
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.OLS(y, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssessSource(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 4, NumSources: 100})
+	panel := analytics.Build(world, 5)
+	records := quality.SourceRecordsFromWorld(world, panel)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	assessor := quality.NewSourceAssessor(records, di, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assessor.Assess(records[i%len(records)])
+	}
+}
+
+func BenchmarkSearchQuery(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 6, NumSources: 1200})
+	panel := analytics.Build(world, 7)
+	engine := search.NewEngine(world, panel, search.Config{Seed: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Search("duomo hotel milan", 20)
+	}
+}
+
+func BenchmarkSentimentScore(b *testing.B) {
+	a := sentiment.NewAnalyzer()
+	text := "The duomo was really wonderful during our visit but the metro was not clean and the hotel felt overpriced."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Score(text)
+	}
+}
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		webgen.Generate(webgen.Config{Seed: int64(i), NumSources: 100})
+	}
+}
+
+func BenchmarkMashupRun(b *testing.B) {
+	c := New(Config{Seed: 77, NumSources: 40, CommentText: true})
+	comp := []byte(`{
+	  "name": "bench",
+	  "components": [
+	    {"id": "src", "type": "comments", "params": {"top_sources": 10}},
+	    {"id": "senti", "type": "sentiment"},
+	    {"id": "view", "type": "indicator-viewer"}
+	  ],
+	  "wires": [
+	    {"from": "src.out", "to": "senti.in"},
+	    {"from": "senti.indicators", "to": "view.in"}
+	  ]
+	}`)
+	rt, err := c.NewMashup(comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

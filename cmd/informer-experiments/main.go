@@ -1,0 +1,113 @@
+// Command informer-experiments regenerates every table and figure of the
+// paper's evaluation over the synthetic corpus:
+//
+//	informer-experiments -exp all
+//	informer-experiments -exp 4.1 -sources 2400 -queries 120
+//	informer-experiments -exp table3
+//	informer-experiments -exp table4
+//	informer-experiments -exp figure1
+//	informer-experiments -exp table1
+//	informer-experiments -exp table2
+//
+// Results print in the paper's table shapes; EXPERIMENTS.md records the
+// paper-vs-measured comparison for the pinned default seeds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, 4.1, table3, table4, figure1, table1, table2")
+		seed     = flag.Int64("seed", 42, "corpus seed for 4.1/table3")
+		sources  = flag.Int("sources", 2400, "corpus size for 4.1/table3")
+		queries  = flag.Int("queries", 120, "query workload for 4.1/table3")
+		t4seed   = flag.Int64("table4-seed", 3, "microblog seed for table4 (3 reproduces the paper's cells)")
+		accounts = flag.Int("accounts", 813, "microblog accounts for table4/table2")
+	)
+	flag.Parse()
+
+	runs := strings.Split(*exp, ",")
+	want := map[string]bool{}
+	for _, r := range runs {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+
+	var wb *experiments.Workbench
+	bench := func() *experiments.Workbench {
+		if wb == nil {
+			fmt.Fprintf(os.Stderr, "building %d-source corpus (seed %d)...\n", *sources, *seed)
+			wb = experiments.NewWorkbench(experiments.Options{
+				Seed:       *seed,
+				NumSources: *sources,
+				NumQueries: *queries,
+			})
+		}
+		return wb
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "informer-experiments:", err)
+		os.Exit(1)
+	}
+
+	ran := false
+	if all || want["4.1"] {
+		r, err := experiments.RunExp41(bench())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if all || want["table3"] {
+		r, err := experiments.RunTable3(bench())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if all || want["table4"] {
+		r, err := experiments.RunTable4(*t4seed, *accounts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if all || want["figure1"] {
+		r, err := experiments.RunFigure1(99, 120)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if all || want["table1"] {
+		r, err := experiments.RunTable1(7, 60)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if all || want["table2"] {
+		r, err := experiments.RunTable2(5, *accounts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r.Render())
+		ran = true
+	}
+	if !ran {
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}

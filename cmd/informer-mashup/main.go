@@ -1,0 +1,82 @@
+// Command informer-mashup executes a JSON mashup composition against a
+// generated corpus and prints the resulting dashboard, optionally
+// simulating a selection in a viewer (the synchronised-viewing interaction
+// of the paper's Figure 1):
+//
+//	informer-mashup -f dashboard.json
+//	informer-mashup -figure1                 # the paper's composition
+//	informer-mashup -figure1 -select infList # then select the first item
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	informer "github.com/informing-observers/informer"
+	"github.com/informing-observers/informer/internal/experiments"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "composition JSON file")
+		figure1 = flag.Bool("figure1", false, "run the paper's Figure 1 composition")
+		sel     = flag.String("select", "", "after running, select the first item of this viewer")
+		seed    = flag.Int64("seed", 99, "corpus seed")
+		sources = flag.Int("sources", 120, "corpus size")
+		htmlOut = flag.String("html", "", "additionally write the dashboard as an HTML page to this file")
+	)
+	flag.Parse()
+
+	var composition []byte
+	switch {
+	case *figure1:
+		composition = []byte(experiments.Figure1CompositionJSON)
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "informer-mashup:", err)
+			os.Exit(1)
+		}
+		composition = data
+	default:
+		fmt.Fprintln(os.Stderr, "informer-mashup: provide -f composition.json or -figure1")
+		os.Exit(2)
+	}
+
+	c := informer.New(informer.Config{Seed: *seed, NumSources: *sources, CommentText: true})
+	rt, err := c.NewMashup(composition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "informer-mashup:", err)
+		os.Exit(1)
+	}
+	d, err := rt.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "informer-mashup:", err)
+		os.Exit(1)
+	}
+	fmt.Println(d.Render())
+
+	if *sel != "" {
+		v, ok := d.View(*sel)
+		if !ok || len(v.Items) == 0 {
+			fmt.Fprintf(os.Stderr, "informer-mashup: viewer %q is empty or unknown\n", *sel)
+			os.Exit(1)
+		}
+		fmt.Printf("\n>>> selecting %q in viewer %q\n\n", v.Items[0].String(), *sel)
+		d, err = informer.EmitSelect(rt, *sel, v.Items[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "informer-mashup:", err)
+			os.Exit(1)
+		}
+		fmt.Println(d.Render())
+	}
+
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(d.RenderHTML()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "informer-mashup:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nHTML dashboard written to %s\n", *htmlOut)
+	}
+}

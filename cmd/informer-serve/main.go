@@ -1,0 +1,38 @@
+// Command informer-serve exposes a generated Web 2.0 corpus over HTTP —
+// per-source pages, discussion pages with embedded data islands, RSS/Atom
+// feeds and a sitemap — plus the analytics panel as a JSON API, so the
+// crawler (or informer-rank -crawl) can walk it like the live Web:
+//
+//	informer-serve -addr 127.0.0.1:8080 -sources 60
+//	informer-rank  -crawl http://127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	informer "github.com/informing-observers/informer"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		sources = flag.Int("sources", 60, "number of sources")
+	)
+	flag.Parse()
+
+	c := informer.New(informer.Config{Seed: *seed, NumSources: *sources, CommentText: true})
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	mux.Handle("/panel/", http.StripPrefix("/panel", c.PanelHandler()))
+
+	fmt.Printf("serving %d sources on http://%s (sitemap at /sitemap.txt, panel at /panel/metrics?host=...)\n",
+		*sources, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "informer-serve:", err)
+		os.Exit(1)
+	}
+}

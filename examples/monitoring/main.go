@@ -1,0 +1,71 @@
+// Monitoring: the paper's motivating scenario — continuous market
+// monitoring over evolving Web 2.0 sources. Assess a corpus, archive the
+// ranking as a JSON report, let a month of activity arrive, re-assess,
+// and diff the two rankings; finally extract the buzz words of a category
+// (the Section 5 "buzz word identification" analysis service).
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	informer "github.com/informing-observers/informer"
+)
+
+func main() {
+	c := informer.New(informer.Config{Seed: 81, NumSources: 50, CommentText: true})
+
+	before := c.SourceReport()
+	fmt.Printf("assessment round 1 (%s): %d sources, leader %q (%.3f)\n",
+		before.GeneratedAt.Format("2006-01-02"),
+		len(before.Entries), before.Entries[0].Name, before.Entries[0].Score)
+
+	// A month of fresh discussions and comments arrives.
+	c = c.Advance(30, 811)
+
+	after := c.SourceReport()
+	fmt.Printf("assessment round 2 (%s): leader %q (%.3f)\n\n",
+		after.GeneratedAt.Format("2006-01-02"),
+		after.Entries[0].Name, after.Entries[0].Score)
+
+	// Who moved?
+	shift := informer.RankShift(before, after)
+	type mover struct {
+		name string
+		d    int
+	}
+	var movers []mover
+	for name, d := range shift {
+		if d != 0 {
+			movers = append(movers, mover{name, d})
+		}
+	}
+	sort.Slice(movers, func(i, j int) bool {
+		abs := func(x int) int {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		if abs(movers[i].d) != abs(movers[j].d) {
+			return abs(movers[i].d) > abs(movers[j].d)
+		}
+		return movers[i].name < movers[j].name
+	})
+	fmt.Printf("%d sources changed rank after one month; biggest movers:\n", len(movers))
+	for i, m := range movers {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-30s %+d\n", m.name, m.d)
+	}
+
+	// Buzz words of the 'prerequisites' category (hotels, transport...)
+	// against the whole corpus.
+	fmt.Println("\nbuzz words in the 'prerequisites' category:")
+	for _, term := range c.TrendingTerms("prerequisites", 8) {
+		fmt.Printf("  %-16s G2 %.1f  (fg %d / bg %d)\n", term.Word, term.Score, term.FgCount, term.BgCount)
+	}
+}

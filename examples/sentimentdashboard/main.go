@@ -1,0 +1,80 @@
+// Sentimentdashboard: the paper's Figure 1 reproduced end to end. An
+// end-user composition merges two data services (the Twitter-like and
+// TripAdvisor-like sources), filters to influencers' contributions, scores
+// sentiment, and displays everything in synchronised list/map/indicator
+// viewers. Selecting an influencer in the list narrows the synced post
+// viewers — the live interaction the DashMash platform demonstrated.
+//
+//	go run ./examples/sentimentdashboard
+package main
+
+import (
+	"fmt"
+	"os"
+
+	informer "github.com/informing-observers/informer"
+)
+
+// composition is Figure 1 in the JSON composition DSL.
+const composition = `{
+  "name": "milan-tourism-sentiment",
+  "components": [
+    {"id": "twitter", "type": "comments", "params": {"kind": "social-network"}},
+    {"id": "tripadvisor", "type": "comments", "params": {"kind": "review-site"}},
+    {"id": "merge", "type": "union"},
+    {"id": "inf", "type": "influencer-filter", "params": {"top": 8}},
+    {"id": "infList", "type": "list-viewer", "title": "Influencers", "params": {"fields": ["name", "score"]}},
+    {"id": "infMap", "type": "map-viewer", "title": "Influencer locations"},
+    {"id": "postSel", "type": "event-filter", "params": {"item_key": "author_id", "payload_key": "author_id"}},
+    {"id": "senti", "type": "sentiment"},
+    {"id": "postList", "type": "list-viewer", "title": "Posts of selection", "params": {"fields": ["author", "category", "sentiment"]}},
+    {"id": "postMap", "type": "map-viewer", "title": "Post locations"},
+    {"id": "ind", "type": "indicator-viewer", "title": "Sentiment by category"}
+  ],
+  "wires": [
+    {"from": "twitter.out", "to": "merge.a"},
+    {"from": "tripadvisor.out", "to": "merge.b"},
+    {"from": "merge.out", "to": "inf.in"},
+    {"from": "inf.influencers", "to": "infList.in"},
+    {"from": "inf.influencers", "to": "infMap.in"},
+    {"from": "inf.out", "to": "postSel.in"},
+    {"from": "postSel.out", "to": "senti.in"},
+    {"from": "senti.out", "to": "postList.in"},
+    {"from": "senti.out", "to": "postMap.in"},
+    {"from": "senti.indicators", "to": "ind.in"}
+  ],
+  "sync": [
+    {"source": "infList", "event": "select", "target": "postSel"}
+  ]
+}`
+
+func main() {
+	c := informer.New(informer.Config{Seed: 99, NumSources: 120, CommentText: true})
+
+	rt, err := c.NewMashup([]byte(composition))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dash, err := rt.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(dash.Render())
+
+	// Simulate the user clicking the first influencer in the list.
+	infList, _ := dash.View("infList")
+	if len(infList.Items) == 0 {
+		fmt.Println("no influencers detected")
+		return
+	}
+	selected := infList.Items[0]
+	fmt.Printf("\n>>> selecting influencer %v — synced viewers refresh:\n\n", selected["name"])
+	dash, err = informer.EmitSelect(rt, "infList", selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(dash.Render())
+}

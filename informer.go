@@ -1,0 +1,381 @@
+// Package informer is the public face of the Informing Observers library:
+// quality-driven filtering and composition of Web 2.0 sources, after
+// Barbagallo, Cappiello, Francalanci, Matera and Picozzi (EDBT 2012).
+//
+// The library assesses Web 2.0 sources and contributors along the paper's
+// quality model (data-quality dimensions crossed with Web 2.0 attributes,
+// Tables 1 and 2), detects influencers with spam-resistant combined
+// scoring (Section 3.2), and lets callers compose quality-aware analysis
+// dashboards out of data services, filters, analyzers and synchronised
+// viewers (Sections 5 and 6).
+//
+// A Corpus bundles a (synthetic, deterministic) Web 2.0 world with its
+// analytics panel and pre-computed quality assessments:
+//
+//	c := informer.New(informer.Config{Seed: 42, NumSources: 200})
+//	for _, a := range c.RankSources()[:10] {
+//	    fmt.Println(a.Name, a.Score)
+//	}
+//
+// Mashups are declared in JSON and executed with live viewer
+// synchronisation:
+//
+//	rt, _ := c.NewMashup([]byte(compositionJSON))
+//	dash, _ := rt.Run()
+//	fmt.Println(dash.Render())
+//
+// The types below are aliases of the implementation packages so that
+// downstream code can name every value the facade returns.
+package informer
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/crawler"
+	"github.com/informing-observers/informer/internal/mashup"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/search"
+	"github.com/informing-observers/informer/internal/sentiment"
+	"github.com/informing-observers/informer/internal/services"
+	"github.com/informing-observers/informer/internal/social"
+	"github.com/informing-observers/informer/internal/webgen"
+	"github.com/informing-observers/informer/internal/webserve"
+)
+
+// Re-exported model types. Aliases keep the public API nameable by
+// importers while the implementation lives in internal packages.
+type (
+	// DomainOfInterest scopes domain-dependent quality measures.
+	DomainOfInterest = quality.DomainOfInterest
+	// Assessment is a full quality evaluation of a source or contributor.
+	Assessment = quality.Assessment
+	// SourceRecord / ContributorRecord are the raw observation records.
+	SourceRecord      = quality.SourceRecord
+	ContributorRecord = quality.ContributorRecord
+	// Influencer is a detected opinion leader.
+	Influencer = quality.Influencer
+	// InfluencerOptions configures influencer detection.
+	InfluencerOptions = quality.InfluencerOptions
+	// World is the synthetic Web 2.0 corpus.
+	World = webgen.World
+	// WorldConfig configures corpus generation.
+	WorldConfig = webgen.Config
+	// SearchResult is one baseline search hit.
+	SearchResult = search.Result
+	// Dashboard is an executed mashup's rendered state.
+	Dashboard = mashup.Dashboard
+	// MashupRuntime is an instantiated, executable composition.
+	MashupRuntime = mashup.Runtime
+	// MashupEvent is a viewer event (selection) for Emit.
+	MashupEvent = mashup.Item
+	// SentimentIndicator is a per-category sentiment summary.
+	SentimentIndicator = sentiment.Indicator
+	// MicroblogDataset is the annotated account dataset of Section 4.2.
+	MicroblogDataset = social.Dataset
+	// MicroblogConfig configures microblog generation.
+	MicroblogConfig = social.Config
+)
+
+// Influencer strategies (Section 3.2).
+const (
+	ByActivity = quality.ByActivity
+	ByRelative = quality.ByRelative
+	Combined   = quality.Combined
+)
+
+// Config configures a Corpus.
+type Config struct {
+	// Seed drives every generator deterministically (default 1).
+	Seed int64
+	// NumSources and NumUsers size the world (defaults 100 / 200).
+	NumSources, NumUsers int
+	// CommentText generates full comment bodies (needed for sentiment
+	// analysis and crawling demos).
+	CommentText bool
+	// SpamRate injects spam/bot users for robustness experiments.
+	SpamRate float64
+	// DI scopes the analysis; empty means all of the world's categories.
+	DI DomainOfInterest
+}
+
+// Corpus is an assessed Web 2.0 world: the paper's analysis environment.
+type Corpus struct {
+	World *World
+	DI    DomainOfInterest
+
+	panel        *analytics.Panel
+	env          *services.Env
+	engine       *search.Engine
+	srcAssessor  *quality.SourceAssessor
+	userAssessor *quality.ContributorAssessor
+	records      []*SourceRecord
+	userRecords  []*ContributorRecord
+}
+
+// New generates and assesses a corpus.
+func New(cfg Config) *Corpus {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	world := webgen.Generate(webgen.Config{
+		Seed:        cfg.Seed,
+		NumSources:  cfg.NumSources,
+		NumUsers:    cfg.NumUsers,
+		CommentText: cfg.CommentText,
+		SpamRate:    cfg.SpamRate,
+	})
+	return FromWorld(world, cfg.DI, cfg.Seed)
+}
+
+// FromWorld assesses an existing world (generated with custom options).
+func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
+	if len(di.Categories) == 0 {
+		di.Categories = world.Categories
+	}
+	panel := analytics.Build(world, seed+1)
+	env := services.NewEnv(world, panel, di)
+	c := &Corpus{
+		World:        world,
+		DI:           di,
+		panel:        panel,
+		env:          env,
+		engine:       search.NewEngine(world, panel, search.Config{Seed: seed + 2}),
+		records:      env.SourceRecords,
+		userRecords:  env.ContributorRecords,
+		userAssessor: env.Contributors,
+	}
+	c.srcAssessor = quality.NewSourceAssessor(c.records, di, nil)
+	return c
+}
+
+// SourceRecords exposes the raw source observation records.
+func (c *Corpus) SourceRecords() []*SourceRecord { return c.records }
+
+// ContributorRecords exposes the raw contributor records.
+func (c *Corpus) ContributorRecords() []*ContributorRecord { return c.userRecords }
+
+// AssessSource evaluates all Table 1 measures for one source.
+func (c *Corpus) AssessSource(id int) (*Assessment, bool) {
+	if id < 0 || id >= len(c.records) {
+		return nil, false
+	}
+	return c.srcAssessor.Assess(c.records[id]), true
+}
+
+// RankSources assesses and ranks every source, best first.
+func (c *Corpus) RankSources() []*Assessment {
+	return c.srcAssessor.Rank(c.records)
+}
+
+// AssessContributor evaluates all Table 2 measures for one user.
+func (c *Corpus) AssessContributor(id int) (*Assessment, bool) {
+	if id < 0 || id >= len(c.userRecords) {
+		return nil, false
+	}
+	return c.userAssessor.Assess(c.userRecords[id]), true
+}
+
+// RankContributors assesses and ranks every contributor, best first.
+func (c *Corpus) RankContributors() []*Assessment {
+	return c.userAssessor.Rank(c.userRecords)
+}
+
+// Influencers detects opinion leaders (Section 3.2).
+func (c *Corpus) Influencers(opts InfluencerOptions) []Influencer {
+	return quality.Influencers(c.userAssessor, c.userRecords, opts)
+}
+
+// Search queries the built-in search-engine baseline (the paper's Google
+// stand-in) over the corpus.
+func (c *Corpus) Search(query string, k int) []SearchResult {
+	return c.engine.Search(query, k)
+}
+
+// SentimentByCategory scores every comment in the corpus and aggregates
+// per-category indicators, weighting each source by its quality score
+// (Section 6). Requires a corpus generated with CommentText.
+func (c *Corpus) SentimentByCategory() map[string]SentimentIndicator {
+	analyzer := sentiment.NewAnalyzer()
+	type cell struct {
+		sum float64
+		n   int
+	}
+	perCatSource := map[string]map[int]*cell{}
+	for _, s := range c.World.Sources {
+		for _, d := range s.Discussions {
+			if !c.DI.InCategory(d.Category) {
+				continue
+			}
+			for _, com := range d.Comments {
+				m := perCatSource[d.Category]
+				if m == nil {
+					m = map[int]*cell{}
+					perCatSource[d.Category] = m
+				}
+				cl := m[s.ID]
+				if cl == nil {
+					cl = &cell{}
+					m[s.ID] = cl
+				}
+				cl.sum += analyzer.Score(com.Body).Value
+				cl.n++
+			}
+		}
+	}
+	out := map[string]SentimentIndicator{}
+	for cat, bySource := range perCatSource {
+		var entries []sentiment.SourceSentiment
+		total := 0
+		for sid, cl := range bySource {
+			entries = append(entries, sentiment.SourceSentiment{
+				SourceID: sid,
+				Quality:  c.env.SourceScores[sid],
+				Mean:     cl.sum / float64(cl.n),
+				N:        cl.n,
+			})
+			total += cl.n
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].SourceID < entries[j].SourceID })
+		out[cat] = SentimentIndicator{
+			Category: cat,
+			Mean:     sentiment.QualityWeighted(entries),
+			N:        total,
+		}
+	}
+	return out
+}
+
+// NewMashup parses a JSON composition and instantiates it against this
+// corpus' component registry (builtins plus the quality/sentiment/data
+// services of Section 5).
+func (c *Corpus) NewMashup(compositionJSON []byte) (*MashupRuntime, error) {
+	comp, err := mashup.ParseComposition(compositionJSON)
+	if err != nil {
+		return nil, err
+	}
+	return mashup.NewRuntime(comp, services.NewRegistry(c.env))
+}
+
+// RunMashup parses, instantiates and runs a composition in one call.
+func (c *Corpus) RunMashup(compositionJSON []byte) (*Dashboard, error) {
+	rt, err := c.NewMashup(compositionJSON)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}
+
+// EmitSelect fires a selection event on a viewer, returning the refreshed
+// dashboard (Figure 1's synchronised viewing).
+func EmitSelect(rt *MashupRuntime, viewerID string, payload MashupEvent) (*Dashboard, error) {
+	return rt.Emit(mashup.Event{Source: viewerID, Name: "select", Payload: payload})
+}
+
+// Handler serves the corpus over HTTP (per-source pages, discussion pages
+// with data islands, RSS/Atom feeds, sitemap) so it can be crawled like
+// the live Web.
+func (c *Corpus) Handler() http.Handler { return webserve.New(c.World) }
+
+// PanelHandler serves the analytics panel (the Alexa substitute) as a
+// JSON API.
+func (c *Corpus) PanelHandler() http.Handler { return c.panel.Handler() }
+
+// CrawlOptions configures Crawl.
+type CrawlOptions struct {
+	// Workers bounds concurrency (default 8); Delay is the politeness
+	// pause per request.
+	Workers int
+	Delay   time.Duration
+	// FetchFeeds additionally parses each source's RSS feed.
+	FetchFeeds bool
+}
+
+// Crawl walks a corpus served at baseURL over real HTTP and returns source
+// records joined with this corpus' analytics panel, ready for assessment.
+// observedAt/windowDays follow the served world's timeline.
+func (c *Corpus) Crawl(ctx context.Context, baseURL string, opts CrawlOptions) ([]*SourceRecord, error) {
+	snap, err := crawler.Crawl(ctx, crawler.Config{
+		BaseURL:    baseURL,
+		Workers:    opts.Workers,
+		Delay:      opts.Delay,
+		FetchFeeds: opts.FetchFeeds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return quality.SourceRecordsFromSnapshot(snap, c.panel, c.World.Config.End, c.World.Days()), nil
+}
+
+// AssessRecords ranks externally obtained records (e.g. from Crawl) with
+// benchmarks derived from those same records.
+func (c *Corpus) AssessRecords(records []*SourceRecord) []*Assessment {
+	return quality.NewSourceAssessor(records, c.DI, nil).Rank(records)
+}
+
+// GenerateMicroblog builds the annotated microblog dataset of Section 4.2
+// (813 accounts by default) and its contributor records.
+func GenerateMicroblog(cfg MicroblogConfig) (*MicroblogDataset, []*ContributorRecord) {
+	ds := social.Generate(cfg)
+	obs := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	return ds, quality.ContributorRecordsFromSocial(ds, obs)
+}
+
+// AssessMicroblog ranks microblog contributors with Table 2 measures.
+func AssessMicroblog(records []*ContributorRecord) []*Assessment {
+	return quality.NewContributorAssessor(records, DomainOfInterest{}, nil).Rank(records)
+}
+
+// Advance extends the corpus timeline by the given number of days,
+// generating fresh activity (the monitoring scenario: content keeps
+// arriving between assessment rounds), and re-assesses everything.
+// The returned Corpus shares the underlying (mutated) world.
+func (c *Corpus) Advance(days int, seed int64) *Corpus {
+	webgen.Advance(c.World, days, seed)
+	return FromWorld(c.World, c.DI, seed)
+}
+
+// SourceReport archives the current source ranking for later comparison.
+func (c *Corpus) SourceReport() *Report {
+	return quality.NewSourceReport(c.srcAssessor, c.RankSources(), c.World.Config.End)
+}
+
+// ContributorReport archives the current contributor ranking.
+func (c *Corpus) ContributorReport() *Report {
+	return quality.NewContributorReport(c.userAssessor, c.RankContributors(), c.World.Config.End)
+}
+
+// Report is a serialisable ranking snapshot; see WriteJSON/ReadReport.
+type Report = quality.Report
+
+// ReadReport parses a report written with Report.WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) { return quality.ReadReport(r) }
+
+// RankShift diffs two reports: per item name, positive means it climbed.
+func RankShift(old, new *Report) map[string]int { return quality.RankShift(old, new) }
+
+// TrendingTerms extracts the buzz words of a category against the whole
+// corpus as background (the "feature extraction for buzz word
+// identification" analysis service of Section 5). Requires CommentText.
+func (c *Corpus) TrendingTerms(category string, k int) []BuzzTerm {
+	fg, bg := buzz.NewCounts(), buzz.NewCounts()
+	for _, s := range c.World.Sources {
+		for _, d := range s.Discussions {
+			for _, com := range d.Comments {
+				bg.Add(com.Body)
+				if d.Category == category {
+					fg.Add(com.Body)
+				}
+			}
+		}
+	}
+	return buzz.TopTerms(fg, bg, k, 2)
+}
+
+// BuzzTerm is one scored buzz word.
+type BuzzTerm = buzz.Term

@@ -1,0 +1,141 @@
+// Package buzz implements the content-based analysis service the paper's
+// Section 5 lists alongside filtering and quality selection: "feature
+// extraction for buzz word identification". Buzz words are terms whose
+// frequency in a foreground stream (a category, a time window, a source) is
+// anomalously high against a background corpus, scored with the Dunning
+// log-likelihood ratio — the standard keyword-extraction statistic for
+// exactly this task.
+package buzz
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// stopwords are high-frequency function words excluded from buzz scoring.
+var stopwords = map[string]bool{
+	"the": true, "and": true, "was": true, "our": true, "it": true,
+	"a": true, "an": true, "of": true, "in": true, "to": true, "we": true,
+	"during": true, "made": true, "felt": true, "but": true, "while": true,
+	"because": true, "so": true, "although": true, "not": true, "never": true,
+	"hardly": true, "very": true, "really": true, "quite": true,
+	"extremely": true, "rather": true, "special": true, "is": true,
+	"that": true, "this": true, "i": true, "my": true, "nothing": true,
+	"particular": true,
+}
+
+// Term is one scored buzz word.
+type Term struct {
+	Word string
+	// Score is the Dunning log-likelihood ratio of the foreground
+	// frequency against the background (higher = more distinctive).
+	Score float64
+	// FgCount and BgCount are the raw occurrence counts.
+	FgCount, BgCount int
+}
+
+// Counts is a simple term-frequency accumulator.
+type Counts struct {
+	freq  map[string]int
+	total int
+}
+
+// NewCounts returns an empty accumulator.
+func NewCounts() *Counts { return &Counts{freq: map[string]int{}} }
+
+// Add tokenizes text and accumulates non-stopword terms.
+func (c *Counts) Add(text string) {
+	for _, tok := range tokenize(text) {
+		if stopwords[tok] || len(tok) < 3 {
+			continue
+		}
+		c.freq[tok]++
+		c.total++
+	}
+}
+
+// Total returns the accumulated token count.
+func (c *Counts) Total() int { return c.total }
+
+// Count returns the occurrences of one term.
+func (c *Counts) Count(term string) int { return c.freq[term] }
+
+// tokenize lowercases and splits into letter runs.
+func tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+			continue
+		}
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	if b.Len() > 0 {
+		tokens = append(tokens, b.String())
+	}
+	return tokens
+}
+
+// TopTerms scores every foreground term against the background and returns
+// the k most distinctive ones (ties broken alphabetically for
+// determinism). Terms must appear at least minCount times in the
+// foreground; background-only terms never buzz.
+func TopTerms(fg, bg *Counts, k, minCount int) []Term {
+	if minCount <= 0 {
+		minCount = 2
+	}
+	var terms []Term
+	for word, fc := range fg.freq {
+		if fc < minCount {
+			continue
+		}
+		bc := bg.freq[word]
+		score := logLikelihoodRatio(fc, fg.total, bc, bg.total)
+		// Only overrepresented terms buzz: require fg rate > bg rate.
+		if fg.total == 0 || bg.total == 0 {
+			continue
+		}
+		if float64(fc)/float64(fg.total) <= float64(bc)/float64(bg.total) {
+			continue
+		}
+		terms = append(terms, Term{Word: word, Score: score, FgCount: fc, BgCount: bc})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].Score != terms[j].Score {
+			return terms[i].Score > terms[j].Score
+		}
+		return terms[i].Word < terms[j].Word
+	})
+	if k > 0 && len(terms) > k {
+		terms = terms[:k]
+	}
+	return terms
+}
+
+// logLikelihoodRatio is Dunning's G² statistic for a term occurring a
+// times in a corpus of size n1 and b times in a corpus of size n2.
+func logLikelihoodRatio(a, n1, b, n2 int) float64 {
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	e1 := float64(n1) * float64(a+b) / float64(n1+n2)
+	e2 := float64(n2) * float64(a+b) / float64(n1+n2)
+	g := 2 * (xlogx(float64(a), e1) + xlogx(float64(b), e2))
+	if math.IsNaN(g) || g < 0 {
+		return 0
+	}
+	return g
+}
+
+// xlogx computes x * ln(x/e), with the 0*ln(0) = 0 convention.
+func xlogx(x, e float64) float64 {
+	if x == 0 || e == 0 {
+		return 0
+	}
+	return x * math.Log(x/e)
+}

@@ -1,0 +1,146 @@
+package buzz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountsBasics(t *testing.T) {
+	c := NewCounts()
+	c.Add("The duomo was wonderful, the duomo was crowded!")
+	if c.Count("duomo") != 2 {
+		t.Errorf("duomo count = %d", c.Count("duomo"))
+	}
+	if c.Count("the") != 0 {
+		t.Error("stopwords must not count")
+	}
+	if c.Count("it") != 0 {
+		t.Error("short words must not count")
+	}
+	if c.Total() != 4 { // duomo x2, wonderful, crowded
+		t.Errorf("total = %d, want 4", c.Total())
+	}
+}
+
+func TestTopTermsFindsInjectedBuzz(t *testing.T) {
+	bg := NewCounts()
+	fg := NewCounts()
+	base := "the hotel was clean and the metro was busy and the park was lovely"
+	for i := 0; i < 200; i++ {
+		bg.Add(base)
+		fg.Add(base)
+	}
+	// Inject a buzzing term into the foreground only.
+	for i := 0; i < 50; i++ {
+		fg.Add("strike strike transport strike")
+	}
+	top := TopTerms(fg, bg, 5, 2)
+	if len(top) == 0 {
+		t.Fatal("no buzz terms found")
+	}
+	if top[0].Word != "strike" {
+		t.Errorf("top buzz = %q, want strike (list: %v)", top[0].Word, top)
+	}
+	if top[0].FgCount != 150 || top[0].BgCount != 0 {
+		t.Errorf("counts = %d/%d", top[0].FgCount, top[0].BgCount)
+	}
+	// "transport" buzzes too, behind "strike".
+	found := false
+	for _, tm := range top {
+		if tm.Word == "transport" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transport should buzz as well")
+	}
+}
+
+func TestTopTermsIgnoresUnderrepresented(t *testing.T) {
+	bg := NewCounts()
+	fg := NewCounts()
+	for i := 0; i < 100; i++ {
+		bg.Add("festival festival festival concert")
+		// concert rate in fg (1/4) equals bg (1/4): not overrepresented.
+		fg.Add("concert museum museum museum")
+	}
+	for _, tm := range TopTerms(fg, bg, 10, 2) {
+		if tm.Word == "festival" {
+			t.Error("background-only term must not buzz")
+		}
+		if tm.Word == "concert" {
+			t.Error("term with equal fg and bg rates must not buzz")
+		}
+	}
+}
+
+func TestTopTermsMinCount(t *testing.T) {
+	bg := NewCounts()
+	bg.Add("hotel hotel hotel hotel")
+	fg := NewCounts()
+	fg.Add("rare hotel hotel")
+	for _, tm := range TopTerms(fg, bg, 10, 2) {
+		if tm.Word == "rare" {
+			t.Error("singleton must not pass minCount=2")
+		}
+	}
+	// With minCount 1 it may appear.
+	top := TopTerms(fg, bg, 10, 1)
+	found := false
+	for _, tm := range top {
+		if tm.Word == "rare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("minCount=1 should admit the singleton")
+	}
+}
+
+func TestTopTermsKBound(t *testing.T) {
+	bg := NewCounts()
+	fg := NewCounts()
+	bg.Add("filler filler filler")
+	fg.Add(strings.Repeat("alpha beta gamma delta epsilon ", 5))
+	top := TopTerms(fg, bg, 2, 2)
+	if len(top) > 2 {
+		t.Errorf("k not respected: %d", len(top))
+	}
+}
+
+func TestTopTermsEmptyInputs(t *testing.T) {
+	if got := TopTerms(NewCounts(), NewCounts(), 5, 1); len(got) != 0 {
+		t.Errorf("empty corpora should yield nothing: %v", got)
+	}
+}
+
+func TestLogLikelihoodProperties(t *testing.T) {
+	// G² is non-negative and zero when rates are equal.
+	f := func(a, b uint8) bool {
+		fa, fb := int(a)+1, int(b)+1
+		g := logLikelihoodRatio(fa, fa*10, fb, fb*10)
+		// Equal rates (a/10a == b/10b): statistic ~ 0.
+		if g > 1e-9 {
+			return false
+		}
+		// Unequal: still non-negative.
+		return logLikelihoodRatio(fa, 1000, fb, 50) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMonotoneInOverrepresentation(t *testing.T) {
+	// More foreground occurrences of the same term (same totals) cannot
+	// lower the score.
+	prev := -1.0
+	for fc := 5; fc <= 50; fc += 5 {
+		g := logLikelihoodRatio(fc, 1000, 5, 1000)
+		if g < prev-1e-9 {
+			t.Errorf("score decreased at fc=%d: %v < %v", fc, g, prev)
+		}
+		prev = g
+	}
+}

@@ -1,0 +1,148 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/webgen"
+	"github.com/informing-observers/informer/internal/webserve"
+)
+
+func TestIncrementalRecrawl(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 6, NumSources: 6, CommentText: true})
+	ts := httptest.NewServer(webserve.New(world))
+	defer ts.Close()
+
+	cache := NewCache()
+	cfg := Config{BaseURL: ts.URL, Cache: cache, FetchFeeds: true}
+
+	// First crawl: everything is a miss.
+	snap1, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 {
+		t.Errorf("first crawl had %d cache hits", hits)
+	}
+	if misses == 0 {
+		t.Fatal("no pages fetched")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache empty after crawl")
+	}
+
+	// Second crawl over an unchanged corpus: every page is a 304 hit.
+	snap2, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := cache.Stats()
+	if misses2 != misses {
+		t.Errorf("recrawl fetched %d fresh pages, want 0 new", misses2-misses)
+	}
+	if hits2 == 0 {
+		t.Error("recrawl produced no conditional hits")
+	}
+
+	// The two snapshots must be identical.
+	if len(snap1.Sources) != len(snap2.Sources) {
+		t.Fatal("snapshot sizes differ")
+	}
+	for i := range snap1.Sources {
+		a, b := snap1.Sources[i], snap2.Sources[i]
+		if a.Info.Host != b.Info.Host || len(a.Discussions) != len(b.Discussions) {
+			t.Fatalf("source %d differs across recrawl", i)
+		}
+		for j := range a.Discussions {
+			if len(a.Discussions[j].Comments) != len(b.Discussions[j].Comments) {
+				t.Fatalf("discussion %d/%d differs across recrawl", i, j)
+			}
+		}
+	}
+}
+
+func TestCacheWithoutServerSupport(t *testing.T) {
+	// A server that never sets ETags: the cache stays empty and crawling
+	// still works.
+	world := webgen.Generate(webgen.Config{Seed: 6, NumSources: 2})
+	plain := httptest.NewServer(stripETag{inner: webserve.New(world)})
+	defer plain.Close()
+
+	cache := NewCache()
+	if _, err := Crawl(context.Background(), Config{BaseURL: plain.URL, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("cache stored %d entries without ETags", cache.Len())
+	}
+}
+
+// stripETag is middleware that removes conditional-request support from a
+// handler, simulating a server without ETags.
+type stripETag struct{ inner http.Handler }
+
+func (s stripETag) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Header.Del("If-None-Match")
+	rec := httptest.NewRecorder()
+	s.inner.ServeHTTP(rec, r)
+	for k, vs := range rec.Header() {
+		if http.CanonicalHeaderKey(k) == "Etag" {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	w.Write(rec.Body.Bytes())
+}
+
+// TestMonitoringRecrawl is the paper's monitoring loop: crawl, let the
+// corpus evolve, re-crawl conditionally. Pages of unchanged sources come
+// back 304; sources with fresh activity are re-fetched and the snapshot
+// reflects the growth.
+func TestMonitoringRecrawl(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 16, NumSources: 8, CommentText: true})
+	ts := httptest.NewServer(webserve.New(world))
+	defer ts.Close()
+
+	cache := NewCache()
+	cfg := Config{BaseURL: ts.URL, Cache: cache}
+	snap1, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misses1 := cache.Stats()
+
+	webgen.Advance(world, 30, 161)
+
+	snap2, err := Crawl(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := cache.Stats()
+	if hits2 == 0 {
+		t.Error("no page stayed unchanged; expected some 304s")
+	}
+	if misses2 == misses1 {
+		t.Error("no page changed; expected fresh fetches after Advance")
+	}
+
+	count := func(s *Snapshot) (d, c int) {
+		for _, sc := range s.Sources {
+			d += len(sc.Discussions)
+			for _, disc := range sc.Discussions {
+				c += len(disc.Comments)
+			}
+		}
+		return d, c
+	}
+	d1, c1 := count(snap1)
+	d2, c2 := count(snap2)
+	if d2 <= d1 || c2 <= c1 {
+		t.Errorf("recrawl did not observe growth: %d/%d -> %d/%d", d1, c1, d2, c2)
+	}
+}

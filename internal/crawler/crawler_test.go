@@ -1,0 +1,217 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/webgen"
+	"github.com/informing-observers/informer/internal/webserve"
+)
+
+func testWorldServer(t *testing.T, n int) (*webgen.World, *httptest.Server) {
+	t.Helper()
+	world := webgen.Generate(webgen.Config{Seed: 3, NumSources: n, NumUsers: 50, CommentText: true})
+	ts := httptest.NewServer(webserve.New(world))
+	t.Cleanup(ts.Close)
+	return world, ts
+}
+
+func TestCrawlFullCorpus(t *testing.T) {
+	world, ts := testWorldServer(t, 10)
+	snap, err := Crawl(context.Background(), Config{BaseURL: ts.URL, FetchFeeds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Errs) != 0 {
+		t.Fatalf("crawl errors: %v", snap.Errs)
+	}
+	if len(snap.Sources) != 10 {
+		t.Fatalf("crawled %d sources, want 10", len(snap.Sources))
+	}
+	for i, sc := range snap.Sources {
+		src := world.Sources[i]
+		if sc.Info.ID != src.ID {
+			t.Fatalf("source order wrong: %d at %d", sc.Info.ID, i)
+		}
+		if len(sc.Discussions) != len(src.Discussions) {
+			t.Errorf("source %d: %d discussions, want %d", i, len(sc.Discussions), len(src.Discussions))
+		}
+		if sc.Feed == nil {
+			t.Errorf("source %d: missing feed", i)
+		} else if len(sc.Feed.Items) != len(src.Discussions) {
+			t.Errorf("source %d: feed has %d items, want %d", i, len(sc.Feed.Items), len(src.Discussions))
+		}
+		// Comment payloads survive.
+		total := 0
+		for _, d := range sc.Discussions {
+			total += len(d.Comments)
+		}
+		if total != src.CommentCount() {
+			t.Errorf("source %d: crawled %d comments, want %d", i, total, src.CommentCount())
+		}
+	}
+}
+
+func TestCrawlInboundAggregation(t *testing.T) {
+	world, ts := testWorldServer(t, 20)
+	snap, err := Crawl(context.Background(), Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crawler's inbound counts must match the world's link graph
+	// (dedup per source pair).
+	for i, sc := range snap.Sources {
+		want := len(world.Sources[i].Inbound)
+		if sc.InboundLinks != want {
+			t.Errorf("source %d inbound = %d, want %d", i, sc.InboundLinks, want)
+		}
+	}
+}
+
+func TestCrawlMaxDiscussions(t *testing.T) {
+	_, ts := testWorldServer(t, 5)
+	snap, err := Crawl(context.Background(), Config{BaseURL: ts.URL, MaxDiscussions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range snap.Sources {
+		if len(sc.Discussions) > 2 {
+			t.Errorf("source %d crawled %d discussions, cap is 2", sc.Info.ID, len(sc.Discussions))
+		}
+	}
+}
+
+func TestCrawlUnreachable(t *testing.T) {
+	_, err := Crawl(context.Background(), Config{
+		BaseURL: "http://127.0.0.1:1", // nothing listens here
+		Client:  &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("expected error for unreachable corpus")
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	_, ts := testWorldServer(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Crawl(ctx, Config{BaseURL: ts.URL})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestCrawlRetriesServerErrors(t *testing.T) {
+	var calls int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sitemap.txt", func(w http.ResponseWriter, _ *http.Request) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("")) // empty sitemap: crawl succeeds with 0 sources
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	snap, err := Crawl(context.Background(), Config{BaseURL: ts.URL, MaxRetries: 3})
+	if err != nil {
+		t.Fatalf("retry should have healed: %v", err)
+	}
+	if len(snap.Sources) != 0 {
+		t.Errorf("sources = %d", len(snap.Sources))
+	}
+	if atomic.LoadInt32(&calls) != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestCrawlDoesNotRetry404(t *testing.T) {
+	var calls int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sitemap.txt", func(w http.ResponseWriter, _ *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.NotFound(w, nil)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if _, err := Crawl(context.Background(), Config{BaseURL: ts.URL, MaxRetries: 5}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("404 retried %d times, want 1 attempt", calls)
+	}
+}
+
+func TestCrawlPageErrorsAreNonFatal(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sitemap.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("/s/0/\n/s/1/\n"))
+	})
+	mux.HandleFunc("/s/0/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`<html><script type="application/x-source-info+json">{"id":0,"host":"a"}</script></html>`))
+	})
+	// /s/1/ serves a page without an island.
+	mux.HandleFunc("/s/1/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("<html>no island</html>"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	snap, err := Crawl(context.Background(), Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sources) != 1 {
+		t.Errorf("sources = %d, want 1", len(snap.Sources))
+	}
+	if len(snap.Errs) != 1 {
+		t.Errorf("errs = %v, want 1 error", snap.Errs)
+	}
+}
+
+func TestExtractIsland(t *testing.T) {
+	page := `<html><script type="application/x-discussion+json">{"id":7}</script></html>`
+	data, ok := ExtractIsland(page, "application/x-discussion+json")
+	if !ok || string(data) != `{"id":7}` {
+		t.Errorf("got %q, %v", data, ok)
+	}
+	if _, ok := ExtractIsland(page, "application/other"); ok {
+		t.Error("wrong mime matched")
+	}
+	if _, ok := ExtractIsland(`<script type="application/x-a+json">unterminated`, "application/x-a+json"); ok {
+		t.Error("unterminated island matched")
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	page := `<a href="/s/0/">x</a><link href="/feed.rss"/><a href="http://e.test/p">y</a>`
+	links := ExtractLinks(page)
+	want := []string{"/s/0/", "/feed.rss", "http://e.test/p"}
+	if len(links) != len(want) {
+		t.Fatalf("links = %v", links)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Errorf("link %d = %q, want %q", i, links[i], want[i])
+		}
+	}
+	if got := ExtractLinks("no links here"); got != nil {
+		t.Errorf("got %v for page without links", got)
+	}
+}
+
+func TestPolitenessDelay(t *testing.T) {
+	_, ts := testWorldServer(t, 2)
+	start := time.Now()
+	_, err := Crawl(context.Background(), Config{BaseURL: ts.URL, Delay: 10 * time.Millisecond, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least sitemap + 2 indexes = 3 requests, each delayed 10ms.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("crawl too fast for politeness delay: %v", elapsed)
+	}
+}

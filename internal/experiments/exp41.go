@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/stats"
+	"github.com/informing-observers/informer/internal/textgen"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// categoryTerms returns the query vocabulary of a category, falling back
+// to the category name itself.
+func categoryTerms(cat string) []string {
+	terms := textgen.CategoryTerms(cat)
+	if len(terms) == 0 {
+		return []string{cat}
+	}
+	return terms
+}
+
+// Exp41Result reproduces the ranking-comparison statistics of Section 4.1:
+// per-measure Kendall tau against the search baseline, and the distribution
+// of per-item rank distances between the baseline ranking and the
+// quality-model re-ranking of the same top-k lists.
+type Exp41Result struct {
+	QueriesRun    int
+	SlotsAnalyzed int
+	// MeanListLen is the average result-list length (capped at top-20;
+	// niche queries return fewer matches).
+	MeanListLen float64
+	// MeasureTaus maps each Table 3 measure to its average per-query
+	// Kendall tau against the baseline ranking.
+	MeasureTaus map[string]float64
+	// MeanDistance is the average |position difference| per item.
+	MeanDistance float64
+	// DistanceVariance is its variance across items.
+	DistanceVariance float64
+	// PctDistGT5 / PctDistGT10 are the shares of items displaced by more
+	// than 5 / 10 positions.
+	PctDistGT5, PctDistGT10 float64
+	// PctCoincident is the share of items keeping exactly their position.
+	PctCoincident float64
+}
+
+// RunExp41 executes the Section 4.1 experiment on a workbench.
+func RunExp41(wb *Workbench) (*Exp41Result, error) {
+	kinds := []webgen.SourceKind{webgen.Blog, webgen.Forum}
+	tauSums := map[string]float64{}
+	tauCounts := map[string]float64{}
+	var distances []float64
+	coincident := 0
+	slots := 0
+
+	measureIDs := quality.TableThreeMeasureIDs()
+	measures := make([]quality.SourceMeasure, 0, len(measureIDs))
+	for _, id := range measureIDs {
+		m, ok := quality.SourceMeasureByID(id)
+		if !ok {
+			return nil, fmt.Errorf("exp41: unknown measure %q", id)
+		}
+		measures = append(measures, m)
+	}
+
+	queriesRun := 0
+	listLenSum := 0
+	for _, q := range wb.Queries() {
+		results := wb.Engine.SearchKinds(q, wb.Opts.TopK, kinds)
+		if len(results) < wb.Opts.MinList {
+			continue // too few matches to compare rankings meaningfully
+		}
+		queriesRun++
+		listLenSum += len(results)
+
+		// Baseline positions 0..k-1 and the quality re-ranking.
+		k := len(results)
+		type slot struct {
+			sourceID int
+			basePos  int
+			quality  float64
+		}
+		list := make([]slot, k)
+		for i, r := range results {
+			list[i] = slot{sourceID: r.SourceID, basePos: i, quality: wb.Scores[r.SourceID]}
+		}
+		reranked := append([]slot(nil), list...)
+		sort.SliceStable(reranked, func(a, b int) bool {
+			if reranked[a].quality != reranked[b].quality {
+				return reranked[a].quality > reranked[b].quality
+			}
+			return reranked[a].sourceID < reranked[b].sourceID
+		})
+		qualityPos := make(map[int]int, k)
+		for pos, s := range reranked {
+			qualityPos[s.sourceID] = pos
+		}
+		for _, s := range list {
+			d := s.basePos - qualityPos[s.sourceID]
+			if d < 0 {
+				d = -d
+			}
+			distances = append(distances, float64(d))
+			if d == 0 {
+				coincident++
+			}
+			slots++
+		}
+
+		// Per-measure Kendall tau against the baseline ordering. Use
+		// "rank goodness" (k - position) so a positive tau means the
+		// measure agrees with the baseline.
+		goodness := make([]float64, k)
+		for i := range list {
+			goodness[i] = float64(k - list[i].basePos)
+		}
+		di := quality.DomainOfInterest{Categories: wb.World.Categories}
+		for _, m := range measures {
+			vals := make([]float64, k)
+			okAll := true
+			for i, s := range list {
+				v, ok := m.Eval(wb.Records[s.sourceID], &di)
+				if !ok {
+					okAll = false
+					break
+				}
+				if !m.HigherIsBetter {
+					v = -v
+				}
+				vals[i] = v
+			}
+			if !okAll {
+				continue
+			}
+			tau, err := stats.KendallTau(vals, goodness)
+			if err != nil {
+				continue
+			}
+			tauSums[m.ID] += tau
+			tauCounts[m.ID]++
+		}
+	}
+
+	if slots == 0 {
+		return nil, fmt.Errorf("exp41: no query returned at least %d results", wb.Opts.MinList)
+	}
+	res := &Exp41Result{
+		QueriesRun:    queriesRun,
+		SlotsAnalyzed: slots,
+		MeanListLen:   float64(listLenSum) / float64(queriesRun),
+		MeasureTaus:   map[string]float64{},
+	}
+	for id, sum := range tauSums {
+		res.MeasureTaus[id] = sum / tauCounts[id]
+	}
+	res.MeanDistance = stats.Mean(distances)
+	res.DistanceVariance = stats.Variance(distances)
+	gt5, gt10 := 0, 0
+	for _, d := range distances {
+		if d > 5 {
+			gt5++
+		}
+		if d > 10 {
+			gt10++
+		}
+	}
+	res.PctDistGT5 = float64(gt5) / float64(slots) * 100
+	res.PctDistGT10 = float64(gt10) / float64(slots) * 100
+	res.PctCoincident = float64(coincident) / float64(slots) * 100
+	return res, nil
+}
+
+// Render produces the paper-shaped summary.
+func (r *Exp41Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4.1 — quality re-ranking vs search baseline\n")
+	fmt.Fprintf(&b, "queries analysed: %d (%d result slots, mean list length %.1f)\n\n",
+		r.QueriesRun, r.SlotsAnalyzed, r.MeanListLen)
+	fmt.Fprintf(&b, "per-measure Kendall tau vs baseline ranking (paper: all in [-0.1, 0.1]):\n")
+	ids := make([]string, 0, len(r.MeasureTaus))
+	for id := range r.MeasureTaus {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %-36s %+6.3f\n", id, r.MeasureTaus[id])
+	}
+	fmt.Fprintf(&b, "\nrank-distance distribution (paper: mean 4; >5 at least 35%%; >10 about 2.5%%; coincident 7-8%%):\n")
+	fmt.Fprintf(&b, "  mean distance      %6.2f (variance %.2f)\n", r.MeanDistance, r.DistanceVariance)
+	fmt.Fprintf(&b, "  distance > 5       %6.2f%%\n", r.PctDistGT5)
+	fmt.Fprintf(&b, "  distance > 10      %6.2f%%\n", r.PctDistGT10)
+	fmt.Fprintf(&b, "  coincident         %6.2f%%\n", r.PctCoincident)
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, regenerating the published statistics over the
+// synthetic corpus (see DESIGN.md section 4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results). Each driver returns a
+// structured result plus a Render() producing a paper-shaped ASCII table.
+package experiments
+
+import (
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/search"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Options configures the shared workload of the source-side experiments
+// (E-4.1 and Table 3).
+type Options struct {
+	// Seed pins the whole pipeline (default 42).
+	Seed int64
+	// NumSources sizes the corpus (default 2400; the paper analysed more
+	// than 2000 sites).
+	NumSources int
+	// NumQueries is the query workload (default 120; the paper ran "over
+	// 100 queries").
+	NumQueries int
+	// TopK is the result-list depth (default 20, as in the paper: "the
+	// first 20 blogs and forums"). Niche queries return fewer matches, as
+	// on the real Web; lists shorter than MinList are discarded.
+	TopK int
+	// MinList is the minimum result-list length a query must produce to
+	// enter the analysis (default 6).
+	MinList int
+	// SearchNoise overrides the baseline's per-query score jitter
+	// (default 0.9). Higher noise makes within-list orderings more
+	// relevance/noise-driven, the regime behind the paper's low
+	// per-measure Kendall taus.
+	SearchNoise float64
+	// ParticipationPenalty / EngagementPenalty override the baseline's
+	// demotion weights (defaults 0.30 / 0.10).
+	ParticipationPenalty, EngagementPenalty float64
+	// AuthorityWeight is the assessment weight given to the
+	// authority-dimension measures when computing the overall quality
+	// score (default 2.0). The paper leaves aggregation weights open;
+	// weighting authority up reflects its "reputation as the key factor"
+	// framing.
+	AuthorityWeight float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.NumSources == 0 {
+		o.NumSources = 2400
+	}
+	if o.NumQueries == 0 {
+		o.NumQueries = 120
+	}
+	if o.TopK == 0 {
+		o.TopK = 20
+	}
+	if o.MinList == 0 {
+		o.MinList = 8
+	}
+	if o.SearchNoise == 0 {
+		o.SearchNoise = 3.5
+	}
+	if o.ParticipationPenalty == 0 {
+		o.ParticipationPenalty = 0.45
+	}
+	if o.EngagementPenalty == 0 {
+		o.EngagementPenalty = 0.25
+	}
+	if o.AuthorityWeight == 0 {
+		o.AuthorityWeight = 1.0
+	}
+	return o
+}
+
+// Workbench bundles the generated corpus with its panel, search engine and
+// quality assessments, shared by E-4.1 and Table 3 so both see the same
+// world.
+type Workbench struct {
+	Opts     Options
+	World    *webgen.World
+	Panel    *analytics.Panel
+	Engine   *search.Engine
+	Records  []*quality.SourceRecord
+	Assessor *quality.SourceAssessor
+	// Scores caches the overall quality score per source ID.
+	Scores map[int]float64
+}
+
+// NewWorkbench builds the shared experimental setup.
+func NewWorkbench(opts Options) *Workbench {
+	opts = opts.withDefaults()
+	world := webgen.Generate(webgen.Config{
+		Seed:       opts.Seed,
+		NumSources: opts.NumSources,
+	})
+	panel := analytics.Build(world, opts.Seed+1)
+	engine := search.NewEngine(world, panel, search.Config{
+		Seed:                 opts.Seed + 2,
+		NoiseSigma:           opts.SearchNoise,
+		ParticipationPenalty: opts.ParticipationPenalty,
+		EngagementPenalty:    opts.EngagementPenalty,
+		Conjunctive:          true,
+	})
+	records := quality.SourceRecordsFromWorld(world, panel)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	weights := map[string]float64{}
+	for _, m := range quality.SourceMeasures() {
+		if m.Dimension == quality.Authority {
+			weights[m.ID] = opts.AuthorityWeight
+		}
+	}
+	assessor := quality.NewSourceAssessor(records, di, &quality.AssessorOptions{Weights: weights})
+	scores := make(map[int]float64, len(records))
+	for _, r := range records {
+		scores[r.ID] = assessor.Assess(r).Score
+	}
+	return &Workbench{
+		Opts:     opts,
+		World:    world,
+		Panel:    panel,
+		Engine:   engine,
+		Records:  records,
+		Assessor: assessor,
+		Scores:   scores,
+	}
+}
+
+// Queries builds the deterministic query workload: one topical marker term
+// from each of two different categories plus a location — niche,
+// conjunctive queries whose result lists vary in length like the paper's
+// real blog/forum queries did. Index mixing keeps queries distinct.
+func (wb *Workbench) Queries() []string {
+	cats := wb.World.Categories
+	locs := wb.World.Config.Locations
+	queries := make([]string, 0, wb.Opts.NumQueries)
+	for i := 0; i < wb.Opts.NumQueries; i++ {
+		catA := cats[i%len(cats)]
+		catB := cats[(i+1+(i/len(cats))%(len(cats)-1))%len(cats)]
+		termsA := categoryTerms(catA)
+		termsB := categoryTerms(catB)
+		t1 := termsA[(i/len(cats))%len(termsA)]
+		t2 := termsB[(i/3)%len(termsB)]
+		loc := locs[(i*7+i/len(cats))%len(locs)]
+		queries = append(queries, t1+" "+t2+" "+loc)
+	}
+	return queries
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedWB builds the default 2400-source workbench once for the whole
+// test package; the statistical experiments are read-only over it.
+var (
+	wbOnce sync.Once
+	wb     *Workbench
+)
+
+func sharedWB(t *testing.T) *Workbench {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping corpus-scale experiment in -short mode")
+	}
+	wbOnce.Do(func() { wb = NewWorkbench(Options{}) })
+	return wb
+}
+
+func TestWorkbenchQueriesDistinct(t *testing.T) {
+	w := sharedWB(t)
+	qs := w.Queries()
+	if len(qs) != 120 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		seen[q] = true
+		if len(strings.Fields(q)) != 3 {
+			t.Errorf("query %q should have three terms", q)
+		}
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct queries out of 120", len(seen))
+	}
+}
+
+func TestExp41PaperShape(t *testing.T) {
+	w := sharedWB(t)
+	r, err := RunExp41(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper analysed > 2000 site slots over 100+ queries.
+	if r.QueriesRun < 100 {
+		t.Errorf("queries run = %d, want >= 100", r.QueriesRun)
+	}
+	if r.SlotsAnalyzed < 1000 {
+		t.Errorf("slots = %d", r.SlotsAnalyzed)
+	}
+	// No single measure predicts the baseline ranking: the paper reports
+	// per-measure tau in [-0.1, 0.1]; we allow a slightly wider |tau| <=
+	// 0.2 band and require most measures inside the paper's own band.
+	inBand := 0
+	for id, tau := range r.MeasureTaus {
+		if math.Abs(tau) > 0.2 {
+			t.Errorf("measure %s tau = %+.3f, |tau| > 0.2", id, tau)
+		}
+		if math.Abs(tau) <= 0.105 {
+			inBand++
+		}
+	}
+	if len(r.MeasureTaus) != 10 {
+		t.Fatalf("taus for %d measures, want 10", len(r.MeasureTaus))
+	}
+	if inBand < 6 {
+		t.Errorf("only %d/10 measures within the paper's [-0.1, 0.1] band", inBand)
+	}
+	// Rank-distance distribution, paper: mean 4, >5 at least 35%%, >10
+	// about 2.5%%, coincident 7-8%%. Bands allow the synthetic corpus a
+	// reasonable halo around the published values.
+	if r.MeanDistance < 3.2 || r.MeanDistance > 5.2 {
+		t.Errorf("mean distance = %.2f, want ~4", r.MeanDistance)
+	}
+	if r.PctDistGT5 < 25 || r.PctDistGT5 > 50 {
+		t.Errorf("P(>5) = %.1f%%, want ~35%%", r.PctDistGT5)
+	}
+	if r.PctDistGT10 < 1 || r.PctDistGT10 > 8 {
+		t.Errorf("P(>10) = %.1f%%, want ~2.5%%", r.PctDistGT10)
+	}
+	if r.PctCoincident < 5.5 || r.PctCoincident > 11 {
+		t.Errorf("coincident = %.1f%%, want ~7-8%%", r.PctCoincident)
+	}
+	if !strings.Contains(r.Render(), "Kendall tau") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3PaperShape(t *testing.T) {
+	w := sharedWB(t)
+	r, err := RunTable3(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Components) != 3 {
+		t.Fatalf("components = %d, want 3", len(r.Components))
+	}
+	// Componentization: exactly the paper's grouping.
+	wantGroups := map[string][]string{
+		"traffic": {
+			"src.time.traffic",
+			"src.authority.traffic.visitors",
+			"src.authority.traffic.pageviews",
+			"src.authority.relevance.inbound",
+		},
+		"participation": {
+			"src.completeness.traffic",
+			"src.time.liveliness",
+			"src.dependability.breadth",
+			"src.dependability.liveliness",
+		},
+		"time": {
+			"src.dependability.relevance",
+			"src.authority.traffic.timeonsite",
+		},
+	}
+	for label, wantIDs := range wantGroups {
+		c, ok := r.Component(label)
+		if !ok {
+			t.Errorf("missing component %q", label)
+			continue
+		}
+		got := map[string]bool{}
+		for _, id := range c.MeasureIDs {
+			got[id] = true
+		}
+		if len(got) != len(wantIDs) {
+			t.Errorf("%s groups %d measures, want %d: %v", label, len(got), len(wantIDs), c.MeasureIDs)
+			continue
+		}
+		for _, id := range wantIDs {
+			if !got[id] {
+				t.Errorf("%s missing measure %s", label, id)
+			}
+		}
+	}
+	// Regression signs and significances, paper Table 3:
+	// traffic positive sig<0.001; participation negative sig<0.010;
+	// time negative sig<0.050.
+	if c, _ := r.Component("traffic"); c.Coefficient <= 0 || c.PValue >= 0.001 {
+		t.Errorf("traffic: coef=%v p=%v, want positive sig<0.001", c.Coefficient, c.PValue)
+	}
+	if c, _ := r.Component("participation"); c.Coefficient >= 0 || c.PValue >= 0.010 {
+		t.Errorf("participation: coef=%v p=%v, want negative sig<0.010", c.Coefficient, c.PValue)
+	}
+	if c, _ := r.Component("time"); c.Coefficient >= 0 || c.PValue >= 0.050 {
+		t.Errorf("time: coef=%v p=%v, want negative sig<0.050", c.Coefficient, c.PValue)
+	}
+	// First three eigenvalues exceed 1 (Kaiser criterion retains 3).
+	for i := 0; i < 3; i++ {
+		if r.Eigenvalues[i] <= 1 {
+			t.Errorf("eigenvalue %d = %v, want > 1", i, r.Eigenvalues[i])
+		}
+	}
+	if r.Eigenvalues[3] >= 1 {
+		t.Errorf("4th eigenvalue = %v, want < 1 (only 3 components)", r.Eigenvalues[3])
+	}
+	if !strings.Contains(r.Render(), "Traffic rank") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable4PaperPattern(t *testing.T) {
+	r, err := RunTable4(3, 813) // the pinned Table 4 seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accounts != 813 {
+		t.Errorf("accounts = %d, want 813", r.Accounts)
+	}
+	want := map[string][3]string{
+		"Interactions":                              {"> 0", "= 0", "> 0"},
+		"Absolute mentions (replies received)":      {"> 0", "> 0", "= 0"},
+		"Absolute retweets (feedbacks)":             {"= 0", "< 0", "> 0"},
+		"Relative mentions (replies per comment)":   {"= 0", "= 0", "= 0"},
+		"Relative retweets (feedbacks per comment)": {"= 0", "= 0", "= 0"},
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		w, ok := want[row.Measure]
+		if !ok {
+			t.Errorf("unexpected measure %q", row.Measure)
+			continue
+		}
+		if row.DirPB != w[0] || row.DirPN != w[1] || row.DirNB != w[2] {
+			t.Errorf("%s: got (%s, %s, %s), want (%s, %s, %s)",
+				row.Measure, row.DirPB, row.DirPN, row.DirNB, w[0], w[1], w[2])
+		}
+	}
+	if !strings.Contains(r.Render(), "people - brand") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure1Interaction(t *testing.T) {
+	r, err := RunFigure1(99, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Influencers == 0 || r.Influencers > 10 {
+		t.Errorf("influencers = %d", r.Influencers)
+	}
+	if r.PostsAll == 0 {
+		t.Error("no posts before selection")
+	}
+	if r.PostsSelected == 0 || r.PostsSelected > r.PostsAll {
+		t.Errorf("selection posts = %d of %d", r.PostsSelected, r.PostsAll)
+	}
+	if r.SelectedName == "" {
+		t.Error("no selected influencer name")
+	}
+	for _, frag := range []string{"Influencers", "Sentiment by category", "Influencer posts"} {
+		if !strings.Contains(r.InitialDashboard, frag) {
+			t.Errorf("initial dashboard missing %q", frag)
+		}
+	}
+	if !strings.Contains(r.Render(), "narrowed") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable1OverCrawledCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crawl experiment skipped in -short mode")
+	}
+	r, err := RunTable1(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sources != 30 {
+		t.Errorf("sources = %d", r.Sources)
+	}
+	if r.CrawlErrs != 0 {
+		t.Errorf("crawl errors = %d", r.CrawlErrs)
+	}
+	if len(r.Measures) != 19 {
+		t.Errorf("measures = %d, want 19 (full Table 1)", len(r.Measures))
+	}
+	for _, m := range r.Measures {
+		if m.Defined == 0 {
+			t.Errorf("measure %s undefined on every source", m.ID)
+		}
+	}
+	if len(r.TopSources) == 0 {
+		t.Error("no top sources")
+	}
+	if !strings.Contains(r.Render(), "crawled corpus") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable2OverMicroblog(t *testing.T) {
+	r, err := RunTable2(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contributors != 200 {
+		t.Errorf("contributors = %d", r.Contributors)
+	}
+	if len(r.Measures) != 15 {
+		t.Errorf("measures = %d, want 15 (full Table 2)", len(r.Measures))
+	}
+	// The microblog mapping defines activity/authority/dependability
+	// measures for every account with interactions; DI-dependent ones may
+	// be sparse but must not be universally undefined.
+	for _, m := range r.Measures {
+		if m.ID == "usr.completeness.activity" && m.Defined != 200 {
+			t.Errorf("activity defined on %d/200", m.Defined)
+		}
+	}
+	if !strings.Contains(r.Render(), "microblog") {
+		t.Error("render incomplete")
+	}
+}

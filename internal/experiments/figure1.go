@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/mashup"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/services"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Figure1CompositionJSON is the declarative mashup of Figure 1: comments
+// from the Twitter-like and TripAdvisor-like sources are merged, filtered
+// to influencers' contributions, and displayed in synchronised list and
+// map viewers; selecting an influencer narrows the posts viewers; a
+// sentiment service summarises the selected stream per category.
+const Figure1CompositionJSON = `{
+  "name": "sentiment-analysis-dashboard",
+  "components": [
+    {"id": "twitter", "type": "comments", "params": {"kind": "social-network"}},
+    {"id": "tripadvisor", "type": "comments", "params": {"kind": "review-site"}},
+    {"id": "merge", "type": "union"},
+    {"id": "inf", "type": "influencer-filter", "params": {"top": 10}},
+    {"id": "infList", "type": "list-viewer", "title": "Influencers", "params": {"fields": ["name", "score"]}},
+    {"id": "infMap", "type": "map-viewer", "title": "Influencer locations"},
+    {"id": "postSel", "type": "event-filter", "params": {"item_key": "author_id", "payload_key": "author_id"}},
+    {"id": "senti", "type": "sentiment"},
+    {"id": "postList", "type": "list-viewer", "title": "Influencer posts", "params": {"fields": ["author", "category", "text"]}},
+    {"id": "postMap", "type": "map-viewer", "title": "Post locations"},
+    {"id": "indicators", "type": "indicator-viewer", "title": "Sentiment by category"}
+  ],
+  "wires": [
+    {"from": "twitter.out", "to": "merge.a"},
+    {"from": "tripadvisor.out", "to": "merge.b"},
+    {"from": "merge.out", "to": "inf.in"},
+    {"from": "inf.influencers", "to": "infList.in"},
+    {"from": "inf.influencers", "to": "infMap.in"},
+    {"from": "inf.out", "to": "postSel.in"},
+    {"from": "postSel.out", "to": "senti.in"},
+    {"from": "senti.out", "to": "postList.in"},
+    {"from": "senti.out", "to": "postMap.in"},
+    {"from": "senti.indicators", "to": "indicators.in"}
+  ],
+  "sync": [
+    {"source": "infList", "event": "select", "target": "postSel"}
+  ]
+}`
+
+// Figure1Result is the executed dashboard plus the interaction trace.
+type Figure1Result struct {
+	Influencers   int
+	PostsAll      int
+	SelectedName  string
+	PostsSelected int
+	// InitialDashboard and SelectedDashboard are the rendered dashboards
+	// before and after the selection event.
+	InitialDashboard  string
+	SelectedDashboard string
+}
+
+// RunFigure1 builds a world, assembles the Figure 1 composition, runs it,
+// and replays the paper's interaction: select the top influencer and watch
+// the synced viewers narrow.
+func RunFigure1(seed int64, numSources int) (*Figure1Result, error) {
+	if numSources == 0 {
+		numSources = 120
+	}
+	world := webgen.Generate(webgen.Config{
+		Seed:        seed,
+		NumSources:  numSources,
+		CommentText: true,
+	})
+	panel := analytics.Build(world, seed+1)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	env := services.NewEnv(world, panel, di)
+	reg := services.NewRegistry(env)
+
+	comp, err := mashup.ParseComposition([]byte(Figure1CompositionJSON))
+	if err != nil {
+		return nil, err
+	}
+	rt, err := mashup.NewRuntime(comp, reg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{InitialDashboard: d.Render()}
+	infList, ok := d.View("infList")
+	if !ok || len(infList.Items) == 0 {
+		return nil, fmt.Errorf("figure1: no influencers detected")
+	}
+	res.Influencers = len(infList.Items)
+	if postList, ok := d.View("postList"); ok {
+		res.PostsAll = len(postList.Items)
+	}
+
+	selected := infList.Items[0]
+	res.SelectedName, _ = selected["name"].(string)
+	d, err = rt.Emit(mashup.Event{Source: "infList", Name: "select", Payload: selected})
+	if err != nil {
+		return nil, err
+	}
+	res.SelectedDashboard = d.Render()
+	if postList, ok := d.View("postList"); ok {
+		res.PostsSelected = len(postList.Items)
+	}
+	return res, nil
+}
+
+// Render summarises the run.
+func (r *Figure1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — sentiment-analysis mashup\n")
+	fmt.Fprintf(&b, "influencers detected: %d; posts by influencers: %d\n", r.Influencers, r.PostsAll)
+	fmt.Fprintf(&b, "selected %q -> synced viewers narrowed to %d posts\n\n", r.SelectedName, r.PostsSelected)
+	b.WriteString(r.SelectedDashboard)
+	return b.String()
+}

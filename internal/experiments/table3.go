@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/stats"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Table3Component is one extracted component with its assigned measures —
+// a row group of the paper's Table 3.
+type Table3Component struct {
+	// Label is the interpreted name ("traffic", "participation", "time"),
+	// assigned from marker measures.
+	Label string
+	// MeasureIDs are the measures loading most heavily on this component.
+	MeasureIDs []string
+	// Coefficient, PValue and Direction come from the OLS of the search
+	// ranking on the component scores.
+	Coefficient float64
+	PValue      float64
+	Direction   string // "positive" / "negative"
+	// SigBand renders the paper's significance notation, e.g. "sig < 0.001".
+	SigBand string
+}
+
+// Table3Result is the factor analysis + regression of Section 4.1/Table 3.
+type Table3Result struct {
+	N           int // unique sources entering the analysis
+	Eigenvalues []float64
+	Components  []Table3Component
+	R2          float64
+}
+
+// componentMarkers map a marker measure to the paper's component label.
+var componentMarkers = []struct {
+	measureID string
+	label     string
+}{
+	{"src.time.traffic", "traffic"},                // traffic rank
+	{"src.dependability.breadth", "participation"}, // comments per discussion
+	{"src.dependability.relevance", "time"},        // bounce rate
+}
+
+// RunTable3 reproduces Table 3: collect the ten domain-independent
+// measures for every source appearing in the query results, reduce them by
+// principal-component factor analysis with varimax rotation, and regress
+// the baseline's rank goodness on the component scores.
+func RunTable3(wb *Workbench) (*Table3Result, error) {
+	kinds := []webgen.SourceKind{webgen.Blog, webgen.Forum}
+	// Mean baseline goodness per source across the query workload.
+	posSum := map[int]float64{}
+	posN := map[int]float64{}
+	for _, q := range wb.Queries() {
+		results := wb.Engine.SearchKinds(q, wb.Opts.TopK, kinds)
+		if len(results) < wb.Opts.MinList {
+			continue
+		}
+		for i, r := range results {
+			posSum[r.SourceID] += float64(wb.Opts.TopK - i)
+			posN[r.SourceID]++
+		}
+	}
+	if len(posSum) < 30 {
+		return nil, fmt.Errorf("table3: only %d sources in results", len(posSum))
+	}
+
+	ids := make([]int, 0, len(posSum))
+	for id := range posSum {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	measureIDs := quality.TableThreeMeasureIDs()
+	di := quality.DomainOfInterest{Categories: wb.World.Categories}
+	data := stats.NewMatrix(len(ids), len(measureIDs))
+	y := make([]float64, len(ids))
+	rows := 0
+	for _, id := range ids {
+		rec := wb.Records[id]
+		ok := true
+		row := make([]float64, len(measureIDs))
+		for j, mid := range measureIDs {
+			m, _ := quality.SourceMeasureByID(mid)
+			v, defined := m.Eval(rec, &di)
+			if !defined {
+				ok = false
+				break
+			}
+			row[j] = v
+		}
+		if !ok {
+			continue
+		}
+		copy(data.Data[rows*len(measureIDs):(rows+1)*len(measureIDs)], row)
+		y[rows] = posSum[id] / posN[id]
+		rows++
+	}
+	data = submatrix(data, rows)
+	y = y[:rows]
+
+	fa, err := stats.PrincipalComponents(data, stats.PCAOptions{Components: 3, Varimax: true})
+	if err != nil {
+		return nil, fmt.Errorf("table3: factor analysis: %w", err)
+	}
+
+	// Regression of goodness on the three component scores.
+	reg, err := stats.OLS(y, fa.Scores)
+	if err != nil {
+		return nil, fmt.Errorf("table3: regression: %w", err)
+	}
+
+	// Group measures per component and label via markers.
+	byComp := map[int][]string{}
+	for i, mid := range measureIDs {
+		c := fa.Assignment[i]
+		byComp[c] = append(byComp[c], mid)
+	}
+	labels := map[int]string{}
+	for _, marker := range componentMarkers {
+		for i, mid := range measureIDs {
+			if mid == marker.measureID {
+				labels[fa.Assignment[i]] = marker.label
+			}
+		}
+	}
+
+	res := &Table3Result{N: rows, Eigenvalues: fa.Eigenvalues, R2: reg.R2}
+	compIdxs := make([]int, 0, len(byComp))
+	for c := range byComp {
+		compIdxs = append(compIdxs, c)
+	}
+	sort.Ints(compIdxs)
+	for _, c := range compIdxs {
+		coef := reg.Coefficients[c+1]
+		p := reg.PValues[c+1]
+		dir := "positive"
+		if coef < 0 {
+			dir = "negative"
+		}
+		label := labels[c]
+		if label == "" {
+			label = fmt.Sprintf("component-%d", c+1)
+		}
+		res.Components = append(res.Components, Table3Component{
+			Label:       label,
+			MeasureIDs:  byComp[c],
+			Coefficient: coef,
+			PValue:      p,
+			Direction:   dir,
+			SigBand:     sigBand(p),
+		})
+	}
+	return res, nil
+}
+
+// submatrix truncates a matrix to its first n rows.
+func submatrix(m *stats.Matrix, n int) *stats.Matrix {
+	out := stats.NewMatrix(n, m.Cols)
+	copy(out.Data, m.Data[:n*m.Cols])
+	return out
+}
+
+// sigBand renders p-values in the paper's banded notation.
+func sigBand(p float64) string {
+	switch {
+	case p < 0.001:
+		return "sig < 0.001"
+	case p < 0.010:
+		return "sig < 0.010"
+	case p < 0.050:
+		return "sig < 0.050"
+	default:
+		return fmt.Sprintf("n.s. (p = %.3f)", p)
+	}
+}
+
+// Component returns the row with the given label, if present.
+func (r *Table3Result) Component(label string) (Table3Component, bool) {
+	for _, c := range r.Components {
+		if c.Label == label {
+			return c, true
+		}
+	}
+	return Table3Component{}, false
+}
+
+// Render produces the paper-shaped Table 3.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3 — componentization of data quality measures (n = %d sources)\n", r.N)
+	fmt.Fprintf(&b, "eigenvalues: ")
+	for i, e := range r.Eigenvalues {
+		if i > 0 {
+			fmt.Fprint(&b, ", ")
+		}
+		fmt.Fprintf(&b, "%.2f", e)
+	}
+	fmt.Fprintf(&b, "\n\n%-34s | %-14s | %s\n", "Measures", "Component", "Relation with baseline rank")
+	fmt.Fprintln(&b, strings.Repeat("-", 88))
+	for _, c := range r.Components {
+		rel := fmt.Sprintf("%s (%s)", c.Direction, c.SigBand)
+		for i, mid := range c.MeasureIDs {
+			comp, relation := "", ""
+			if i == 0 {
+				comp, relation = c.Label, rel
+			}
+			fmt.Fprintf(&b, "%-34s | %-14s | %s\n", shortMeasureName(mid), comp, relation)
+		}
+		fmt.Fprintln(&b, strings.Repeat("-", 88))
+	}
+	fmt.Fprintf(&b, "regression R^2 = %.3f\n", r.R2)
+	return b.String()
+}
+
+// shortMeasureName maps measure IDs to the paper's row labels.
+func shortMeasureName(id string) string {
+	names := map[string]string{
+		"src.time.traffic":                 "Traffic rank",
+		"src.authority.traffic.visitors":   "Daily visitors",
+		"src.authority.traffic.pageviews":  "Daily page views",
+		"src.authority.relevance.inbound":  "Number of inbound links",
+		"src.completeness.traffic":         "Open discussions vs largest",
+		"src.time.liveliness":              "New discussions per day",
+		"src.dependability.breadth":        "Comments per discussion",
+		"src.dependability.liveliness":     "Comments per discussion/day",
+		"src.dependability.relevance":      "Bounce rate",
+		"src.authority.traffic.timeonsite": "Average time spent on site",
+	}
+	if n, ok := names[id]; ok {
+		return n
+	}
+	return id
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/social"
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// Table4Row is one measure row of Table 4: the three paired comparisons
+// with their directions and Bonferroni-adjusted significances.
+type Table4Row struct {
+	Measure string
+	// PeopleBrand, PeopleNews, NewsBrand render like the paper's cells,
+	// e.g. "> 0 (sig = 0.002)".
+	PeopleBrand, PeopleNews, NewsBrand string
+	// Directions without significance annotation, for pattern checks:
+	// "> 0", "< 0" or "= 0".
+	DirPB, DirPN, DirNB string
+}
+
+// Table4Result reproduces Table 4 over the synthetic Twitaholic dataset.
+type Table4Result struct {
+	Accounts              int
+	People, Brands, NewsN int
+	Rows                  []Table4Row
+}
+
+// table4Measures lists the five measures in the paper's row order.
+var table4Measures = []struct {
+	key   string
+	label string
+}{
+	{"interactions", "Interactions"},
+	{"absolute_mentions", "Absolute mentions (replies received)"},
+	{"absolute_retweets", "Absolute retweets (feedbacks)"},
+	{"relative_mentions", "Relative mentions (replies per comment)"},
+	{"relative_retweets", "Relative retweets (feedbacks per comment)"},
+}
+
+// RunTable4 generates the annotated account dataset at the pinned seed and
+// runs the ANOVA + Bonferroni analysis of Section 4.2.
+func RunTable4(seed int64, numAccounts int) (*Table4Result, error) {
+	ds := social.Generate(social.Config{Seed: seed, NumAccounts: numAccounts})
+	byKind := ds.ByKind()
+	mv := ds.MeasureVectors()
+
+	res := &Table4Result{
+		Accounts: len(ds.Accounts),
+		People:   len(byKind[social.People]),
+		Brands:   len(byKind[social.Brand]),
+		NewsN:    len(byKind[social.News]),
+	}
+	for _, m := range table4Measures {
+		groups := [][]float64{
+			mv[m.key][social.People],
+			mv[m.key][social.Brand],
+			mv[m.key][social.News],
+		}
+		comps, err := stats.Bonferroni(groups)
+		if err != nil {
+			return nil, fmt.Errorf("table4: %s: %w", m.key, err)
+		}
+		// comps order: (0,1)=people-brand, (0,2)=people-news,
+		// (1,2)=brand-news (flip for news-brand).
+		pb, pn, bn := comps[0], comps[1], comps[2]
+		nb := bn
+		nb.MeanDiff = -nb.MeanDiff
+		res.Rows = append(res.Rows, Table4Row{
+			Measure:     m.label,
+			PeopleBrand: cellFor(pb),
+			PeopleNews:  cellFor(pn),
+			NewsBrand:   cellFor(nb),
+			DirPB:       pb.Direction(),
+			DirPN:       pn.Direction(),
+			DirNB:       nb.Direction(),
+		})
+	}
+	return res, nil
+}
+
+// cellFor renders a comparison in the paper's cell notation.
+func cellFor(c stats.PairwiseComparison) string {
+	sig := fmt.Sprintf("sig = %.3f", c.PValue)
+	if c.PValue < 0.001 {
+		sig = "sig < 0.001"
+	}
+	return fmt.Sprintf("%s (%s)", c.Direction(), sig)
+}
+
+// Render produces the paper-shaped Table 4.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — paired differences of means by account kind\n")
+	fmt.Fprintf(&b, "accounts: %d (people %d, brand %d, news %d)\n\n",
+		r.Accounts, r.People, r.Brands, r.NewsN)
+	fmt.Fprintf(&b, "%-44s | %-22s | %-22s | %-22s\n", "", "people - brand", "people - news", "news - brand")
+	fmt.Fprintln(&b, strings.Repeat("-", 118))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-44s | %-22s | %-22s | %-22s\n", row.Measure, row.PeopleBrand, row.PeopleNews, row.NewsBrand)
+	}
+	return b.String()
+}

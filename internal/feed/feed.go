@@ -1,0 +1,298 @@
+// Package feed implements RSS 2.0 and Atom 1.0 serialisation and parsing on
+// top of encoding/xml. The synthetic Web 2.0 sources expose their
+// discussions as feeds (internal/webserve) and the crawler consumes them
+// (internal/crawler), mirroring how the paper's data services wrapped
+// real-world feeds.
+package feed
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Format identifies a concrete feed dialect.
+type Format int
+
+const (
+	FormatUnknown Format = iota
+	FormatRSS
+	FormatAtom
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatRSS:
+		return "rss"
+	case FormatAtom:
+		return "atom"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrUnknownFormat is returned by Parse when the payload is neither RSS nor
+// Atom.
+var ErrUnknownFormat = errors.New("feed: unrecognized feed format")
+
+// Item is a dialect-neutral feed entry.
+type Item struct {
+	Title      string
+	Link       string
+	GUID       string
+	Author     string
+	Published  time.Time
+	Categories []string
+	Summary    string
+}
+
+// Feed is a dialect-neutral feed document.
+type Feed struct {
+	Format      Format
+	Title       string
+	Link        string
+	Description string
+	Updated     time.Time
+	Items       []Item
+}
+
+// --- RSS 2.0 wire types ---
+
+type rssDoc struct {
+	XMLName xml.Name   `xml:"rss"`
+	Version string     `xml:"version,attr"`
+	Channel rssChannel `xml:"channel"`
+}
+
+type rssChannel struct {
+	Title       string    `xml:"title"`
+	Link        string    `xml:"link"`
+	Description string    `xml:"description"`
+	PubDate     string    `xml:"pubDate,omitempty"`
+	Items       []rssItem `xml:"item"`
+}
+
+type rssItem struct {
+	Title       string   `xml:"title"`
+	Link        string   `xml:"link"`
+	GUID        string   `xml:"guid,omitempty"`
+	Author      string   `xml:"author,omitempty"`
+	PubDate     string   `xml:"pubDate,omitempty"`
+	Categories  []string `xml:"category"`
+	Description string   `xml:"description,omitempty"`
+}
+
+// --- Atom 1.0 wire types ---
+
+type atomDoc struct {
+	XMLName xml.Name    `xml:"http://www.w3.org/2005/Atom feed"`
+	Title   string      `xml:"title"`
+	Links   []atomLink  `xml:"link"`
+	Updated string      `xml:"updated,omitempty"`
+	Entries []atomEntry `xml:"entry"`
+}
+
+type atomLink struct {
+	Href string `xml:"href,attr"`
+	Rel  string `xml:"rel,attr,omitempty"`
+}
+
+type atomEntry struct {
+	Title      string     `xml:"title"`
+	Links      []atomLink `xml:"link"`
+	ID         string     `xml:"id,omitempty"`
+	Author     *atomName  `xml:"author"`
+	Updated    string     `xml:"updated,omitempty"`
+	Categories []atomCat  `xml:"category"`
+	Summary    string     `xml:"summary,omitempty"`
+}
+
+type atomName struct {
+	Name string `xml:"name"`
+}
+
+type atomCat struct {
+	Term string `xml:"term,attr"`
+}
+
+// MarshalRSS renders the feed as an RSS 2.0 document.
+func MarshalRSS(f *Feed) ([]byte, error) {
+	doc := rssDoc{Version: "2.0", Channel: rssChannel{
+		Title:       f.Title,
+		Link:        f.Link,
+		Description: f.Description,
+	}}
+	if !f.Updated.IsZero() {
+		doc.Channel.PubDate = f.Updated.UTC().Format(time.RFC1123Z)
+	}
+	for _, it := range f.Items {
+		ri := rssItem{
+			Title:       it.Title,
+			Link:        it.Link,
+			GUID:        it.GUID,
+			Author:      it.Author,
+			Categories:  it.Categories,
+			Description: it.Summary,
+		}
+		if !it.Published.IsZero() {
+			ri.PubDate = it.Published.UTC().Format(time.RFC1123Z)
+		}
+		doc.Channel.Items = append(doc.Channel.Items, ri)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("feed: marshal rss: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// MarshalAtom renders the feed as an Atom 1.0 document.
+func MarshalAtom(f *Feed) ([]byte, error) {
+	doc := atomDoc{Title: f.Title}
+	if f.Link != "" {
+		doc.Links = []atomLink{{Href: f.Link, Rel: "alternate"}}
+	}
+	if !f.Updated.IsZero() {
+		doc.Updated = f.Updated.UTC().Format(time.RFC3339)
+	}
+	for _, it := range f.Items {
+		ae := atomEntry{
+			Title:   it.Title,
+			ID:      it.GUID,
+			Summary: it.Summary,
+		}
+		if it.Link != "" {
+			ae.Links = []atomLink{{Href: it.Link}}
+		}
+		if it.Author != "" {
+			ae.Author = &atomName{Name: it.Author}
+		}
+		if !it.Published.IsZero() {
+			ae.Updated = it.Published.UTC().Format(time.RFC3339)
+		}
+		for _, c := range it.Categories {
+			ae.Categories = append(ae.Categories, atomCat{Term: c})
+		}
+		doc.Entries = append(doc.Entries, ae)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("feed: marshal atom: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Parse auto-detects the dialect and parses the payload into the neutral
+// model. It returns ErrUnknownFormat when the root element is neither
+// <rss> nor <feed>.
+func Parse(data []byte) (*Feed, error) {
+	root, err := rootElement(data)
+	if err != nil {
+		return nil, err
+	}
+	switch root {
+	case "rss":
+		return parseRSS(data)
+	case "feed":
+		return parseAtom(data)
+	default:
+		return nil, fmt.Errorf("%w: root element %q", ErrUnknownFormat, root)
+	}
+}
+
+func rootElement(data []byte) (string, error) {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("feed: no root element: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name.Local, nil
+		}
+	}
+}
+
+func parseRSS(data []byte) (*Feed, error) {
+	var doc rssDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: parse rss: %w", err)
+	}
+	f := &Feed{
+		Format:      FormatRSS,
+		Title:       doc.Channel.Title,
+		Link:        doc.Channel.Link,
+		Description: doc.Channel.Description,
+		Updated:     parseTime(doc.Channel.PubDate),
+	}
+	for _, ri := range doc.Channel.Items {
+		f.Items = append(f.Items, Item{
+			Title:      ri.Title,
+			Link:       ri.Link,
+			GUID:       ri.GUID,
+			Author:     ri.Author,
+			Published:  parseTime(ri.PubDate),
+			Categories: ri.Categories,
+			Summary:    ri.Description,
+		})
+	}
+	return f, nil
+}
+
+func parseAtom(data []byte) (*Feed, error) {
+	var doc atomDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("feed: parse atom: %w", err)
+	}
+	f := &Feed{
+		Format:  FormatAtom,
+		Title:   doc.Title,
+		Updated: parseTime(doc.Updated),
+	}
+	for _, l := range doc.Links {
+		if l.Rel == "" || l.Rel == "alternate" {
+			f.Link = l.Href
+			break
+		}
+	}
+	for _, ae := range doc.Entries {
+		it := Item{
+			Title:     ae.Title,
+			GUID:      ae.ID,
+			Published: parseTime(ae.Updated),
+			Summary:   ae.Summary,
+		}
+		if ae.Author != nil {
+			it.Author = ae.Author.Name
+		}
+		for _, l := range ae.Links {
+			if l.Rel == "" || l.Rel == "alternate" {
+				it.Link = l.Href
+				break
+			}
+		}
+		for _, c := range ae.Categories {
+			it.Categories = append(it.Categories, c.Term)
+		}
+		f.Items = append(f.Items, it)
+	}
+	return f, nil
+}
+
+// parseTime tries the wire formats both dialects use. A zero time is
+// returned for unparseable or empty values: feed timestamps in the wild are
+// unreliable and the measures that use them tolerate gaps.
+func parseTime(s string) time.Time {
+	if s == "" {
+		return time.Time{}
+	}
+	for _, layout := range []string{time.RFC1123Z, time.RFC1123, time.RFC3339, time.RFC822Z, time.RFC822} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC()
+		}
+	}
+	return time.Time{}
+}

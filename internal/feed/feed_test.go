@@ -1,0 +1,200 @@
+package feed
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleFeed() *Feed {
+	return &Feed{
+		Title:       "Milan Travel Blog",
+		Link:        "http://src0001.web20.test/",
+		Description: "Opinions about Milan tourism",
+		Updated:     time.Date(2011, 9, 30, 12, 0, 0, 0, time.UTC),
+		Items: []Item{
+			{
+				Title:      "Duomo impressions",
+				Link:       "http://src0001.web20.test/d/42",
+				GUID:       "d-42",
+				Author:     "travelfan01",
+				Published:  time.Date(2011, 9, 1, 8, 30, 0, 0, time.UTC),
+				Categories: []string{"presence", "place"},
+				Summary:    "The duomo was wonderful during our visit.",
+			},
+			{
+				Title:     "Metro advice",
+				Link:      "http://src0001.web20.test/d/43",
+				GUID:      "d-43",
+				Published: time.Date(2011, 9, 2, 9, 0, 0, 0, time.UTC),
+				Summary:   "The metro was crowded.",
+			},
+		},
+	}
+}
+
+func TestRSSRoundTrip(t *testing.T) {
+	orig := sampleFeed()
+	data, err := MarshalRSS(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Format != FormatRSS {
+		t.Errorf("format = %v, want rss", parsed.Format)
+	}
+	assertFeedEqual(t, orig, parsed)
+}
+
+func TestAtomRoundTrip(t *testing.T) {
+	orig := sampleFeed()
+	data, err := MarshalAtom(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Format != FormatAtom {
+		t.Errorf("format = %v, want atom", parsed.Format)
+	}
+	// Atom has no channel description; compare the rest.
+	if parsed.Title != orig.Title || parsed.Link != orig.Link {
+		t.Errorf("title/link mismatch: %+v", parsed)
+	}
+	if len(parsed.Items) != len(orig.Items) {
+		t.Fatalf("items = %d, want %d", len(parsed.Items), len(orig.Items))
+	}
+	for i := range orig.Items {
+		a, b := orig.Items[i], parsed.Items[i]
+		if a.Title != b.Title || a.Link != b.Link || a.GUID != b.GUID || a.Author != b.Author {
+			t.Errorf("item %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if !a.Published.Equal(b.Published) {
+			t.Errorf("item %d time mismatch: %v vs %v", i, a.Published, b.Published)
+		}
+	}
+}
+
+func assertFeedEqual(t *testing.T, a, b *Feed) {
+	t.Helper()
+	if a.Title != b.Title || a.Link != b.Link || a.Description != b.Description {
+		t.Errorf("header mismatch: %+v vs %+v", a, b)
+	}
+	if !a.Updated.Equal(b.Updated) {
+		t.Errorf("updated mismatch: %v vs %v", a.Updated, b.Updated)
+	}
+	if len(a.Items) != len(b.Items) {
+		t.Fatalf("item counts: %d vs %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		x, y := a.Items[i], b.Items[i]
+		if x.Title != y.Title || x.Link != y.Link || x.GUID != y.GUID ||
+			x.Author != y.Author || x.Summary != y.Summary {
+			t.Errorf("item %d mismatch:\n%+v\n%+v", i, x, y)
+		}
+		if !x.Published.Equal(y.Published) {
+			t.Errorf("item %d time: %v vs %v", i, x.Published, y.Published)
+		}
+		if len(x.Categories) != len(y.Categories) {
+			t.Errorf("item %d categories: %v vs %v", i, x.Categories, y.Categories)
+			continue
+		}
+		for j := range x.Categories {
+			if x.Categories[j] != y.Categories[j] {
+				t.Errorf("item %d category %d: %q vs %q", i, j, x.Categories[j], y.Categories[j])
+			}
+		}
+	}
+}
+
+func TestParseUnknownFormat(t *testing.T) {
+	_, err := Parse([]byte(`<?xml version="1.0"?><html><body/></html>`))
+	if err == nil || !strings.Contains(err.Error(), "unrecognized") {
+		t.Errorf("err = %v, want unknown format", err)
+	}
+	if _, err := Parse([]byte("not xml at all")); err == nil {
+		t.Error("expected error for non-XML input")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestParseMalformedRSS(t *testing.T) {
+	if _, err := Parse([]byte(`<rss><channel><title>x</title>`)); err == nil {
+		t.Error("expected error for truncated RSS")
+	}
+}
+
+func TestParseTimeFormats(t *testing.T) {
+	cases := []string{
+		"Mon, 02 Jan 2006 15:04:05 -0700",
+		"2006-01-02T15:04:05Z",
+	}
+	for _, c := range cases {
+		if parseTime(c).IsZero() {
+			t.Errorf("parseTime(%q) returned zero", c)
+		}
+	}
+	if !parseTime("garbage").IsZero() {
+		t.Error("garbage time should parse to zero")
+	}
+	if !parseTime("").IsZero() {
+		t.Error("empty time should parse to zero")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatRSS.String() != "rss" || FormatAtom.String() != "atom" || FormatUnknown.String() != "unknown" {
+		t.Error("Format strings wrong")
+	}
+}
+
+// Property: any feed with XML-safe strings round-trips through RSS.
+func TestRSSRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		// Keep the property about structure, not about XML escaping of
+		// control characters (which encoding/xml rejects by design).
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 32 && r < 127 {
+				b.WriteRune(r)
+			}
+		}
+		return strings.TrimSpace(b.String())
+	}
+	f := func(title, link, guid, summary string, hours uint16) bool {
+		orig := &Feed{
+			Title: sanitize(title),
+			Link:  "http://example.test/" + sanitize(link),
+			Items: []Item{{
+				Title:     sanitize(title) + "-item",
+				GUID:      sanitize(guid),
+				Summary:   sanitize(summary),
+				Published: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(hours) * time.Hour),
+			}},
+		}
+		data, err := MarshalRSS(orig)
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		return parsed.Title == orig.Title &&
+			len(parsed.Items) == 1 &&
+			parsed.Items[0].GUID == orig.Items[0].GUID &&
+			parsed.Items[0].Summary == orig.Items[0].Summary &&
+			parsed.Items[0].Published.Equal(orig.Items[0].Published)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

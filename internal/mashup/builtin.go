@@ -1,0 +1,352 @@
+package mashup
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RegisterBuiltins registers the domain-agnostic component types every
+// composition can use: static sources, set operations, filters, sorting,
+// limiting, event-driven selection filters, and the three generic viewers
+// (list, map, indicator).
+func RegisterBuiltins(reg *Registry) {
+	reg.MustRegister("static-source", newStaticSource)
+	reg.MustRegister("union", newUnion)
+	reg.MustRegister("field-filter", newFieldFilter)
+	reg.MustRegister("sort", newSort)
+	reg.MustRegister("limit", newLimit)
+	reg.MustRegister("event-filter", newEventFilter)
+	reg.MustRegister("list-viewer", newListViewer)
+	reg.MustRegister("map-viewer", newMapViewer)
+	reg.MustRegister("indicator-viewer", newIndicatorViewer)
+}
+
+// staticSource emits a fixed item list (params: "items": [...]), mainly
+// for tests and demo compositions.
+type staticSource struct{ items []Item }
+
+func newStaticSource(p Params) (Component, error) {
+	raw, ok := p["items"].([]any)
+	if !ok {
+		if pre, ok2 := p["items"].([]Item); ok2 {
+			return &staticSource{items: pre}, nil
+		}
+		return nil, fmt.Errorf("static-source: missing items parameter")
+	}
+	src := &staticSource{}
+	for i, e := range raw {
+		m, ok := e.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("static-source: item %d is not an object", i)
+		}
+		src.items = append(src.items, Item(m))
+	}
+	return src, nil
+}
+
+func (s *staticSource) Process(*Context, Inputs) (Outputs, error) {
+	return Outputs{"out": s.items}, nil
+}
+
+// union concatenates all inputs.
+type union struct{}
+
+func newUnion(Params) (Component, error) { return union{}, nil }
+
+func (union) Process(_ *Context, in Inputs) (Outputs, error) {
+	return Outputs{"out": in.All()}, nil
+}
+
+// fieldFilter keeps items satisfying field <op> value
+// (ops: eq, ne, gt, gte, lt, lte, contains).
+type fieldFilter struct {
+	field, op string
+	value     any
+}
+
+func newFieldFilter(p Params) (Component, error) {
+	f := &fieldFilter{
+		field: p.String("field", ""),
+		op:    p.String("op", "eq"),
+		value: p["value"],
+	}
+	if f.field == "" {
+		return nil, fmt.Errorf("field-filter: missing field parameter")
+	}
+	switch f.op {
+	case "eq", "ne", "gt", "gte", "lt", "lte", "contains":
+	default:
+		return nil, fmt.Errorf("field-filter: unknown op %q", f.op)
+	}
+	return f, nil
+}
+
+func (f *fieldFilter) Process(_ *Context, in Inputs) (Outputs, error) {
+	var out []Item
+	for _, it := range in.All() {
+		if f.match(it) {
+			out = append(out, it)
+		}
+	}
+	return Outputs{"out": out}, nil
+}
+
+func (f *fieldFilter) match(it Item) bool {
+	switch f.op {
+	case "contains":
+		s, _ := it[f.field].(string)
+		want, _ := f.value.(string)
+		return strings.Contains(strings.ToLower(s), strings.ToLower(want))
+	case "eq", "ne":
+		eq := equalValues(it[f.field], f.value)
+		if f.op == "eq" {
+			return eq
+		}
+		return !eq
+	default:
+		a, okA := it.Float(f.field)
+		b, okB := toFloat(f.value)
+		if !okA || !okB {
+			return false
+		}
+		switch f.op {
+		case "gt":
+			return a > b
+		case "gte":
+			return a >= b
+		case "lt":
+			return a < b
+		default:
+			return a <= b
+		}
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+func equalValues(a, b any) bool {
+	if fa, ok := toFloat(a); ok {
+		if fb, ok2 := toFloat(b); ok2 {
+			return fa == fb
+		}
+	}
+	return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b)
+}
+
+// sortComponent orders items by a field (params: "by", "desc").
+type sortComponent struct {
+	by   string
+	desc bool
+}
+
+func newSort(p Params) (Component, error) {
+	s := &sortComponent{by: p.String("by", "")}
+	if s.by == "" {
+		return nil, fmt.Errorf("sort: missing by parameter")
+	}
+	if d, ok := p["desc"].(bool); ok {
+		s.desc = d
+	}
+	return s, nil
+}
+
+func (s *sortComponent) Process(_ *Context, in Inputs) (Outputs, error) {
+	items := append([]Item(nil), in.All()...)
+	sort.SliceStable(items, func(i, j int) bool {
+		a, okA := items[i].Float(s.by)
+		b, okB := items[j].Float(s.by)
+		var less bool
+		switch {
+		case okA && okB:
+			less = a < b
+		default:
+			less = fmt.Sprintf("%v", items[i][s.by]) < fmt.Sprintf("%v", items[j][s.by])
+		}
+		if s.desc {
+			return !less
+		}
+		return less
+	})
+	return Outputs{"out": items}, nil
+}
+
+// limit truncates to the first n items (param "n", default 10).
+type limit struct{ n int }
+
+func newLimit(p Params) (Component, error) {
+	n := p.Int("n", 10)
+	if n < 0 {
+		return nil, fmt.Errorf("limit: negative n")
+	}
+	return &limit{n: n}, nil
+}
+
+func (l *limit) Process(_ *Context, in Inputs) (Outputs, error) {
+	items := in.All()
+	if len(items) > l.n {
+		items = items[:l.n]
+	}
+	return Outputs{"out": items}, nil
+}
+
+// eventFilter passes everything through until it receives a sync event;
+// then it keeps only the items whose item_key matches the event payload's
+// payload_key. This is the generic coupling used to narrow a posts view to
+// the influencer selected in another viewer.
+type eventFilter struct {
+	itemKey, payloadKey string
+}
+
+func newEventFilter(p Params) (Component, error) {
+	f := &eventFilter{
+		itemKey:    p.String("item_key", "id"),
+		payloadKey: p.String("payload_key", ""),
+	}
+	if f.payloadKey == "" {
+		f.payloadKey = f.itemKey
+	}
+	return f, nil
+}
+
+func (f *eventFilter) Process(ctx *Context, in Inputs) (Outputs, error) {
+	items := in.All()
+	if ctx == nil || ctx.Event == nil || ctx.Event.Payload == nil {
+		return Outputs{"out": items}, nil
+	}
+	want, ok := ctx.Event.Payload[f.payloadKey]
+	if !ok {
+		return Outputs{"out": items}, nil
+	}
+	var out []Item
+	for _, it := range items {
+		if equalValues(it[f.itemKey], want) {
+			out = append(out, it)
+		}
+	}
+	return Outputs{"out": out}, nil
+}
+
+// listViewer renders items as numbered lines and passes them through.
+type listViewer struct {
+	title  string
+	fields []string
+	items  []Item
+}
+
+func newListViewer(p Params) (Component, error) {
+	return &listViewer{
+		title:  p.String("title", ""),
+		fields: p.StringSlice("fields"),
+	}, nil
+}
+
+func (v *listViewer) Process(_ *Context, in Inputs) (Outputs, error) {
+	v.items = in.All()
+	return Outputs{"out": v.items}, nil
+}
+
+func (v *listViewer) View() View {
+	var b strings.Builder
+	for i, it := range v.items {
+		if len(v.fields) > 0 {
+			parts := make([]string, 0, len(v.fields))
+			for _, f := range v.fields {
+				parts = append(parts, fmt.Sprintf("%s=%v", f, it[f]))
+			}
+			fmt.Fprintf(&b, "%2d. %s\n", i+1, strings.Join(parts, " "))
+		} else {
+			fmt.Fprintf(&b, "%2d. %s\n", i+1, it.String())
+		}
+	}
+	if len(v.items) == 0 {
+		b.WriteString("(empty)\n")
+	}
+	return View{Title: v.title, Kind: "list", Items: v.items, Rendered: b.String()}
+}
+
+// mapViewer renders geo-tagged items ("lat"/"lon" fields) as coordinates,
+// the terminal stand-in for Figure 1's Google Maps widgets.
+type mapViewer struct {
+	title string
+	items []Item
+}
+
+func newMapViewer(p Params) (Component, error) {
+	return &mapViewer{title: p.String("title", "")}, nil
+}
+
+func (v *mapViewer) Process(_ *Context, in Inputs) (Outputs, error) {
+	v.items = nil
+	for _, it := range in.All() {
+		if _, ok := it.Float("lat"); !ok {
+			continue
+		}
+		if _, ok := it.Float("lon"); !ok {
+			continue
+		}
+		v.items = append(v.items, it)
+	}
+	return Outputs{"out": v.items}, nil
+}
+
+func (v *mapViewer) View() View {
+	var b strings.Builder
+	for _, it := range v.items {
+		lat, _ := it.Float("lat")
+		lon, _ := it.Float("lon")
+		fmt.Fprintf(&b, "pin (%.4f, %.4f) %s\n", lat, lon, it.String())
+	}
+	if len(v.items) == 0 {
+		b.WriteString("(no geo-tagged items)\n")
+	}
+	return View{Title: v.title, Kind: "map", Items: v.items, Rendered: b.String()}
+}
+
+// indicatorViewer renders label/value pairs ("label", "value" fields), the
+// widget for sentiment indicators.
+type indicatorViewer struct {
+	title string
+	items []Item
+}
+
+func newIndicatorViewer(p Params) (Component, error) {
+	return &indicatorViewer{title: p.String("title", "")}, nil
+}
+
+func (v *indicatorViewer) Process(_ *Context, in Inputs) (Outputs, error) {
+	v.items = in.All()
+	return Outputs{"out": v.items}, nil
+}
+
+func (v *indicatorViewer) View() View {
+	var b strings.Builder
+	for _, it := range v.items {
+		label, _ := it["label"].(string)
+		if label == "" {
+			label = it.String()
+		}
+		if val, ok := it.Float("value"); ok {
+			fmt.Fprintf(&b, "%-24s %+.3f\n", label, val)
+		} else {
+			fmt.Fprintf(&b, "%-24s %v\n", label, it["value"])
+		}
+	}
+	if len(v.items) == 0 {
+		b.WriteString("(no indicators)\n")
+	}
+	return View{Title: v.title, Kind: "indicator", Items: v.items, Rendered: b.String()}
+}

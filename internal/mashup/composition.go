@@ -1,0 +1,155 @@
+package mashup
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ComponentSpec declares one component instance in a composition.
+type ComponentSpec struct {
+	ID     string `json:"id"`
+	Type   string `json:"type"`
+	Params Params `json:"params,omitempty"`
+	Title  string `json:"title,omitempty"`
+}
+
+// Wire connects an output port to an input port, in "component.port"
+// notation; the port defaults to "out" / "in" when omitted.
+type Wire struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Sync couples a viewer event to a target component, the mechanism behind
+// Figure 1's synchronised viewers.
+type Sync struct {
+	// Source is the component whose events trigger the coupling.
+	Source string `json:"source"`
+	// Event is the event name (default "select").
+	Event string `json:"event,omitempty"`
+	// Target is the component re-run with the event in context.
+	Target string `json:"target"`
+}
+
+// Composition is the declarative mashup description — the artifact an
+// end user assembles in the paper's composition environment.
+type Composition struct {
+	Name       string          `json:"name"`
+	Components []ComponentSpec `json:"components"`
+	Wires      []Wire          `json:"wires,omitempty"`
+	Syncs      []Sync          `json:"sync,omitempty"`
+}
+
+// ParseComposition decodes and validates a JSON composition.
+func ParseComposition(data []byte) (*Composition, error) {
+	var c Composition
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("mashup: parse composition: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// MarshalJSON renders the composition back to DSL form (Composition
+// already serialises naturally; this is a convenience for tooling).
+func (c *Composition) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// endpoint splits "component.port" into its parts, applying the default
+// port.
+func endpoint(s, defaultPort string) (comp, port string) {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, defaultPort
+}
+
+// Validate checks structural integrity: unique non-empty IDs, wire
+// endpoints referencing declared components, acyclic dataflow, and sync
+// rules referencing declared components.
+func (c *Composition) Validate() error {
+	if len(c.Components) == 0 {
+		return fmt.Errorf("mashup: composition %q has no components", c.Name)
+	}
+	ids := map[string]bool{}
+	for _, spec := range c.Components {
+		if spec.ID == "" {
+			return fmt.Errorf("mashup: component with empty id in %q", c.Name)
+		}
+		if strings.ContainsRune(spec.ID, '.') {
+			return fmt.Errorf("mashup: component id %q must not contain '.'", spec.ID)
+		}
+		if ids[spec.ID] {
+			return fmt.Errorf("mashup: duplicate component id %q", spec.ID)
+		}
+		if spec.Type == "" {
+			return fmt.Errorf("mashup: component %q has no type", spec.ID)
+		}
+		ids[spec.ID] = true
+	}
+	adj := map[string][]string{}
+	for _, w := range c.Wires {
+		fromComp, _ := endpoint(w.From, "out")
+		toComp, _ := endpoint(w.To, "in")
+		if !ids[fromComp] {
+			return fmt.Errorf("mashup: wire from unknown component %q", fromComp)
+		}
+		if !ids[toComp] {
+			return fmt.Errorf("mashup: wire to unknown component %q", toComp)
+		}
+		if fromComp == toComp {
+			return fmt.Errorf("mashup: self-wire on %q", fromComp)
+		}
+		adj[fromComp] = append(adj[fromComp], toComp)
+	}
+	if cycle := findCycle(adj); cycle != "" {
+		return fmt.Errorf("mashup: dataflow cycle through %q", cycle)
+	}
+	for _, s := range c.Syncs {
+		if !ids[s.Source] {
+			return fmt.Errorf("mashup: sync from unknown component %q", s.Source)
+		}
+		if !ids[s.Target] {
+			return fmt.Errorf("mashup: sync to unknown component %q", s.Target)
+		}
+	}
+	return nil
+}
+
+// findCycle returns a node on a directed cycle, or "".
+func findCycle(adj map[string][]string) string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for n := range adj {
+		if color[n] == white && visit(n) {
+			return n
+		}
+	}
+	return ""
+}

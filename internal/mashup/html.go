@@ -1,0 +1,95 @@
+package mashup
+
+import (
+	"fmt"
+	"html"
+	"strings"
+)
+
+// RenderHTML produces a self-contained HTML page of the dashboard, with one
+// card per viewer: lists as ordered lists, maps as coordinate tables,
+// indicators as label/value tables. It is the browser-facing counterpart of
+// Render for the terminal — the paper's dashboards were web pages.
+func (d *Dashboard) RenderHTML() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"/>")
+	fmt.Fprintf(&b, "<title>%s</title>", html.EscapeString(d.Name))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 1.5rem; background: #f6f6f6; }
+.card { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+        padding: 1rem; margin-bottom: 1rem; }
+.card h2 { margin: 0 0 .6rem 0; font-size: 1.05rem; }
+.kind { color: #888; font-size: .8rem; margin-left: .5rem; }
+table { border-collapse: collapse; }
+td, th { padding: .2rem .6rem; border-bottom: 1px solid #eee; text-align: left; }
+.empty { color: #999; font-style: italic; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(d.Name))
+	for _, v := range d.Views {
+		title := v.Title
+		if title == "" {
+			title = v.ComponentID
+		}
+		fmt.Fprintf(&b, `<div class="card"><h2>%s<span class="kind">%s</span></h2>`,
+			html.EscapeString(title), html.EscapeString(v.Kind))
+		switch v.Kind {
+		case "map":
+			renderMapHTML(&b, v)
+		case "indicator":
+			renderIndicatorHTML(&b, v)
+		default:
+			renderListHTML(&b, v)
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func renderListHTML(b *strings.Builder, v View) {
+	if len(v.Items) == 0 {
+		b.WriteString(`<p class="empty">(empty)</p>`)
+		return
+	}
+	b.WriteString("<ol>")
+	for _, it := range v.Items {
+		fmt.Fprintf(b, "<li>%s</li>", html.EscapeString(it.String()))
+	}
+	b.WriteString("</ol>")
+}
+
+func renderMapHTML(b *strings.Builder, v View) {
+	if len(v.Items) == 0 {
+		b.WriteString(`<p class="empty">(no geo-tagged items)</p>`)
+		return
+	}
+	b.WriteString("<table><tr><th>lat</th><th>lon</th><th>item</th></tr>")
+	for _, it := range v.Items {
+		lat, _ := it.Float("lat")
+		lon, _ := it.Float("lon")
+		fmt.Fprintf(b, "<tr><td>%.4f</td><td>%.4f</td><td>%s</td></tr>",
+			lat, lon, html.EscapeString(it.String()))
+	}
+	b.WriteString("</table>")
+}
+
+func renderIndicatorHTML(b *strings.Builder, v View) {
+	if len(v.Items) == 0 {
+		b.WriteString(`<p class="empty">(no indicators)</p>`)
+		return
+	}
+	b.WriteString("<table><tr><th>label</th><th>value</th></tr>")
+	for _, it := range v.Items {
+		label, _ := it["label"].(string)
+		if label == "" {
+			label = it.String()
+		}
+		if val, ok := it.Float("value"); ok {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%+.3f</td></tr>", html.EscapeString(label), val)
+		} else {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td></tr>",
+				html.EscapeString(label), html.EscapeString(fmt.Sprintf("%v", it["value"])))
+		}
+	}
+	b.WriteString("</table>")
+}

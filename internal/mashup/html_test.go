@@ -1,0 +1,102 @@
+package mashup
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderHTML(t *testing.T) {
+	d := &Dashboard{
+		Name: "demo <dash>",
+		Views: []View{
+			{ComponentID: "l", Title: "List", Kind: "list", Items: []Item{
+				{"title": "first <item>"},
+			}},
+			{ComponentID: "m", Title: "Map", Kind: "map", Items: []Item{
+				{"title": "pin", "lat": 45.4, "lon": 9.1},
+			}},
+			{ComponentID: "i", Title: "Ind", Kind: "indicator", Items: []Item{
+				{"label": "place", "value": 0.25},
+				{"label": "odd", "value": "n/a"},
+			}},
+			{ComponentID: "e", Kind: "list"}, // empty, untitled
+		},
+	}
+	out := d.RenderHTML()
+	for _, frag := range []string{
+		"<!DOCTYPE html>",
+		"demo &lt;dash&gt;", // escaped
+		"first &lt;item&gt;",
+		"45.4000", "9.1000",
+		"+0.250",
+		"n/a",
+		"(empty)",
+		"<h2>e", // falls back to component ID
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("HTML missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "<item>") {
+		t.Error("unescaped user content in HTML")
+	}
+}
+
+func TestRenderHTMLEmptyKinds(t *testing.T) {
+	d := &Dashboard{Name: "x", Views: []View{
+		{ComponentID: "m", Kind: "map"},
+		{ComponentID: "i", Kind: "indicator"},
+	}}
+	out := d.RenderHTML()
+	if !strings.Contains(out, "no geo-tagged items") || !strings.Contains(out, "no indicators") {
+		t.Error("empty placeholders missing")
+	}
+}
+
+// TestCompositionFuzz feeds randomly shaped compositions through the
+// validator and runtime: they must either be rejected with an error or run
+// cleanly — never panic.
+func TestCompositionFuzz(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuiltins(reg)
+	types := []string{"union", "limit", "list-viewer", "sort", "event-filter", "nonexistent"}
+	f := func(ids []uint8, wireFrom, wireTo []uint8, nameByte uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on fuzzed composition: %v", r)
+			}
+		}()
+		if len(ids) == 0 || len(ids) > 8 {
+			return true
+		}
+		comp := &Composition{Name: string(rune('a' + nameByte%26))}
+		for i, b := range ids {
+			spec := ComponentSpec{
+				ID:   string(rune('a' + b%10)),
+				Type: types[int(b)%len(types)],
+			}
+			if spec.Type == "sort" {
+				spec.Params = Params{"by": "title"}
+			}
+			_ = i
+			comp.Components = append(comp.Components, spec)
+		}
+		n := len(comp.Components)
+		for i := 0; i < len(wireFrom) && i < len(wireTo) && i < 6; i++ {
+			comp.Wires = append(comp.Wires, Wire{
+				From: comp.Components[int(wireFrom[i])%n].ID,
+				To:   comp.Components[int(wireTo[i])%n].ID,
+			})
+		}
+		rt, err := NewRuntime(comp, reg)
+		if err != nil {
+			return true // rejected is fine
+		}
+		_, err = rt.Run()
+		return err == nil || true // errors fine; panics are the failure mode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

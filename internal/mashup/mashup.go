@@ -1,0 +1,232 @@
+// Package mashup implements the quality-driven mashup framework of
+// Section 5 (substitution S6 in DESIGN.md for the DashMash platform of
+// reference [9]). It provides the component model — data services, filters,
+// analyzers and viewers wired into event-aware dataflow graphs — a JSON
+// composition DSL, a registry of component types, and a runtime executor
+// with the viewer-synchronisation semantics Figure 1 relies on (selecting
+// an influencer in a list refreshes the synced map and post viewers).
+//
+// The package is domain-agnostic: concrete components wrapping the quality
+// model, the sentiment analyzer and the data sources live in
+// internal/services and register themselves into a Registry.
+package mashup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Item is the unit of data flowing along wires: a flat record. Components
+// agree on field names by convention (documented per component type).
+type Item map[string]any
+
+// Clone returns a shallow copy of the item.
+func (it Item) Clone() Item {
+	out := make(Item, len(it))
+	for k, v := range it {
+		out[k] = v
+	}
+	return out
+}
+
+// String returns the item's "title" or "text" field when present, for
+// rendering.
+func (it Item) String() string {
+	for _, k := range []string{"title", "text", "name"} {
+		if v, ok := it[k].(string); ok && v != "" {
+			return v
+		}
+	}
+	return fmt.Sprintf("%v", map[string]any(it))
+}
+
+// Float fetches a numeric field, accepting the numeric types JSON decoding
+// and Go literals produce.
+func (it Item) Float(key string) (float64, bool) {
+	switch v := it[key].(type) {
+	case float64:
+		return v, true
+	case float32:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// Params are the JSON-decoded configuration of one component instance.
+type Params map[string]any
+
+// Float fetches a numeric parameter with a default.
+func (p Params) Float(key string, def float64) float64 {
+	switch v := p[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	default:
+		return def
+	}
+}
+
+// Int fetches an integer parameter with a default.
+func (p Params) Int(key string, def int) int {
+	switch v := p[key].(type) {
+	case float64:
+		return int(v)
+	case int:
+		return v
+	default:
+		return def
+	}
+}
+
+// String fetches a string parameter with a default.
+func (p Params) String(key, def string) string {
+	if v, ok := p[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// StringSlice fetches a string-list parameter ([]any from JSON or
+// []string from Go code).
+func (p Params) StringSlice(key string) []string {
+	switch v := p[key].(type) {
+	case []string:
+		return v
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			if s, ok := e.(string); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Inputs maps input port names to the items arriving on them.
+type Inputs map[string][]Item
+
+// All concatenates every input port in deterministic port order (the
+// common case for components with one logical input).
+func (in Inputs) All() []Item {
+	ports := make([]string, 0, len(in))
+	for p := range in {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	var out []Item
+	for _, p := range ports {
+		out = append(out, in[p]...)
+	}
+	return out
+}
+
+// Outputs maps output port names to produced items.
+type Outputs map[string][]Item
+
+// Event is a user-interface event (e.g. a selection in a viewer) that
+// propagates along sync couplings.
+type Event struct {
+	// Source is the component ID that emitted the event.
+	Source string
+	// Name is the event type, e.g. "select".
+	Name string
+	// Payload is the item the event is about.
+	Payload Item
+}
+
+// Context carries per-run information into components.
+type Context struct {
+	// Event is non-nil when this component is the target of a sync
+	// coupling fired by the given event; the component decides how to
+	// react (typically by filtering to the selection).
+	Event *Event
+}
+
+// Component is one node of a mashup. Process consumes the items on its
+// input ports and produces items on its output ports. Data services ignore
+// inputs; viewers typically pass items through after recording their view.
+type Component interface {
+	Process(ctx *Context, in Inputs) (Outputs, error)
+}
+
+// Viewer is implemented by components that render a view; the runtime
+// collects views into the Dashboard after each run.
+type Viewer interface {
+	Component
+	View() View
+}
+
+// View is a rendered widget state.
+type View struct {
+	ComponentID string
+	Title       string
+	Kind        string // "list", "map", "indicator", ...
+	Items       []Item
+	// Rendered is a plain-text rendering for terminal dashboards.
+	Rendered string
+}
+
+// Factory builds a component instance from its parameters.
+type Factory func(p Params) (Component, error)
+
+// Registry maps component type names to factories.
+type Registry struct {
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
+
+// ErrDuplicateType is returned when registering a type name twice.
+var ErrDuplicateType = errors.New("mashup: duplicate component type")
+
+// ErrUnknownType is returned when a composition references an unregistered
+// component type.
+var ErrUnknownType = errors.New("mashup: unknown component type")
+
+// Register adds a component type.
+func (r *Registry) Register(typeName string, f Factory) error {
+	if _, dup := r.factories[typeName]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateType, typeName)
+	}
+	r.factories[typeName] = f
+	return nil
+}
+
+// MustRegister is Register that panics on error, for package-level setup.
+func (r *Registry) MustRegister(typeName string, f Factory) {
+	if err := r.Register(typeName, f); err != nil {
+		panic(err)
+	}
+}
+
+// New instantiates a component of the given type.
+func (r *Registry) New(typeName string, p Params) (Component, error) {
+	f, ok := r.factories[typeName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	return f(p)
+}
+
+// Types lists registered type names, sorted.
+func (r *Registry) Types() []string {
+	out := make([]string, 0, len(r.factories))
+	for t := range r.factories {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

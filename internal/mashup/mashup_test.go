@@ -1,0 +1,432 @@
+package mashup
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	RegisterBuiltins(reg)
+	return reg
+}
+
+func TestRegistryDuplicateAndUnknown(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("x", func(Params) (Component, error) { return union{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := reg.Register("x", func(Params) (Component, error) { return union{}, nil })
+	if !errors.Is(err, ErrDuplicateType) {
+		t.Errorf("err = %v, want duplicate", err)
+	}
+	if _, err := reg.New("nope", nil); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want unknown", err)
+	}
+	if len(reg.Types()) != 1 || reg.Types()[0] != "x" {
+		t.Errorf("Types = %v", reg.Types())
+	}
+}
+
+func TestItemHelpers(t *testing.T) {
+	it := Item{"title": "hello", "score": 1.5, "n": 2}
+	if it.String() != "hello" {
+		t.Errorf("String = %q", it.String())
+	}
+	if v, ok := it.Float("score"); !ok || v != 1.5 {
+		t.Error("Float(score) wrong")
+	}
+	if v, ok := it.Float("n"); !ok || v != 2 {
+		t.Error("Float(int) wrong")
+	}
+	if _, ok := it.Float("title"); ok {
+		t.Error("Float(string) should fail")
+	}
+	clone := it.Clone()
+	clone["title"] = "mutated"
+	if it["title"] != "hello" {
+		t.Error("Clone aliases the original")
+	}
+	anon := Item{"x": 1}
+	if anon.String() == "" {
+		t.Error("String must render something for title-less items")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := Params{"f": 2.5, "i": float64(7), "s": "str", "list": []any{"a", "b", 3}}
+	if p.Float("f", 0) != 2.5 || p.Float("missing", 9) != 9 {
+		t.Error("Float wrong")
+	}
+	if p.Int("i", 0) != 7 || p.Int("missing", 4) != 4 {
+		t.Error("Int wrong")
+	}
+	if p.String("s", "") != "str" || p.String("missing", "d") != "d" {
+		t.Error("String wrong")
+	}
+	if got := p.StringSlice("list"); len(got) != 2 || got[0] != "a" {
+		t.Errorf("StringSlice = %v", got)
+	}
+	if p.StringSlice("missing") != nil {
+		t.Error("missing slice should be nil")
+	}
+}
+
+const pipelineJSON = `{
+  "name": "test-pipeline",
+  "components": [
+    {"id": "src", "type": "static-source", "params": {"items": [
+      {"title": "a", "score": 3},
+      {"title": "b", "score": 1},
+      {"title": "c", "score": 2}
+    ]}},
+    {"id": "srt", "type": "sort", "params": {"by": "score", "desc": true}},
+    {"id": "top", "type": "limit", "params": {"n": 2}},
+    {"id": "view", "type": "list-viewer", "title": "Top items"}
+  ],
+  "wires": [
+    {"from": "src.out", "to": "srt.in"},
+    {"from": "srt.out", "to": "top.in"},
+    {"from": "top.out", "to": "view.in"}
+  ]
+}`
+
+func TestPipelineEndToEnd(t *testing.T) {
+	comp, err := ParseComposition([]byte(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(comp, testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.View("view")
+	if !ok {
+		t.Fatal("missing view")
+	}
+	if len(v.Items) != 2 {
+		t.Fatalf("view has %d items", len(v.Items))
+	}
+	if v.Items[0]["title"] != "a" || v.Items[1]["title"] != "c" {
+		t.Errorf("sorted+limited wrong: %v", v.Items)
+	}
+	if v.Title != "Top items" {
+		t.Errorf("title = %q", v.Title)
+	}
+	if !strings.Contains(d.Render(), "Top items") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCompositionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"empty", `{"name":"x","components":[]}`},
+		{"dup id", `{"name":"x","components":[{"id":"a","type":"union"},{"id":"a","type":"union"}]}`},
+		{"no type", `{"name":"x","components":[{"id":"a"}]}`},
+		{"dot id", `{"name":"x","components":[{"id":"a.b","type":"union"}]}`},
+		{"bad wire from", `{"name":"x","components":[{"id":"a","type":"union"}],"wires":[{"from":"zz.out","to":"a.in"}]}`},
+		{"bad wire to", `{"name":"x","components":[{"id":"a","type":"union"}],"wires":[{"from":"a.out","to":"zz.in"}]}`},
+		{"self wire", `{"name":"x","components":[{"id":"a","type":"union"}],"wires":[{"from":"a.out","to":"a.in"}]}`},
+		{"cycle", `{"name":"x","components":[{"id":"a","type":"union"},{"id":"b","type":"union"}],"wires":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}`},
+		{"bad sync source", `{"name":"x","components":[{"id":"a","type":"union"}],"sync":[{"source":"zz","target":"a"}]}`},
+		{"bad sync target", `{"name":"x","components":[{"id":"a","type":"union"}],"sync":[{"source":"a","target":"zz"}]}`},
+		{"unknown field", `{"name":"x","components":[{"id":"a","type":"union"}],"bogus":1}`},
+		{"not json", `nope`},
+	}
+	for _, c := range cases {
+		if _, err := ParseComposition([]byte(c.json)); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestRuntimeUnknownComponentType(t *testing.T) {
+	comp := &Composition{
+		Name:       "x",
+		Components: []ComponentSpec{{ID: "a", Type: "not-registered"}},
+	}
+	if _, err := NewRuntime(comp, testRegistry(t)); err == nil {
+		t.Fatal("expected error for unregistered type")
+	}
+}
+
+func TestFieldFilterOps(t *testing.T) {
+	reg := testRegistry(t)
+	items := []Item{
+		{"name": "alpha", "v": 1.0},
+		{"name": "beta", "v": 2.0},
+		{"name": "gamma", "v": 3.0},
+	}
+	run := func(params Params) []Item {
+		t.Helper()
+		c, err := reg.New("field-filter", params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Process(&Context{}, Inputs{"in": items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out["out"]
+	}
+	if got := run(Params{"field": "v", "op": "gt", "value": 1.5}); len(got) != 2 {
+		t.Errorf("gt: %v", got)
+	}
+	if got := run(Params{"field": "v", "op": "lte", "value": 2.0}); len(got) != 2 {
+		t.Errorf("lte: %v", got)
+	}
+	if got := run(Params{"field": "name", "op": "eq", "value": "beta"}); len(got) != 1 {
+		t.Errorf("eq: %v", got)
+	}
+	if got := run(Params{"field": "name", "op": "ne", "value": "beta"}); len(got) != 2 {
+		t.Errorf("ne: %v", got)
+	}
+	if got := run(Params{"field": "name", "op": "contains", "value": "AMM"}); len(got) != 1 {
+		t.Errorf("contains: %v", got)
+	}
+	// Config errors.
+	if _, err := reg.New("field-filter", Params{"op": "eq"}); err == nil {
+		t.Error("missing field should fail")
+	}
+	if _, err := reg.New("field-filter", Params{"field": "x", "op": "magic"}); err == nil {
+		t.Error("unknown op should fail")
+	}
+}
+
+func TestUnionMergesPorts(t *testing.T) {
+	c, _ := testRegistry(t).New("union", nil)
+	out, err := c.Process(&Context{}, Inputs{
+		"a": {{"title": "1"}},
+		"b": {{"title": "2"}, {"title": "3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) != 3 {
+		t.Errorf("union = %v", out["out"])
+	}
+}
+
+func TestEventFilterSelection(t *testing.T) {
+	c, err := testRegistry(t).New("event-filter", Params{"item_key": "author", "payload_key": "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []Item{
+		{"author": "alice", "title": "p1"},
+		{"author": "bob", "title": "p2"},
+		{"author": "alice", "title": "p3"},
+	}
+	// Without an event: pass-through.
+	out, _ := c.Process(&Context{}, Inputs{"in": items})
+	if len(out["out"]) != 3 {
+		t.Fatalf("pass-through = %v", out["out"])
+	}
+	// With a selection event: narrowed to alice.
+	ev := &Event{Source: "list", Name: "select", Payload: Item{"name": "alice"}}
+	out, _ = c.Process(&Context{Event: ev}, Inputs{"in": items})
+	if len(out["out"]) != 2 {
+		t.Fatalf("selected = %v", out["out"])
+	}
+	// Payload missing the key: pass-through.
+	ev2 := &Event{Source: "list", Name: "select", Payload: Item{"other": 1}}
+	out, _ = c.Process(&Context{Event: ev2}, Inputs{"in": items})
+	if len(out["out"]) != 3 {
+		t.Error("missing payload key should pass everything")
+	}
+}
+
+const syncedJSON = `{
+  "name": "synced",
+  "components": [
+    {"id": "posts", "type": "static-source", "params": {"items": [
+      {"author": "alice", "title": "alice post 1", "lat": 45.46, "lon": 9.19},
+      {"author": "bob", "title": "bob post", "lat": 41.90, "lon": 12.49},
+      {"author": "alice", "title": "alice post 2"}
+    ]}},
+    {"id": "sel", "type": "event-filter", "params": {"item_key": "author", "payload_key": "author"}},
+    {"id": "list", "type": "list-viewer", "title": "Posts"},
+    {"id": "map", "type": "map-viewer", "title": "Locations"}
+  ],
+  "wires": [
+    {"from": "posts.out", "to": "sel.in"},
+    {"from": "sel.out", "to": "list.in"},
+    {"from": "sel.out", "to": "map.in"}
+  ],
+  "sync": [
+    {"source": "list", "event": "select", "target": "sel"}
+  ]
+}`
+
+func TestViewerSynchronisation(t *testing.T) {
+	comp, err := ParseComposition([]byte(syncedJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(comp, testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.View("list"); len(v.Items) != 3 {
+		t.Fatalf("initial list = %d items", len(v.Items))
+	}
+	if v, _ := d.View("map"); len(v.Items) != 2 {
+		t.Fatalf("initial map = %d pins (only geo-tagged)", len(v.Items))
+	}
+
+	// Select alice in the list: the event-filter narrows, and both viewers
+	// downstream refresh — Figure 1's synchronised viewing.
+	d, err = rt.Emit(Event{Source: "list", Name: "select", Payload: Item{"author": "alice"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.View("list"); len(v.Items) != 2 {
+		t.Errorf("after select, list = %d items", len(v.Items))
+	}
+	if v, _ := d.View("map"); len(v.Items) != 1 {
+		t.Errorf("after select, map = %d pins", len(v.Items))
+	}
+
+	// An event with no matching sync rule leaves everything unchanged.
+	d, err = rt.Emit(Event{Source: "map", Name: "select", Payload: Item{"author": "bob"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.View("list"); len(v.Items) != 2 {
+		t.Error("unrelated event must not re-run the graph")
+	}
+
+	// Events from unknown components are rejected.
+	if _, err := rt.Emit(Event{Source: "ghost"}); err == nil {
+		t.Error("expected error for unknown event source")
+	}
+}
+
+func TestIndicatorViewer(t *testing.T) {
+	c, _ := testRegistry(t).New("indicator-viewer", Params{"title": "Sentiment"})
+	out, err := c.Process(&Context{}, Inputs{"in": {
+		{"label": "place", "value": 0.42},
+		{"label": "pulse", "value": -0.1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) != 2 {
+		t.Error("indicator must pass items through")
+	}
+	v := c.(Viewer).View()
+	if !strings.Contains(v.Rendered, "place") || !strings.Contains(v.Rendered, "+0.420") {
+		t.Errorf("rendered = %q", v.Rendered)
+	}
+	if v.Kind != "indicator" {
+		t.Errorf("kind = %q", v.Kind)
+	}
+}
+
+func TestEmptyViewersRender(t *testing.T) {
+	reg := testRegistry(t)
+	for _, typ := range []string{"list-viewer", "map-viewer", "indicator-viewer"} {
+		c, _ := reg.New(typ, nil)
+		if _, err := c.Process(&Context{}, Inputs{}); err != nil {
+			t.Fatal(err)
+		}
+		if v := c.(Viewer).View(); v.Rendered == "" {
+			t.Errorf("%s renders empty string for empty input", typ)
+		}
+	}
+}
+
+func TestLimitAndSortConfig(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.New("limit", Params{"n": -1}); err == nil {
+		t.Error("negative limit should fail")
+	}
+	if _, err := reg.New("sort", Params{}); err == nil {
+		t.Error("sort without by should fail")
+	}
+	// String sort falls back to lexicographic.
+	c, _ := reg.New("sort", Params{"by": "name"})
+	out, _ := c.Process(&Context{}, Inputs{"in": {
+		{"name": "b"}, {"name": "a"}, {"name": "c"},
+	}})
+	if out["out"][0]["name"] != "a" || out["out"][2]["name"] != "c" {
+		t.Errorf("lexicographic sort wrong: %v", out["out"])
+	}
+}
+
+func TestStaticSourceErrors(t *testing.T) {
+	reg := testRegistry(t)
+	if _, err := reg.New("static-source", Params{}); err == nil {
+		t.Error("missing items should fail")
+	}
+	if _, err := reg.New("static-source", Params{"items": []any{"not an object"}}); err == nil {
+		t.Error("non-object item should fail")
+	}
+	// Pre-built []Item is accepted (for Go-side composition).
+	c, err := reg.New("static-source", Params{"items": []Item{{"title": "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := c.Process(&Context{}, Inputs{})
+	if len(out["out"]) != 1 {
+		t.Error("prebuilt items lost")
+	}
+}
+
+func TestCompositionMarshalRoundTrip(t *testing.T) {
+	comp, err := ParseComposition([]byte(pipelineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := comp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseComposition(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != comp.Name || len(again.Components) != len(comp.Components) || len(again.Wires) != len(comp.Wires) {
+		t.Error("round trip lost structure")
+	}
+}
+
+func TestDefaultPortsInWires(t *testing.T) {
+	// Wires without explicit ports default to out/in.
+	j := `{
+	  "name": "defaults",
+	  "components": [
+	    {"id": "src", "type": "static-source", "params": {"items": [{"title": "x"}]}},
+	    {"id": "view", "type": "list-viewer"}
+	  ],
+	  "wires": [{"from": "src", "to": "view"}]
+	}`
+	comp, err := ParseComposition([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(comp, testRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.View("view"); len(v.Items) != 1 {
+		t.Errorf("default ports lost items: %v", v.Items)
+	}
+}

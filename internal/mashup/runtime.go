@@ -1,0 +1,235 @@
+package mashup
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runtime is an instantiated, executable composition.
+type Runtime struct {
+	comp       *Composition
+	components map[string]Component
+	order      []string            // topological execution order
+	inWires    map[string][]Wire   // target component -> incoming wires
+	downstream map[string][]string // component -> direct successors
+	syncs      []Sync
+	// lastOutputs caches each component's outputs from the latest run so
+	// event propagation can re-run only the affected subgraph.
+	lastOutputs map[string]Outputs
+}
+
+// NewRuntime instantiates every component of the composition from the
+// registry and prepares the execution plan.
+func NewRuntime(comp *Composition, reg *Registry) (*Runtime, error) {
+	if err := comp.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		comp:        comp,
+		components:  map[string]Component{},
+		inWires:     map[string][]Wire{},
+		downstream:  map[string][]string{},
+		syncs:       comp.Syncs,
+		lastOutputs: map[string]Outputs{},
+	}
+	for _, spec := range comp.Components {
+		c, err := reg.New(spec.Type, spec.Params)
+		if err != nil {
+			return nil, fmt.Errorf("mashup: component %q: %w", spec.ID, err)
+		}
+		rt.components[spec.ID] = c
+	}
+	for _, w := range comp.Wires {
+		toComp, _ := endpoint(w.To, "in")
+		fromComp, _ := endpoint(w.From, "out")
+		rt.inWires[toComp] = append(rt.inWires[toComp], w)
+		rt.downstream[fromComp] = append(rt.downstream[fromComp], toComp)
+	}
+	order, err := rt.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rt.order = order
+	return rt, nil
+}
+
+// topoOrder computes a deterministic topological order (Kahn's algorithm
+// with lexicographic tie-breaking).
+func (rt *Runtime) topoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	for id := range rt.components {
+		indeg[id] = 0
+	}
+	for to, wires := range rt.inWires {
+		indeg[to] = len(wires)
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		succs := append([]string(nil), rt.downstream[id]...)
+		sort.Strings(succs)
+		for _, s := range succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+				sort.Strings(ready)
+			}
+		}
+	}
+	if len(order) != len(rt.components) {
+		return nil, fmt.Errorf("mashup: dataflow cycle in composition %q", rt.comp.Name)
+	}
+	return order, nil
+}
+
+// gatherInputs assembles a component's inputs from the cached outputs of
+// its upstream wires.
+func (rt *Runtime) gatherInputs(id string) Inputs {
+	in := Inputs{}
+	for _, w := range rt.inWires[id] {
+		fromComp, fromPort := endpoint(w.From, "out")
+		_, toPort := endpoint(w.To, "in")
+		if outs, ok := rt.lastOutputs[fromComp]; ok {
+			in[toPort] = append(in[toPort], outs[fromPort]...)
+		}
+	}
+	return in
+}
+
+// Run executes the full dataflow and returns the dashboard.
+func (rt *Runtime) Run() (*Dashboard, error) {
+	return rt.run(rt.order, map[string]*Event{})
+}
+
+// Emit fires an event (e.g. a selection in a viewer) and re-runs the sync
+// targets and everything downstream of them, mirroring the live viewer
+// synchronisation of the paper's composition environment. Components not
+// affected keep their previous outputs and views.
+func (rt *Runtime) Emit(ev Event) (*Dashboard, error) {
+	if _, ok := rt.components[ev.Source]; !ok {
+		return nil, fmt.Errorf("mashup: event from unknown component %q", ev.Source)
+	}
+	if ev.Name == "" {
+		ev.Name = "select"
+	}
+	targets := map[string]*Event{}
+	for _, s := range rt.syncs {
+		evName := s.Event
+		if evName == "" {
+			evName = "select"
+		}
+		if s.Source == ev.Source && evName == ev.Name {
+			e := ev
+			targets[s.Target] = &e
+		}
+	}
+	if len(targets) == 0 {
+		return rt.Dashboard(), nil
+	}
+	// Affected = sync targets plus all their descendants.
+	affected := map[string]bool{}
+	var mark func(string)
+	mark = func(id string) {
+		if affected[id] {
+			return
+		}
+		affected[id] = true
+		for _, s := range rt.downstream[id] {
+			mark(s)
+		}
+	}
+	for t := range targets {
+		mark(t)
+	}
+	var subset []string
+	for _, id := range rt.order {
+		if affected[id] {
+			subset = append(subset, id)
+		}
+	}
+	return rt.run(subset, targets)
+}
+
+// run executes the given components in order, with per-component events.
+func (rt *Runtime) run(ids []string, events map[string]*Event) (*Dashboard, error) {
+	for _, id := range ids {
+		ctx := &Context{Event: events[id]}
+		outs, err := rt.components[id].Process(ctx, rt.gatherInputs(id))
+		if err != nil {
+			return nil, fmt.Errorf("mashup: component %q: %w", id, err)
+		}
+		if outs == nil {
+			outs = Outputs{}
+		}
+		rt.lastOutputs[id] = outs
+	}
+	return rt.Dashboard(), nil
+}
+
+// Component returns an instantiated component by ID (nil if unknown),
+// letting callers inspect viewer state directly.
+func (rt *Runtime) Component(id string) Component { return rt.components[id] }
+
+// Outputs returns the cached outputs of a component from the latest run.
+func (rt *Runtime) Outputs(id string) Outputs { return rt.lastOutputs[id] }
+
+// Dashboard assembles the current views of all viewer components, in
+// composition declaration order.
+func (rt *Runtime) Dashboard() *Dashboard {
+	d := &Dashboard{Name: rt.comp.Name}
+	for _, spec := range rt.comp.Components {
+		if v, ok := rt.components[spec.ID].(Viewer); ok {
+			view := v.View()
+			view.ComponentID = spec.ID
+			if view.Title == "" {
+				view.Title = spec.Title
+			}
+			d.Views = append(d.Views, view)
+		}
+	}
+	return d
+}
+
+// Dashboard is the rendered state of all viewers after a run.
+type Dashboard struct {
+	Name  string
+	Views []View
+}
+
+// Render produces a terminal-friendly rendering of the whole dashboard.
+func (d *Dashboard) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", d.Name)
+	for _, v := range d.Views {
+		title := v.Title
+		if title == "" {
+			title = v.ComponentID
+		}
+		fmt.Fprintf(&b, "\n--- %s [%s] ---\n", title, v.Kind)
+		b.WriteString(v.Rendered)
+		if !strings.HasSuffix(v.Rendered, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// View looks up a view by component ID.
+func (d *Dashboard) View(componentID string) (View, bool) {
+	for _, v := range d.Views {
+		if v.ComponentID == componentID {
+			return v, true
+		}
+	}
+	return View{}, false
+}

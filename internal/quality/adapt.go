@@ -1,0 +1,195 @@
+package quality
+
+import (
+	"time"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/crawler"
+	"github.com/informing-observers/informer/internal/social"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// panelStat converts an analytics metric to the record form.
+func panelStat(m analytics.Metrics) PanelStat {
+	return PanelStat{
+		TrafficRank:          m.TrafficRank,
+		DailyVisitors:        m.DailyVisitors,
+		DailyPageViews:       m.DailyPageViews,
+		BounceRate:           m.BounceRate,
+		AvgTimeOnSiteSeconds: m.AvgTimeOnSite,
+		PageViewsPerVisitor:  m.PageViewsPerVisitor,
+		NewDiscussionsPerDay: m.NewDiscussionsPerDay,
+	}
+}
+
+// SourceRecordsFromWorld builds assessment records directly from an
+// in-memory world plus its analytics panel. The paper's large statistical
+// experiments use this path ("manual inspection or automated crawling");
+// SourceRecordsFromSnapshot is the genuinely crawled equivalent.
+func SourceRecordsFromWorld(w *webgen.World, panel *analytics.Panel) []*SourceRecord {
+	records := make([]*SourceRecord, 0, len(w.Sources))
+	for _, s := range w.Sources {
+		m, _ := panel.BySource(s.ID)
+		r := &SourceRecord{
+			ID:                 s.ID,
+			Name:               s.Name,
+			Host:               s.Host,
+			Kind:               s.Kind.String(),
+			Founded:            s.Founded,
+			InboundLinks:       len(s.Inbound),
+			FeedSubscribers:    s.FeedSubscribers,
+			Panel:              panelStat(m),
+			ObservedAt:         w.Config.End,
+			WindowDays:         w.Days(),
+			MaxOpenDiscussions: w.MaxOpenDiscussions,
+		}
+		for _, d := range s.Discussions {
+			ds := DiscussionStat{
+				Category: d.Category,
+				Opened:   d.Opened,
+				Open:     d.Open,
+				TagCount: len(d.Tags),
+			}
+			for _, c := range d.Comments {
+				ds.Comments = append(ds.Comments, CommentStat{
+					AuthorID:  c.UserID,
+					Posted:    c.Posted,
+					TagCount:  len(c.Tags),
+					Replies:   c.Replies,
+					Feedbacks: c.Feedbacks,
+					Reads:     c.Reads,
+				})
+			}
+			r.Discussions = append(r.Discussions, ds)
+		}
+		records = append(records, r)
+	}
+	return records
+}
+
+// SourceRecordsFromSnapshot builds assessment records from a crawl
+// snapshot, joining each crawled source with the analytics panel by host.
+// observedAt is the crawl instant; windowDays the content window to assume
+// for per-day rates.
+func SourceRecordsFromSnapshot(snap *crawler.Snapshot, panel *analytics.Panel, observedAt time.Time, windowDays float64) []*SourceRecord {
+	maxOpen := 0
+	type pre struct {
+		rec  *SourceRecord
+		open int
+	}
+	pres := make([]pre, 0, len(snap.Sources))
+	for _, sc := range snap.Sources {
+		r := &SourceRecord{
+			ID:              sc.Info.ID,
+			Name:            sc.Info.Name,
+			Host:            sc.Info.Host,
+			Kind:            sc.Info.Kind,
+			Founded:         sc.Info.Founded,
+			InboundLinks:    sc.InboundLinks,
+			FeedSubscribers: sc.Info.FeedSubscribers,
+			ObservedAt:      observedAt,
+			WindowDays:      windowDays,
+		}
+		if m, ok := panel.ByHost(sc.Info.Host); ok {
+			r.Panel = panelStat(m)
+		}
+		open := 0
+		for _, d := range sc.Discussions {
+			ds := DiscussionStat{
+				Category: d.Category,
+				Opened:   d.Opened,
+				Open:     d.Open,
+				TagCount: len(d.Tags),
+			}
+			if d.Open {
+				open++
+			}
+			for _, c := range d.Comments {
+				ds.Comments = append(ds.Comments, CommentStat{
+					AuthorID:  c.AuthorID,
+					Posted:    c.Posted,
+					TagCount:  len(c.Tags),
+					Replies:   c.Replies,
+					Feedbacks: c.Feedbacks,
+					Reads:     c.Reads,
+				})
+			}
+			r.Discussions = append(r.Discussions, ds)
+		}
+		if open > maxOpen {
+			maxOpen = open
+		}
+		pres = append(pres, pre{rec: r, open: open})
+	}
+	records := make([]*SourceRecord, 0, len(pres))
+	for _, p := range pres {
+		p.rec.MaxOpenDiscussions = maxOpen
+		records = append(records, p.rec)
+	}
+	return records
+}
+
+// ContributorRecordsFromWorld aggregates per-user activity across all
+// sources of a world into contributor records.
+func ContributorRecordsFromWorld(w *webgen.World) []*ContributorRecord {
+	recs := make([]*ContributorRecord, len(w.Users))
+	for i, u := range w.Users {
+		recs[i] = &ContributorRecord{
+			ID:                 u.ID,
+			Name:               u.Name,
+			Joined:             u.Joined,
+			CommentsByCategory: map[string]int{},
+			ObservedAt:         w.Config.End,
+			Spammer:            u.Spammer,
+		}
+	}
+	touched := make(map[int]map[int]bool) // user -> discussion set
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			if opener := w.User(d.OpenerID); opener != nil {
+				recs[opener.ID].DiscussionsOpened++
+			}
+			for _, c := range d.Comments {
+				r := recs[c.UserID]
+				r.CommentsByCategory[d.Category]++
+				r.Interactions++
+				r.RepliesReceived += c.Replies
+				r.FeedbacksReceived += c.Feedbacks
+				r.ReadsReceived += c.Reads
+				r.TagCount += len(c.Tags)
+				set := touched[c.UserID]
+				if set == nil {
+					set = map[int]bool{}
+					touched[c.UserID] = set
+				}
+				set[d.ID] = true
+			}
+		}
+	}
+	for uid, set := range touched {
+		recs[uid].DiscussionsTouched = len(set)
+	}
+	return recs
+}
+
+// ContributorRecordsFromSocial maps microblog accounts to contributor
+// records. Each tweet counts as its own (micro-)discussion, the service-
+// agnostic reading of Section 3.2's interaction model.
+func ContributorRecordsFromSocial(ds *social.Dataset, observedAt time.Time) []*ContributorRecord {
+	recs := make([]*ContributorRecord, 0, len(ds.Accounts))
+	for _, a := range ds.Accounts {
+		recs = append(recs, &ContributorRecord{
+			ID:                 a.ID,
+			Name:               a.Handle,
+			Joined:             a.Joined,
+			CommentsByCategory: map[string]int{"": a.Interactions},
+			DiscussionsOpened:  a.Interactions,
+			DiscussionsTouched: a.Interactions,
+			Interactions:       a.Interactions,
+			RepliesReceived:    a.MentionsReceived,
+			FeedbacksReceived:  a.RetweetsReceived,
+			ObservedAt:         observedAt,
+		})
+	}
+	return recs
+}

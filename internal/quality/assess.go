@@ -1,0 +1,317 @@
+package quality
+
+import (
+	"sort"
+
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// Benchmark is the normalisation interval of one measure, derived (per
+// Section 3.1) from "the assessment of well-known, highly-ranked sources":
+// Hi is a high quantile of the corpus values, Lo a low quantile. Values are
+// min-max scaled into [0, 1] against this interval with clamping (so a
+// source better than the benchmark saturates at 1).
+type Benchmark struct {
+	Lo, Hi float64
+}
+
+// Normalize maps a raw value into [0, 1], flipping orientation for
+// measures that improve downward.
+func (b Benchmark) Normalize(v float64, higherIsBetter bool) float64 {
+	var n float64
+	switch {
+	case b.Hi == b.Lo:
+		n = 0.5 // degenerate benchmark: every source looks the same
+	default:
+		n = (v - b.Lo) / (b.Hi - b.Lo)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > 1 {
+		n = 1
+	}
+	if !higherIsBetter {
+		n = 1 - n
+	}
+	return n
+}
+
+// AssessorOptions tunes assessment.
+type AssessorOptions struct {
+	// Weights are per-measure aggregation weights (default 1 each).
+	Weights map[string]float64
+	// BenchmarkLoQ and BenchmarkHiQ are the corpus quantiles defining the
+	// normalisation interval (defaults 0.10 and 0.90). The high quantile
+	// plays the paper's "well-known, highly-ranked sources" role; the
+	// winsorised tails keep single outliers from flattening everyone else.
+	BenchmarkLoQ, BenchmarkHiQ float64
+	// PlainMinMax replaces quantile benchmarks with corpus min/max
+	// (the normalisation ablation in bench_test.go).
+	PlainMinMax bool
+	// ExtraSourceMeasures extends the Table 1 catalogue with caller-
+	// defined measures — the paper's "extension towards new kinds of
+	// domains, quality dimensions and analyses". IDs must not collide
+	// with catalogue IDs. Only read by NewSourceAssessor.
+	ExtraSourceMeasures []SourceMeasure
+	// ExtraContributorMeasures likewise extends the Table 2 catalogue.
+	// Only read by NewContributorAssessor.
+	ExtraContributorMeasures []ContributorMeasure
+}
+
+func (o AssessorOptions) withDefaults() AssessorOptions {
+	if o.BenchmarkLoQ == 0 {
+		o.BenchmarkLoQ = 0.10
+	}
+	if o.BenchmarkHiQ == 0 {
+		o.BenchmarkHiQ = 0.90
+	}
+	return o
+}
+
+func (o AssessorOptions) weight(id string) float64 {
+	if o.Weights == nil {
+		return 1
+	}
+	if w, ok := o.Weights[id]; ok {
+		return w
+	}
+	return 1
+}
+
+// benchmarkFrom derives a Benchmark from observed values.
+func benchmarkFrom(values []float64, opts AssessorOptions) Benchmark {
+	if len(values) == 0 {
+		return Benchmark{}
+	}
+	if opts.PlainMinMax {
+		return Benchmark{Lo: stats.Min(values), Hi: stats.Max(values)}
+	}
+	return Benchmark{
+		Lo: stats.Quantile(values, opts.BenchmarkLoQ),
+		Hi: stats.Quantile(values, opts.BenchmarkHiQ),
+	}
+}
+
+// Assessment is the quality evaluation of one source or contributor.
+type Assessment struct {
+	ID   int
+	Name string
+	// Raw holds the measured values; measures undefined for this record
+	// are absent.
+	Raw map[string]float64
+	// Normalized holds benchmark-normalised values in [0, 1].
+	Normalized map[string]float64
+	// Score is the weighted average of the normalised measures.
+	Score float64
+	// DimensionScores and AttributeScores average the normalised measures
+	// along the two axes of the model, enabling the "orthogonal analysis
+	// services" of Section 5.
+	DimensionScores map[Dimension]float64
+	AttributeScores map[Attribute]float64
+}
+
+// SourceAssessor assesses SourceRecords against a DI with benchmarks
+// derived from a reference corpus.
+type SourceAssessor struct {
+	DI         DomainOfInterest
+	opts       AssessorOptions
+	measures   []SourceMeasure
+	benchmarks map[string]Benchmark
+}
+
+// NewSourceAssessor derives benchmarks from the corpus and returns an
+// assessor. opts may be nil for defaults.
+func NewSourceAssessor(corpus []*SourceRecord, di DomainOfInterest, opts *AssessorOptions) *SourceAssessor {
+	o := AssessorOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	measures := sourceMeasures
+	if len(o.ExtraSourceMeasures) > 0 {
+		measures = append(append([]SourceMeasure(nil), sourceMeasures...), o.ExtraSourceMeasures...)
+	}
+	a := &SourceAssessor{
+		DI:         di,
+		opts:       o,
+		measures:   measures,
+		benchmarks: make(map[string]Benchmark, len(measures)),
+	}
+	for _, m := range a.measures {
+		var values []float64
+		for _, r := range corpus {
+			if v, ok := m.Eval(r, &a.DI); ok {
+				values = append(values, v)
+			}
+		}
+		a.benchmarks[m.ID] = benchmarkFrom(values, o)
+	}
+	return a
+}
+
+// Benchmark exposes the derived normalisation interval of a measure.
+func (a *SourceAssessor) Benchmark(id string) (Benchmark, bool) {
+	b, ok := a.benchmarks[id]
+	return b, ok
+}
+
+// Assess evaluates every Table 1 measure on the record.
+func (a *SourceAssessor) Assess(r *SourceRecord) *Assessment {
+	out := &Assessment{
+		ID:         r.ID,
+		Name:       r.Name,
+		Raw:        map[string]float64{},
+		Normalized: map[string]float64{},
+	}
+	dimSum := map[Dimension]float64{}
+	dimN := map[Dimension]float64{}
+	attSum := map[Attribute]float64{}
+	attN := map[Attribute]float64{}
+	var wSum, wTotal float64
+	for _, m := range a.measures {
+		v, ok := m.Eval(r, &a.DI)
+		if !ok {
+			continue
+		}
+		out.Raw[m.ID] = v
+		n := a.benchmarks[m.ID].Normalize(v, m.HigherIsBetter)
+		out.Normalized[m.ID] = n
+		w := a.opts.weight(m.ID)
+		wSum += w * n
+		wTotal += w
+		dimSum[m.Dimension] += n
+		dimN[m.Dimension]++
+		attSum[m.Attribute] += n
+		attN[m.Attribute]++
+	}
+	if wTotal > 0 {
+		out.Score = wSum / wTotal
+	}
+	out.DimensionScores = map[Dimension]float64{}
+	for d, s := range dimSum {
+		out.DimensionScores[d] = s / dimN[d]
+	}
+	out.AttributeScores = map[Attribute]float64{}
+	for at, s := range attSum {
+		out.AttributeScores[at] = s / attN[at]
+	}
+	return out
+}
+
+// Rank assesses all records and returns them best-first (ties broken by ID
+// for determinism).
+func (a *SourceAssessor) Rank(records []*SourceRecord) []*Assessment {
+	out := make([]*Assessment, 0, len(records))
+	for _, r := range records {
+		out = append(out, a.Assess(r))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ContributorAssessor assesses ContributorRecords (Table 2).
+type ContributorAssessor struct {
+	DI         DomainOfInterest
+	opts       AssessorOptions
+	measures   []ContributorMeasure
+	benchmarks map[string]Benchmark
+}
+
+// NewContributorAssessor derives benchmarks from the contributor corpus.
+func NewContributorAssessor(corpus []*ContributorRecord, di DomainOfInterest, opts *AssessorOptions) *ContributorAssessor {
+	o := AssessorOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	o = o.withDefaults()
+	measures := contributorMeasures
+	if len(o.ExtraContributorMeasures) > 0 {
+		measures = append(append([]ContributorMeasure(nil), contributorMeasures...), o.ExtraContributorMeasures...)
+	}
+	a := &ContributorAssessor{
+		DI:         di,
+		opts:       o,
+		measures:   measures,
+		benchmarks: make(map[string]Benchmark, len(measures)),
+	}
+	for _, m := range a.measures {
+		var values []float64
+		for _, r := range corpus {
+			if v, ok := m.Eval(r, &a.DI); ok {
+				values = append(values, v)
+			}
+		}
+		a.benchmarks[m.ID] = benchmarkFrom(values, o)
+	}
+	return a
+}
+
+// Benchmark exposes the derived normalisation interval of a measure.
+func (a *ContributorAssessor) Benchmark(id string) (Benchmark, bool) {
+	b, ok := a.benchmarks[id]
+	return b, ok
+}
+
+// Assess evaluates every Table 2 measure on the record.
+func (a *ContributorAssessor) Assess(r *ContributorRecord) *Assessment {
+	out := &Assessment{
+		ID:         r.ID,
+		Name:       r.Name,
+		Raw:        map[string]float64{},
+		Normalized: map[string]float64{},
+	}
+	dimSum := map[Dimension]float64{}
+	dimN := map[Dimension]float64{}
+	attSum := map[Attribute]float64{}
+	attN := map[Attribute]float64{}
+	var wSum, wTotal float64
+	for _, m := range a.measures {
+		v, ok := m.Eval(r, &a.DI)
+		if !ok {
+			continue
+		}
+		out.Raw[m.ID] = v
+		n := a.benchmarks[m.ID].Normalize(v, m.HigherIsBetter)
+		out.Normalized[m.ID] = n
+		w := a.opts.weight(m.ID)
+		wSum += w * n
+		wTotal += w
+		dimSum[m.Dimension] += n
+		dimN[m.Dimension]++
+		attSum[m.Attribute] += n
+		attN[m.Attribute]++
+	}
+	if wTotal > 0 {
+		out.Score = wSum / wTotal
+	}
+	out.DimensionScores = map[Dimension]float64{}
+	for d, s := range dimSum {
+		out.DimensionScores[d] = s / dimN[d]
+	}
+	out.AttributeScores = map[Attribute]float64{}
+	for at, s := range attSum {
+		out.AttributeScores[at] = s / attN[at]
+	}
+	return out
+}
+
+// Rank assesses all records and returns them best-first.
+func (a *ContributorAssessor) Rank(records []*ContributorRecord) []*Assessment {
+	out := make([]*Assessment, 0, len(records))
+	for _, r := range records {
+		out = append(out, a.Assess(r))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

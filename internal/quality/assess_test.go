@@ -1,0 +1,285 @@
+package quality
+
+import (
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+func worldRecords(t *testing.T, n int, seed int64) []*SourceRecord {
+	t.Helper()
+	w := webgen.Generate(webgen.Config{Seed: seed, NumSources: n})
+	panel := analytics.Build(w, seed+1000)
+	return SourceRecordsFromWorld(w, panel)
+}
+
+func defaultDI() DomainOfInterest {
+	return DomainOfInterest{Categories: []string{"presence", "place", "potential", "pulse", "people", "prerequisites"}}
+}
+
+func TestSourceAssessorScoresInRange(t *testing.T) {
+	records := worldRecords(t, 80, 21)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	for _, r := range records {
+		as := a.Assess(r)
+		if as.Score < 0 || as.Score > 1 {
+			t.Errorf("score %v out of [0,1]", as.Score)
+		}
+		for id, n := range as.Normalized {
+			if n < 0 || n > 1 {
+				t.Errorf("normalized %s = %v out of range", id, n)
+			}
+		}
+		for d, s := range as.DimensionScores {
+			if s < 0 || s > 1 {
+				t.Errorf("dimension %v score %v out of range", d, s)
+			}
+		}
+		for at, s := range as.AttributeScores {
+			if s < 0 || s > 1 {
+				t.Errorf("attribute %v score %v out of range", at, s)
+			}
+		}
+	}
+}
+
+func TestSourceAssessorRankDeterministicAndSorted(t *testing.T) {
+	records := worldRecords(t, 60, 22)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	r1 := a.Rank(records)
+	r2 := a.Rank(records)
+	if len(r1) != 60 {
+		t.Fatalf("ranked %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("ranking not deterministic")
+		}
+		if i > 0 && r1[i].Score > r1[i-1].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestBenchmarksFromCorpusQuantiles(t *testing.T) {
+	records := worldRecords(t, 100, 23)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	b, ok := a.Benchmark("src.authority.traffic.visitors")
+	if !ok {
+		t.Fatal("missing benchmark")
+	}
+	if b.Lo >= b.Hi {
+		t.Errorf("benchmark degenerate: %+v", b)
+	}
+	// Quantile benchmarks must be tighter than min/max.
+	plain := NewSourceAssessor(records, defaultDI(), &AssessorOptions{PlainMinMax: true})
+	pb, _ := plain.Benchmark("src.authority.traffic.visitors")
+	if !(pb.Lo <= b.Lo && pb.Hi >= b.Hi) {
+		t.Errorf("plain min/max %+v should bracket quantile benchmark %+v", pb, b)
+	}
+}
+
+func TestWeightsChangeScores(t *testing.T) {
+	records := worldRecords(t, 50, 24)
+	di := defaultDI()
+	base := NewSourceAssessor(records, di, nil)
+	// Weight traffic measures to zero: sources strong only in traffic
+	// should drop.
+	weights := map[string]float64{}
+	for _, m := range SourceMeasures() {
+		if m.Attribute == Traffic {
+			weights[m.ID] = 0
+		}
+	}
+	noTraffic := NewSourceAssessor(records, di, &AssessorOptions{Weights: weights})
+	changed := false
+	for _, r := range records {
+		if base.Assess(r).Score != noTraffic.Assess(r).Score {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("weights had no effect")
+	}
+}
+
+func TestHighLatentSourcesScoreHigher(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 25, NumSources: 300})
+	panel := analytics.Build(w, 1025)
+	records := SourceRecordsFromWorld(w, panel)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	// Sources in the top latent decile (sum of factors) should
+	// outrank the bottom decile on average.
+	type pair struct {
+		latent float64
+		score  float64
+	}
+	pairs := make([]pair, len(records))
+	for i, r := range records {
+		s := w.Sources[i]
+		pairs[i] = pair{
+			latent: s.Latent.Traffic + s.Latent.Participation + s.Latent.Engagement,
+			score:  a.Assess(r).Score,
+		}
+	}
+	var hi, lo float64
+	var nHi, nLo int
+	for _, p := range pairs {
+		if p.latent > 1.5 {
+			hi += p.score
+			nHi++
+		}
+		if p.latent < -1.5 {
+			lo += p.score
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		t.Skip("degenerate latent split")
+	}
+	if hi/float64(nHi) <= lo/float64(nLo) {
+		t.Errorf("high-latent sources score %.3f, low %.3f", hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+func TestContributorAssessor(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 26, NumSources: 60, NumUsers: 150})
+	recs := ContributorRecordsFromWorld(w)
+	a := NewContributorAssessor(recs, defaultDI(), nil)
+	ranked := a.Rank(recs)
+	if len(ranked) != 150 {
+		t.Fatalf("ranked %d contributors", len(ranked))
+	}
+	for i, as := range ranked {
+		if as.Score < 0 || as.Score > 1 {
+			t.Errorf("score %v out of range", as.Score)
+		}
+		if i > 0 && as.Score > ranked[i-1].Score {
+			t.Fatal("not sorted")
+		}
+	}
+	if _, ok := a.Benchmark("usr.completeness.activity"); !ok {
+		t.Error("missing contributor benchmark")
+	}
+}
+
+func TestContributorMeasureValues(t *testing.T) {
+	obs := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	r := &ContributorRecord{
+		ID:     7,
+		Name:   "alice",
+		Joined: obs.AddDate(0, 0, -100),
+		CommentsByCategory: map[string]int{
+			"place": 6,
+			"pulse": 2,
+			"":      2, // off-topic
+		},
+		DiscussionsOpened:  3,
+		DiscussionsTouched: 5,
+		Interactions:       10,
+		RepliesReceived:    20,
+		FeedbacksReceived:  5,
+		ReadsReceived:      100,
+		TagCount:           15,
+		ObservedAt:         obs,
+	}
+	di := &DomainOfInterest{Categories: []string{"place", "pulse"}}
+	eval := func(id string) (float64, bool) {
+		m, ok := ContributorMeasureByID(id)
+		if !ok {
+			t.Fatalf("unknown %q", id)
+		}
+		return m.Eval(r, di)
+	}
+	// Accuracy x Breadth: (6+2)/2 categories = 4.
+	if v, _ := eval("usr.accuracy.breadth"); v != 4 {
+		t.Errorf("accuracy.breadth = %v, want 4", v)
+	}
+	// Centrality: 2 DI categories (off-topic excluded).
+	if v, _ := eval("usr.completeness.relevance"); v != 2 {
+		t.Errorf("centrality = %v, want 2", v)
+	}
+	if v, _ := eval("usr.completeness.breadth"); v != 3 {
+		t.Errorf("opened = %v, want 3", v)
+	}
+	if v, _ := eval("usr.completeness.activity"); v != 10 {
+		t.Errorf("interactions = %v, want 10", v)
+	}
+	// Interactions per discussion: 10/5.
+	if v, _ := eval("usr.completeness.liveliness"); v != 2 {
+		t.Errorf("interactions per discussion = %v, want 2", v)
+	}
+	if v, _ := eval("usr.time.breadth"); v != 100 {
+		t.Errorf("age = %v, want 100", v)
+	}
+	if v, _ := eval("usr.time.activity"); v != 100 {
+		t.Errorf("reads = %v, want 100", v)
+	}
+	// Interactions per day: 10/100.
+	if v, _ := eval("usr.time.liveliness"); v != 0.1 {
+		t.Errorf("interactions/day = %v, want 0.1", v)
+	}
+	// Tags per post: 15/10 comments.
+	if v, _ := eval("usr.interpretability.breadth"); v != 1.5 {
+		t.Errorf("tags per post = %v, want 1.5", v)
+	}
+	// Replies per comment: 20/10.
+	if v, _ := eval("usr.authority.relevance"); v != 2 {
+		t.Errorf("replies per comment = %v, want 2", v)
+	}
+	if v, _ := eval("usr.authority.activity"); v != 20 {
+		t.Errorf("replies = %v, want 20", v)
+	}
+	// Feedbacks per comment: 5/10.
+	if v, _ := eval("usr.dependability.relevance"); v != 0.5 {
+		t.Errorf("feedbacks per comment = %v, want 0.5", v)
+	}
+	// Comments per discussion: 10 comments / 5 discussions.
+	if v, _ := eval("usr.dependability.breadth"); v != 2 {
+		t.Errorf("comments per discussion = %v, want 2", v)
+	}
+	if v, _ := eval("usr.dependability.activity"); v != 5 {
+		t.Errorf("feedbacks = %v, want 5", v)
+	}
+	// Interactions per discussion per day: 10/5/100.
+	if v, _ := eval("usr.dependability.liveliness"); v != 0.02 {
+		t.Errorf("dep.liveliness = %v, want 0.02", v)
+	}
+}
+
+func TestContributorMeasureNA(t *testing.T) {
+	empty := &ContributorRecord{ID: 1, CommentsByCategory: map[string]int{}}
+	di := &DomainOfInterest{}
+	for _, id := range []string{
+		"usr.accuracy.breadth", "usr.completeness.liveliness",
+		"usr.time.breadth", "usr.time.liveliness",
+		"usr.interpretability.breadth", "usr.authority.relevance",
+		"usr.dependability.relevance", "usr.dependability.breadth",
+		"usr.dependability.liveliness",
+	} {
+		m, _ := ContributorMeasureByID(id)
+		if _, ok := m.Eval(empty, di); ok {
+			t.Errorf("measure %q should be N/A on empty record", id)
+		}
+	}
+}
+
+func TestAgeDays(t *testing.T) {
+	obs := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	r := &ContributorRecord{Joined: obs.AddDate(0, 0, -30), ObservedAt: obs}
+	if got := r.AgeDays(); got != 30 {
+		t.Errorf("age = %v, want 30", got)
+	}
+	r2 := &ContributorRecord{}
+	if r2.AgeDays() != 0 {
+		t.Error("zero times must give zero age")
+	}
+	// Joined after observation (clock skew): clamp to 0.
+	r3 := &ContributorRecord{Joined: obs.AddDate(0, 0, 5), ObservedAt: obs}
+	if r3.AgeDays() != 0 {
+		t.Error("negative age must clamp to 0")
+	}
+}

@@ -1,0 +1,121 @@
+package quality
+
+import "sort"
+
+// InfluencerStrategy selects how influence is scored. Section 3.2 argues
+// that distinguishing absolute interaction volumes from relative (per-
+// contribution) reaction rates both identifies users who trigger reactions
+// efficiently and filters spammers and bots, whose absolute volume is high
+// but whose relative reactions are near zero.
+type InfluencerStrategy int
+
+const (
+	// ByActivity ranks by absolute interaction volume only (the naive
+	// baseline the paper criticises: spammers score high).
+	ByActivity InfluencerStrategy = iota
+	// ByRelative ranks by per-contribution reaction rates only (penalises
+	// prolific-but-ignored users, but also buries steady high-volume
+	// contributors).
+	ByRelative
+	// Combined multiplies normalised absolute and relative signals — the
+	// paper's "smart combination".
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (s InfluencerStrategy) String() string {
+	switch s {
+	case ByActivity:
+		return "by-activity"
+	case ByRelative:
+		return "by-relative"
+	case Combined:
+		return "combined"
+	default:
+		return "unknown"
+	}
+}
+
+// InfluencerOptions configures detection.
+type InfluencerOptions struct {
+	Strategy InfluencerStrategy
+	// TopK bounds the result (0 = all, ranked).
+	TopK int
+	// MinInteractions drops users below a floor of absolute activity
+	// before scoring (default 1).
+	MinInteractions int
+}
+
+// Influencer is one detected opinion leader.
+type Influencer struct {
+	Record *ContributorRecord
+	// Assessment is the full Table 2 evaluation.
+	Assessment *Assessment
+	// InfluenceScore is the strategy-specific ranking score in [0, 1].
+	InfluenceScore float64
+}
+
+// Influencers detects opinion leaders among the contributors using the
+// given assessor for normalisation. Results are best-first.
+func Influencers(a *ContributorAssessor, records []*ContributorRecord, opts InfluencerOptions) []Influencer {
+	minInteractions := opts.MinInteractions
+	if minInteractions <= 0 {
+		minInteractions = 1
+	}
+	out := make([]Influencer, 0, len(records))
+	for _, r := range records {
+		if r.Interactions < minInteractions {
+			continue
+		}
+		as := a.Assess(r)
+		// Absolute signal: the user's own contribution volume and its raw
+		// visibility. Reactions received stay out of this signal — they
+		// belong to the relative side, which is exactly what lets the
+		// combination expose spammers (huge own volume, no reactions).
+		abs := avgOf(as.Normalized,
+			"usr.completeness.activity",
+			"usr.time.activity",
+		)
+		// Relative signal: normalised per-contribution reaction rates.
+		rel := avgOf(as.Normalized,
+			"usr.authority.relevance",
+			"usr.dependability.relevance",
+		)
+		var score float64
+		switch opts.Strategy {
+		case ByActivity:
+			score = abs
+		case ByRelative:
+			score = rel
+		default:
+			score = abs * rel
+		}
+		out = append(out, Influencer{Record: r, Assessment: as, InfluenceScore: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InfluenceScore != out[j].InfluenceScore {
+			return out[i].InfluenceScore > out[j].InfluenceScore
+		}
+		return out[i].Record.ID < out[j].Record.ID
+	})
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	return out
+}
+
+// avgOf averages the values present among the given keys.
+func avgOf(m map[string]float64, keys ...string) float64 {
+	var sum float64
+	n := 0
+	for _, k := range keys {
+		if v, ok := m[k]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

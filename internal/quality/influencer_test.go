@@ -1,0 +1,145 @@
+package quality
+
+import (
+	"testing"
+	"time"
+)
+
+// influencerFixture builds a population with three behavioural archetypes:
+// genuine influencers (high volume, high reactions), spammers (high volume,
+// no reactions), and lurkers (low volume).
+func influencerFixture() []*ContributorRecord {
+	obs := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id, interactions, replies, feedbacks int, spam bool) *ContributorRecord {
+		return &ContributorRecord{
+			ID:                 id,
+			Name:               "u",
+			Joined:             obs.AddDate(0, 0, -200),
+			CommentsByCategory: map[string]int{"place": interactions},
+			DiscussionsTouched: interactions/2 + 1,
+			Interactions:       interactions,
+			RepliesReceived:    replies,
+			FeedbacksReceived:  feedbacks,
+			ObservedAt:         obs,
+			Spammer:            spam,
+		}
+	}
+	var recs []*ContributorRecord
+	// 5 genuine influencers: volume 100, 300 replies, 200 feedbacks.
+	for i := 0; i < 5; i++ {
+		recs = append(recs, mk(i, 100, 300, 200, false))
+	}
+	// 5 spammers: volume 500, almost no reactions.
+	for i := 5; i < 10; i++ {
+		recs = append(recs, mk(i, 500, 2, 1, true))
+	}
+	// 20 lurkers: volume 3, a couple reactions.
+	for i := 10; i < 30; i++ {
+		recs = append(recs, mk(i, 3, 2, 1, false))
+	}
+	return recs
+}
+
+func TestInfluencersByActivityPromotesSpam(t *testing.T) {
+	recs := influencerFixture()
+	a := NewContributorAssessor(recs, DomainOfInterest{}, nil)
+	top := Influencers(a, recs, InfluencerOptions{Strategy: ByActivity, TopK: 5})
+	spam := 0
+	for _, inf := range top {
+		if inf.Record.Spammer {
+			spam++
+		}
+	}
+	// The naive volume ranking is dominated by spammers — the failure mode
+	// Section 3.2 warns about.
+	if spam < 3 {
+		t.Errorf("expected spam-dominated top-5 under ByActivity, got %d spammers", spam)
+	}
+}
+
+func TestInfluencersCombinedFiltersSpam(t *testing.T) {
+	recs := influencerFixture()
+	a := NewContributorAssessor(recs, DomainOfInterest{}, nil)
+	top := Influencers(a, recs, InfluencerOptions{Strategy: Combined, TopK: 5})
+	if len(top) != 5 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for _, inf := range top {
+		if inf.Record.Spammer {
+			t.Errorf("spammer %d survived the combined strategy", inf.Record.ID)
+		}
+	}
+	// All five genuine influencers make the cut.
+	ids := map[int]bool{}
+	for _, inf := range top {
+		ids[inf.Record.ID] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !ids[i] {
+			t.Errorf("genuine influencer %d missing from top-5", i)
+		}
+	}
+}
+
+func TestInfluencersSortedAndBounded(t *testing.T) {
+	recs := influencerFixture()
+	a := NewContributorAssessor(recs, DomainOfInterest{}, nil)
+	all := Influencers(a, recs, InfluencerOptions{Strategy: Combined})
+	if len(all) != len(recs) {
+		t.Fatalf("unbounded result = %d, want %d", len(all), len(recs))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].InfluenceScore > all[i-1].InfluenceScore {
+			t.Fatal("not sorted")
+		}
+	}
+	for _, inf := range all {
+		if inf.InfluenceScore < 0 || inf.InfluenceScore > 1 {
+			t.Errorf("score %v out of range", inf.InfluenceScore)
+		}
+		if inf.Assessment == nil {
+			t.Error("missing assessment")
+		}
+	}
+}
+
+func TestInfluencersMinInteractions(t *testing.T) {
+	recs := influencerFixture()
+	a := NewContributorAssessor(recs, DomainOfInterest{}, nil)
+	got := Influencers(a, recs, InfluencerOptions{Strategy: Combined, MinInteractions: 50})
+	for _, inf := range got {
+		if inf.Record.Interactions < 50 {
+			t.Errorf("record with %d interactions passed the floor", inf.Record.Interactions)
+		}
+	}
+	// Zero-interaction users are always dropped.
+	zero := append(recs, &ContributorRecord{ID: 99, CommentsByCategory: map[string]int{}})
+	got = Influencers(a, zero, InfluencerOptions{})
+	for _, inf := range got {
+		if inf.Record.ID == 99 {
+			t.Error("zero-interaction user detected as influencer")
+		}
+	}
+}
+
+func TestInfluencerStrategyString(t *testing.T) {
+	if ByActivity.String() != "by-activity" || ByRelative.String() != "by-relative" || Combined.String() != "combined" {
+		t.Error("strategy strings wrong")
+	}
+	if InfluencerStrategy(9).String() != "unknown" {
+		t.Error("unknown strategy should say so")
+	}
+}
+
+func TestAvgOf(t *testing.T) {
+	m := map[string]float64{"a": 1, "b": 3}
+	if got := avgOf(m, "a", "b"); got != 2 {
+		t.Errorf("avgOf = %v", got)
+	}
+	if got := avgOf(m, "a", "missing"); got != 1 {
+		t.Errorf("avgOf with missing = %v", got)
+	}
+	if got := avgOf(m, "missing"); got != 0 {
+		t.Errorf("avgOf all missing = %v", got)
+	}
+}

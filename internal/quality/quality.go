@@ -1,0 +1,174 @@
+// Package quality implements the paper's primary contribution: the quality
+// model for Web 2.0 sources (Table 1) and contributors (Table 2).
+//
+// The model crosses data-quality dimensions (accuracy, completeness, time,
+// interpretability, authority, dependability — from Batini et al.'s
+// classification, revisited for user-generated content) with Web 2.0
+// attributes (relevance, breadth of contributions, traffic/activity,
+// liveliness). Every non-N/A cell of the paper's tables is a named Measure
+// with a provenance ("crawling" vs the analytics panel, mirroring the
+// paper's crawling vs www.alexa.com distinction) and a domain-dependence
+// flag (the italic cells).
+//
+// Assessment follows Section 3.1: measures are evaluated against raw
+// observation records, normalised against benchmarks derived from
+// highly-ranked sources in the corpus, and aggregated as a weighted
+// average. A Domain of Interest (DI) — categories, time window, locations —
+// scopes the domain-dependent measures.
+package quality
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dimension is a data-quality dimension (the rows of Tables 1 and 2).
+type Dimension int
+
+const (
+	Accuracy Dimension = iota
+	Completeness
+	Time
+	Interpretability
+	Authority
+	Dependability
+)
+
+// String implements fmt.Stringer.
+func (d Dimension) String() string {
+	switch d {
+	case Accuracy:
+		return "accuracy"
+	case Completeness:
+		return "completeness"
+	case Time:
+		return "time"
+	case Interpretability:
+		return "interpretability"
+	case Authority:
+		return "authority"
+	case Dependability:
+		return "dependability"
+	default:
+		return fmt.Sprintf("Dimension(%d)", int(d))
+	}
+}
+
+// Dimensions lists all dimensions in table order.
+func Dimensions() []Dimension {
+	return []Dimension{Accuracy, Completeness, Time, Interpretability, Authority, Dependability}
+}
+
+// Attribute is a Web 2.0 quality attribute (the columns of Tables 1 and 2).
+// Traffic applies to sources; Activity is its contributor-level counterpart
+// (Section 3.2 renames it because individual users have interaction volume,
+// not site traffic).
+type Attribute int
+
+const (
+	Relevance Attribute = iota
+	Breadth
+	Traffic
+	Activity
+	Liveliness
+)
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	switch a {
+	case Relevance:
+		return "relevance"
+	case Breadth:
+		return "breadth"
+	case Traffic:
+		return "traffic"
+	case Activity:
+		return "activity"
+	case Liveliness:
+		return "liveliness"
+	default:
+		return fmt.Sprintf("Attribute(%d)", int(a))
+	}
+}
+
+// SourceAttributes lists Table 1's columns in order.
+func SourceAttributes() []Attribute {
+	return []Attribute{Relevance, Breadth, Traffic, Liveliness}
+}
+
+// ContributorAttributes lists Table 2's columns in order.
+func ContributorAttributes() []Attribute {
+	return []Attribute{Relevance, Breadth, Activity, Liveliness}
+}
+
+// Provenance records where a measure's raw data comes from, mirroring the
+// parenthetical source annotations in Table 1.
+type Provenance int
+
+const (
+	// Crawling means the value is computed from crawled content.
+	Crawling Provenance = iota
+	// Panel means the value comes from the external analytics panel
+	// (the Alexa / Feedburner substitute).
+	Panel
+)
+
+// String implements fmt.Stringer.
+func (p Provenance) String() string {
+	if p == Panel {
+		return "panel"
+	}
+	return "crawling"
+}
+
+// DomainOfInterest is the analysis context of Section 3:
+// DI = {<c1..cn>, t, <l1..lm>}. The zero value means "no restriction".
+type DomainOfInterest struct {
+	// Categories are the content categories relevant to the analysis.
+	Categories []string
+	// Start and End bound the time interval t; zero values are open.
+	Start, End time.Time
+	// Locations further scope the analysis geographically.
+	Locations []string
+}
+
+// CategorySet returns the category set, or nil when unrestricted.
+func (di *DomainOfInterest) CategorySet() map[string]bool {
+	if len(di.Categories) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(di.Categories))
+	for _, c := range di.Categories {
+		set[c] = true
+	}
+	return set
+}
+
+// InCategory reports whether a content category belongs to the DI. An
+// unrestricted DI accepts every non-empty category; the empty category
+// (off-topic content) never matches.
+func (di *DomainOfInterest) InCategory(category string) bool {
+	if category == "" {
+		return false
+	}
+	if len(di.Categories) == 0 {
+		return true
+	}
+	for _, c := range di.Categories {
+		if c == category {
+			return true
+		}
+	}
+	return false
+}
+
+// InWindow reports whether t falls inside the DI time interval.
+func (di *DomainOfInterest) InWindow(t time.Time) bool {
+	if !di.Start.IsZero() && t.Before(di.Start) {
+		return false
+	}
+	if !di.End.IsZero() && t.After(di.End) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,331 @@
+// Package search implements the search-engine baseline that substitutes for
+// Google in the ranking-comparison experiment of Section 4.1 (substitution
+// S4 in DESIGN.md). It combines classic components — a tokenizer, an
+// inverted index with TF-IDF scoring, PageRank over the corpus link graph —
+// with a traffic prior, reflecting the paper's empirical finding that
+// Google's ordering is driven by traffic and inbound links rather than by
+// participation or engagement (which the default weights mildly penalise,
+// mirroring thin-content demotion of heavily conversational pages).
+//
+// Per-query noise keeps top-k orderings relevance-dominated, which is what
+// produces the low per-measure Kendall tau of Section 4.1 while pooled
+// regressions still recover the component-level signs of Table 3.
+package search
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/stats"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Config weights the composite ranking signal.
+type Config struct {
+	// Seed drives per-query noise.
+	Seed int64
+	// RelevanceWeight scales TF-IDF (default 1.0).
+	RelevanceWeight float64
+	// PageRankWeight scales the standardized log-PageRank prior (default 0.35).
+	PageRankWeight float64
+	// TrafficWeight scales the standardized log-visitors prior (default 0.45).
+	TrafficWeight float64
+	// ParticipationPenalty demotes heavily conversational sources
+	// (default 0.15).
+	ParticipationPenalty float64
+	// EngagementPenalty demotes long-dwell sources (default 0.10).
+	EngagementPenalty float64
+	// NoiseSigma is the per-(query, document) score jitter (default 0.35).
+	NoiseSigma float64
+	// Damping is the PageRank damping factor (default 0.85).
+	Damping float64
+	// Conjunctive requires documents to match every query token (AND
+	// semantics, the behaviour of mainstream engines for short queries).
+	// The default is disjunctive (any token).
+	Conjunctive bool
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.RelevanceWeight, 1.0)
+	def(&c.PageRankWeight, 0.35)
+	def(&c.TrafficWeight, 0.45)
+	def(&c.ParticipationPenalty, 0.15)
+	def(&c.EngagementPenalty, 0.10)
+	def(&c.NoiseSigma, 0.35)
+	def(&c.Damping, 0.85)
+	return c
+}
+
+// Result is one ranked hit.
+type Result struct {
+	SourceID int
+	Score    float64
+}
+
+type posting struct {
+	doc int
+	tf  float64
+}
+
+// Engine is an immutable index over a world, safe for concurrent searches.
+type Engine struct {
+	cfg      Config
+	world    *webgen.World
+	index    map[string][]posting
+	docNorm  []float64 // sqrt(total term count) per doc
+	idf      map[string]float64
+	prior    []float64 // static per-source prior (traffic, pagerank, penalties)
+	pagerank []float64
+	kinds    []webgen.SourceKind
+}
+
+// NewEngine indexes the world and precomputes priors.
+func NewEngine(world *webgen.World, panel *analytics.Panel, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		world:   world,
+		index:   make(map[string][]posting),
+		docNorm: make([]float64, len(world.Sources)),
+		idf:     make(map[string]float64),
+		kinds:   make([]webgen.SourceKind, len(world.Sources)),
+	}
+	e.buildIndex()
+	e.pagerank = PageRank(adjacency(world), cfg.Damping, 40)
+	e.buildPrior(panel)
+	for i, s := range world.Sources {
+		e.kinds[i] = s.Kind
+	}
+	return e
+}
+
+// Tokenize lowercases and splits text into letter runs.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+			continue
+		}
+		if b.Len() > 1 { // drop single letters
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	if b.Len() > 1 {
+		tokens = append(tokens, b.String())
+	}
+	return tokens
+}
+
+// docText collects the indexable text of a source: name, description,
+// locations, discussion titles and tags. Comment bodies are intentionally
+// excluded — search engines weigh page titles and site descriptors far more
+// than buried comment text, and the corpus may omit bodies entirely.
+func docText(s *webgen.Source) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte(' ')
+	b.WriteString(s.Description)
+	for _, l := range s.Locations {
+		b.WriteByte(' ')
+		b.WriteString(l)
+	}
+	for _, d := range s.Discussions {
+		b.WriteByte(' ')
+		b.WriteString(d.Title)
+		if d.Category != "" {
+			b.WriteByte(' ')
+			b.WriteString(d.Category)
+		}
+		for _, t := range d.Tags {
+			b.WriteByte(' ')
+			b.WriteString(t)
+		}
+	}
+	return b.String()
+}
+
+func (e *Engine) buildIndex() {
+	n := len(e.world.Sources)
+	df := map[string]int{}
+	for _, s := range e.world.Sources {
+		counts := map[string]int{}
+		total := 0
+		for _, tok := range Tokenize(docText(s)) {
+			counts[tok]++
+			total++
+		}
+		for tok, c := range counts {
+			e.index[tok] = append(e.index[tok], posting{doc: s.ID, tf: float64(c)})
+			df[tok]++
+		}
+		e.docNorm[s.ID] = math.Sqrt(float64(total) + 1)
+	}
+	for tok, d := range df {
+		e.idf[tok] = math.Log(float64(n+1) / (float64(d) + 0.5))
+	}
+}
+
+// buildPrior computes the static per-source score component.
+func (e *Engine) buildPrior(panel *analytics.Panel) {
+	n := len(e.world.Sources)
+	logVisitors := make([]float64, n)
+	logPR := make([]float64, n)
+	logCPD := make([]float64, n) // comments per discussion, observable proxy of participation
+	logDwell := make([]float64, n)
+	for i, s := range e.world.Sources {
+		m, _ := panel.BySource(i)
+		logVisitors[i] = math.Log1p(m.DailyVisitors)
+		logPR[i] = math.Log(e.pagerank[i] + 1e-12)
+		cpd := 0.0
+		if len(s.Discussions) > 0 {
+			cpd = float64(s.CommentCount()) / float64(len(s.Discussions))
+		}
+		logCPD[i] = math.Log1p(cpd)
+		logDwell[i] = math.Log1p(m.AvgTimeOnSite)
+	}
+	zV := stats.Standardize(logVisitors)
+	zP := stats.Standardize(logPR)
+	zC := stats.Standardize(logCPD)
+	zD := stats.Standardize(logDwell)
+	e.prior = make([]float64, n)
+	for i := range e.prior {
+		e.prior[i] = e.cfg.TrafficWeight*zV[i] +
+			e.cfg.PageRankWeight*zP[i] -
+			e.cfg.ParticipationPenalty*zC[i] -
+			e.cfg.EngagementPenalty*zD[i]
+	}
+}
+
+// Search returns the top-k sources for the query across all source kinds.
+func (e *Engine) Search(query string, k int) []Result {
+	return e.SearchKinds(query, k, nil)
+}
+
+// SearchKinds returns the top-k sources restricted to the given kinds
+// (nil means all kinds). Section 4.1 restricts results to blogs and forums.
+func (e *Engine) SearchKinds(query string, k int, kinds []webgen.SourceKind) []Result {
+	tokens := Tokenize(query)
+	n := len(e.world.Sources)
+	rel := make([]float64, n)
+	hits := make([]int, n)
+	for _, tok := range tokens {
+		idf := e.idf[tok]
+		for _, p := range e.index[tok] {
+			rel[p.doc] += (1 + math.Log(p.tf)) * idf / e.docNorm[p.doc]
+			hits[p.doc]++
+		}
+	}
+	need := 1
+	if e.cfg.Conjunctive {
+		need = len(tokens)
+	}
+	allowed := func(id int) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, kk := range kinds {
+			if e.kinds[id] == kk {
+				return true
+			}
+		}
+		return false
+	}
+	// Per-query deterministic noise: hash the query into a seed.
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(hashString(query))))
+	results := make([]Result, 0, 64)
+	for id := 0; id < n; id++ {
+		if hits[id] < need || !allowed(id) {
+			continue
+		}
+		score := e.cfg.RelevanceWeight*rel[id] + e.prior[id] + e.cfg.NoiseSigma*rng.NormFloat64()
+		results = append(results, Result{SourceID: id, Score: score})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].SourceID < results[j].SourceID
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// PageRankScores returns the engine's PageRank vector (sums to 1).
+func (e *Engine) PageRankScores() []float64 {
+	return append([]float64(nil), e.pagerank...)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// adjacency extracts the outbound adjacency list of a world.
+func adjacency(w *webgen.World) [][]int {
+	adj := make([][]int, len(w.Sources))
+	for i, s := range w.Sources {
+		adj[i] = s.Outbound
+	}
+	return adj
+}
+
+// PageRank runs damped power iteration over an outbound adjacency list.
+// Dangling mass is redistributed uniformly. The result sums to 1.
+func PageRank(adj [][]int, damping float64, iters int) []float64 {
+	n := len(adj)
+	if n == 0 {
+		return nil
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if iters <= 0 {
+		iters = 40
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(n)
+		var dangling float64
+		for i := range next {
+			next[i] = base
+		}
+		for i, outs := range adj {
+			if len(outs) == 0 {
+				dangling += rank[i]
+				continue
+			}
+			share := damping * rank[i] / float64(len(outs))
+			for _, j := range outs {
+				next[j] += share
+			}
+		}
+		spread := damping * dangling / float64(n)
+		for i := range next {
+			next[i] += spread
+		}
+		rank, next = next, rank
+	}
+	return rank
+}

@@ -1,0 +1,200 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/stats"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+func testEngine(t *testing.T, n int) (*webgen.World, *Engine) {
+	t.Helper()
+	world := webgen.Generate(webgen.Config{Seed: 4, NumSources: n})
+	panel := analytics.Build(world, 40)
+	return world, NewEngine(world, panel, Config{Seed: 17})
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Duomo, in MILAN! x 42 metro-station")
+	want := []string{"the", "duomo", "in", "milan", "metro", "station"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if Tokenize("") != nil {
+		t.Error("empty text should yield no tokens")
+	}
+	if Tokenize("a b c") != nil {
+		t.Error("single letters should be dropped")
+	}
+}
+
+func TestSearchReturnsRelevantSources(t *testing.T) {
+	world, e := testEngine(t, 150)
+	results := e.Search("duomo museum landmark", 20)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	if len(results) > 20 {
+		t.Fatalf("k not respected: %d", len(results))
+	}
+	// Scores descending.
+	for i := 1; i < len(results); i++ {
+		if results[i].Score > results[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	// Every result must actually mention a query term.
+	for _, r := range results {
+		s := world.Sources[r.SourceID]
+		text := docText(s)
+		found := false
+		for _, tok := range []string{"duomo", "museum", "landmark"} {
+			if containsToken(text, tok) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("result %d does not mention query terms", r.SourceID)
+		}
+	}
+}
+
+func containsToken(text, tok string) bool {
+	for _, tk := range Tokenize(text) {
+		if tk == tok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	_, e := testEngine(t, 100)
+	a := e.Search("hotel metro", 10)
+	b := e.Search("hotel metro", 10)
+	if len(a) != len(b) {
+		t.Fatal("result lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same query must give identical results")
+		}
+	}
+}
+
+func TestSearchKindsFilter(t *testing.T) {
+	world, e := testEngine(t, 200)
+	results := e.SearchKinds("park square garden", 50, []webgen.SourceKind{webgen.Blog, webgen.Forum})
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range results {
+		k := world.Sources[r.SourceID].Kind
+		if k != webgen.Blog && k != webgen.Forum {
+			t.Errorf("result %d has kind %v", r.SourceID, k)
+		}
+	}
+}
+
+func TestSearchNoMatches(t *testing.T) {
+	_, e := testEngine(t, 50)
+	if got := e.Search("zzzqqqxxx", 10); len(got) != 0 {
+		t.Errorf("expected no results, got %d", len(got))
+	}
+}
+
+func TestTrafficPriorInfluencesRanking(t *testing.T) {
+	// With zero noise and zero relevance differences, higher traffic
+	// should rank first. Query with a term every source shares: the
+	// location home name appears in most sources' locations.
+	world := webgen.Generate(webgen.Config{Seed: 6, NumSources: 300})
+	panel := analytics.Build(world, 41)
+	e := NewEngine(world, panel, Config{Seed: 1, NoiseSigma: 1e-9})
+	results := e.Search("milan", 100)
+	if len(results) < 30 {
+		t.Skip("not enough matches for the prior test")
+	}
+	var ranks, visitors []float64
+	for pos, r := range results {
+		m, _ := panel.BySource(r.SourceID)
+		ranks = append(ranks, float64(pos))
+		visitors = append(visitors, m.DailyVisitors)
+	}
+	rho, err := stats.Spearman(ranks, visitors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho > -0.25 {
+		t.Errorf("position vs visitors rho = %v, want clearly negative (more traffic -> earlier)", rho)
+	}
+}
+
+func TestPageRankBasics(t *testing.T) {
+	// Star graph: everyone links to node 0.
+	adj := [][]int{1: {0}, 2: {0}, 3: {0}, 4: {0}}
+	adj[0] = nil
+	pr := PageRank(adj, 0.85, 50)
+	var sum float64
+	for _, v := range pr {
+		if v <= 0 {
+			t.Errorf("pagerank value %v <= 0", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pagerank sums to %v, want 1", sum)
+	}
+	for i := 1; i < 5; i++ {
+		if pr[0] <= pr[i] {
+			t.Errorf("hub rank %v not above leaf rank %v", pr[0], pr[i])
+		}
+	}
+}
+
+func TestPageRankCycleUniform(t *testing.T) {
+	// Ring: all nodes equal.
+	adj := [][]int{{1}, {2}, {3}, {0}}
+	pr := PageRank(adj, 0.85, 100)
+	for i := 1; i < len(pr); i++ {
+		if math.Abs(pr[i]-pr[0]) > 1e-9 {
+			t.Errorf("ring not uniform: %v", pr)
+		}
+	}
+}
+
+func TestPageRankEmptyAndDefaults(t *testing.T) {
+	if PageRank(nil, 0.85, 10) != nil {
+		t.Error("empty graph should return nil")
+	}
+	// Degenerate damping and iters fall back to defaults without panic.
+	pr := PageRank([][]int{{1}, {0}}, 0, 0)
+	if len(pr) != 2 {
+		t.Errorf("pr = %v", pr)
+	}
+}
+
+func TestPageRankScoresCopy(t *testing.T) {
+	_, e := testEngine(t, 20)
+	pr := e.PageRankScores()
+	pr[0] = 999
+	if e.PageRankScores()[0] == 999 {
+		t.Error("PageRankScores must return a copy")
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if hashString("abc") != hashString("abc") {
+		t.Error("hash not stable")
+	}
+	if hashString("abc") == hashString("abd") {
+		t.Error("suspicious collision")
+	}
+}

@@ -1,0 +1,248 @@
+// Package sentiment implements the lexicon-based sentiment analysis that
+// the paper's Section 6 application plugs into its mashups (substitution S7
+// in DESIGN.md for the authors' proprietary semantic analyser). Comment
+// scores aggregate into per-category indicators, and source-level
+// indicators combine into an overall assessment weighted by source quality
+// — "the overall sentiment assessment is weighed with respect to the
+// quality of the Web sources".
+package sentiment
+
+import (
+	"strings"
+
+	"github.com/informing-observers/informer/internal/textgen"
+)
+
+// Lexicon maps opinion words to polarities, plus negators and
+// intensifiers.
+type Lexicon struct {
+	polarity     map[string]float64
+	negators     map[string]bool
+	intensifiers map[string]float64
+}
+
+// DefaultLexicon builds a lexicon from the same opinion vocabulary the
+// synthetic corpus generator writes with, giving experiments a known
+// ground truth while remaining a perfectly ordinary lexicon scorer for any
+// other text.
+func DefaultLexicon() *Lexicon {
+	l := &Lexicon{
+		polarity:     map[string]float64{},
+		negators:     map[string]bool{},
+		intensifiers: map[string]float64{},
+	}
+	for _, w := range textgen.PositiveWords() {
+		l.polarity[w] = 1
+	}
+	for _, w := range textgen.NegativeWords() {
+		l.polarity[w] = -1
+	}
+	for _, w := range textgen.Negators() {
+		l.negators[w] = true
+	}
+	for _, w := range textgen.Intensifiers() {
+		l.intensifiers[w] = 1.5
+	}
+	return l
+}
+
+// Add registers an opinion word with the given polarity weight.
+func (l *Lexicon) Add(word string, polarity float64) {
+	l.polarity[strings.ToLower(word)] = polarity
+}
+
+// Score is the sentiment evaluation of one text.
+type Score struct {
+	// Value is the net sentiment in [-1, 1]: hit-weighted average of
+	// matched opinion words.
+	Value float64
+	// Positive and Negative count matched opinion words by orientation
+	// after negation handling.
+	Positive, Negative int
+	// Tokens is the total token count.
+	Tokens int
+}
+
+// Polarity discretises the score: +1 / 0 / -1 with a small neutral
+// dead-zone.
+func (s Score) Polarity() int {
+	switch {
+	case s.Value > 0.1:
+		return 1
+	case s.Value < -0.1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Analyzer scores texts against a lexicon.
+type Analyzer struct {
+	lex *Lexicon
+	// NegationWindow is how many tokens a negator affects (default 3).
+	NegationWindow int
+}
+
+// NewAnalyzer returns an Analyzer over the default lexicon.
+func NewAnalyzer() *Analyzer { return &Analyzer{lex: DefaultLexicon(), NegationWindow: 3} }
+
+// NewAnalyzerWithLexicon returns an Analyzer over a custom lexicon.
+func NewAnalyzerWithLexicon(l *Lexicon) *Analyzer {
+	return &Analyzer{lex: l, NegationWindow: 3}
+}
+
+// tokenize lowercases and splits into letter runs (apostrophes dropped).
+func tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+			continue
+		}
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	if b.Len() > 0 {
+		tokens = append(tokens, b.String())
+	}
+	return tokens
+}
+
+// Score evaluates one text: opinion words count toward the net value, a
+// preceding negator within the window flips them, a preceding intensifier
+// amplifies them.
+func (a *Analyzer) Score(text string) Score {
+	tokens := tokenize(text)
+	s := Score{Tokens: len(tokens)}
+	var total, weight float64
+	negateUntil := -1
+	intensify := 1.0
+	window := a.NegationWindow
+	if window <= 0 {
+		window = 3
+	}
+	for i, tok := range tokens {
+		if a.lex.negators[tok] {
+			negateUntil = i + window
+			continue
+		}
+		if f, ok := a.lex.intensifiers[tok]; ok {
+			intensify = f
+			continue
+		}
+		p, ok := a.lex.polarity[tok]
+		if !ok {
+			intensify = 1.0
+			continue
+		}
+		v := p * intensify
+		if i <= negateUntil {
+			v = -v
+		}
+		if v > 0 {
+			s.Positive++
+		} else if v < 0 {
+			s.Negative++
+		}
+		total += v
+		weight += intensify
+		intensify = 1.0
+	}
+	if weight > 0 {
+		s.Value = total / weight
+		if s.Value > 1 {
+			s.Value = 1
+		}
+		if s.Value < -1 {
+			s.Value = -1
+		}
+	}
+	return s
+}
+
+// Indicator is a per-category sentiment summary, the unit Section 6's
+// dashboards display.
+type Indicator struct {
+	Category string
+	// Mean is the average comment score in [-1, 1].
+	Mean float64
+	// PositiveShare and NegativeShare are comment fractions by polarity.
+	PositiveShare, NegativeShare float64
+	// N is the number of scored comments.
+	N int
+}
+
+// CategorizedText is a text with its content category, the input to
+// indicator aggregation.
+type CategorizedText struct {
+	Category string
+	Text     string
+}
+
+// Indicators scores all texts and aggregates per category.
+func (a *Analyzer) Indicators(items []CategorizedText) map[string]Indicator {
+	type agg struct {
+		sum      float64
+		pos, neg int
+		n        int
+	}
+	byCat := map[string]*agg{}
+	for _, it := range items {
+		sc := a.Score(it.Text)
+		g := byCat[it.Category]
+		if g == nil {
+			g = &agg{}
+			byCat[it.Category] = g
+		}
+		g.sum += sc.Value
+		switch sc.Polarity() {
+		case 1:
+			g.pos++
+		case -1:
+			g.neg++
+		}
+		g.n++
+	}
+	out := make(map[string]Indicator, len(byCat))
+	for cat, g := range byCat {
+		out[cat] = Indicator{
+			Category:      cat,
+			Mean:          g.sum / float64(g.n),
+			PositiveShare: float64(g.pos) / float64(g.n),
+			NegativeShare: float64(g.neg) / float64(g.n),
+			N:             g.n,
+		}
+	}
+	return out
+}
+
+// SourceSentiment pairs a source's sentiment indicator with its quality
+// score for weighting.
+type SourceSentiment struct {
+	SourceID int
+	Quality  float64
+	Mean     float64
+	N        int
+}
+
+// QualityWeighted combines per-source sentiment means into one overall
+// assessment, weighting each source by its quality score (clamped at 0).
+// It returns 0 for an empty or zero-quality input.
+func QualityWeighted(items []SourceSentiment) float64 {
+	var num, den float64
+	for _, it := range items {
+		q := it.Quality
+		if q < 0 {
+			q = 0
+		}
+		num += q * it.Mean
+		den += q
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,200 @@
+package sentiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/textgen"
+)
+
+func TestScoreBasicPolarity(t *testing.T) {
+	a := NewAnalyzer()
+	if s := a.Score("The hotel was wonderful and the staff friendly."); s.Polarity() != 1 {
+		t.Errorf("positive text scored %v", s)
+	}
+	if s := a.Score("A terrible, overpriced experience."); s.Polarity() != -1 {
+		t.Errorf("negative text scored %v", s)
+	}
+	if s := a.Score("We walked to the station and took a train."); s.Polarity() != 0 {
+		t.Errorf("neutral text scored %v", s)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	a := NewAnalyzer()
+	s := a.Score("")
+	if s.Value != 0 || s.Tokens != 0 || s.Polarity() != 0 {
+		t.Errorf("empty text: %+v", s)
+	}
+}
+
+func TestNegationFlips(t *testing.T) {
+	a := NewAnalyzer()
+	pos := a.Score("The room was wonderful.")
+	neg := a.Score("The room was not wonderful.")
+	if pos.Polarity() != 1 {
+		t.Fatalf("baseline positive failed: %+v", pos)
+	}
+	if neg.Polarity() != -1 {
+		t.Errorf("negated positive should be negative: %+v", neg)
+	}
+	doublePos := a.Score("The food was not terrible.")
+	if doublePos.Polarity() != 1 {
+		t.Errorf("negated negative should be positive: %+v", doublePos)
+	}
+}
+
+func TestNegationWindowBounded(t *testing.T) {
+	a := NewAnalyzer()
+	// Negator far from the opinion word: window (3) exceeded, no flip.
+	s := a.Score("It was not the case that during our long stay everything felt wonderful.")
+	if s.Polarity() != 1 {
+		t.Errorf("out-of-window negation should not flip: %+v", s)
+	}
+}
+
+func TestIntensifierAmplifies(t *testing.T) {
+	a := NewAnalyzer()
+	plain := a.Score("The view was lovely but the metro was dirty and the food was dirty.")
+	boosted := a.Score("The view was extremely lovely but the metro was dirty and the food was dirty.")
+	if !(boosted.Value > plain.Value) {
+		t.Errorf("intensifier should push the mixed score up: %v vs %v", boosted.Value, plain.Value)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	a := NewAnalyzer()
+	s := a.Score("wonderful wonderful wonderful excellent amazing")
+	if s.Value > 1 || s.Value < -1 {
+		t.Errorf("score out of bounds: %v", s.Value)
+	}
+	if s.Positive != 5 || s.Negative != 0 {
+		t.Errorf("counters: %+v", s)
+	}
+}
+
+func TestCustomLexicon(t *testing.T) {
+	l := DefaultLexicon()
+	l.Add("meh", -0.5)
+	a := NewAnalyzerWithLexicon(l)
+	if s := a.Score("it was meh"); s.Polarity() != -1 {
+		t.Errorf("custom word not applied: %+v", s)
+	}
+}
+
+// TestGroundTruthRecovery checks the loop the experiments rely on: text
+// generated with a known polarity is scored back with the right sign most
+// of the time.
+func TestGroundTruthRecovery(t *testing.T) {
+	g := textgen.New(77)
+	a := NewAnalyzer()
+	correct, total := 0, 0
+	for i := 0; i < 200; i++ {
+		for _, pol := range []int{1, -1} {
+			text := g.Comment("place", pol, 3)
+			got := a.Score(text).Polarity()
+			if got == pol {
+				correct++
+			}
+			total++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("ground truth accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestNegatedGroundTruth(t *testing.T) {
+	g := textgen.New(78)
+	a := NewAnalyzer()
+	correct, total := 0, 0
+	for i := 0; i < 100; i++ {
+		// NegatedSentence(cat, +1) writes "not <positive>", i.e. a negative
+		// statement.
+		text := g.NegatedSentence("people", 1)
+		if a.Score(text).Polarity() == -1 {
+			correct++
+		}
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("negation accuracy %.2f", acc)
+	}
+}
+
+func TestIndicators(t *testing.T) {
+	a := NewAnalyzer()
+	items := []CategorizedText{
+		{Category: "place", Text: "The park was wonderful."},
+		{Category: "place", Text: "The square was terrible."},
+		{Category: "place", Text: "The garden was lovely."},
+		{Category: "pulse", Text: "The concert was awful."},
+	}
+	ind := a.Indicators(items)
+	if len(ind) != 2 {
+		t.Fatalf("indicators: %v", ind)
+	}
+	place := ind["place"]
+	if place.N != 3 {
+		t.Errorf("place N = %d", place.N)
+	}
+	if !(place.Mean > 0) {
+		t.Errorf("place mean = %v, want positive", place.Mean)
+	}
+	if math.Abs(place.PositiveShare-2.0/3.0) > 1e-9 {
+		t.Errorf("positive share = %v", place.PositiveShare)
+	}
+	pulse := ind["pulse"]
+	if pulse.Mean >= 0 || pulse.NegativeShare != 1 {
+		t.Errorf("pulse indicator: %+v", pulse)
+	}
+}
+
+func TestQualityWeighted(t *testing.T) {
+	items := []SourceSentiment{
+		{SourceID: 1, Quality: 0.9, Mean: 1},
+		{SourceID: 2, Quality: 0.1, Mean: -1},
+	}
+	got := QualityWeighted(items)
+	want := (0.9 - 0.1) / 1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("weighted = %v, want %v", got, want)
+	}
+	if QualityWeighted(nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	// Negative quality clamps to zero weight.
+	got = QualityWeighted([]SourceSentiment{
+		{Quality: -5, Mean: 1},
+		{Quality: 1, Mean: 0.5},
+	})
+	if got != 0.5 {
+		t.Errorf("clamped = %v, want 0.5", got)
+	}
+	if QualityWeighted([]SourceSentiment{{Quality: 0, Mean: 1}}) != 0 {
+		t.Error("all-zero quality should give 0")
+	}
+}
+
+func TestQualityWeightingChangesVerdict(t *testing.T) {
+	// The paper's motivation: a low-quality source with extreme sentiment
+	// should not dominate. Unweighted mean is negative; quality-weighted
+	// is positive.
+	items := []SourceSentiment{
+		{SourceID: 1, Quality: 0.95, Mean: 0.4, N: 500},
+		{SourceID: 2, Quality: 0.05, Mean: -0.9, N: 20},
+		{SourceID: 3, Quality: 0.05, Mean: -0.9, N: 20},
+	}
+	var unweighted float64
+	for _, it := range items {
+		unweighted += it.Mean
+	}
+	unweighted /= float64(len(items))
+	weighted := QualityWeighted(items)
+	if unweighted >= 0 {
+		t.Fatalf("fixture broken: unweighted = %v", unweighted)
+	}
+	if weighted <= 0 {
+		t.Errorf("quality weighting should rescue the verdict: %v", weighted)
+	}
+}

@@ -1,0 +1,113 @@
+package sentiment
+
+import (
+	"sort"
+	"time"
+
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// TimedText is a text with its category and timestamp, the input to trend
+// analysis.
+type TimedText struct {
+	Category string
+	Text     string
+	Posted   time.Time
+}
+
+// TrendPoint is one time bucket of a sentiment series.
+type TrendPoint struct {
+	Start time.Time
+	Mean  float64
+	N     int
+}
+
+// Trend is the sentiment trajectory of one category: bucketed means plus a
+// fitted linear slope. It implements the early-warning analysis Section 5
+// motivates — "catch hot trends or stop negative sentiment before a
+// large-scale diffusion of the users' opinion".
+type Trend struct {
+	Category string
+	Points   []TrendPoint
+	// Slope is the change of mean sentiment per bucket, from an OLS fit;
+	// SlopePValue is its two-sided significance.
+	Slope       float64
+	SlopePValue float64
+}
+
+// Alert reports whether the trend calls for attention: a significant
+// (p < alpha) negative slope — sentiment deteriorating.
+func (t Trend) Alert(alpha float64) bool {
+	if alpha <= 0 {
+		alpha = 0.05
+	}
+	return t.Slope < 0 && t.SlopePValue < alpha
+}
+
+// Trends buckets the texts per category into windows of the given width
+// and fits a linear trend per category. Categories with fewer than three
+// non-empty buckets get a zero slope with p-value 1 (no evidence either
+// way). Buckets are aligned to the earliest timestamp.
+func (a *Analyzer) Trends(items []TimedText, bucket time.Duration) map[string]Trend {
+	if bucket <= 0 {
+		bucket = 7 * 24 * time.Hour
+	}
+	var origin time.Time
+	for _, it := range items {
+		if origin.IsZero() || it.Posted.Before(origin) {
+			origin = it.Posted
+		}
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	byCat := map[string]map[int]*agg{}
+	for _, it := range items {
+		if it.Posted.IsZero() {
+			continue
+		}
+		b := int(it.Posted.Sub(origin) / bucket)
+		m := byCat[it.Category]
+		if m == nil {
+			m = map[int]*agg{}
+			byCat[it.Category] = m
+		}
+		cell := m[b]
+		if cell == nil {
+			cell = &agg{}
+			m[b] = cell
+		}
+		cell.sum += a.Score(it.Text).Value
+		cell.n++
+	}
+
+	out := map[string]Trend{}
+	for cat, buckets := range byCat {
+		idxs := make([]int, 0, len(buckets))
+		for b := range buckets {
+			idxs = append(idxs, b)
+		}
+		sort.Ints(idxs)
+		tr := Trend{Category: cat, SlopePValue: 1}
+		var xs, ys []float64
+		for _, b := range idxs {
+			cell := buckets[b]
+			tr.Points = append(tr.Points, TrendPoint{
+				Start: origin.Add(time.Duration(b) * bucket),
+				Mean:  cell.sum / float64(cell.n),
+				N:     cell.n,
+			})
+			xs = append(xs, float64(b))
+			ys = append(ys, cell.sum/float64(cell.n))
+		}
+		if len(xs) >= 3 {
+			if slope, p, _, err := stats.SimpleOLS(ys, xs); err == nil {
+				tr.Slope = slope
+				tr.SlopePValue = p
+			}
+		}
+		out[cat] = tr
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package sentiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/textgen"
+)
+
+// declineFixture builds a stream whose "place" sentiment deteriorates week
+// by week while "pulse" stays flat-positive.
+func declineFixture() []TimedText {
+	g := textgen.New(55)
+	start := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	var items []TimedText
+	for week := 0; week < 8; week++ {
+		ts := start.AddDate(0, 0, 7*week)
+		// place: positive share decays with the week.
+		for i := 0; i < 30; i++ {
+			pol := 1
+			if i < week*4 { // growing negative share
+				pol = -1
+			}
+			items = append(items, TimedText{
+				Category: "place",
+				Text:     g.Comment("place", pol, 2),
+				Posted:   ts.Add(time.Duration(i) * time.Hour),
+			})
+		}
+		// pulse: steady positive.
+		for i := 0; i < 20; i++ {
+			items = append(items, TimedText{
+				Category: "pulse",
+				Text:     g.Comment("pulse", 1, 2),
+				Posted:   ts.Add(time.Duration(i) * time.Hour),
+			})
+		}
+	}
+	return items
+}
+
+func TestTrendsDetectDecline(t *testing.T) {
+	a := NewAnalyzer()
+	trends := a.Trends(declineFixture(), 7*24*time.Hour)
+
+	place, ok := trends["place"]
+	if !ok {
+		t.Fatal("no place trend")
+	}
+	if len(place.Points) != 8 {
+		t.Fatalf("place buckets = %d, want 8", len(place.Points))
+	}
+	if place.Slope >= 0 {
+		t.Errorf("place slope = %v, want negative", place.Slope)
+	}
+	if !place.Alert(0.05) {
+		t.Errorf("deteriorating category must alert (slope %v, p %v)", place.Slope, place.SlopePValue)
+	}
+
+	pulse := trends["pulse"]
+	if pulse.Alert(0.05) {
+		t.Errorf("flat positive category must not alert (slope %v, p %v)", pulse.Slope, pulse.SlopePValue)
+	}
+	// First bucket of place is clearly better than the last.
+	if place.Points[0].Mean <= place.Points[len(place.Points)-1].Mean {
+		t.Error("bucket means do not reflect the decline")
+	}
+}
+
+func TestTrendsBucketAssignment(t *testing.T) {
+	a := NewAnalyzer()
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	items := []TimedText{
+		{Category: "x", Text: "wonderful", Posted: start},
+		{Category: "x", Text: "terrible", Posted: start.AddDate(0, 0, 8)}, // next weekly bucket
+	}
+	trends := a.Trends(items, 7*24*time.Hour)
+	x := trends["x"]
+	if len(x.Points) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(x.Points))
+	}
+	if !(x.Points[0].Mean > 0 && x.Points[1].Mean < 0) {
+		t.Errorf("bucket means wrong: %+v", x.Points)
+	}
+	// Two buckets: not enough for a slope; no alert either way.
+	if x.SlopePValue != 1 {
+		t.Errorf("2-bucket p-value = %v, want 1", x.SlopePValue)
+	}
+	if x.Alert(0.05) {
+		t.Error("insufficient evidence must not alert")
+	}
+}
+
+func TestTrendsZeroTimestampSkipped(t *testing.T) {
+	a := NewAnalyzer()
+	items := []TimedText{
+		{Category: "x", Text: "wonderful"}, // zero time: skipped
+		{Category: "x", Text: "lovely", Posted: time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	trends := a.Trends(items, 0) // zero bucket width defaults to a week
+	if got := trends["x"]; len(got.Points) != 1 || got.Points[0].N != 1 {
+		t.Errorf("trend = %+v", got)
+	}
+}
+
+func TestTrendAlertDefaults(t *testing.T) {
+	tr := Trend{Slope: -0.2, SlopePValue: 0.01}
+	if !tr.Alert(0) {
+		t.Error("alpha 0 should default to 0.05")
+	}
+	if (Trend{Slope: 0.2, SlopePValue: 0.001}).Alert(0.05) {
+		t.Error("improving trend must not alert")
+	}
+}

@@ -1,0 +1,246 @@
+package services
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/mashup"
+	"github.com/informing-observers/informer/internal/sentiment"
+)
+
+// RegisterAnalysis adds the remaining Section 5 analysis services to the
+// registry:
+//
+//	category-filter    simple filter on an interesting content category
+//	freshness-filter   keeps comments within a specified time interval
+//	buzzwords          content-based feature extraction (buzz words)
+//	sentiment-trend    per-category sentiment trajectories with alerting
+//
+// Register (services.go) wires them automatically via NewRegistry.
+func RegisterAnalysis(reg *mashup.Registry, env *Env) {
+	reg.MustRegister("category-filter", func(p mashup.Params) (mashup.Component, error) {
+		return newCategoryFilter(p)
+	})
+	reg.MustRegister("freshness-filter", func(p mashup.Params) (mashup.Component, error) {
+		return newFreshnessFilter(p)
+	})
+	reg.MustRegister("buzzwords", func(p mashup.Params) (mashup.Component, error) {
+		return newBuzzwords(env, p), nil
+	})
+	reg.MustRegister("sentiment-trend", func(p mashup.Params) (mashup.Component, error) {
+		return newSentimentTrend(env, p), nil
+	})
+}
+
+// categoryFilter keeps comment items belonging to the given categories —
+// the paper's "an interesting content category" selection criterion.
+// Params: "categories": ["place", ...].
+type categoryFilter struct {
+	allowed map[string]bool
+}
+
+func newCategoryFilter(p mashup.Params) (mashup.Component, error) {
+	cats := p.StringSlice("categories")
+	if len(cats) == 0 {
+		return nil, fmt.Errorf("category-filter: missing categories parameter")
+	}
+	f := &categoryFilter{allowed: map[string]bool{}}
+	for _, c := range cats {
+		f.allowed[c] = true
+	}
+	return f, nil
+}
+
+func (f *categoryFilter) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	var out []mashup.Item
+	for _, it := range in.All() {
+		if cat, _ := it["category"].(string); f.allowed[cat] {
+			out = append(out, it)
+		}
+	}
+	return mashup.Outputs{"out": out}, nil
+}
+
+// freshnessFilter keeps comments posted within a time interval — the
+// paper's "freshness of contents based on a specified time interval".
+// Params: "after" / "before" (RFC 3339) or "last_days" (relative to the
+// newest item in the stream).
+type freshnessFilter struct {
+	after, before time.Time
+	lastDays      float64
+}
+
+func newFreshnessFilter(p mashup.Params) (mashup.Component, error) {
+	f := &freshnessFilter{lastDays: p.Float("last_days", 0)}
+	if s := p.String("after", ""); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return nil, fmt.Errorf("freshness-filter: bad after: %w", err)
+		}
+		f.after = t
+	}
+	if s := p.String("before", ""); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return nil, fmt.Errorf("freshness-filter: bad before: %w", err)
+		}
+		f.before = t
+	}
+	if f.after.IsZero() && f.before.IsZero() && f.lastDays <= 0 {
+		return nil, fmt.Errorf("freshness-filter: provide after, before or last_days")
+	}
+	return f, nil
+}
+
+func itemTime(it mashup.Item) (time.Time, bool) {
+	switch v := it["posted"].(type) {
+	case time.Time:
+		return v, true
+	case string:
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return time.Time{}, false
+		}
+		return t, true
+	default:
+		return time.Time{}, false
+	}
+}
+
+func (f *freshnessFilter) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	items := in.All()
+	after, before := f.after, f.before
+	if f.lastDays > 0 {
+		var newest time.Time
+		for _, it := range items {
+			if ts, ok := itemTime(it); ok && ts.After(newest) {
+				newest = ts
+			}
+		}
+		if !newest.IsZero() {
+			after = newest.Add(-time.Duration(f.lastDays * 24 * float64(time.Hour)))
+		}
+	}
+	var out []mashup.Item
+	for _, it := range items {
+		ts, ok := itemTime(it)
+		if !ok {
+			continue
+		}
+		if !after.IsZero() && ts.Before(after) {
+			continue
+		}
+		if !before.IsZero() && ts.After(before) {
+			continue
+		}
+		out = append(out, it)
+	}
+	return mashup.Outputs{"out": out}, nil
+}
+
+// buzzwords extracts the terms that buzz in the incoming comment stream
+// against the whole corpus as background — the paper's "feature extraction
+// for buzz word identification" analysis service. Emits indicator-shaped
+// items {label, value, fg, bg} on "out".
+// Params: "top" (default 10), "min_count" (default 2).
+type buzzwords struct {
+	env      *Env
+	top      int
+	minCount int
+	bg       *buzz.Counts
+}
+
+func newBuzzwords(env *Env, p mashup.Params) *buzzwords {
+	b := &buzzwords{
+		env:      env,
+		top:      p.Int("top", 10),
+		minCount: p.Int("min_count", 2),
+		bg:       buzz.NewCounts(),
+	}
+	// Background model: every comment in the corpus.
+	for _, s := range env.World.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				b.bg.Add(c.Body)
+			}
+		}
+	}
+	return b
+}
+
+func (b *buzzwords) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	fg := buzz.NewCounts()
+	for _, it := range in.All() {
+		if text, _ := it["text"].(string); text != "" {
+			fg.Add(text)
+		}
+	}
+	var out []mashup.Item
+	for _, term := range buzz.TopTerms(fg, b.bg, b.top, b.minCount) {
+		out = append(out, mashup.Item{
+			"label": term.Word,
+			"title": term.Word,
+			"value": term.Score,
+			"fg":    term.FgCount,
+			"bg":    term.BgCount,
+		})
+	}
+	return mashup.Outputs{"out": out}, nil
+}
+
+// sentimentTrend buckets incoming comments into time windows per category,
+// fits sentiment trends, and emits one item per category with the slope,
+// significance and an "alert" flag — the Section 5 early-warning analysis
+// ("stop negative sentiment before a large-scale diffusion").
+// Params: "bucket_days" (default 7), "alpha" (default 0.05).
+type sentimentTrend struct {
+	env    *Env
+	bucket time.Duration
+	alpha  float64
+}
+
+func newSentimentTrend(env *Env, p mashup.Params) *sentimentTrend {
+	return &sentimentTrend{
+		env:    env,
+		bucket: time.Duration(p.Float("bucket_days", 7) * 24 * float64(time.Hour)),
+		alpha:  p.Float("alpha", 0.05),
+	}
+}
+
+func (s *sentimentTrend) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	var items []sentiment.TimedText
+	for _, it := range in.All() {
+		text, _ := it["text"].(string)
+		cat, _ := it["category"].(string)
+		ts, ok := itemTime(it)
+		if !ok || text == "" {
+			continue
+		}
+		items = append(items, sentiment.TimedText{Category: cat, Text: text, Posted: ts})
+	}
+	trends := s.env.Analyzer.Trends(items, s.bucket)
+	cats := make([]string, 0, len(trends))
+	for cat := range trends {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	var out []mashup.Item
+	for _, cat := range cats {
+		tr := trends[cat]
+		label := cat
+		if label == "" {
+			label = "(off-topic)"
+		}
+		out = append(out, mashup.Item{
+			"label":   label,
+			"title":   label,
+			"value":   tr.Slope,
+			"p":       tr.SlopePValue,
+			"alert":   tr.Alert(s.alpha),
+			"buckets": len(tr.Points),
+		})
+	}
+	return mashup.Outputs{"out": out}, nil
+}

@@ -1,0 +1,231 @@
+package services
+
+import (
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/mashup"
+)
+
+func TestCategoryFilter(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	f, err := reg.New("category-filter", mashup.Params{"categories": []any{"place", "pulse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []mashup.Item{
+		{"category": "place", "title": "a"},
+		{"category": "people", "title": "b"},
+		{"category": "pulse", "title": "c"},
+		{"category": "", "title": "offtopic"},
+	}
+	out, err := f.Process(&mashup.Context{}, mashup.Inputs{"in": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) != 2 {
+		t.Errorf("filtered = %v", out["out"])
+	}
+	if _, err := reg.New("category-filter", mashup.Params{}); err == nil {
+		t.Error("missing categories should fail")
+	}
+}
+
+func TestFreshnessFilterAbsoluteWindow(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	f, err := reg.New("freshness-filter", mashup.Params{
+		"after":  "2011-09-01T00:00:00Z",
+		"before": "2011-09-30T00:00:00Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(day int) mashup.Item {
+		return mashup.Item{"posted": time.Date(2011, 9, day, 12, 0, 0, 0, time.UTC), "title": "x"}
+	}
+	items := []mashup.Item{
+		mk(5), mk(15),
+		{"posted": time.Date(2011, 8, 1, 0, 0, 0, 0, time.UTC)},  // too old
+		{"posted": time.Date(2011, 10, 5, 0, 0, 0, 0, time.UTC)}, // too new
+		{"title": "no timestamp"},
+	}
+	out, err := f.Process(&mashup.Context{}, mashup.Inputs{"in": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) != 2 {
+		t.Errorf("windowed = %d items, want 2", len(out["out"]))
+	}
+}
+
+func TestFreshnessFilterLastDays(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	f, err := reg.New("freshness-filter", mashup.Params{"last_days": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := time.Date(2011, 9, 30, 0, 0, 0, 0, time.UTC)
+	items := []mashup.Item{
+		{"posted": newest},
+		{"posted": newest.AddDate(0, 0, -3)},
+		{"posted": newest.AddDate(0, 0, -10)}, // outside the last 7 days
+	}
+	out, _ := f.Process(&mashup.Context{}, mashup.Inputs{"in": items})
+	if len(out["out"]) != 2 {
+		t.Errorf("last_days = %d items, want 2", len(out["out"]))
+	}
+	// RFC3339 string timestamps also work.
+	out, _ = f.Process(&mashup.Context{}, mashup.Inputs{"in": []mashup.Item{
+		{"posted": "2011-09-29T00:00:00Z"},
+		{"posted": "2011-01-01T00:00:00Z"},
+	}})
+	if len(out["out"]) != 1 {
+		t.Errorf("string timestamps = %d items, want 1", len(out["out"]))
+	}
+}
+
+func TestFreshnessFilterConfigErrors(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	if _, err := reg.New("freshness-filter", mashup.Params{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := reg.New("freshness-filter", mashup.Params{"after": "not-a-time"}); err == nil {
+		t.Error("bad after should fail")
+	}
+	if _, err := reg.New("freshness-filter", mashup.Params{"before": "also-bad"}); err == nil {
+		t.Error("bad before should fail")
+	}
+}
+
+func TestBuzzwordsService(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	bw, err := reg.New("buzzwords", mashup.Params{"top": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foreground: a synthetic stream with an injected buzzing term.
+	var items []mashup.Item
+	for i := 0; i < 40; i++ {
+		items = append(items, mashup.Item{"text": "transport strike chaos near the station"})
+	}
+	out, err := bw.Process(&mashup.Context{}, mashup.Inputs{"in": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) == 0 || len(out["out"]) > 5 {
+		t.Fatalf("buzz terms = %d", len(out["out"]))
+	}
+	found := false
+	for _, it := range out["out"] {
+		if it["label"] == "strike" || it["label"] == "chaos" {
+			found = true
+		}
+		if _, ok := it.Float("value"); !ok {
+			t.Error("buzz item missing score")
+		}
+	}
+	if !found {
+		t.Errorf("injected buzz terms not detected: %v", out["out"])
+	}
+}
+
+func TestBuzzwordsInComposition(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	comp := `{
+	  "name": "buzz-dashboard",
+	  "components": [
+	    {"id": "src", "type": "comments", "params": {"kind": "forum"}},
+	    {"id": "fresh", "type": "freshness-filter", "params": {"last_days": 60}},
+	    {"id": "bw", "type": "buzzwords", "params": {"top": 8}},
+	    {"id": "view", "type": "indicator-viewer", "title": "Buzz"}
+	  ],
+	  "wires": [
+	    {"from": "src.out", "to": "fresh.in"},
+	    {"from": "fresh.out", "to": "bw.in"},
+	    {"from": "bw.out", "to": "view.in"}
+	  ]
+	}`
+	parsed, err := mashup.ParseComposition([]byte(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mashup.NewRuntime(parsed, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The view may legitimately be empty (fresh comments may not buzz
+	// against the whole corpus), but the pipeline must execute cleanly.
+}
+
+func TestSentimentTrendService(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	tr, err := reg.New("sentiment-trend", mashup.Params{"bucket_days": 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := reg.New("comments", nil)
+	all, _ := src.Process(&mashup.Context{}, mashup.Inputs{})
+	out, err := tr.Process(&mashup.Context{}, mashup.Inputs{"in": all["out"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out["out"]) == 0 {
+		t.Fatal("no trend items")
+	}
+	for _, it := range out["out"] {
+		if _, ok := it["label"].(string); !ok {
+			t.Error("trend item missing label")
+		}
+		if _, ok := it.Float("value"); !ok {
+			t.Error("trend item missing slope")
+		}
+		if _, ok := it["alert"].(bool); !ok {
+			t.Error("trend item missing alert flag")
+		}
+		if p, ok := it.Float("p"); !ok || p < 0 || p > 1 {
+			t.Errorf("trend p-value wrong: %v", it["p"])
+		}
+	}
+}
+
+func TestSentimentTrendInComposition(t *testing.T) {
+	env := testEnv(t)
+	reg := NewRegistry(env)
+	comp := `{
+	  "name": "trend-watch",
+	  "components": [
+	    {"id": "src", "type": "comments", "params": {"top_sources": 15}},
+	    {"id": "tr", "type": "sentiment-trend", "params": {"bucket_days": 30}},
+	    {"id": "view", "type": "indicator-viewer", "title": "Sentiment trends"}
+	  ],
+	  "wires": [
+	    {"from": "src.out", "to": "tr.in"},
+	    {"from": "tr.out", "to": "view.in"}
+	  ]
+	}`
+	parsed, err := mashup.ParseComposition([]byte(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mashup.NewRuntime(parsed, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.View("view"); !ok || len(v.Items) == 0 {
+		t.Fatal("trend dashboard empty")
+	}
+}

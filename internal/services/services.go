@@ -1,0 +1,390 @@
+// Package services provides the concrete mashup components of the paper's
+// framework (Section 5): data services wrapping the filtered authoritative
+// sources, quality-based selection services, the influencer filter, and the
+// sentiment analysis service. Together with the generic viewers of
+// internal/mashup they are the building blocks of Figure 1's dashboard.
+//
+// Components share an Env — the assessed world — and register into a
+// mashup.Registry under these type names:
+//
+//	comments           data service emitting comment items from sources
+//	quality-filter     keeps comments from sources above a quality bar
+//	influencer-filter  keeps comments authored by detected influencers;
+//	                   also exposes an "influencers" output port
+//	sentiment          scores comments; exposes an "indicators" port
+package services
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/mashup"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/sentiment"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Env is the assessed world every domain component draws from: the corpus,
+// its analytics panel, the DI, and the derived quality assessments.
+type Env struct {
+	World *webgen.World
+	Panel *analytics.Panel
+	DI    quality.DomainOfInterest
+
+	SourceRecords      []*quality.SourceRecord
+	SourceScores       map[int]float64 // source ID -> overall quality score
+	ContributorRecords []*quality.ContributorRecord
+	Contributors       *quality.ContributorAssessor
+	Analyzer           *sentiment.Analyzer
+}
+
+// NewEnv assesses the world once and returns the shared environment.
+func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInterest) *Env {
+	env := &Env{
+		World:    world,
+		Panel:    panel,
+		DI:       di,
+		Analyzer: sentiment.NewAnalyzer(),
+	}
+	env.SourceRecords = quality.SourceRecordsFromWorld(world, panel)
+	assessor := quality.NewSourceAssessor(env.SourceRecords, di, nil)
+	env.SourceScores = make(map[int]float64, len(env.SourceRecords))
+	for _, r := range env.SourceRecords {
+		env.SourceScores[r.ID] = assessor.Assess(r).Score
+	}
+	env.ContributorRecords = quality.ContributorRecordsFromWorld(world)
+	env.Contributors = quality.NewContributorAssessor(env.ContributorRecords, di, nil)
+	return env
+}
+
+// Register adds all domain component types to the registry.
+func Register(reg *mashup.Registry, env *Env) {
+	reg.MustRegister("comments", func(p mashup.Params) (mashup.Component, error) {
+		return newCommentSource(env, p)
+	})
+	reg.MustRegister("quality-filter", func(p mashup.Params) (mashup.Component, error) {
+		return newQualityFilter(env, p), nil
+	})
+	reg.MustRegister("influencer-filter", func(p mashup.Params) (mashup.Component, error) {
+		return newInfluencerFilter(env, p)
+	})
+	reg.MustRegister("sentiment", func(p mashup.Params) (mashup.Component, error) {
+		return newSentimentService(env, p), nil
+	})
+	RegisterAnalysis(reg, env)
+}
+
+// NewRegistry returns a registry with both the generic builtins and the
+// domain components bound to env.
+func NewRegistry(env *Env) *mashup.Registry {
+	reg := mashup.NewRegistry()
+	mashup.RegisterBuiltins(reg)
+	Register(reg, env)
+	return reg
+}
+
+// commentItem flattens one comment into a mashup item. Field names are the
+// package-wide convention viewers rely on.
+func commentItem(env *Env, src *webgen.Source, d *webgen.Discussion, c *webgen.Comment) mashup.Item {
+	authorName := ""
+	if u := env.World.User(c.UserID); u != nil {
+		authorName = u.Name
+	}
+	it := mashup.Item{
+		"source_id": src.ID,
+		"source":    src.Name,
+		"kind":      src.Kind.String(),
+		"category":  d.Category,
+		"title":     d.Title,
+		"author":    authorName,
+		"author_id": c.UserID,
+		"text":      c.Body,
+		"posted":    c.Posted,
+		"replies":   c.Replies,
+		"feedbacks": c.Feedbacks,
+		"quality":   env.SourceScores[src.ID],
+	}
+	if c.Geo != nil {
+		it["lat"] = c.Geo.Lat
+		it["lon"] = c.Geo.Lon
+	}
+	return it
+}
+
+// commentSource is the data service over the world's comments.
+// Params: "kind" restricts the source kind (e.g. "social-network",
+// "review-site"); "source_ids" lists explicit sources; "top_sources"
+// selects the N best sources by quality within the kind (the paper's
+// "wrappers defined on top of the filtered authoritative sources");
+// "categories" restricts to DI categories; "limit" caps emitted comments.
+type commentSource struct {
+	env   *Env
+	items []mashup.Item
+}
+
+func newCommentSource(env *Env, p mashup.Params) (mashup.Component, error) {
+	kind := p.String("kind", "")
+	ids := map[int]bool{}
+	if raw, ok := p["source_ids"]; ok {
+		switch v := raw.(type) {
+		case []any:
+			for _, e := range v {
+				f, ok := e.(float64)
+				if !ok {
+					return nil, fmt.Errorf("comments: source_ids must be numbers")
+				}
+				ids[int(f)] = true
+			}
+		case []int:
+			for _, e := range v {
+				ids[e] = true
+			}
+		default:
+			return nil, fmt.Errorf("comments: bad source_ids type %T", raw)
+		}
+	}
+	cats := map[string]bool{}
+	for _, c := range p.StringSlice("categories") {
+		cats[c] = true
+	}
+	topSources := p.Int("top_sources", 0)
+	limit := p.Int("limit", 0)
+
+	// Candidate sources: explicit IDs, else by kind (or all).
+	var candidates []*webgen.Source
+	for _, s := range env.World.Sources {
+		if len(ids) > 0 {
+			if ids[s.ID] {
+				candidates = append(candidates, s)
+			}
+			continue
+		}
+		if kind == "" || s.Kind.String() == kind {
+			candidates = append(candidates, s)
+		}
+	}
+	if topSources > 0 {
+		sort.Slice(candidates, func(i, j int) bool {
+			qi, qj := env.SourceScores[candidates[i].ID], env.SourceScores[candidates[j].ID]
+			if qi != qj {
+				return qi > qj
+			}
+			return candidates[i].ID < candidates[j].ID
+		})
+		if len(candidates) > topSources {
+			candidates = candidates[:topSources]
+		}
+	}
+
+	cs := &commentSource{env: env}
+	for _, s := range candidates {
+		for _, d := range s.Discussions {
+			if len(cats) > 0 && !cats[d.Category] {
+				continue
+			}
+			for _, c := range d.Comments {
+				cs.items = append(cs.items, commentItem(env, s, d, c))
+				if limit > 0 && len(cs.items) >= limit {
+					return cs, nil
+				}
+			}
+		}
+	}
+	return cs, nil
+}
+
+func (cs *commentSource) Process(*mashup.Context, mashup.Inputs) (mashup.Outputs, error) {
+	return mashup.Outputs{"out": cs.items}, nil
+}
+
+// qualityFilter keeps comment items whose source quality clears a bar.
+// Params: "min_quality" (float, default 0.5).
+type qualityFilter struct {
+	env *Env
+	min float64
+}
+
+func newQualityFilter(env *Env, p mashup.Params) *qualityFilter {
+	return &qualityFilter{env: env, min: p.Float("min_quality", 0.5)}
+}
+
+func (f *qualityFilter) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	var out []mashup.Item
+	for _, it := range in.All() {
+		if q, ok := it.Float("quality"); ok && q >= f.min {
+			out = append(out, it)
+		}
+	}
+	return mashup.Outputs{"out": out}, nil
+}
+
+// influencerFilter keeps comments authored by the detected influencers and
+// additionally exposes the influencer roster on the "influencers" port —
+// the component at the heart of Figure 1.
+// Params: "top" (default 10), "strategy" ("combined", "by-activity",
+// "by-relative"), "min_interactions".
+type influencerFilter struct {
+	env      *Env
+	topSet   map[int]bool
+	roster   []mashup.Item
+	strategy quality.InfluencerStrategy
+}
+
+func newInfluencerFilter(env *Env, p mashup.Params) (mashup.Component, error) {
+	var strat quality.InfluencerStrategy
+	switch s := p.String("strategy", "combined"); s {
+	case "combined":
+		strat = quality.Combined
+	case "by-activity":
+		strat = quality.ByActivity
+	case "by-relative":
+		strat = quality.ByRelative
+	default:
+		return nil, fmt.Errorf("influencer-filter: unknown strategy %q", s)
+	}
+	f := &influencerFilter{env: env, topSet: map[int]bool{}, strategy: strat}
+	infs := quality.Influencers(env.Contributors, env.ContributorRecords, quality.InfluencerOptions{
+		Strategy:        strat,
+		TopK:            p.Int("top", 10),
+		MinInteractions: p.Int("min_interactions", 0),
+	})
+	for _, inf := range infs {
+		f.topSet[inf.Record.ID] = true
+		item := mashup.Item{
+			"author_id": inf.Record.ID,
+			"name":      inf.Record.Name,
+			"title":     inf.Record.Name,
+			"score":     inf.InfluenceScore,
+		}
+		if lat, lon, ok := lastGeo(env, inf.Record.ID); ok {
+			item["lat"] = lat
+			item["lon"] = lon
+		}
+		f.roster = append(f.roster, item)
+	}
+	return f, nil
+}
+
+// lastGeo finds the most recent geo-tagged comment of a user, giving the
+// influencer a map location as in Figure 1.
+func lastGeo(env *Env, userID int) (lat, lon float64, ok bool) {
+	var best *webgen.Comment
+	for _, s := range env.World.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				if c.UserID != userID || c.Geo == nil {
+					continue
+				}
+				if best == nil || c.Posted.After(best.Posted) {
+					best = c
+				}
+			}
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.Geo.Lat, best.Geo.Lon, true
+}
+
+func (f *influencerFilter) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	var out []mashup.Item
+	for _, it := range in.All() {
+		id, ok := it.Float("author_id")
+		if ok && f.topSet[int(id)] {
+			out = append(out, it)
+		}
+	}
+	return mashup.Outputs{"out": out, "influencers": f.roster}, nil
+}
+
+// sentimentService scores each comment item (adding "sentiment" and
+// "polarity" fields) and aggregates per-category indicators on the
+// "indicators" port. When "weigh_by_quality" is true (default), indicator
+// values are source-quality-weighted per Section 6.
+type sentimentService struct {
+	env            *Env
+	weighByQuality bool
+}
+
+func newSentimentService(env *Env, p mashup.Params) *sentimentService {
+	weigh := true
+	if b, ok := p["weigh_by_quality"].(bool); ok {
+		weigh = b
+	}
+	return &sentimentService{env: env, weighByQuality: weigh}
+}
+
+func (s *sentimentService) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
+	items := in.All()
+	scored := make([]mashup.Item, 0, len(items))
+	// Per category and source: accumulate for weighting.
+	type cell struct {
+		sum float64
+		n   int
+	}
+	byCatSource := map[string]map[int]*cell{}
+	for _, it := range items {
+		text, _ := it["text"].(string)
+		sc := s.env.Analyzer.Score(text)
+		out := it.Clone()
+		out["sentiment"] = sc.Value
+		out["polarity"] = sc.Polarity()
+		scored = append(scored, out)
+
+		cat, _ := it["category"].(string)
+		sid := -1
+		if f, ok := it.Float("source_id"); ok {
+			sid = int(f)
+		}
+		m := byCatSource[cat]
+		if m == nil {
+			m = map[int]*cell{}
+			byCatSource[cat] = m
+		}
+		c := m[sid]
+		if c == nil {
+			c = &cell{}
+			m[sid] = c
+		}
+		c.sum += sc.Value
+		c.n++
+	}
+
+	cats := make([]string, 0, len(byCatSource))
+	for cat := range byCatSource {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	var indicators []mashup.Item
+	for _, cat := range cats {
+		var entries []sentiment.SourceSentiment
+		total := 0
+		for sid, c := range byCatSource[cat] {
+			qual := 1.0
+			if s.weighByQuality {
+				if q, ok := s.env.SourceScores[sid]; ok {
+					qual = q
+				}
+			}
+			entries = append(entries, sentiment.SourceSentiment{
+				SourceID: sid,
+				Quality:  qual,
+				Mean:     c.sum / float64(c.n),
+				N:        c.n,
+			})
+			total += c.n
+		}
+		label := cat
+		if label == "" {
+			label = "(off-topic)"
+		}
+		indicators = append(indicators, mashup.Item{
+			"label": label,
+			"value": sentiment.QualityWeighted(entries),
+			"n":     total,
+		})
+	}
+	return mashup.Outputs{"out": scored, "indicators": indicators}, nil
+}

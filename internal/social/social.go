@@ -1,0 +1,336 @@
+// Package social simulates the microblog dataset behind the contributors'
+// quality validation (Section 4.2, Table 4): the Twitaholic list of the 813
+// most influential London Twitter accounts, hand-annotated as people,
+// brands, or news sources. This is substitution S5 in DESIGN.md.
+//
+// The generator encodes the class behaviours the paper attributes to each
+// account kind rather than the test outcomes themselves:
+//
+//   - news feeds publish constantly and their stories are mass-retweeted;
+//   - people tweet as much as news accounts and attract conversational
+//     replies (mentions); a small celebrity minority tweets rarely but
+//     attracts enormous reaction volumes — the ratio outliers that make
+//     *relative* interaction measures statistically indistinguishable
+//     across classes ("even sources that have higher absolute volumes do
+//     not have the ability to spread all content");
+//   - brands interact least.
+//
+// Counts are heavy-tailed lognormals with a zero-inflation floor, matching
+// the paper's descriptives (minimum 0, maximum ~84 000, about 4 orders of
+// magnitude between the most and least connected users).
+package social
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Kind is the annotated account type of Table 4.
+type Kind int
+
+const (
+	People Kind = iota
+	Brand
+	News
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case People:
+		return "people"
+	case Brand:
+		return "brand"
+	case News:
+		return "news"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all account kinds in display order.
+func Kinds() []Kind { return []Kind{People, Brand, News} }
+
+// Tweet is one post in an account's stream (generated only when
+// Config.Tweets is set).
+type Tweet struct {
+	ID        int
+	Posted    time.Time
+	Retweets  int
+	Replies   int
+	Geo       bool // whether the tweet is geo-tagged
+	Lat, Lon  float64
+	Sentiment int // ground-truth polarity -1/0/+1, for dashboard demos
+}
+
+// Account is one microblog user.
+type Account struct {
+	ID        int
+	Handle    string
+	Kind      Kind
+	Location  string
+	Joined    time.Time
+	Celebrity bool
+	Followers int
+	// Interactions is the number of generated tweets, including retweets
+	// the account itself makes — the paper's activity notion for Twitter.
+	Interactions int
+	// MentionsReceived is the number of replies received from others
+	// (the paper's "absolute mentions").
+	MentionsReceived int
+	// RetweetsReceived is the number of feedbacks received (the paper's
+	// "absolute retweets").
+	RetweetsReceived int
+	// Tweets is the per-post stream; nil unless Config.Tweets.
+	Tweets []Tweet
+}
+
+// RelativeMentions is the average number of replies received per generated
+// tweet (the paper's "relative mentions"). Zero-activity accounts yield 0.
+func (a *Account) RelativeMentions() float64 {
+	if a.Interactions == 0 {
+		return 0
+	}
+	return float64(a.MentionsReceived) / float64(a.Interactions)
+}
+
+// RelativeRetweets is the average number of feedbacks received per
+// generated tweet (the paper's "relative retweets").
+func (a *Account) RelativeRetweets() float64 {
+	if a.Interactions == 0 {
+		return 0
+	}
+	return float64(a.RetweetsReceived) / float64(a.Interactions)
+}
+
+// Dataset is the annotated account collection.
+type Dataset struct {
+	Accounts []*Account
+}
+
+// Config controls dataset generation.
+type Config struct {
+	Seed int64
+	// NumAccounts defaults to 813, the Twitaholic sample size.
+	NumAccounts int
+	// PeopleShare and BrandShare partition accounts (news gets the rest).
+	// Defaults: 60% people, 20% brand, 20% news.
+	PeopleShare, BrandShare float64
+	// CelebrityRate is the fraction of people accounts with celebrity
+	// behaviour (default 3%).
+	CelebrityRate float64
+	// Tweets materialises per-post streams (capped at MaxTweetsPerAccount)
+	// in addition to the aggregate counters.
+	Tweets              bool
+	MaxTweetsPerAccount int
+	// Location labels accounts; defaults to "london".
+	Location string
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumAccounts == 0 {
+		c.NumAccounts = 813
+	}
+	if c.PeopleShare == 0 {
+		c.PeopleShare = 0.60
+	}
+	if c.BrandShare == 0 {
+		c.BrandShare = 0.20
+	}
+	if c.CelebrityRate == 0 {
+		c.CelebrityRate = 0.05
+	}
+	if c.MaxTweetsPerAccount == 0 {
+		c.MaxTweetsPerAccount = 400
+	}
+	if c.Location == "" {
+		c.Location = "london"
+	}
+	return c
+}
+
+// classParams hold the lognormal location parameters (log scale) per kind.
+// Sigmas are shared so class differences come from the locations; the
+// celebrity mixture supplies the cross-class ratio outliers.
+type classParams struct {
+	muInteractions float64
+	muMentions     float64
+	muRetweets     float64
+}
+
+var params = map[Kind]classParams{
+	// People tweet like news accounts, attract the most replies, and are
+	// retweeted modestly. (The location is slightly above News' to offset
+	// the celebrity minority, which tweets rarely.)
+	People: {muInteractions: 6.15, muMentions: 5.8, muRetweets: 4.7},
+	// Brands are the least interactive on every axis.
+	Brand: {muInteractions: 5.1, muMentions: 5.3, muRetweets: 4.9},
+	// News sources tweet constantly and are mass-retweeted, but attract
+	// few conversational replies.
+	News: {muInteractions: 6.1, muMentions: 5.4, muRetweets: 7.9},
+}
+
+const (
+	sigmaInteractions = 1.3
+	sigmaMentions     = 0.9
+	sigmaRetweets     = 1.15
+	zeroInflation     = 0.04
+
+	// Celebrity mixture: rare posters with enormous reaction volumes.
+	celebMuInteractions = 3.2
+	celebMuReactions    = 8.4
+)
+
+// Generate builds the annotated dataset.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	base := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+
+	for i := 0; i < cfg.NumAccounts; i++ {
+		var kind Kind
+		switch r := rng.Float64(); {
+		case r < cfg.PeopleShare:
+			kind = People
+		case r < cfg.PeopleShare+cfg.BrandShare:
+			kind = Brand
+		default:
+			kind = News
+		}
+		p := params[kind]
+		a := &Account{
+			ID:       i,
+			Handle:   fmt.Sprintf("@%s_%s_%03d", kind, cfg.Location, i),
+			Kind:     kind,
+			Location: cfg.Location,
+			Joined:   base.AddDate(0, 0, -(30 + rng.Intn(1500))),
+		}
+
+		if kind == People && rng.Float64() < cfg.CelebrityRate {
+			// Celebrity: rarely tweets, reactions are enormous.
+			a.Celebrity = true
+			a.Interactions = drawCount(rng, celebMuInteractions, 1.0, 0)
+			a.MentionsReceived = drawCount(rng, celebMuReactions, 0.9, zeroInflation)
+			a.RetweetsReceived = drawCount(rng, celebMuReactions, 0.9, zeroInflation)
+		} else {
+			a.Interactions = drawCount(rng, p.muInteractions, sigmaInteractions, 0.01)
+			a.MentionsReceived = drawCount(rng, p.muMentions, sigmaMentions, zeroInflation)
+			a.RetweetsReceived = drawCount(rng, p.muRetweets, sigmaRetweets, zeroInflation)
+		}
+		a.Followers = drawCount(rng, 8.0+0.5*float64(boolToInt(kind == News || a.Celebrity)), 1.4, 0)
+
+		if cfg.Tweets {
+			a.Tweets = genTweets(rng, a, cfg, base)
+		}
+		ds.Accounts = append(ds.Accounts, a)
+	}
+	return ds
+}
+
+// drawCount samples a zero-inflated lognormal count capped at 90 000,
+// keeping the corpus within the descriptive range the paper reports.
+func drawCount(rng *rand.Rand, mu, sigma, zeroRate float64) int {
+	if rng.Float64() < zeroRate {
+		return 0
+	}
+	v := math.Exp(mu + sigma*rng.NormFloat64())
+	if v > 90000 {
+		v = 90000
+	}
+	return int(math.Round(v))
+}
+
+// genTweets materialises a per-post stream consistent with the aggregate
+// counters: tweet-level retweet/reply counts sum (approximately) to the
+// account totals, with the heavy concentration on a few posts that the
+// paper highlights.
+func genTweets(rng *rand.Rand, a *Account, cfg Config, end time.Time) []Tweet {
+	n := a.Interactions
+	if n > cfg.MaxTweetsPerAccount {
+		n = cfg.MaxTweetsPerAccount
+	}
+	if n == 0 {
+		return nil
+	}
+	tweets := make([]Tweet, n)
+	// Distribute total reactions over tweets with Zipf-like concentration.
+	wRetweets := make([]float64, n)
+	wReplies := make([]float64, n)
+	var sumRT, sumRep float64
+	for i := range tweets {
+		wRetweets[i] = math.Pow(rng.Float64(), 3) // cubing concentrates mass
+		wReplies[i] = math.Pow(rng.Float64(), 2)
+		sumRT += wRetweets[i]
+		sumRep += wReplies[i]
+	}
+	span := end.Sub(a.Joined)
+	for i := range tweets {
+		rt, rep := 0, 0
+		if sumRT > 0 {
+			rt = int(float64(a.RetweetsReceived) * wRetweets[i] / sumRT)
+		}
+		if sumRep > 0 {
+			rep = int(float64(a.MentionsReceived) * wReplies[i] / sumRep)
+		}
+		tweets[i] = Tweet{
+			ID:       a.ID*1_000_000 + i,
+			Posted:   a.Joined.Add(time.Duration(rng.Float64() * float64(span))),
+			Retweets: rt,
+			Replies:  rep,
+		}
+		if rng.Float64() < 0.25 {
+			tweets[i].Geo = true
+			tweets[i].Lat = 51.5074 + 0.08*rng.NormFloat64()
+			tweets[i].Lon = -0.1278 + 0.12*rng.NormFloat64()
+		}
+		switch r := rng.Float64(); {
+		case r < 0.40:
+			tweets[i].Sentiment = 1
+		case r < 0.72:
+			tweets[i].Sentiment = 0
+		default:
+			tweets[i].Sentiment = -1
+		}
+	}
+	return tweets
+}
+
+// ByKind partitions accounts per kind, preserving order.
+func (d *Dataset) ByKind() map[Kind][]*Account {
+	out := map[Kind][]*Account{}
+	for _, a := range d.Accounts {
+		out[a.Kind] = append(out[a.Kind], a)
+	}
+	return out
+}
+
+// MeasureVectors extracts the five Table 4 measures grouped by kind, in
+// Kinds() order: interactions, absolute mentions, absolute retweets,
+// relative mentions, relative retweets.
+func (d *Dataset) MeasureVectors() map[string]map[Kind][]float64 {
+	out := map[string]map[Kind][]float64{
+		"interactions":      {},
+		"absolute_mentions": {},
+		"absolute_retweets": {},
+		"relative_mentions": {},
+		"relative_retweets": {},
+	}
+	for _, a := range d.Accounts {
+		out["interactions"][a.Kind] = append(out["interactions"][a.Kind], float64(a.Interactions))
+		out["absolute_mentions"][a.Kind] = append(out["absolute_mentions"][a.Kind], float64(a.MentionsReceived))
+		out["absolute_retweets"][a.Kind] = append(out["absolute_retweets"][a.Kind], float64(a.RetweetsReceived))
+		out["relative_mentions"][a.Kind] = append(out["relative_mentions"][a.Kind], a.RelativeMentions())
+		out["relative_retweets"][a.Kind] = append(out["relative_retweets"][a.Kind], a.RelativeRetweets())
+	}
+	return out
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

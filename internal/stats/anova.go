@@ -1,0 +1,181 @@
+package stats
+
+import "math"
+
+// ANOVA holds the result of a one-way analysis of variance across groups,
+// the omnibus test behind Table 4.
+type ANOVA struct {
+	FStat      float64
+	PValue     float64
+	DFBetween  int
+	DFWithin   int
+	GrandMean  float64
+	GroupMeans []float64
+	GroupNs    []int
+	// MSWithin is the pooled within-group mean square, reused by the
+	// Bonferroni pairwise comparisons.
+	MSWithin float64
+}
+
+// OneWayANOVA tests whether the group means differ. Groups with fewer than
+// one observation are rejected; at least two groups with two total degrees
+// of freedom are required.
+func OneWayANOVA(groups [][]float64) (*ANOVA, error) {
+	k := len(groups)
+	if k < 2 {
+		return nil, ErrInsufficientData
+	}
+	n := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			return nil, ErrInsufficientData
+		}
+		n += len(g)
+	}
+	if n <= k {
+		return nil, ErrInsufficientData
+	}
+
+	var grandSum float64
+	for _, g := range groups {
+		grandSum += Sum(g)
+	}
+	grandMean := grandSum / float64(n)
+
+	var ssBetween, ssWithin float64
+	means := make([]float64, k)
+	ns := make([]int, k)
+	for i, g := range groups {
+		m := Mean(g)
+		means[i] = m
+		ns[i] = len(g)
+		d := m - grandMean
+		ssBetween += float64(len(g)) * d * d
+		for _, x := range g {
+			e := x - m
+			ssWithin += e * e
+		}
+	}
+
+	dfB := k - 1
+	dfW := n - k
+	msB := ssBetween / float64(dfB)
+	msW := ssWithin / float64(dfW)
+
+	var f, p float64
+	if msW > 0 {
+		f = msB / msW
+		p = FTestPValue(f, float64(dfB), float64(dfW))
+	} else if msB > 0 {
+		f = math.Inf(1)
+		p = 0
+	} else {
+		p = 1
+	}
+
+	return &ANOVA{
+		FStat:      f,
+		PValue:     p,
+		DFBetween:  dfB,
+		DFWithin:   dfW,
+		GrandMean:  grandMean,
+		GroupMeans: means,
+		GroupNs:    ns,
+		MSWithin:   msW,
+	}, nil
+}
+
+// PairwiseComparison is one Bonferroni-corrected post-hoc comparison between
+// two groups, reported in the style of Table 4: the sign of the mean
+// difference and whether it is significant after correction.
+type PairwiseComparison struct {
+	GroupA, GroupB int
+	MeanDiff       float64
+	TStat          float64
+	// PValue is the Bonferroni-adjusted two-sided p-value (raw p times the
+	// number of comparisons, capped at 1), matching SPSS's Bonferroni table
+	// that the paper reports (note its "sig = 1.000" cells).
+	PValue float64
+	// Significant is PValue < alpha (alpha fixed at 0.05, the paper's
+	// threshold: "values greater than 0.050 indicate that the two
+	// categories have the same mean").
+	Significant bool
+}
+
+// Direction renders the comparison the way Table 4 does: "> 0", "< 0" or
+// "= 0" depending on significance and sign.
+func (c PairwiseComparison) Direction() string {
+	if !c.Significant {
+		return "= 0"
+	}
+	if c.MeanDiff > 0 {
+		return "> 0"
+	}
+	return "< 0"
+}
+
+// Bonferroni performs all pairwise post-hoc comparisons after a one-way
+// ANOVA using the pooled within-group variance, with Bonferroni correction
+// for the number of comparisons.
+func Bonferroni(groups [][]float64) ([]PairwiseComparison, error) {
+	a, err := OneWayANOVA(groups)
+	if err != nil {
+		return nil, err
+	}
+	k := len(groups)
+	nComp := k * (k - 1) / 2
+	out := make([]PairwiseComparison, 0, nComp)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			diff := a.GroupMeans[i] - a.GroupMeans[j]
+			se := math.Sqrt(a.MSWithin * (1/float64(a.GroupNs[i]) + 1/float64(a.GroupNs[j])))
+			var t, p float64
+			if se > 0 {
+				t = diff / se
+				p = TTestPValue(t, float64(a.DFWithin)) * float64(nComp)
+				if p > 1 {
+					p = 1
+				}
+			} else if diff != 0 {
+				t = math.Inf(1)
+				p = 0
+			} else {
+				p = 1
+			}
+			out = append(out, PairwiseComparison{
+				GroupA:      i,
+				GroupB:      j,
+				MeanDiff:    diff,
+				TStat:       t,
+				PValue:      p,
+				Significant: p < 0.05,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WelchTTest performs a two-sample t test with unequal variances (Welch).
+// It is provided for robustness checks alongside the pooled-variance
+// Bonferroni procedure.
+func WelchTTest(a, b []float64) (t, p float64, err error) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return 0, 1, nil
+		}
+		return math.Inf(1), 0, nil
+	}
+	t = (ma - mb) / se
+	// Welch–Satterthwaite degrees of freedom.
+	num := (va/na + vb/nb) * (va/na + vb/nb)
+	den := (va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1))
+	df := num / den
+	return t, TTestPValue(t, df), nil
+}

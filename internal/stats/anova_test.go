@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func normalGroup(rng *rand.Rand, n int, mean, sd float64) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = mean + sd*rng.NormFloat64()
+	}
+	return g
+}
+
+func TestANOVADetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	groups := [][]float64{
+		normalGroup(rng, 100, 0, 1),
+		normalGroup(rng, 100, 1, 1),
+		normalGroup(rng, 100, 2, 1),
+	}
+	a, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue > 1e-6 {
+		t.Errorf("ANOVA missed a strong effect: p = %v", a.PValue)
+	}
+	if a.DFBetween != 2 || a.DFWithin != 297 {
+		t.Errorf("df = (%d, %d), want (2, 297)", a.DFBetween, a.DFWithin)
+	}
+}
+
+func TestANOVANullNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	groups := [][]float64{
+		normalGroup(rng, 80, 5, 2),
+		normalGroup(rng, 80, 5, 2),
+		normalGroup(rng, 80, 5, 2),
+	}
+	a, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue < 0.001 {
+		t.Errorf("false positive under the null: p = %v", a.PValue)
+	}
+}
+
+func TestANOVAErrors(t *testing.T) {
+	if _, err := OneWayANOVA([][]float64{{1, 2}}); err != ErrInsufficientData {
+		t.Error("one group must fail")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {}}); err != ErrInsufficientData {
+		t.Error("empty group must fail")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err != ErrInsufficientData {
+		t.Error("n <= k must fail")
+	}
+}
+
+func TestANOVAConstantGroups(t *testing.T) {
+	// Zero within-variance, different means: infinite F, p = 0.
+	a, err := OneWayANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue != 0 {
+		t.Errorf("p = %v, want 0", a.PValue)
+	}
+	// Identical constants: p = 1.
+	a, err = OneWayANOVA([][]float64{{3, 3}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PValue != 1 {
+		t.Errorf("p = %v, want 1", a.PValue)
+	}
+}
+
+func TestBonferroniPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	// Group 0 and 1 equal; group 2 much larger.
+	groups := [][]float64{
+		normalGroup(rng, 120, 0, 1),
+		normalGroup(rng, 120, 0.05, 1),
+		normalGroup(rng, 120, 3, 1),
+	}
+	comps, err := Bonferroni(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("got %d comparisons, want 3", len(comps))
+	}
+	byPair := map[[2]int]PairwiseComparison{}
+	for _, c := range comps {
+		byPair[[2]int{c.GroupA, c.GroupB}] = c
+	}
+	if c := byPair[[2]int{0, 1}]; c.Significant {
+		t.Errorf("0 vs 1 should be n.s., p = %v", c.PValue)
+	}
+	if c := byPair[[2]int{0, 2}]; !c.Significant || c.MeanDiff > 0 {
+		t.Errorf("0 vs 2 should be significant negative: %+v", c)
+	}
+	if c := byPair[[2]int{1, 2}]; !c.Significant {
+		t.Errorf("1 vs 2 should be significant: %+v", c)
+	}
+}
+
+func TestPairwiseDirection(t *testing.T) {
+	c := PairwiseComparison{MeanDiff: 2, Significant: true}
+	if c.Direction() != "> 0" {
+		t.Errorf("Direction = %q", c.Direction())
+	}
+	c = PairwiseComparison{MeanDiff: -2, Significant: true}
+	if c.Direction() != "< 0" {
+		t.Errorf("Direction = %q", c.Direction())
+	}
+	c = PairwiseComparison{MeanDiff: 2, Significant: false}
+	if c.Direction() != "= 0" {
+		t.Errorf("Direction = %q", c.Direction())
+	}
+}
+
+func TestBonferroniMoreConservativeThanRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	groups := [][]float64{
+		normalGroup(rng, 40, 0, 1),
+		normalGroup(rng, 40, 0.5, 1),
+		normalGroup(rng, 40, 1, 1),
+	}
+	comps, err := Bonferroni(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjusted p must be >= the raw pooled-t p-value (x3 capped at 1).
+	a, _ := OneWayANOVA(groups)
+	for _, c := range comps {
+		se := c.MeanDiff / c.TStat
+		_ = se
+		raw := TTestPValue(c.TStat, float64(a.DFWithin))
+		if c.PValue < raw-1e-12 {
+			t.Errorf("adjusted p %v < raw p %v", c.PValue, raw)
+		}
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	a := normalGroup(rng, 100, 0, 1)
+	b := normalGroup(rng, 100, 2, 3)
+	tt, p, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt >= 0 {
+		t.Errorf("t = %v, want negative", tt)
+	}
+	if p > 1e-4 {
+		t.Errorf("p = %v, want significant", p)
+	}
+	// Identical constant samples.
+	_, p, err = WelchTTest([]float64{1, 1, 1}, []float64{1, 1, 1})
+	if err != nil || p != 1 {
+		t.Errorf("constant equal samples: p = %v err = %v", p, err)
+	}
+	if _, _, err := WelchTTest([]float64{1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Error("want insufficient data")
+	}
+}

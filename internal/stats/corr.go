@@ -1,0 +1,154 @@
+package stats
+
+import "math"
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples xs and ys. It returns 0 when either sample has zero
+// variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrDimensionMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation coefficient, i.e. the
+// Pearson correlation of the fractional ranks of xs and ys.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrDimensionMismatch
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// KendallTau returns the Kendall tau-b rank correlation coefficient of the
+// paired samples xs and ys. Tau-b corrects for ties in either sample, which
+// matters here because quality measures over top-20 search results routinely
+// tie. The implementation is the direct O(n^2) pair scan; the samples in the
+// paper's experiment are 20 items per query, so quadratic cost is irrelevant
+// and the simple form keeps the tie handling transparent.
+func KendallTau(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrDimensionMismatch
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	var concordant, discordant float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			if dx == 0 || dy == 0 {
+				continue // tied pairs are handled by the denominator correction
+			}
+			if dx*dy > 0 {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	denom := math.Sqrt((n0 - tiedPairs(xs)) * (n0 - tiedPairs(ys)))
+	if denom == 0 {
+		return 0, nil
+	}
+	return (concordant - discordant) / denom, nil
+}
+
+// tiedPairs returns sum over tie groups of t*(t-1)/2 for the sample, the
+// tie correction term of tau-b.
+func tiedPairs(xs []float64) float64 {
+	counts := make(map[float64]int, len(xs))
+	for _, x := range xs {
+		counts[x]++
+	}
+	var total float64
+	for _, c := range counts {
+		if c > 1 {
+			total += float64(c*(c-1)) / 2
+		}
+	}
+	return total
+}
+
+// KendallDistance returns the number of discordant pairs between two
+// rankings expressed as position slices (xs[i] is the rank of item i under
+// the first ranking, ys[i] under the second). This is the unnormalised
+// Kendall tau distance.
+func KendallDistance(xs, ys []float64) (int, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrDimensionMismatch
+	}
+	n := len(xs)
+	d := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (xs[i]-xs[j])*(ys[i]-ys[j]) < 0 {
+				d++
+			}
+		}
+	}
+	return d, nil
+}
+
+// CorrelationMatrix returns the p x p Pearson correlation matrix of the
+// columns of data (n rows x p columns).
+func CorrelationMatrix(data *Matrix) (*Matrix, error) {
+	p := data.Cols
+	out := NewMatrix(p, p)
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = data.Col(j)
+	}
+	for i := 0; i < p; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < p; j++ {
+			r, err := Pearson(cols[i], cols[j])
+			if err != nil {
+				return nil, err
+			}
+			out.Set(i, j, r)
+			out.Set(j, i, r)
+		}
+	}
+	return out, nil
+}
+
+// CovarianceMatrix returns the p x p sample covariance matrix of the columns
+// of data.
+func CovarianceMatrix(data *Matrix) (*Matrix, error) {
+	p := data.Cols
+	out := NewMatrix(p, p)
+	cols := make([][]float64, p)
+	for j := 0; j < p; j++ {
+		cols[j] = data.Col(j)
+	}
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			c, err := Covariance(cols[i], cols[j])
+			if err != nil {
+				return nil, err
+			}
+			out.Set(i, j, c)
+			out.Set(j, i, c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Errorf("Pearson const = (%v, %v), want (0, nil)", r, err)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone transform gives Spearman 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestKendallTauKnown(t *testing.T) {
+	// Classic example: one discordant pair among 4 items.
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 4, 3}
+	tau, err := KendallTau(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 concordant, 1 discordant, no ties: tau = 4/6.
+	if !almostEqual(tau, 4.0/6.0, 1e-12) {
+		t.Errorf("tau = %v, want %v", tau, 4.0/6.0)
+	}
+}
+
+func TestKendallTauPerfectAndReversed(t *testing.T) {
+	xs := []float64{3, 1, 4, 1.5, 9, 2.6}
+	tau, _ := KendallTau(xs, xs)
+	if !almostEqual(tau, 1, 1e-12) {
+		t.Errorf("tau(x,x) = %v, want 1", tau)
+	}
+	rev := make([]float64, len(xs))
+	for i, x := range xs {
+		rev[i] = -x
+	}
+	tau, _ = KendallTau(xs, rev)
+	if !almostEqual(tau, -1, 1e-12) {
+		t.Errorf("tau(x,-x) = %v, want -1", tau)
+	}
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// With ties, tau-b stays within [-1, 1] and handles the correction.
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{1, 2, 1, 2}
+	tau, err := KendallTau(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(tau, 0, 1e-12) {
+		t.Errorf("tau = %v, want 0", tau)
+	}
+}
+
+// Property: tau in [-1, 1], symmetric in its arguments, invariant under
+// strictly increasing transforms.
+func TestKendallTauProperties(t *testing.T) {
+	f := func(pairs [][2]float64) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.Abs(p[0]) > 1e100 || math.Abs(p[1]) > 1e100 {
+				return true // avoid overflow in the affine transform below
+			}
+			xs[i], ys[i] = p[0], p[1]
+		}
+		t1, err1 := KendallTau(xs, ys)
+		t2, err2 := KendallTau(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if t1 < -1-1e-9 || t1 > 1+1e-9 {
+			return false
+		}
+		if !almostEqual(t1, t2, 1e-12) {
+			return false
+		}
+		// Monotone transform of xs: tau unchanged.
+		tx := make([]float64, len(xs))
+		for i, x := range xs {
+			tx[i] = 3*x + 1
+		}
+		t3, _ := KendallTau(tx, ys)
+		return almostEqual(t1, t3, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKendallDistance(t *testing.T) {
+	// Identical rankings: 0 discordant pairs.
+	d, err := KendallDistance([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || d != 0 {
+		t.Errorf("distance = %v, %v; want 0, nil", d, err)
+	}
+	// Fully reversed: n(n-1)/2.
+	d, _ = KendallDistance([]float64{1, 2, 3, 4}, []float64{4, 3, 2, 1})
+	if d != 6 {
+		t.Errorf("reversed distance = %v, want 6", d)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	data := NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		data.Set(i, 0, x)
+		data.Set(i, 1, x+0.1*rng.NormFloat64()) // strongly correlated with col 0
+		data.Set(i, 2, rng.NormFloat64())       // independent
+	}
+	c, err := CorrelationMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 1 || c.At(1, 1) != 1 {
+		t.Error("diagonal must be 1")
+	}
+	if c.At(0, 1) < 0.9 {
+		t.Errorf("corr(0,1) = %v, want > 0.9", c.At(0, 1))
+	}
+	if math.Abs(c.At(0, 2)) > 0.25 {
+		t.Errorf("corr(0,2) = %v, want ~0", c.At(0, 2))
+	}
+	if c.At(0, 1) != c.At(1, 0) {
+		t.Error("correlation matrix must be symmetric")
+	}
+}
+
+func TestCovarianceMatrixSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := NewMatrix(50, 4)
+	for i := range data.Data {
+		data.Data[i] = rng.NormFloat64()
+	}
+	c, err := CovarianceMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsSymmetric(1e-12) {
+		t.Error("covariance matrix must be symmetric")
+	}
+	for j := 0; j < 4; j++ {
+		if c.At(j, j) < 0 {
+			t.Error("variance cannot be negative")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.9750021},
+		{-1.96, 0.0249979},
+		{3, 0.9986501},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); !almostEqual(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p=0")
+		}
+	}()
+	NormalQuantile(0)
+}
+
+func TestIncompleteBetaBounds(t *testing.T) {
+	if got := RegularizedIncompleteBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := RegularizedIncompleteBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegularizedIncompleteBeta(1, 1, x); !almostEqual(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	got := RegularizedIncompleteBeta(2.5, 4.5, 0.3)
+	sym := 1 - RegularizedIncompleteBeta(4.5, 2.5, 0.7)
+	if !almostEqual(got, sym, 1e-12) {
+		t.Errorf("symmetry violated: %v vs %v", got, sym)
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// With df -> large, t CDF approaches normal CDF.
+	if got := StudentTCDF(1.96, 1e6); !almostEqual(got, 0.975, 1e-3) {
+		t.Errorf("t CDF large df = %v, want ~0.975", got)
+	}
+	// t distribution with df=1 is Cauchy: CDF(1) = 0.75.
+	if got := StudentTCDF(1, 1); !almostEqual(got, 0.75, 1e-9) {
+		t.Errorf("Cauchy CDF(1) = %v, want 0.75", got)
+	}
+	if got := StudentTCDF(0, 5); got != 0.5 {
+		t.Errorf("t CDF(0) = %v, want 0.5", got)
+	}
+	// Critical value check: P(T <= 2.776) ~ 0.975 for df=4.
+	if got := StudentTCDF(2.776, 4); !almostEqual(got, 0.975, 5e-4) {
+		t.Errorf("t CDF(2.776, 4) = %v, want ~0.975", got)
+	}
+}
+
+func TestTTestPValue(t *testing.T) {
+	// |t| = 2.776 with df = 4 gives p ~ 0.05.
+	if got := TTestPValue(2.776, 4); !almostEqual(got, 0.05, 1e-3) {
+		t.Errorf("p = %v, want ~0.05", got)
+	}
+	if got := TTestPValue(-2.776, 4); !almostEqual(got, 0.05, 1e-3) {
+		t.Errorf("p should be symmetric in t; got %v", got)
+	}
+	if got := TTestPValue(0, 10); got != 1 {
+		t.Errorf("p(t=0) = %v, want 1", got)
+	}
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// F(1, d2) is the square of a t(d2) variable: P(F <= q^2) = 2*P(T<=q)-1.
+	q := 2.0
+	want := 2*StudentTCDF(q, 7) - 1
+	if got := FCDF(q*q, 1, 7); !almostEqual(got, want, 1e-9) {
+		t.Errorf("FCDF = %v, want %v", got, want)
+	}
+	if got := FCDF(0, 3, 9); got != 0 {
+		t.Errorf("FCDF(0) = %v, want 0", got)
+	}
+	// Critical value: F(0.95; 3, 10) ~ 3.708.
+	if got := FCDF(3.708, 3, 10); !almostEqual(got, 0.95, 1e-3) {
+		t.Errorf("FCDF(3.708;3,10) = %v, want ~0.95", got)
+	}
+}
+
+func TestCDFMonotonicityProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x1 := math.Abs(math.Mod(a, 1))
+		x2 := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return true
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		// CDFs must be monotone nondecreasing.
+		return RegularizedIncompleteBeta(2, 5, x1) <= RegularizedIncompleteBeta(2, 5, x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		t1 := math.Mod(a, 50)
+		t2 := math.Mod(b, 50)
+		if math.IsNaN(t1) || math.IsNaN(t2) {
+			return true
+		}
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return StudentTCDF(t1, 8) <= StudentTCDF(t2, 8)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

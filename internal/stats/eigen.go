@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is the
+// i-th eigenvalue (descending) and Vectors column i is the corresponding
+// unit eigenvector.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // n x n, column i pairs with Values[i]
+}
+
+// EigenSymmetric computes the eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. Jacobi is exact enough and perfectly
+// stable for the small (p <= ~30) correlation matrices produced by the
+// factor analysis of Table 3.
+func EigenSymmetric(a *Matrix) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimensionMismatch
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-13 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation to rows/cols p and q of m.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		vec []float64
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: m.At(i, i), vec: v.Col(i)}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+
+	out := &Eigen{Values: make([]float64, n), Vectors: NewMatrix(n, n)}
+	for i, p := range pairs {
+		out.Values[i] = p.val
+		// Sign convention: make the largest-magnitude component positive so
+		// eigenvectors are reproducible across runs.
+		maxAbs, sign := 0.0, 1.0
+		for _, x := range p.vec {
+			if math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+				if x < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			out.Vectors.Set(k, i, sign*p.vec[k])
+		}
+	}
+	return out, nil
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenDiagonal(t *testing.T) {
+	a := MatrixFromRows([][]float64{{3, 0}, {0, 1}})
+	e, err := EigenSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-10) || !almostEqual(e.Values[1], 1, 1e-10) {
+		t.Errorf("eigenvalues = %v", e.Values)
+	}
+}
+
+func TestEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := EigenSymmetric(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-10) || !almostEqual(e.Values[1], 1, 1e-10) {
+		t.Errorf("eigenvalues = %v", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2).
+	v0 := e.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-8) {
+		t.Errorf("eigenvector = %v", v0)
+	}
+}
+
+func TestEigenNonSquare(t *testing.T) {
+	if _, err := EigenSymmetric(NewMatrix(2, 3)); err != ErrDimensionMismatch {
+		t.Error("expected dimension mismatch")
+	}
+}
+
+// Property: A v = lambda v, eigenvectors orthonormal, trace preserved.
+func TestEigenReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Random symmetric matrix.
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e, err := EigenSymmetric(a)
+		if err != nil {
+			return false
+		}
+		// Trace = sum of eigenvalues.
+		var trace, sumEig float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sumEig += e.Values[i]
+		}
+		if !almostEqual(trace, sumEig, 1e-8) {
+			return false
+		}
+		// A v_i = lambda_i v_i.
+		for i := 0; i < n; i++ {
+			v := e.Vectors.Col(i)
+			av, _ := a.MulVec(v)
+			for k := 0; k < n; k++ {
+				if !almostEqual(av[k], e.Values[i]*v[k], 1e-7) {
+					return false
+				}
+			}
+		}
+		// Orthonormality.
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var dot float64
+				for k := 0; k < n; k++ {
+					dot += e.Vectors.At(k, i) * e.Vectors.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEqual(dot, want, 1e-8) {
+					return false
+				}
+			}
+		}
+		// Sorted descending.
+		for i := 1; i < n; i++ {
+			if e.Values[i] > e.Values[i-1]+1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Fatal("Set wrong")
+	}
+	r := m.Row(1)
+	r[0] = 99 // must not alias
+	if m.At(1, 0) == 99 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Col(0)
+	if c[0] != 9 || c[1] != 3 {
+		t.Errorf("Col = %v", c)
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want.Data)
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err != ErrDimensionMismatch {
+		t.Error("expected dimension mismatch")
+	}
+}
+
+func TestMatrixMulIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		p, err := m.Mul(Identity(n))
+		if err != nil {
+			return false
+		}
+		for i := range m.Data {
+			if !almostEqual(p.Data[i], m.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := m.T().T()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("T(T(m)) != m")
+		}
+	}
+	if m.T().Rows != 3 || m.T().Cols != 2 {
+		t.Error("transpose shape wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+	if _, err := m.MulVec([]float64{1}); err != ErrDimensionMismatch {
+		t.Error("expected mismatch")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}})
+	b := MatrixFromRows([][]float64{{3, 4}})
+	s, _ := a.Add(b)
+	if s.At(0, 0) != 4 || s.At(0, 1) != 6 {
+		t.Error("Add wrong")
+	}
+	d, _ := b.Sub(a)
+	if d.At(0, 0) != 2 || d.At(0, 1) != 2 {
+		t.Error("Sub wrong")
+	}
+	sc := a.Clone().Scale(10)
+	if sc.At(0, 1) != 20 {
+		t.Error("Scale wrong")
+	}
+	if a.At(0, 1) != 2 {
+		t.Error("Scale must not mutate the clone source")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = [[4,1],[1,3]], b = [1, 2] -> x = [1/11, 7/11].
+	a := MatrixFromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolveSPD(a, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1.0/11, 1e-12) || !almostEqual(x[1], 7.0/11, 1e-12) {
+		t.Errorf("SolveSPD = %v", x)
+	}
+}
+
+func TestSolveSPDNotPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := SolveSPD(a, []float64{1, 1}); err == nil {
+		t.Error("expected error for singular matrix")
+	}
+}
+
+func TestInvertSPDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		// Build SPD matrix as G G^T + n*I.
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = rng.NormFloat64()
+		}
+		gt := g.T()
+		a, _ := g.Mul(gt)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		inv, err := InvertSPD(a)
+		if err != nil {
+			return false
+		}
+		prod, _ := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEqual(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !Identity(3).IsSymmetric(0) {
+		t.Error("identity must be symmetric")
+	}
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(0) {
+		t.Error("non-square cannot be symmetric")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	s := MatrixFromRows([][]float64{{1, 2}}).String()
+	if s == "" || math.IsNaN(1) {
+		t.Error("String should render something")
+	}
+}
+
+func TestMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ragged rows")
+		}
+	}()
+	MatrixFromRows([][]float64{{1, 2}, {3}})
+}

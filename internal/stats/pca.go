@@ -1,0 +1,191 @@
+package stats
+
+import "math"
+
+// FactorAnalysis holds the output of a principal-component factor analysis
+// as used to build Table 3: measures (columns of the input matrix) are
+// reduced to a small number of components, and each measure is assigned to
+// the component on which it loads most heavily.
+type FactorAnalysis struct {
+	// Eigenvalues of the correlation matrix, descending.
+	Eigenvalues []float64
+	// Loadings is a p x k matrix: Loadings[i][j] is the (rotated) loading of
+	// measure i on component j.
+	Loadings *Matrix
+	// Scores is an n x k matrix of component scores for each observation,
+	// computed from standardized data and rotated loadings.
+	Scores *Matrix
+	// Assignment[i] is the component index (0..k-1) on which measure i has
+	// its largest absolute loading.
+	Assignment []int
+	// ExplainedVariance[j] is the proportion of total variance explained by
+	// component j (before rotation).
+	ExplainedVariance []float64
+}
+
+// PCAOptions configures PrincipalComponents.
+type PCAOptions struct {
+	// Components is the number of components to retain. If zero, the Kaiser
+	// criterion (eigenvalue > 1) is applied.
+	Components int
+	// Varimax applies varimax rotation to the retained loadings, which is
+	// the standard way to make principal-component "factors" interpretable
+	// (each measure loads on one component), matching the paper's use of
+	// factor analysis "based on the principal component technique".
+	Varimax bool
+}
+
+// PrincipalComponents performs a principal-component factor analysis of the
+// columns of data (n observations x p measures). Columns are standardized,
+// the correlation matrix is eigendecomposed, the first k components are
+// retained and optionally varimax-rotated.
+func PrincipalComponents(data *Matrix, opts PCAOptions) (*FactorAnalysis, error) {
+	n, p := data.Rows, data.Cols
+	if n < 3 || p < 2 {
+		return nil, ErrInsufficientData
+	}
+
+	// Standardize columns.
+	std := NewMatrix(n, p)
+	for j := 0; j < p; j++ {
+		col := Standardize(data.Col(j))
+		for i := 0; i < n; i++ {
+			std.Set(i, j, col[i])
+		}
+	}
+
+	corr, err := CorrelationMatrix(std)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := EigenSymmetric(corr)
+	if err != nil {
+		return nil, err
+	}
+
+	k := opts.Components
+	if k <= 0 {
+		for _, v := range eig.Values {
+			if v > 1 {
+				k++
+			}
+		}
+		if k == 0 {
+			k = 1
+		}
+	}
+	if k > p {
+		k = p
+	}
+
+	// Loadings: eigenvector scaled by sqrt(eigenvalue).
+	loadings := NewMatrix(p, k)
+	for j := 0; j < k; j++ {
+		scale := math.Sqrt(math.Max(eig.Values[j], 0))
+		for i := 0; i < p; i++ {
+			loadings.Set(i, j, eig.Vectors.At(i, j)*scale)
+		}
+	}
+	if opts.Varimax && k > 1 {
+		loadings = varimax(loadings)
+	}
+
+	total := float64(p)
+	explained := make([]float64, k)
+	for j := 0; j < k; j++ {
+		explained[j] = math.Max(eig.Values[j], 0) / total
+	}
+
+	// Component scores: regression-style scores std * loadings * (L^T L)^-1
+	// reduce to std * loadings for orthogonal loadings; we use the simple
+	// projection which is sufficient for the downstream regressions.
+	scores, err := std.Mul(loadings)
+	if err != nil {
+		return nil, err
+	}
+
+	assignment := make([]int, p)
+	for i := 0; i < p; i++ {
+		best, bestAbs := 0, -1.0
+		for j := 0; j < k; j++ {
+			if a := math.Abs(loadings.At(i, j)); a > bestAbs {
+				bestAbs = a
+				best = j
+			}
+		}
+		assignment[i] = best
+	}
+
+	return &FactorAnalysis{
+		Eigenvalues:       eig.Values,
+		Loadings:          loadings,
+		Scores:            scores,
+		Assignment:        assignment,
+		ExplainedVariance: explained,
+	}, nil
+}
+
+// varimax applies the classic varimax rotation (Kaiser 1958) by iterating
+// pairwise plane rotations until the varimax criterion stops improving.
+func varimax(loadings *Matrix) *Matrix {
+	p, k := loadings.Rows, loadings.Cols
+	l := loadings.Clone()
+	const maxIter = 100
+	prev := varimaxCriterion(l)
+	for iter := 0; iter < maxIter; iter++ {
+		for a := 0; a < k-1; a++ {
+			for b := a + 1; b < k; b++ {
+				rotatePairVarimax(l, a, b, p)
+			}
+		}
+		cur := varimaxCriterion(l)
+		if cur-prev < 1e-10 {
+			break
+		}
+		prev = cur
+	}
+	return l
+}
+
+// rotatePairVarimax finds the optimal rotation angle for columns a and b
+// and applies it in place.
+func rotatePairVarimax(l *Matrix, a, b, p int) {
+	var u, v, num, den float64
+	for i := 0; i < p; i++ {
+		x, y := l.At(i, a), l.At(i, b)
+		ui := x*x - y*y
+		vi := 2 * x * y
+		u += ui
+		v += vi
+		num += ui*ui - vi*vi
+		den += 2 * ui * vi
+	}
+	fp := float64(p)
+	numer := den - 2*u*v/fp
+	denom := num - (u*u-v*v)/fp
+	if numer == 0 && denom == 0 {
+		return
+	}
+	phi := 0.25 * math.Atan2(numer, denom)
+	c, s := math.Cos(phi), math.Sin(phi)
+	for i := 0; i < p; i++ {
+		x, y := l.At(i, a), l.At(i, b)
+		l.Set(i, a, c*x+s*y)
+		l.Set(i, b, -s*x+c*y)
+	}
+}
+
+func varimaxCriterion(l *Matrix) float64 {
+	p, k := l.Rows, l.Cols
+	var total float64
+	for j := 0; j < k; j++ {
+		var s2, s4 float64
+		for i := 0; i < p; i++ {
+			x2 := l.At(i, j) * l.At(i, j)
+			s2 += x2
+			s4 += x2 * x2
+		}
+		total += s4 - s2*s2/float64(p)
+	}
+	return total
+}

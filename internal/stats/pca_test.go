@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// makeLatentData builds n observations of p measures driven by k latent
+// factors with noise: measure j belongs to factor j % k.
+func makeLatentData(n, p, k int, noise float64, seed int64) (*Matrix, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]int, p)
+	data := NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		factors := make([]float64, k)
+		for f := range factors {
+			factors[f] = rng.NormFloat64()
+		}
+		for j := 0; j < p; j++ {
+			f := j % k
+			truth[j] = f
+			data.Set(i, j, factors[f]+noise*rng.NormFloat64())
+		}
+	}
+	return data, truth
+}
+
+func TestPCARecoverLatentStructure(t *testing.T) {
+	data, truth := makeLatentData(500, 9, 3, 0.4, 11)
+	fa, err := PrincipalComponents(data, PCAOptions{Components: 3, Varimax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measures with the same latent factor must be assigned to the same
+	// component, and different factors to different components.
+	compOf := map[int]int{}
+	for j := 0; j < 9; j++ {
+		f := truth[j]
+		if c, ok := compOf[f]; ok {
+			if fa.Assignment[j] != c {
+				t.Errorf("measure %d (factor %d) assigned to component %d, want %d",
+					j, f, fa.Assignment[j], c)
+			}
+		} else {
+			compOf[f] = fa.Assignment[j]
+		}
+	}
+	if len(compOf) != 3 {
+		t.Errorf("expected 3 distinct components, factor->component = %v", compOf)
+	}
+}
+
+func TestPCAKaiserCriterion(t *testing.T) {
+	data, _ := makeLatentData(400, 8, 2, 0.3, 5)
+	fa, err := PrincipalComponents(data, PCAOptions{}) // Components = 0 -> Kaiser
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fa.Loadings.Cols; got != 2 {
+		t.Errorf("Kaiser retained %d components, want 2 (eigenvalues %v)", got, fa.Eigenvalues)
+	}
+}
+
+func TestPCAExplainedVariance(t *testing.T) {
+	data, _ := makeLatentData(300, 6, 3, 0.5, 7)
+	fa, err := PrincipalComponents(data, PCAOptions{Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range fa.ExplainedVariance {
+		if v < 0 || v > 1 {
+			t.Errorf("explained variance %v out of range", v)
+		}
+		total += v
+	}
+	if total <= 0 || total > 1+1e-9 {
+		t.Errorf("total explained = %v", total)
+	}
+	// Three strong latent factors should explain most variance.
+	if total < 0.7 {
+		t.Errorf("3 components explain only %v, want > 0.7", total)
+	}
+}
+
+func TestPCAScoresShape(t *testing.T) {
+	data, _ := makeLatentData(100, 5, 2, 0.5, 9)
+	fa, err := PrincipalComponents(data, PCAOptions{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Scores.Rows != 100 || fa.Scores.Cols != 2 {
+		t.Errorf("scores shape = %dx%d, want 100x2", fa.Scores.Rows, fa.Scores.Cols)
+	}
+	// Scores of the first component correlate with the data's dominant
+	// direction: nonzero variance at minimum.
+	if Variance(fa.Scores.Col(0)) == 0 {
+		t.Error("component scores are constant")
+	}
+}
+
+func TestPCAInsufficientData(t *testing.T) {
+	if _, err := PrincipalComponents(NewMatrix(2, 5), PCAOptions{}); err != ErrInsufficientData {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := PrincipalComponents(NewMatrix(10, 1), PCAOptions{}); err != ErrInsufficientData {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestPCAComponentsCapped(t *testing.T) {
+	data, _ := makeLatentData(50, 4, 2, 0.5, 13)
+	fa, err := PrincipalComponents(data, PCAOptions{Components: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Loadings.Cols != 4 {
+		t.Errorf("components = %d, want capped at 4", fa.Loadings.Cols)
+	}
+}
+
+func TestVarimaxImprovesSimplicity(t *testing.T) {
+	data, _ := makeLatentData(400, 9, 3, 0.4, 17)
+	plain, err := PrincipalComponents(data, PCAOptions{Components: 3, Varimax: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := PrincipalComponents(data, PCAOptions{Components: 3, Varimax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if varimaxCriterion(rotated.Loadings) < varimaxCriterion(plain.Loadings)-1e-9 {
+		t.Error("varimax must not decrease the varimax criterion")
+	}
+}

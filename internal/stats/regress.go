@@ -1,0 +1,149 @@
+package stats
+
+import "math"
+
+// Regression holds a fitted ordinary least-squares model y = X b + e with an
+// intercept in coefficient 0.
+type Regression struct {
+	// Coefficients[0] is the intercept; Coefficients[i] pairs with
+	// predictor column i-1.
+	Coefficients []float64
+	// StdErrors[i] is the standard error of Coefficients[i].
+	StdErrors []float64
+	// TStats[i] = Coefficients[i] / StdErrors[i].
+	TStats []float64
+	// PValues[i] is the two-sided p-value of TStats[i] with n-k-1 degrees
+	// of freedom.
+	PValues []float64
+	// R2 and AdjustedR2 are the (adjusted) coefficients of determination.
+	R2, AdjustedR2 float64
+	// FStat and FPValue test the joint significance of all predictors.
+	FStat, FPValue float64
+	// DF is the residual degrees of freedom, n - k - 1.
+	DF int
+	// Residuals are y - X b.
+	Residuals []float64
+}
+
+// OLS fits y = b0 + b1*x1 + ... + bk*xk by ordinary least squares, where
+// predictors holds the design matrix without the intercept column
+// (n rows x k columns). It returns coefficient estimates with standard
+// errors, t statistics and two-sided p-values — the regression apparatus
+// behind Table 3's "relation with Google" column.
+func OLS(y []float64, predictors *Matrix) (*Regression, error) {
+	n := len(y)
+	if predictors.Rows != n {
+		return nil, ErrDimensionMismatch
+	}
+	k := predictors.Cols
+	if n < k+2 {
+		return nil, ErrInsufficientData
+	}
+
+	// Design matrix with intercept.
+	x := NewMatrix(n, k+1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		for j := 0; j < k; j++ {
+			x.Set(i, j+1, predictors.At(i, j))
+		}
+	}
+
+	xt := x.T()
+	xtx, err := xt.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	xty, err := xt.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	coef, err := SolveSPD(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residuals and sums of squares.
+	fitted, err := x.MulVec(coef)
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, n)
+	meanY := Mean(y)
+	var sse, sst float64
+	for i := 0; i < n; i++ {
+		resid[i] = y[i] - fitted[i]
+		sse += resid[i] * resid[i]
+		d := y[i] - meanY
+		sst += d * d
+	}
+	df := n - k - 1
+	sigma2 := sse / float64(df)
+
+	inv, err := InvertSPD(xtx)
+	if err != nil {
+		return nil, err
+	}
+	stderrs := make([]float64, k+1)
+	tstats := make([]float64, k+1)
+	pvals := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		se := math.Sqrt(sigma2 * inv.At(i, i))
+		stderrs[i] = se
+		switch {
+		case se > 0:
+			tstats[i] = coef[i] / se
+			pvals[i] = TTestPValue(tstats[i], float64(df))
+		case coef[i] != 0:
+			// Perfect fit: a nonzero coefficient with zero residual
+			// variance is infinitely significant.
+			tstats[i] = math.Inf(1)
+			pvals[i] = 0
+		default:
+			pvals[i] = 1
+		}
+	}
+
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	}
+	adjR2 := 1 - (1-r2)*float64(n-1)/float64(df)
+
+	var fstat, fp float64
+	if k > 0 && sse > 0 {
+		ssr := sst - sse
+		fstat = (ssr / float64(k)) / sigma2
+		fp = FTestPValue(fstat, float64(k), float64(df))
+	}
+
+	return &Regression{
+		Coefficients: coef,
+		StdErrors:    stderrs,
+		TStats:       tstats,
+		PValues:      pvals,
+		R2:           r2,
+		AdjustedR2:   adjR2,
+		FStat:        fstat,
+		FPValue:      fp,
+		DF:           df,
+		Residuals:    resid,
+	}, nil
+}
+
+// SimpleOLS fits y = a + b*x and returns the slope, its p-value and the R².
+// It is a convenience wrapper used by single-predictor validation checks.
+func SimpleOLS(y, x []float64) (slope, pValue, r2 float64, err error) {
+	if len(y) != len(x) {
+		return 0, 0, 0, ErrDimensionMismatch
+	}
+	m := NewMatrix(len(x), 1)
+	for i, v := range x {
+		m.Set(i, 0, v)
+	}
+	reg, err := OLS(y, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return reg.Coefficients[1], reg.PValues[1], reg.R2, nil
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 500
+	x := NewMatrix(n, 2)
+	y := make([]float64, n)
+	// y = 3 + 2*x1 - 1.5*x2 + eps
+	for i := 0; i < n; i++ {
+		x1 := rng.NormFloat64()
+		x2 := rng.NormFloat64()
+		x.Set(i, 0, x1)
+		x.Set(i, 1, x2)
+		y[i] = 3 + 2*x1 - 1.5*x2 + 0.2*rng.NormFloat64()
+	}
+	reg, err := OLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(reg.Coefficients[0], 3, 0.05) {
+		t.Errorf("intercept = %v, want ~3", reg.Coefficients[0])
+	}
+	if !almostEqual(reg.Coefficients[1], 2, 0.05) {
+		t.Errorf("b1 = %v, want ~2", reg.Coefficients[1])
+	}
+	if !almostEqual(reg.Coefficients[2], -1.5, 0.05) {
+		t.Errorf("b2 = %v, want ~-1.5", reg.Coefficients[2])
+	}
+	if reg.PValues[1] > 1e-6 || reg.PValues[2] > 1e-6 {
+		t.Errorf("strong effects should be significant: p = %v", reg.PValues)
+	}
+	if reg.R2 < 0.95 {
+		t.Errorf("R2 = %v, want > 0.95", reg.R2)
+	}
+	if reg.FPValue > 1e-6 {
+		t.Errorf("F test should reject: p = %v", reg.FPValue)
+	}
+}
+
+func TestOLSNullPredictorNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 300
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		y[i] = rng.NormFloat64() // independent of x
+	}
+	reg, err := OLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.PValues[1] < 0.001 {
+		t.Errorf("independent predictor spuriously significant: p = %v", reg.PValues[1])
+	}
+	if reg.R2 > 0.1 {
+		t.Errorf("R2 = %v for pure noise", reg.R2)
+	}
+}
+
+func TestOLSDimensionErrors(t *testing.T) {
+	if _, err := OLS([]float64{1, 2}, NewMatrix(3, 1)); err != ErrDimensionMismatch {
+		t.Errorf("want mismatch, got %v", err)
+	}
+	if _, err := OLS([]float64{1, 2}, NewMatrix(2, 5)); err != ErrInsufficientData {
+		t.Errorf("want insufficient, got %v", err)
+	}
+}
+
+func TestOLSResidualsOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 200
+	x := NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64()
+		x.Set(i, 0, v)
+		y[i] = 1 + v + rng.NormFloat64()
+	}
+	reg, err := OLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residuals sum to ~0 and are orthogonal to the predictor.
+	if !almostEqual(Sum(reg.Residuals), 0, 1e-8) {
+		t.Errorf("residual sum = %v", Sum(reg.Residuals))
+	}
+	var dot float64
+	for i := 0; i < n; i++ {
+		dot += reg.Residuals[i] * x.At(i, 0)
+	}
+	if !almostEqual(dot, 0, 1e-8) {
+		t.Errorf("residuals not orthogonal to predictor: %v", dot)
+	}
+}
+
+func TestSimpleOLS(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 10 - 2*v
+	}
+	slope, p, r2, err := SimpleOLS(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(slope, -2, 1e-9) {
+		t.Errorf("slope = %v, want -2", slope)
+	}
+	if p > 1e-9 {
+		t.Errorf("p = %v, want ~0", p)
+	}
+	if !almostEqual(r2, 1, 1e-9) {
+		t.Errorf("r2 = %v, want 1", r2)
+	}
+	if _, _, _, err := SimpleOLS(y, x[:3]); err != ErrDimensionMismatch {
+		t.Error("want dimension mismatch")
+	}
+}

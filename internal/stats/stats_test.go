@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanAndSum(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := Mean([]float64{2, 4, 6, 8}); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopVariance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+	if got := Median(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q is clamped.
+	if got := Quantile(xs, -1); got != 1 {
+		t.Errorf("Quantile(-1) = %v, want 1", got)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := Standardize(xs)
+	if !almostEqual(Mean(z), 0, 1e-12) {
+		t.Errorf("standardized mean = %v, want 0", Mean(z))
+	}
+	if !almostEqual(StdDev(z), 1, 1e-12) {
+		t.Errorf("standardized sd = %v, want 1", StdDev(z))
+	}
+	// Constant column: centred, not scaled, no NaNs.
+	z = Standardize([]float64{7, 7, 7})
+	for _, v := range z {
+		if v != 0 {
+			t.Errorf("constant column standardize = %v, want 0", v)
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksPropertyPermutationOfOneToN(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		r := Ranks(xs)
+		// Rank sum must equal n(n+1)/2 regardless of ties.
+		n := float64(len(xs))
+		return almostEqual(Sum(r), n*(n+1)/2, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	c, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 2*Variance(xs), 1e-12) {
+		t.Errorf("Covariance = %v, want %v", c, 2*Variance(xs))
+	}
+	if _, err := Covariance(xs, ys[:2]); err != ErrDimensionMismatch {
+		t.Errorf("want dimension mismatch, got %v", err)
+	}
+	if _, err := Covariance([]float64{1}, []float64{1}); err != ErrInsufficientData {
+		t.Errorf("want insufficient data, got %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{1, 2, 3, 4, 5})
+	if d.N != 5 || d.Mean != 3 || d.Min != 1 || d.Max != 5 || d.Median != 3 {
+		t.Errorf("unexpected Describe: %+v", d)
+	}
+	if (Summarize(nil) != Describe{}) {
+		t.Error("Summarize(nil) should be zero value")
+	}
+}
+
+func TestSummarizeMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	d := Summarize(xs)
+	if !almostEqual(d.Mean, 10, 0.5) {
+		t.Errorf("mean = %v, want ~10", d.Mean)
+	}
+	if !almostEqual(d.StdDev, 3, 0.5) {
+		t.Errorf("sd = %v, want ~3", d.StdDev)
+	}
+}

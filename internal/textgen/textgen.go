@@ -1,0 +1,238 @@
+// Package textgen synthesizes deterministic, category-topical English-like
+// text for the synthetic Web 2.0 corpus. The generated comments carry
+// controllable sentiment polarity by drawing from positive/negative opinion
+// lexica that the sentiment analyzer (internal/sentiment) also understands,
+// so end-to-end sentiment experiments have a known ground truth.
+package textgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Category names follow the Anholt competitive-identity model the paper
+// adopts for its tourism Domain of Interest (footnote 2 of the paper).
+var AnholtCategories = []string{
+	"presence", "place", "potential", "pulse", "people", "prerequisites",
+}
+
+// categoryTerms are topic words that mark a sentence as belonging to a
+// content category. The crawler-side relevance measures detect categories
+// by these markers.
+var categoryTerms = map[string][]string{
+	"presence":      {"reputation", "landmark", "fame", "icon", "skyline", "cathedral", "duomo", "museum"},
+	"place":         {"park", "square", "district", "architecture", "street", "garden", "canal", "piazza"},
+	"potential":     {"business", "startup", "investment", "conference", "expo", "university", "opportunity", "job"},
+	"pulse":         {"nightlife", "concert", "festival", "fashion", "event", "gallery", "aperitivo", "show"},
+	"people":        {"locals", "hospitality", "community", "guide", "crowd", "staff", "waiter", "host"},
+	"prerequisites": {"hotel", "transport", "metro", "airport", "taxi", "wifi", "accommodation", "restaurant"},
+}
+
+var positiveWords = []string{
+	"wonderful", "excellent", "amazing", "great", "lovely", "fantastic",
+	"charming", "delightful", "superb", "friendly", "clean", "beautiful",
+	"impressive", "outstanding", "pleasant", "memorable", "stunning", "perfect",
+}
+
+var negativeWords = []string{
+	"terrible", "awful", "disappointing", "dirty", "overpriced", "rude",
+	"crowded", "noisy", "mediocre", "poor", "horrible", "unpleasant",
+	"chaotic", "bland", "unfriendly", "dreadful", "shabby", "broken",
+}
+
+var neutralAdjectives = []string{
+	"large", "small", "old", "new", "central", "typical", "famous", "local",
+	"modern", "historic", "busy", "quiet",
+}
+
+var commonNouns = []string{
+	"visit", "trip", "experience", "tour", "stay", "walk", "afternoon",
+	"morning", "weekend", "evening", "day", "view",
+}
+
+var commonVerbs = []string{
+	"visited", "enjoyed", "explored", "discovered", "recommended", "booked",
+	"found", "tried", "loved", "reviewed", "described", "compared",
+}
+
+var connectives = []string{
+	"and", "but", "while", "although", "because", "so",
+}
+
+var intensifiers = []string{"very", "really", "quite", "extremely", "rather"}
+
+var negators = []string{"not", "never", "hardly"}
+
+// Generator produces deterministic text from its own random stream.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a Generator seeded with the given seed.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewFromRand returns a Generator drawing from an existing random stream.
+func NewFromRand(rng *rand.Rand) *Generator { return &Generator{rng: rng} }
+
+// Categories returns the list of known content categories.
+func Categories() []string {
+	return append([]string(nil), AnholtCategories...)
+}
+
+// CategoryTerms returns the topical marker words of a category (nil for an
+// unknown category).
+func CategoryTerms(category string) []string {
+	terms := categoryTerms[category]
+	return append([]string(nil), terms...)
+}
+
+// PositiveWords and NegativeWords expose copies of the opinion lexica so the
+// sentiment package can share ground truth with the generator.
+func PositiveWords() []string { return append([]string(nil), positiveWords...) }
+
+// NegativeWords returns a copy of the negative opinion lexicon.
+func NegativeWords() []string { return append([]string(nil), negativeWords...) }
+
+// Intensifiers returns a copy of the intensifier list.
+func Intensifiers() []string { return append([]string(nil), intensifiers...) }
+
+// Negators returns a copy of the negator list.
+func Negators() []string { return append([]string(nil), negators...) }
+
+func (g *Generator) pick(words []string) string {
+	return words[g.rng.Intn(len(words))]
+}
+
+// topicTerm returns a marker word for the category, falling back to a
+// common noun when the category is unknown.
+func (g *Generator) topicTerm(category string) string {
+	if terms, ok := categoryTerms[category]; ok {
+		return g.pick(terms)
+	}
+	return g.pick(commonNouns)
+}
+
+// Sentence produces one topical sentence for the category with the given
+// polarity: negative < 0, neutral == 0, positive > 0.
+func (g *Generator) Sentence(category string, polarity int) string {
+	var adj string
+	switch {
+	case polarity > 0:
+		adj = g.pick(positiveWords)
+	case polarity < 0:
+		adj = g.pick(negativeWords)
+	default:
+		adj = g.pick(neutralAdjectives)
+	}
+	if g.rng.Float64() < 0.25 {
+		adj = g.pick(intensifiers) + " " + adj
+	}
+	subject := g.topicTerm(category)
+	verb := g.pick(commonVerbs)
+	noun := g.pick(commonNouns)
+	switch g.rng.Intn(3) {
+	case 0:
+		return "The " + subject + " was " + adj + " during our " + noun + "."
+	case 1:
+		return "We " + verb + " the " + subject + " and it felt " + adj + "."
+	default:
+		return "A " + adj + " " + subject + " made the " + noun + " special."
+	}
+}
+
+// NegatedSentence produces a sentence whose surface polarity word is negated
+// ("not wonderful"), used to test the sentiment analyzer's negation
+// handling.
+func (g *Generator) NegatedSentence(category string, polarity int) string {
+	var adj string
+	if polarity > 0 {
+		adj = g.pick(positiveWords)
+	} else {
+		adj = g.pick(negativeWords)
+	}
+	subject := g.topicTerm(category)
+	return "The " + subject + " was " + g.pick(negators) + " " + adj + "."
+}
+
+// Comment produces a multi-sentence comment about the category with an
+// overall polarity. Sentences lean toward the requested polarity but a
+// minority may be neutral, mimicking real comments.
+func (g *Generator) Comment(category string, polarity int, sentences int) string {
+	if sentences <= 0 {
+		sentences = 1 + g.rng.Intn(3)
+	}
+	parts := make([]string, 0, sentences)
+	for i := 0; i < sentences; i++ {
+		p := polarity
+		if g.rng.Float64() < 0.3 {
+			p = 0
+		}
+		parts = append(parts, g.Sentence(category, p))
+	}
+	return strings.Join(parts, " ")
+}
+
+// OffTopicComment produces a comment that matches no category's markers,
+// used to exercise the paper's redefined accuracy measure (out-of-scope
+// discussions count as errors).
+func (g *Generator) OffTopicComment(sentences int) string {
+	if sentences <= 0 {
+		sentences = 1 + g.rng.Intn(2)
+	}
+	parts := make([]string, 0, sentences)
+	for i := 0; i < sentences; i++ {
+		parts = append(parts, "My "+g.pick(commonNouns)+" was "+g.pick(neutralAdjectives)+
+			" "+g.pick(connectives)+" I "+g.pick(commonVerbs)+" nothing in particular.")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Title produces a short discussion title for a category.
+func (g *Generator) Title(category string) string {
+	return capitalize(g.topicTerm(category)) + " " + g.pick([]string{
+		"impressions", "tips", "review", "thoughts", "advice", "question", "report",
+	})
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// Tags produces n distinct tags mixing the category name with topical terms.
+func (g *Generator) Tags(category string, n int) []string {
+	seen := map[string]bool{}
+	tags := make([]string, 0, n)
+	if n > 0 {
+		tags = append(tags, category)
+		seen[category] = true
+	}
+	terms := categoryTerms[category]
+	for len(tags) < n {
+		var tag string
+		if len(terms) > 0 && g.rng.Float64() < 0.7 {
+			tag = g.pick(terms)
+		} else {
+			tag = g.pick(commonNouns)
+		}
+		if !seen[tag] {
+			seen[tag] = true
+			tags = append(tags, tag)
+		}
+		if len(seen) >= len(terms)+len(commonNouns) {
+			break
+		}
+	}
+	return tags
+}
+
+// UserName produces a deterministic pseudonymous user handle.
+func (g *Generator) UserName() string {
+	first := []string{"milan", "travel", "urban", "city", "euro", "globe", "vista", "meta", "nova", "terra"}
+	second := []string{"fan", "walker", "guide", "nomad", "scout", "critic", "pilgrim", "seeker", "voyager", "insider"}
+	return g.pick(first) + g.pick(second) + string(rune('0'+g.rng.Intn(10))) + string(rune('0'+g.rng.Intn(10)))
+}

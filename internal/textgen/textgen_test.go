@@ -1,0 +1,205 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 50; i++ {
+		sa := a.Sentence("place", 1)
+		sb := b.Sentence("place", 1)
+		if sa != sb {
+			t.Fatalf("same seed diverged: %q vs %q", sa, sb)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 30; i++ {
+		if a.Sentence("pulse", 0) == b.Sentence("pulse", 0) {
+			same++
+		}
+	}
+	if same == 30 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSentencePolarityWords(t *testing.T) {
+	g := New(7)
+	pos := map[string]bool{}
+	for _, w := range PositiveWords() {
+		pos[w] = true
+	}
+	neg := map[string]bool{}
+	for _, w := range NegativeWords() {
+		neg[w] = true
+	}
+	containsAny := func(s string, set map[string]bool) bool {
+		for _, w := range strings.Fields(strings.ToLower(strings.Trim(s, "."))) {
+			if set[strings.Trim(w, ".,")] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 50; i++ {
+		s := g.Sentence("place", 1)
+		if !containsAny(s, pos) {
+			t.Errorf("positive sentence lacks positive word: %q", s)
+		}
+		if containsAny(s, neg) {
+			t.Errorf("positive sentence contains negative word: %q", s)
+		}
+		s = g.Sentence("place", -1)
+		if !containsAny(s, neg) {
+			t.Errorf("negative sentence lacks negative word: %q", s)
+		}
+	}
+}
+
+func TestSentenceContainsCategoryMarker(t *testing.T) {
+	g := New(9)
+	for _, cat := range Categories() {
+		terms := map[string]bool{}
+		for _, w := range CategoryTerms(cat) {
+			terms[w] = true
+		}
+		for i := 0; i < 20; i++ {
+			s := strings.ToLower(g.Sentence(cat, 0))
+			found := false
+			for w := range terms {
+				if strings.Contains(s, w) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("sentence for %q lacks a marker: %q", cat, s)
+			}
+		}
+	}
+}
+
+func TestOffTopicAvoidsMarkers(t *testing.T) {
+	g := New(11)
+	for i := 0; i < 30; i++ {
+		s := strings.ToLower(g.OffTopicComment(2))
+		for _, cat := range Categories() {
+			for _, w := range CategoryTerms(cat) {
+				if strings.Contains(s, w) {
+					t.Errorf("off-topic comment contains %q marker %q: %q", cat, w, s)
+				}
+			}
+		}
+	}
+}
+
+func TestNegatedSentenceContainsNegator(t *testing.T) {
+	g := New(13)
+	negs := Negators()
+	for i := 0; i < 20; i++ {
+		s := g.NegatedSentence("people", 1)
+		found := false
+		for _, n := range negs {
+			if strings.Contains(s, " "+n+" ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("negated sentence lacks a negator: %q", s)
+		}
+	}
+}
+
+func TestCommentSentenceCount(t *testing.T) {
+	g := New(15)
+	c := g.Comment("pulse", 1, 4)
+	if n := strings.Count(c, "."); n != 4 {
+		t.Errorf("comment has %d sentences, want 4: %q", n, c)
+	}
+	// Zero means 1..3 sentences.
+	c = g.Comment("pulse", 1, 0)
+	if n := strings.Count(c, "."); n < 1 || n > 3 {
+		t.Errorf("auto comment has %d sentences", n)
+	}
+}
+
+func TestTags(t *testing.T) {
+	g := New(17)
+	tags := g.Tags("place", 4)
+	if len(tags) != 4 {
+		t.Fatalf("got %d tags, want 4", len(tags))
+	}
+	if tags[0] != "place" {
+		t.Errorf("first tag should be the category, got %q", tags[0])
+	}
+	seen := map[string]bool{}
+	for _, tag := range tags {
+		if seen[tag] {
+			t.Errorf("duplicate tag %q", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestTagsZero(t *testing.T) {
+	g := New(18)
+	if tags := g.Tags("place", 0); len(tags) != 0 {
+		t.Errorf("Tags(0) = %v", tags)
+	}
+}
+
+func TestTitleCapitalized(t *testing.T) {
+	g := New(19)
+	for i := 0; i < 10; i++ {
+		ti := g.Title("presence")
+		if ti == "" || ti[0] < 'A' || ti[0] > 'Z' {
+			t.Errorf("title not capitalized: %q", ti)
+		}
+	}
+}
+
+func TestUserNameFormat(t *testing.T) {
+	g := New(21)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		u := g.UserName()
+		if len(u) < 5 {
+			t.Errorf("suspicious username %q", u)
+		}
+		seen[u] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("usernames not diverse enough: %d distinct in 50", len(seen))
+	}
+}
+
+func TestLexicaAreCopies(t *testing.T) {
+	p := PositiveWords()
+	p[0] = "mutated"
+	if PositiveWords()[0] == "mutated" {
+		t.Error("PositiveWords must return a copy")
+	}
+	ct := CategoryTerms("place")
+	ct[0] = "mutated"
+	if CategoryTerms("place")[0] == "mutated" {
+		t.Error("CategoryTerms must return a copy")
+	}
+}
+
+func TestCategoriesStable(t *testing.T) {
+	c := Categories()
+	if len(c) != 6 {
+		t.Fatalf("expected the 6 Anholt categories, got %v", c)
+	}
+	c[0] = "mutated"
+	if Categories()[0] == "mutated" {
+		t.Error("Categories must return a copy")
+	}
+}

@@ -1,0 +1,81 @@
+// Command calib is a development utility that checks the statistical
+// calibration of the synthetic generators against the paper's published
+// patterns across seeds: the Table 4 pairwise pattern per microblog seed,
+// and the Section 4.1 / Table 3 outcomes for the default corpus. It exists
+// to re-derive pinned seeds after generator changes; the user-facing
+// driver is cmd/informer-experiments.
+//
+//	go run ./internal/tools/calib            # default: seeds 1..8 + corpus
+//	go run ./internal/tools/calib -t4only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/informing-observers/informer/internal/experiments"
+)
+
+// wantTable4 is the paper's 15-cell direction pattern in row order
+// (P-B, P-N, N-B per measure).
+var wantTable4 = map[string][3]string{
+	"Interactions":                              {"> 0", "= 0", "> 0"},
+	"Absolute mentions (replies received)":      {"> 0", "> 0", "= 0"},
+	"Absolute retweets (feedbacks)":             {"= 0", "< 0", "> 0"},
+	"Relative mentions (replies per comment)":   {"= 0", "= 0", "= 0"},
+	"Relative retweets (feedbacks per comment)": {"= 0", "= 0", "= 0"},
+}
+
+func main() {
+	var (
+		t4only = flag.Bool("t4only", false, "only sweep Table 4 seeds")
+		seeds  = flag.Int("seeds", 8, "number of microblog seeds to sweep")
+	)
+	flag.Parse()
+
+	fmt.Println("Table 4 seed sweep (paper pattern = 15/15 cells):")
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		r, err := experiments.RunTable4(seed, 813)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calib:", err)
+			os.Exit(1)
+		}
+		match := 0
+		for _, row := range r.Rows {
+			w := wantTable4[row.Measure]
+			if row.DirPB == w[0] {
+				match++
+			}
+			if row.DirPN == w[1] {
+				match++
+			}
+			if row.DirNB == w[2] {
+				match++
+			}
+		}
+		marker := ""
+		if match == 15 {
+			marker = "  <-- full pattern"
+		}
+		fmt.Printf("  seed %2d: %2d/15 cells%s\n", seed, match, marker)
+	}
+	if *t4only {
+		return
+	}
+
+	fmt.Println("\nSection 4.1 + Table 3 at the default corpus seed:")
+	wb := experiments.NewWorkbench(experiments.Options{})
+	r41, err := experiments.RunExp41(wb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calib:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r41.Render())
+	t3, err := experiments.RunTable3(wb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calib:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t3.Render())
+}

@@ -1,0 +1,133 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/informing-observers/informer/internal/textgen"
+)
+
+// Advance extends the world's timeline by the given number of days,
+// generating fresh activity: new discussions open on the more participated
+// sources and existing open discussions collect new comments. This is the
+// substrate for the paper's monitoring scenario — re-crawling and
+// re-assessing sources as "the size of this information base and its pace
+// of change" evolve — and for exercising the crawler's conditional
+// re-fetch path (only sources with new activity change their pages).
+//
+// Advance is deterministic given the seed and preserves all generator
+// invariants: IDs stay globally unique, timestamps stay ordered within the
+// (new) timeline, and MaxOpenDiscussions is recomputed.
+func Advance(w *World, days int, seed int64) {
+	if days <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tg := textgen.NewFromRand(rng)
+	oldEnd := w.Config.End
+	newEnd := oldEnd.AddDate(0, 0, days)
+	span := newEnd.Sub(oldEnd)
+
+	nextDiscID, nextComID := 0, 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			if d.ID >= nextDiscID {
+				nextDiscID = d.ID + 1
+			}
+			for _, c := range d.Comments {
+				if c.ID >= nextComID {
+					nextComID = c.ID + 1
+				}
+			}
+		}
+	}
+
+	userWeights := make([]float64, len(w.Users))
+	for i, u := range w.Users {
+		userWeights[i] = math.Exp(u.Activity)
+	}
+	userTable := newCumulative(userWeights)
+	cats := w.Categories
+
+	dailyRate := func(s *Source) float64 {
+		// New-discussion intensity mirrors the original generator's
+		// participation scaling, spread over the original timeline.
+		return w.Config.MeanDiscussions * math.Exp(0.55*s.Latent.Participation) / w.Days()
+	}
+
+	for _, s := range w.Sources {
+		// New discussions for this window.
+		nNew := poissonish(rng, dailyRate(s)*float64(days))
+		for i := 0; i < nNew; i++ {
+			cat := cats[rng.Intn(len(cats))]
+			opened := oldEnd.Add(time.Duration(rng.Float64() * float64(span)))
+			d := &Discussion{
+				ID:       nextDiscID,
+				SourceID: s.ID,
+				OpenerID: userTable.pick(rng),
+				Title:    tg.Title(cat),
+				Category: cat,
+				Opened:   opened,
+				Open:     true,
+				Tags:     tg.Tags(cat, 1+rng.Intn(3)),
+			}
+			nextDiscID++
+			nCom := poissonish(rng, w.Config.MeanComments*math.Exp(0.5*s.Latent.Participation)*0.5)
+			for c := 0; c < nCom; c++ {
+				author := userTable.pick(rng)
+				u := w.Users[author]
+				com := &Comment{
+					ID:        nextComID,
+					UserID:    author,
+					Posted:    opened.Add(time.Duration(rng.Float64() * float64(newEnd.Sub(opened)))),
+					Polarity:  samplePolarity(rng),
+					Replies:   poissonish(rng, 0.8*math.Exp(0.6*u.Influence)),
+					Feedbacks: poissonish(rng, 1.2*math.Exp(0.7*u.Influence)),
+					Reads:     poissonish(rng, 15*math.Exp(0.5*u.Influence)),
+				}
+				nextComID++
+				if w.Config.CommentText {
+					com.Body = tg.Comment(cat, com.Polarity, 0)
+				}
+				d.Comments = append(d.Comments, com)
+			}
+			s.Discussions = append(s.Discussions, d)
+		}
+
+		// Fresh comments on existing open discussions, concentrated on
+		// lively sources.
+		for _, d := range s.Discussions {
+			if !d.Open || d.Opened.After(oldEnd) {
+				continue
+			}
+			extra := poissonish(rng, 0.2*math.Exp(0.5*s.Latent.Participation))
+			for c := 0; c < extra; c++ {
+				author := userTable.pick(rng)
+				u := w.Users[author]
+				com := &Comment{
+					ID:        nextComID,
+					UserID:    author,
+					Posted:    oldEnd.Add(time.Duration(rng.Float64() * float64(span))),
+					Polarity:  samplePolarity(rng),
+					Replies:   poissonish(rng, 0.8*math.Exp(0.6*u.Influence)),
+					Feedbacks: poissonish(rng, 1.2*math.Exp(0.7*u.Influence)),
+					Reads:     poissonish(rng, 15*math.Exp(0.5*u.Influence)),
+				}
+				nextComID++
+				if w.Config.CommentText && d.Category != "" {
+					com.Body = tg.Comment(d.Category, com.Polarity, 0)
+				}
+				d.Comments = append(d.Comments, com)
+			}
+		}
+	}
+
+	w.Config.End = newEnd
+	w.MaxOpenDiscussions = 0
+	for _, s := range w.Sources {
+		if n := s.OpenDiscussions(); n > w.MaxOpenDiscussions {
+			w.MaxOpenDiscussions = n
+		}
+	}
+}

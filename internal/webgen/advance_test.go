@@ -1,0 +1,121 @@
+package webgen
+
+import "testing"
+
+func TestAdvanceGrowsWorld(t *testing.T) {
+	w := Generate(Config{Seed: 61, NumSources: 60, NumUsers: 150})
+	beforeDisc, beforeCom := 0, 0
+	for _, s := range w.Sources {
+		beforeDisc += len(s.Discussions)
+		beforeCom += s.CommentCount()
+	}
+	oldEnd := w.Config.End
+
+	Advance(w, 30, 991)
+
+	if !w.Config.End.Equal(oldEnd.AddDate(0, 0, 30)) {
+		t.Fatalf("end = %v", w.Config.End)
+	}
+	afterDisc, afterCom := 0, 0
+	for _, s := range w.Sources {
+		afterDisc += len(s.Discussions)
+		afterCom += s.CommentCount()
+	}
+	if afterDisc <= beforeDisc {
+		t.Errorf("no new discussions: %d -> %d", beforeDisc, afterDisc)
+	}
+	if afterCom <= beforeCom {
+		t.Errorf("no new comments: %d -> %d", beforeCom, afterCom)
+	}
+}
+
+func TestAdvanceDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 62, NumSources: 20})
+	b := Generate(Config{Seed: 62, NumSources: 20})
+	Advance(a, 14, 7)
+	Advance(b, 14, 7)
+	for i := range a.Sources {
+		if len(a.Sources[i].Discussions) != len(b.Sources[i].Discussions) {
+			t.Fatalf("source %d diverged", i)
+		}
+	}
+}
+
+func TestAdvanceKeepsInvariants(t *testing.T) {
+	w := Generate(Config{Seed: 63, NumSources: 40, CommentText: true})
+	Advance(w, 20, 8)
+
+	// Unique IDs across old and new content.
+	discIDs := map[int]bool{}
+	comIDs := map[int]bool{}
+	maxOpen := 0
+	for _, s := range w.Sources {
+		open := 0
+		for _, d := range s.Discussions {
+			if discIDs[d.ID] {
+				t.Fatalf("duplicate discussion ID %d", d.ID)
+			}
+			discIDs[d.ID] = true
+			if d.Open {
+				open++
+			}
+			if d.Opened.After(w.Config.End) {
+				t.Errorf("discussion %d opened after new end", d.ID)
+			}
+			for _, c := range d.Comments {
+				if comIDs[c.ID] {
+					t.Fatalf("duplicate comment ID %d", c.ID)
+				}
+				comIDs[c.ID] = true
+				if c.Posted.Before(d.Opened) || c.Posted.After(w.Config.End) {
+					t.Errorf("comment %d outside [opened, end]", c.ID)
+				}
+			}
+		}
+		if open > maxOpen {
+			maxOpen = open
+		}
+	}
+	if w.MaxOpenDiscussions != maxOpen {
+		t.Errorf("MaxOpenDiscussions = %d, want %d", w.MaxOpenDiscussions, maxOpen)
+	}
+}
+
+func TestAdvanceNoopOnZeroDays(t *testing.T) {
+	w := Generate(Config{Seed: 64, NumSources: 5})
+	end := w.Config.End
+	before := 0
+	for _, s := range w.Sources {
+		before += len(s.Discussions)
+	}
+	Advance(w, 0, 1)
+	after := 0
+	for _, s := range w.Sources {
+		after += len(s.Discussions)
+	}
+	if after != before || !w.Config.End.Equal(end) {
+		t.Error("Advance(0) must be a no-op")
+	}
+}
+
+func TestAdvanceGeneratesTextWhenConfigured(t *testing.T) {
+	w := Generate(Config{Seed: 65, NumSources: 30, CommentText: true})
+	oldEnd := w.Config.End
+	Advance(w, 30, 9)
+	fresh := 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				if c.Posted.After(oldEnd) {
+					fresh++
+					if d.Category != "" && c.Body == "" {
+						t.Error("fresh on-topic comment lacks body despite CommentText")
+					}
+				}
+			}
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("no fresh comments generated")
+	}
+}

@@ -1,0 +1,107 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sigmoid maps a standard-normal latent into (0, 1).
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// logNormal draws exp(mu + sigma*Z).
+func logNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// poissonish draws a non-negative integer with the given mean using a
+// geometric-ish heavy tail: round(mean * lognormal noise). True Poisson is
+// unnecessary; Web 2.0 count data is overdispersed and lognormal mixing
+// reflects that.
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	v := mean * logNormal(rng, -0.125, 0.5) // E[lognormal(-0.125, 0.5)] ~ 1
+	n := int(math.Round(v))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// clampInt bounds n to [lo, hi].
+func clampInt(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// zipfWeights returns weights proportional to 1/(rank+1)^s for n items.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// weightedPick draws an index proportionally to the weights. Weights must
+// be non-negative and not all zero.
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// cumulative builds a prefix-sum table for repeated weighted sampling.
+type cumulative struct {
+	sums  []float64
+	total float64
+}
+
+func newCumulative(weights []float64) *cumulative {
+	sums := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		sums[i] = total
+	}
+	return &cumulative{sums: sums, total: total}
+}
+
+// pick draws an index in O(log n).
+func (c *cumulative) pick(rng *rand.Rand) int {
+	if c.total <= 0 {
+		return rng.Intn(len(c.sums))
+	}
+	r := rng.Float64() * c.total
+	lo, hi := 0, len(c.sums)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.sums[mid] <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

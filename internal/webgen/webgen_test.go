@@ -1,0 +1,308 @@
+package webgen
+
+import (
+	"testing"
+	"time"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(Config{Seed: 42, NumSources: 40, NumUsers: 120})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, NumSources: 20})
+	b := Generate(Config{Seed: 7, NumSources: 20})
+	if len(a.Sources) != len(b.Sources) {
+		t.Fatal("source counts differ")
+	}
+	for i := range a.Sources {
+		sa, sb := a.Sources[i], b.Sources[i]
+		if sa.Name != sb.Name || sa.Latent != sb.Latent || len(sa.Discussions) != len(sb.Discussions) {
+			t.Fatalf("source %d differs between same-seed worlds", i)
+		}
+		for j := range sa.Discussions {
+			da, db := sa.Discussions[j], sb.Discussions[j]
+			if da.Title != db.Title || len(da.Comments) != len(db.Comments) || !da.Opened.Equal(db.Opened) {
+				t.Fatalf("discussion %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Seed: 1, NumSources: 20})
+	b := Generate(Config{Seed: 2, NumSources: 20})
+	same := true
+	for i := range a.Sources {
+		if a.Sources[i].Latent != b.Sources[i].Latent {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical latents")
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w := smallWorld(t)
+	if len(w.Sources) != 40 {
+		t.Fatalf("sources = %d", len(w.Sources))
+	}
+	if len(w.Users) != 120 {
+		t.Fatalf("users = %d", len(w.Users))
+	}
+	if len(w.Categories) != 6 {
+		t.Fatalf("categories = %v", w.Categories)
+	}
+	totalDisc, totalCom := 0, 0
+	for _, s := range w.Sources {
+		if len(s.Discussions) == 0 {
+			t.Errorf("source %d has no discussions", s.ID)
+		}
+		totalDisc += len(s.Discussions)
+		totalCom += s.CommentCount()
+	}
+	if totalDisc < 40 || totalCom == 0 {
+		t.Errorf("world too sparse: %d discussions, %d comments", totalDisc, totalCom)
+	}
+}
+
+func TestTimelineBounds(t *testing.T) {
+	w := smallWorld(t)
+	for _, s := range w.Sources {
+		if !s.Founded.Before(w.Config.Start) {
+			t.Errorf("source %d founded %v after world start %v", s.ID, s.Founded, w.Config.Start)
+		}
+		for _, d := range s.Discussions {
+			if d.Opened.Before(w.Config.Start) || d.Opened.After(w.Config.End) {
+				t.Errorf("discussion %d opened outside timeline: %v", d.ID, d.Opened)
+			}
+			for _, c := range d.Comments {
+				if c.Posted.Before(d.Opened) {
+					t.Errorf("comment %d posted before its discussion opened", c.ID)
+				}
+				if c.Posted.After(w.Config.End) {
+					t.Errorf("comment %d posted after world end", c.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkGraphConsistency(t *testing.T) {
+	w := smallWorld(t)
+	// Every outbound edge must appear in the target's inbound list, and
+	// vice versa.
+	inCount := map[[2]int]int{}
+	for _, s := range w.Sources {
+		seen := map[int]bool{}
+		for _, tgt := range s.Outbound {
+			if tgt == s.ID {
+				t.Errorf("self link on source %d", s.ID)
+			}
+			if seen[tgt] {
+				t.Errorf("duplicate outbound link %d -> %d", s.ID, tgt)
+			}
+			seen[tgt] = true
+			inCount[[2]int{s.ID, tgt}]++
+		}
+	}
+	for _, s := range w.Sources {
+		for _, from := range s.Inbound {
+			if inCount[[2]int{from, s.ID}] != 1 {
+				t.Errorf("inbound %d -> %d without matching outbound", from, s.ID)
+			}
+		}
+	}
+	totalIn, totalOut := 0, 0
+	for _, s := range w.Sources {
+		totalIn += len(s.Inbound)
+		totalOut += len(s.Outbound)
+	}
+	if totalIn != totalOut {
+		t.Errorf("inbound %d != outbound %d", totalIn, totalOut)
+	}
+}
+
+func TestTrafficLatentDrivesInboundLinks(t *testing.T) {
+	w := Generate(Config{Seed: 9, NumSources: 300})
+	// Split sources by traffic latent; the high half should attract more
+	// inbound links on average (preferential attachment).
+	var hi, lo float64
+	var nHi, nLo int
+	for _, s := range w.Sources {
+		if s.Latent.Traffic > 0 {
+			hi += float64(len(s.Inbound))
+			nHi++
+		} else {
+			lo += float64(len(s.Inbound))
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		t.Skip("degenerate split")
+	}
+	if hi/float64(nHi) <= lo/float64(nLo) {
+		t.Errorf("high-traffic sources average %.2f inbound vs %.2f for low-traffic",
+			hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+func TestParticipationLatentDrivesVolume(t *testing.T) {
+	w := Generate(Config{Seed: 10, NumSources: 300})
+	var hi, lo float64
+	var nHi, nLo int
+	for _, s := range w.Sources {
+		if s.Latent.Participation > 0 {
+			hi += float64(s.CommentCount())
+			nHi++
+		} else {
+			lo += float64(s.CommentCount())
+			nLo++
+		}
+	}
+	if hi/float64(nHi) <= lo/float64(nLo) {
+		t.Errorf("participation latent not driving comment volume: %.1f vs %.1f",
+			hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+func TestCommentTextToggle(t *testing.T) {
+	w := Generate(Config{Seed: 11, NumSources: 10})
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				if c.Body != "" {
+					t.Fatal("CommentText=false must not generate bodies")
+				}
+			}
+		}
+	}
+	w = Generate(Config{Seed: 11, NumSources: 10, CommentText: true})
+	withBody := 0
+	total := 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				total++
+				if c.Body != "" {
+					withBody++
+				}
+			}
+		}
+	}
+	if withBody != total {
+		t.Errorf("only %d/%d comments have bodies", withBody, total)
+	}
+}
+
+func TestSpammersBehaviour(t *testing.T) {
+	w := Generate(Config{Seed: 12, NumSources: 50, NumUsers: 400, SpamRate: 0.2})
+	nSpam := 0
+	for _, u := range w.Users {
+		if u.Spammer {
+			nSpam++
+			if u.Influence > 0 {
+				t.Errorf("spammer %d has positive influence %v", u.ID, u.Influence)
+			}
+		}
+	}
+	if nSpam < 40 || nSpam > 140 {
+		t.Errorf("spam count %d far from expected 80", nSpam)
+	}
+}
+
+func TestMaxOpenDiscussions(t *testing.T) {
+	w := smallWorld(t)
+	max := 0
+	for _, s := range w.Sources {
+		if n := s.OpenDiscussions(); n > max {
+			max = n
+		}
+	}
+	if w.MaxOpenDiscussions != max {
+		t.Errorf("MaxOpenDiscussions = %d, want %d", w.MaxOpenDiscussions, max)
+	}
+	if max == 0 {
+		t.Error("no open discussions in world")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := smallWorld(t)
+	if w.Source(0) == nil || w.Source(-1) != nil || w.Source(len(w.Sources)) != nil {
+		t.Error("Source accessor bounds wrong")
+	}
+	if w.User(0) == nil || w.User(-1) != nil || w.User(len(w.Users)) != nil {
+		t.Error("User accessor bounds wrong")
+	}
+	if w.Days() < 179 || w.Days() > 181 {
+		t.Errorf("default timeline %v days, want ~180", w.Days())
+	}
+}
+
+func TestCustomTimeline(t *testing.T) {
+	start := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
+	w := Generate(Config{Seed: 13, NumSources: 5, Start: start})
+	if !w.Config.End.Equal(start.AddDate(0, 0, 180)) {
+		t.Errorf("end = %v", w.Config.End)
+	}
+}
+
+func TestCategoriesAssigned(t *testing.T) {
+	w := smallWorld(t)
+	known := map[string]bool{"": true}
+	for _, c := range w.Categories {
+		known[c] = true
+	}
+	offTopic, total := 0, 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			total++
+			if !known[d.Category] {
+				t.Errorf("unknown category %q", d.Category)
+			}
+			if d.Category == "" {
+				offTopic++
+			}
+		}
+	}
+	if offTopic == 0 {
+		t.Error("expected some off-topic discussions")
+	}
+	if float64(offTopic) > 0.5*float64(total) {
+		t.Errorf("too many off-topic: %d/%d", offTopic, total)
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	if Blog.String() != "blog" || Forum.String() != "forum" ||
+		ReviewSite.String() != "review-site" || SocialNetwork.String() != "social-network" {
+		t.Error("SourceKind strings wrong")
+	}
+	if SourceKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestGeoTaggedComments(t *testing.T) {
+	w := smallWorld(t)
+	geo := 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				if c.Geo != nil {
+					geo++
+					if c.Geo.Lat < 35 || c.Geo.Lat > 50 || c.Geo.Lon < 5 || c.Geo.Lon > 20 {
+						t.Errorf("geo point out of Italy-ish bounds: %+v", c.Geo)
+					}
+				}
+			}
+		}
+	}
+	if geo == 0 {
+		t.Error("no geo-tagged comments generated")
+	}
+}

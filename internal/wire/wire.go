@@ -1,0 +1,53 @@
+// Package wire defines the structured-data payloads that the synthetic
+// Web 2.0 sources embed in their pages (in the style of JSON-LD data
+// islands) and that the crawler extracts. It is the one shared contract
+// between internal/webserve (producer) and internal/crawler (consumer);
+// everything else about a page is presentation.
+package wire
+
+import "time"
+
+// SourceInfo is the machine-readable header a source exposes on its index
+// page.
+type SourceInfo struct {
+	ID              int       `json:"id"`
+	Name            string    `json:"name"`
+	Host            string    `json:"host"`
+	Kind            string    `json:"kind"`
+	Description     string    `json:"description"`
+	Founded         time.Time `json:"founded"`
+	FeedSubscribers int       `json:"feed_subscribers"`
+	Locations       []string  `json:"locations,omitempty"`
+	// OutboundHosts are the hosts this source links to; the crawler
+	// aggregates them into inbound-link counts.
+	OutboundHosts  []string `json:"outbound_hosts,omitempty"`
+	DiscussionIDs  []int    `json:"discussion_ids"`
+	OpenDiscussion int      `json:"open_discussions"`
+}
+
+// Discussion is the machine-readable payload of a discussion page.
+type Discussion struct {
+	ID       int       `json:"id"`
+	SourceID int       `json:"source_id"`
+	Title    string    `json:"title"`
+	Category string    `json:"category,omitempty"`
+	Opened   time.Time `json:"opened"`
+	Open     bool      `json:"open"`
+	Tags     []string  `json:"tags,omitempty"`
+	Comments []Comment `json:"comments"`
+}
+
+// Comment is one contribution inside a Discussion payload.
+type Comment struct {
+	ID        int       `json:"id"`
+	Author    string    `json:"author"`
+	AuthorID  int       `json:"author_id"`
+	Posted    time.Time `json:"posted"`
+	Body      string    `json:"body,omitempty"`
+	Tags      []string  `json:"tags,omitempty"`
+	Replies   int       `json:"replies"`
+	Feedbacks int       `json:"feedbacks"`
+	Reads     int       `json:"reads"`
+	Lat       *float64  `json:"lat,omitempty"`
+	Lon       *float64  `json:"lon,omitempty"`
+}
