@@ -367,6 +367,39 @@ func BenchmarkOLS3x1000(b *testing.B) {
 	}
 }
 
+// BenchmarkRankSourcesLarge measures the full assessment hot path — the
+// corpus-wide Table 1 evaluation, normalisation and ranking — at web scale
+// (2000 sources). This is the perf-trajectory headline number; CHANGES.md
+// records its history.
+func BenchmarkRankSourcesLarge(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 21, NumSources: 2000})
+	panel := analytics.Build(world, 22)
+	records := quality.SourceRecordsFromWorld(world, panel)
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	assessor := quality.NewSourceAssessor(records, di, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := assessor.Rank(records)
+		if len(ranked) != len(records) {
+			b.Fatal("short ranking")
+		}
+	}
+}
+
+// BenchmarkNewCorpus measures corpus construction end to end: world
+// generation, panel, environment assessment (sources + contributors) and
+// benchmark derivation.
+func BenchmarkNewCorpus(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New(Config{Seed: 31, NumSources: 500})
+		if len(c.SourceRecords()) != 500 {
+			b.Fatal("short corpus")
+		}
+	}
+}
+
 func BenchmarkAssessSource(b *testing.B) {
 	world := webgen.Generate(webgen.Config{Seed: 4, NumSources: 100})
 	panel := analytics.Build(world, 5)

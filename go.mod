@@ -1,0 +1,3 @@
+module github.com/informing-observers/informer
+
+go 1.21

@@ -33,6 +33,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/informing-observers/informer/internal/analytics"
@@ -116,6 +117,11 @@ type Corpus struct {
 	userAssessor *quality.ContributorAssessor
 	records      []*SourceRecord
 	userRecords  []*ContributorRecord
+
+	// scan caches the corpus-wide comment pass shared by
+	// SentimentByCategory and TrendingTerms (see scan.go).
+	scanOnce sync.Once
+	scan     *commentScan
 }
 
 // New generates and assesses a corpus.
@@ -148,9 +154,9 @@ func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
 		engine:       search.NewEngine(world, panel, search.Config{Seed: seed + 2}),
 		records:      env.SourceRecords,
 		userRecords:  env.ContributorRecords,
+		srcAssessor:  env.Sources,
 		userAssessor: env.Contributors,
 	}
-	c.srcAssessor = quality.NewSourceAssessor(c.records, di, nil)
 	return c
 }
 
@@ -199,37 +205,14 @@ func (c *Corpus) Search(query string, k int) []SearchResult {
 
 // SentimentByCategory scores every comment in the corpus and aggregates
 // per-category indicators, weighting each source by its quality score
-// (Section 6). Requires a corpus generated with CommentText.
+// (Section 6). Requires a corpus generated with CommentText. The
+// underlying corpus pass runs once per Corpus, scoring sources in
+// parallel, and is shared with TrendingTerms (see scan.go) — like the
+// quality assessments, it snapshots the world at first use; after Advance,
+// read from the returned fresh Corpus.
 func (c *Corpus) SentimentByCategory() map[string]SentimentIndicator {
-	analyzer := sentiment.NewAnalyzer()
-	type cell struct {
-		sum float64
-		n   int
-	}
-	perCatSource := map[string]map[int]*cell{}
-	for _, s := range c.World.Sources {
-		for _, d := range s.Discussions {
-			if !c.DI.InCategory(d.Category) {
-				continue
-			}
-			for _, com := range d.Comments {
-				m := perCatSource[d.Category]
-				if m == nil {
-					m = map[int]*cell{}
-					perCatSource[d.Category] = m
-				}
-				cl := m[s.ID]
-				if cl == nil {
-					cl = &cell{}
-					m[s.ID] = cl
-				}
-				cl.sum += analyzer.Score(com.Body).Value
-				cl.n++
-			}
-		}
-	}
 	out := map[string]SentimentIndicator{}
-	for cat, bySource := range perCatSource {
+	for cat, bySource := range c.commentScan().sentiByCatSource {
 		var entries []sentiment.SourceSentiment
 		total := 0
 		for sid, cl := range bySource {
@@ -334,7 +317,9 @@ func AssessMicroblog(records []*ContributorRecord) []*Assessment {
 // Advance extends the corpus timeline by the given number of days,
 // generating fresh activity (the monitoring scenario: content keeps
 // arriving between assessment rounds), and re-assesses everything.
-// The returned Corpus shares the underlying (mutated) world.
+// The returned Corpus shares the underlying (mutated) world; use it — not
+// the receiver — for post-advance readings, since the receiver's cached
+// assessments and comment scan reflect the pre-advance world.
 func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	webgen.Advance(c.World, days, seed)
 	return FromWorld(c.World, c.DI, seed)
@@ -362,19 +347,15 @@ func RankShift(old, new *Report) map[string]int { return quality.RankShift(old, 
 // TrendingTerms extracts the buzz words of a category against the whole
 // corpus as background (the "feature extraction for buzz word
 // identification" analysis service of Section 5). Requires CommentText.
+// Term counts come from the shared cached corpus pass (see scan.go), so
+// calling this for every category costs one scan, not one per category.
 func (c *Corpus) TrendingTerms(category string, k int) []BuzzTerm {
-	fg, bg := buzz.NewCounts(), buzz.NewCounts()
-	for _, s := range c.World.Sources {
-		for _, d := range s.Discussions {
-			for _, com := range d.Comments {
-				bg.Add(com.Body)
-				if d.Category == category {
-					fg.Add(com.Body)
-				}
-			}
-		}
+	scan := c.commentScan()
+	fg := scan.fgByCategory[category]
+	if fg == nil {
+		fg = buzz.NewCounts()
 	}
-	return buzz.TopTerms(fg, bg, k, 2)
+	return buzz.TopTerms(fg, scan.bg, k, 2)
 }
 
 // BuzzTerm is one scored buzz word.

@@ -55,6 +55,19 @@ func (c *Counts) Add(text string) {
 	}
 }
 
+// Merge folds another accumulator into c. Term frequencies are integral,
+// so the result is independent of merge order — parallel scanners can
+// accumulate partial Counts and fold them in any sequence.
+func (c *Counts) Merge(other *Counts) {
+	if other == nil {
+		return
+	}
+	for term, n := range other.freq {
+		c.freq[term] += n
+	}
+	c.total += other.total
+}
+
 // Total returns the accumulated token count.
 func (c *Counts) Total() int { return c.total }
 

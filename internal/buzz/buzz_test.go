@@ -23,6 +23,21 @@ func TestCountsBasics(t *testing.T) {
 	}
 }
 
+func TestCountsMerge(t *testing.T) {
+	a, b := NewCounts(), NewCounts()
+	a.Add("duomo wonderful duomo")
+	b.Add("duomo crowded")
+	whole := NewCounts()
+	whole.Add("duomo wonderful duomo")
+	whole.Add("duomo crowded")
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Count("duomo") != whole.Count("duomo") || a.Total() != whole.Total() {
+		t.Errorf("merged counts = (%d, %d), want (%d, %d)",
+			a.Count("duomo"), a.Total(), whole.Count("duomo"), whole.Total())
+	}
+}
+
 func TestTopTermsFindsInjectedBuzz(t *testing.T) {
 	bg := NewCounts()
 	fg := NewCounts()

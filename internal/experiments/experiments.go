@@ -116,8 +116,8 @@ func NewWorkbench(opts Options) *Workbench {
 	}
 	assessor := quality.NewSourceAssessor(records, di, &quality.AssessorOptions{Weights: weights})
 	scores := make(map[int]float64, len(records))
-	for _, r := range records {
-		scores[r.ID] = assessor.Assess(r).Score
+	for _, a := range assessor.AssessAll(records) {
+		scores[a.ID] = a.Score
 	}
 	return &Workbench{
 		Opts:     opts,

@@ -1,0 +1,44 @@
+// Package parallel provides the deterministic fan-out primitive shared by
+// the corpus-scale scans (quality assessment, comment analytics). Work is
+// split into contiguous position-indexed chunks, one per worker, so a
+// function that writes results by position produces identical output for
+// any worker count — parallelism can never change a published statistic.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEachChunk splits n items into contiguous chunks, one per worker, and
+// runs fn(lo, hi) on each chunk concurrently. workers <= 0 means
+// GOMAXPROCS; 1 runs inline with no goroutines. Chunk boundaries depend
+// only on n and the worker count, never on scheduling.
+func ForEachChunk(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

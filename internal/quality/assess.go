@@ -1,11 +1,5 @@
 package quality
 
-import (
-	"sort"
-
-	"github.com/informing-observers/informer/internal/stats"
-)
-
 // Benchmark is the normalisation interval of one measure, derived (per
 // Section 3.1) from "the assessment of well-known, highly-ranked sources":
 // Hi is a high quantile of the corpus values, Lo a low quantile. Values are
@@ -49,6 +43,9 @@ type AssessorOptions struct {
 	// PlainMinMax replaces quantile benchmarks with corpus min/max
 	// (the normalisation ablation in bench_test.go).
 	PlainMinMax bool
+	// Workers bounds the assessment worker pool (0 = GOMAXPROCS). Results
+	// are identical for any value; 1 forces the sequential path.
+	Workers int
 	// ExtraSourceMeasures extends the Table 1 catalogue with caller-
 	// defined measures — the paper's "extension towards new kinds of
 	// domains, quality dimensions and analyses". IDs must not collide
@@ -79,20 +76,6 @@ func (o AssessorOptions) weight(id string) float64 {
 	return 1
 }
 
-// benchmarkFrom derives a Benchmark from observed values.
-func benchmarkFrom(values []float64, opts AssessorOptions) Benchmark {
-	if len(values) == 0 {
-		return Benchmark{}
-	}
-	if opts.PlainMinMax {
-		return Benchmark{Lo: stats.Min(values), Hi: stats.Max(values)}
-	}
-	return Benchmark{
-		Lo: stats.Quantile(values, opts.BenchmarkLoQ),
-		Hi: stats.Quantile(values, opts.BenchmarkHiQ),
-	}
-}
-
 // Assessment is the quality evaluation of one source or contributor.
 type Assessment struct {
 	ID   int
@@ -112,11 +95,17 @@ type Assessment struct {
 }
 
 // SourceAssessor assesses SourceRecords against a DI with benchmarks
-// derived from a reference corpus.
+// derived from a reference corpus. Construction evaluates every Table 1
+// measure over every corpus record exactly once (see matrix.go); Assess
+// and Rank serve corpus records from that cache. The assessor is therefore
+// a snapshot: mutating a corpus record after construction does not change
+// its assessment — build a new assessor to re-observe (as Corpus.Advance
+// does).
 type SourceAssessor struct {
 	DI         DomainOfInterest
 	opts       AssessorOptions
 	measures   []SourceMeasure
+	engine     *matrixEngine[SourceRecord]
 	benchmarks map[string]Benchmark
 }
 
@@ -132,20 +121,18 @@ func NewSourceAssessor(corpus []*SourceRecord, di DomainOfInterest, opts *Assess
 	if len(o.ExtraSourceMeasures) > 0 {
 		measures = append(append([]SourceMeasure(nil), sourceMeasures...), o.ExtraSourceMeasures...)
 	}
-	a := &SourceAssessor{
-		DI:         di,
-		opts:       o,
-		measures:   measures,
-		benchmarks: make(map[string]Benchmark, len(measures)),
+	infos := make([]measureInfo, len(measures))
+	evals := make([]func(*SourceRecord, *DomainOfInterest) (float64, bool), len(measures))
+	for i, m := range measures {
+		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter}
+		evals[i] = m.Eval
 	}
-	for _, m := range a.measures {
-		var values []float64
-		for _, r := range corpus {
-			if v, ok := m.Eval(r, &a.DI); ok {
-				values = append(values, v)
-			}
-		}
-		a.benchmarks[m.ID] = benchmarkFrom(values, o)
+	a := &SourceAssessor{DI: di, opts: o, measures: measures}
+	a.engine = newMatrixEngine(corpus, di, o, infos, evals,
+		func(r *SourceRecord) (int, string) { return r.ID, r.Name })
+	a.benchmarks = make(map[string]Benchmark, len(measures))
+	for i, m := range measures {
+		a.benchmarks[m.ID] = a.engine.benchmarkAt(i)
 	}
 	return a
 }
@@ -156,70 +143,33 @@ func (a *SourceAssessor) Benchmark(id string) (Benchmark, bool) {
 	return b, ok
 }
 
-// Assess evaluates every Table 1 measure on the record.
+// Assess returns the full Table 1 evaluation of the record. Corpus records
+// are served from the construction-time matrix (their state as of
+// NewSourceAssessor); records outside the corpus are evaluated directly.
 func (a *SourceAssessor) Assess(r *SourceRecord) *Assessment {
-	out := &Assessment{
-		ID:         r.ID,
-		Name:       r.Name,
-		Raw:        map[string]float64{},
-		Normalized: map[string]float64{},
-	}
-	dimSum := map[Dimension]float64{}
-	dimN := map[Dimension]float64{}
-	attSum := map[Attribute]float64{}
-	attN := map[Attribute]float64{}
-	var wSum, wTotal float64
-	for _, m := range a.measures {
-		v, ok := m.Eval(r, &a.DI)
-		if !ok {
-			continue
-		}
-		out.Raw[m.ID] = v
-		n := a.benchmarks[m.ID].Normalize(v, m.HigherIsBetter)
-		out.Normalized[m.ID] = n
-		w := a.opts.weight(m.ID)
-		wSum += w * n
-		wTotal += w
-		dimSum[m.Dimension] += n
-		dimN[m.Dimension]++
-		attSum[m.Attribute] += n
-		attN[m.Attribute]++
-	}
-	if wTotal > 0 {
-		out.Score = wSum / wTotal
-	}
-	out.DimensionScores = map[Dimension]float64{}
-	for d, s := range dimSum {
-		out.DimensionScores[d] = s / dimN[d]
-	}
-	out.AttributeScores = map[Attribute]float64{}
-	for at, s := range attSum {
-		out.AttributeScores[at] = s / attN[at]
-	}
-	return out
+	return a.engine.assess(r)
+}
+
+// AssessAll assesses every record, preserving input order. Work fans out
+// across the assessor's worker pool; the output is identical for any
+// worker count.
+func (a *SourceAssessor) AssessAll(records []*SourceRecord) []*Assessment {
+	return a.engine.assessAll(records)
 }
 
 // Rank assesses all records and returns them best-first (ties broken by ID
 // for determinism).
 func (a *SourceAssessor) Rank(records []*SourceRecord) []*Assessment {
-	out := make([]*Assessment, 0, len(records))
-	for _, r := range records {
-		out = append(out, a.Assess(r))
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	return a.engine.rank(records)
 }
 
-// ContributorAssessor assesses ContributorRecords (Table 2).
+// ContributorAssessor assesses ContributorRecords (Table 2) with the same
+// cached-matrix engine as SourceAssessor.
 type ContributorAssessor struct {
 	DI         DomainOfInterest
 	opts       AssessorOptions
 	measures   []ContributorMeasure
+	engine     *matrixEngine[ContributorRecord]
 	benchmarks map[string]Benchmark
 }
 
@@ -234,20 +184,18 @@ func NewContributorAssessor(corpus []*ContributorRecord, di DomainOfInterest, op
 	if len(o.ExtraContributorMeasures) > 0 {
 		measures = append(append([]ContributorMeasure(nil), contributorMeasures...), o.ExtraContributorMeasures...)
 	}
-	a := &ContributorAssessor{
-		DI:         di,
-		opts:       o,
-		measures:   measures,
-		benchmarks: make(map[string]Benchmark, len(measures)),
+	infos := make([]measureInfo, len(measures))
+	evals := make([]func(*ContributorRecord, *DomainOfInterest) (float64, bool), len(measures))
+	for i, m := range measures {
+		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter}
+		evals[i] = m.Eval
 	}
-	for _, m := range a.measures {
-		var values []float64
-		for _, r := range corpus {
-			if v, ok := m.Eval(r, &a.DI); ok {
-				values = append(values, v)
-			}
-		}
-		a.benchmarks[m.ID] = benchmarkFrom(values, o)
+	a := &ContributorAssessor{DI: di, opts: o, measures: measures}
+	a.engine = newMatrixEngine(corpus, di, o, infos, evals,
+		func(r *ContributorRecord) (int, string) { return r.ID, r.Name })
+	a.benchmarks = make(map[string]Benchmark, len(measures))
+	for i, m := range measures {
+		a.benchmarks[m.ID] = a.engine.benchmarkAt(i)
 	}
 	return a
 }
@@ -258,60 +206,19 @@ func (a *ContributorAssessor) Benchmark(id string) (Benchmark, bool) {
 	return b, ok
 }
 
-// Assess evaluates every Table 2 measure on the record.
+// Assess returns the full Table 2 evaluation of the record. Corpus records
+// are served from the construction-time matrix; records outside the corpus
+// are evaluated directly.
 func (a *ContributorAssessor) Assess(r *ContributorRecord) *Assessment {
-	out := &Assessment{
-		ID:         r.ID,
-		Name:       r.Name,
-		Raw:        map[string]float64{},
-		Normalized: map[string]float64{},
-	}
-	dimSum := map[Dimension]float64{}
-	dimN := map[Dimension]float64{}
-	attSum := map[Attribute]float64{}
-	attN := map[Attribute]float64{}
-	var wSum, wTotal float64
-	for _, m := range a.measures {
-		v, ok := m.Eval(r, &a.DI)
-		if !ok {
-			continue
-		}
-		out.Raw[m.ID] = v
-		n := a.benchmarks[m.ID].Normalize(v, m.HigherIsBetter)
-		out.Normalized[m.ID] = n
-		w := a.opts.weight(m.ID)
-		wSum += w * n
-		wTotal += w
-		dimSum[m.Dimension] += n
-		dimN[m.Dimension]++
-		attSum[m.Attribute] += n
-		attN[m.Attribute]++
-	}
-	if wTotal > 0 {
-		out.Score = wSum / wTotal
-	}
-	out.DimensionScores = map[Dimension]float64{}
-	for d, s := range dimSum {
-		out.DimensionScores[d] = s / dimN[d]
-	}
-	out.AttributeScores = map[Attribute]float64{}
-	for at, s := range attSum {
-		out.AttributeScores[at] = s / attN[at]
-	}
-	return out
+	return a.engine.assess(r)
+}
+
+// AssessAll assesses every record, preserving input order.
+func (a *ContributorAssessor) AssessAll(records []*ContributorRecord) []*Assessment {
+	return a.engine.assessAll(records)
 }
 
 // Rank assesses all records and returns them best-first.
 func (a *ContributorAssessor) Rank(records []*ContributorRecord) []*Assessment {
-	out := make([]*Assessment, 0, len(records))
-	for _, r := range records {
-		out = append(out, a.Assess(r))
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
+	return a.engine.rank(records)
 }

@@ -62,12 +62,16 @@ func Influencers(a *ContributorAssessor, records []*ContributorRecord, opts Infl
 	if minInteractions <= 0 {
 		minInteractions = 1
 	}
-	out := make([]Influencer, 0, len(records))
+	kept := make([]*ContributorRecord, 0, len(records))
 	for _, r := range records {
-		if r.Interactions < minInteractions {
-			continue
+		if r.Interactions >= minInteractions {
+			kept = append(kept, r)
 		}
-		as := a.Assess(r)
+	}
+	assessments := a.AssessAll(kept)
+	out := make([]Influencer, 0, len(kept))
+	for i, r := range kept {
+		as := assessments[i]
 		// Absolute signal: the user's own contribution volume and its raw
 		// visibility. Reactions received stay out of this signal — they
 		// belong to the relative side, which is exactly what lets the

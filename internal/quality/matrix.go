@@ -1,0 +1,279 @@
+package quality
+
+// The measure-matrix engine is the shared assessment core behind
+// SourceAssessor and ContributorAssessor. Constructing an assessor runs
+// every catalogue measure over every corpus record exactly once, in a
+// deterministic parallel fan-out, and caches the raw values in a columnar
+// [measure][record] matrix. Benchmarks are derived from the matrix with a
+// single sort per measure, and Assess/Rank serve corpus records straight
+// from the cache — no Eval closure ever runs twice for the same record
+// during an assessor's lifetime.
+
+import (
+	"sort"
+
+	"github.com/informing-observers/informer/internal/parallel"
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// numDimensions and numAttributes bound the fixed-size accumulators of the
+// allocation-lean assessment path.
+const (
+	numDimensions = int(Dependability) + 1
+	numAttributes = int(Liveliness) + 1
+)
+
+// measureInfo is the record-type-independent metadata of one catalogue
+// measure, indexed by catalogue position.
+type measureInfo struct {
+	id             string
+	dimension      Dimension
+	attribute      Attribute
+	higherIsBetter bool
+}
+
+// matrixEngine evaluates a measure catalogue over a corpus once and serves
+// assessments from the cached values. R is the record type (SourceRecord or
+// ContributorRecord).
+type matrixEngine[R any] struct {
+	di    DomainOfInterest
+	opts  AssessorOptions
+	infos []measureInfo
+	evals []func(*R, *DomainOfInterest) (float64, bool)
+	ident func(*R) (id int, name string)
+
+	weights    []float64   // per measure, resolved once from opts
+	benchmarks []Benchmark // per measure, derived from the matrix
+
+	// dimOff/nDims and attOff/nAtts size the per-axis accumulators.
+	// Catalogue measures fit the stock enums, but ExtraSourceMeasures /
+	// ExtraContributorMeasures may carry caller-defined Dimension or
+	// Attribute values outside them (the paper's "new quality dimensions"
+	// extension); the offsets map any such value into a dense index.
+	dimOff, nDims int
+	attOff, nAtts int
+
+	nRecords int
+	col      map[*R]int // corpus record -> matrix column
+	vals     []float64  // vals[m*nRecords+c]: raw value of measure m on record c
+	present  []bool     // present[m*nRecords+c]: measure defined for record
+}
+
+// newMatrixEngine fills the matrix and derives the benchmarks.
+func newMatrixEngine[R any](
+	corpus []*R,
+	di DomainOfInterest,
+	opts AssessorOptions,
+	infos []measureInfo,
+	evals []func(*R, *DomainOfInterest) (float64, bool),
+	ident func(*R) (int, string),
+) *matrixEngine[R] {
+	nm, nr := len(infos), len(corpus)
+	e := &matrixEngine[R]{
+		di:       di,
+		opts:     opts,
+		infos:    infos,
+		evals:    evals,
+		ident:    ident,
+		weights:  make([]float64, nm),
+		nRecords: nr,
+		col:      make(map[*R]int, nr),
+		vals:     make([]float64, nm*nr),
+		present:  make([]bool, nm*nr),
+	}
+	minDim, maxDim := Dimension(0), Dimension(numDimensions-1)
+	minAtt, maxAtt := Attribute(0), Attribute(numAttributes-1)
+	for i := range infos {
+		e.weights[i] = opts.weight(infos[i].id)
+		if d := infos[i].dimension; d < minDim {
+			minDim = d
+		} else if d > maxDim {
+			maxDim = d
+		}
+		if at := infos[i].attribute; at < minAtt {
+			minAtt = at
+		} else if at > maxAtt {
+			maxAtt = at
+		}
+	}
+	e.dimOff, e.nDims = -int(minDim), int(maxDim-minDim)+1
+	e.attOff, e.nAtts = -int(minAtt), int(maxAtt-minAtt)+1
+	for c, r := range corpus {
+		e.col[r] = c
+	}
+	// Fill the matrix: workers own contiguous record chunks, every cell is
+	// written exactly once, so the result is independent of scheduling.
+	e.forEachChunk(nr, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			r := corpus[c]
+			for m := range evals {
+				if v, ok := evals[m](r, &e.di); ok {
+					e.vals[m*nr+c] = v
+					e.present[m*nr+c] = true
+				}
+			}
+		}
+	})
+	// Benchmarks: per measure, gather the defined values in record order
+	// and sort once; Lo and Hi both read from the same sorted slice.
+	e.benchmarks = make([]Benchmark, nm)
+	e.forEachChunk(nm, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			values := make([]float64, 0, nr)
+			for c := 0; c < nr; c++ {
+				if e.present[m*nr+c] {
+					values = append(values, e.vals[m*nr+c])
+				}
+			}
+			e.benchmarks[m] = benchmarkFromSorted(values, opts)
+		}
+	})
+	return e
+}
+
+// benchmarkFromSorted derives a Benchmark from observed values, sorting
+// them once in place.
+func benchmarkFromSorted(values []float64, opts AssessorOptions) Benchmark {
+	if len(values) == 0 {
+		return Benchmark{}
+	}
+	sort.Float64s(values)
+	if opts.PlainMinMax {
+		return Benchmark{Lo: values[0], Hi: values[len(values)-1]}
+	}
+	q := stats.SortedQuantiles(values, opts.BenchmarkLoQ, opts.BenchmarkHiQ)
+	return Benchmark{Lo: q[0], Hi: q[1]}
+}
+
+// forEachChunk fans fn out over the assessor's worker pool with
+// deterministic contiguous chunking (see internal/parallel).
+func (e *matrixEngine[R]) forEachChunk(n int, fn func(lo, hi int)) {
+	parallel.ForEachChunk(n, e.opts.Workers, fn)
+}
+
+// assess builds the public Assessment for one record. Corpus records are
+// served from the matrix; unknown records fall back to evaluating the
+// catalogue directly (still once per call). The arithmetic — accumulation
+// order, weighting, per-axis averaging — mirrors the historical sequential
+// implementation exactly, so scores are bit-for-bit reproducible.
+func (e *matrixEngine[R]) assess(r *R) *Assessment {
+	nm, nr := len(e.infos), e.nRecords
+
+	raw := make([]float64, nm)
+	def := make([]bool, nm)
+	if c, cached := e.col[r]; cached {
+		for m := 0; m < nm; m++ {
+			raw[m] = e.vals[m*nr+c]
+			def[m] = e.present[m*nr+c]
+		}
+	} else {
+		for m := range e.evals {
+			raw[m], def[m] = e.evals[m](r, &e.di)
+		}
+	}
+
+	norm := make([]float64, nm)
+	// Stock catalogues index straight into the stack arrays; engines with
+	// out-of-enum extension measures spill to heap slices of the right size.
+	var dimSumArr, dimNArr [numDimensions]float64
+	var attSumArr, attNArr [numAttributes]float64
+	dimSum, dimN := dimSumArr[:], dimNArr[:]
+	attSum, attN := attSumArr[:], attNArr[:]
+	if e.nDims > numDimensions {
+		dimSum, dimN = make([]float64, e.nDims), make([]float64, e.nDims)
+	}
+	if e.nAtts > numAttributes {
+		attSum, attN = make([]float64, e.nAtts), make([]float64, e.nAtts)
+	}
+	var wSum, wTotal float64
+	defined := 0
+	for m := 0; m < nm; m++ {
+		if !def[m] {
+			continue
+		}
+		defined++
+		info := &e.infos[m]
+		n := e.benchmarks[m].Normalize(raw[m], info.higherIsBetter)
+		norm[m] = n
+		w := e.weights[m]
+		wSum += w * n
+		wTotal += w
+		d := int(info.dimension) + e.dimOff
+		dimSum[d] += n
+		dimN[d]++
+		at := int(info.attribute) + e.attOff
+		attSum[at] += n
+		attN[at]++
+	}
+
+	id, name := e.ident(r)
+	out := &Assessment{
+		ID:         id,
+		Name:       name,
+		Raw:        make(map[string]float64, defined),
+		Normalized: make(map[string]float64, defined),
+	}
+	for m := 0; m < nm; m++ {
+		if def[m] {
+			out.Raw[e.infos[m].id] = raw[m]
+			out.Normalized[e.infos[m].id] = norm[m]
+		}
+	}
+	if wTotal > 0 {
+		out.Score = wSum / wTotal
+	}
+	nDim, nAtt := 0, 0
+	for d := range dimN {
+		if dimN[d] > 0 {
+			nDim++
+		}
+	}
+	for at := range attN {
+		if attN[at] > 0 {
+			nAtt++
+		}
+	}
+	out.DimensionScores = make(map[Dimension]float64, nDim)
+	for d := range dimN {
+		if dimN[d] > 0 {
+			out.DimensionScores[Dimension(d-e.dimOff)] = dimSum[d] / dimN[d]
+		}
+	}
+	out.AttributeScores = make(map[Attribute]float64, nAtt)
+	for at := range attN {
+		if attN[at] > 0 {
+			out.AttributeScores[Attribute(at-e.attOff)] = attSum[at] / attN[at]
+		}
+	}
+	return out
+}
+
+// assessAll assesses records in input order with the worker pool; the
+// output slot of each record is fixed by its position, so the result is
+// identical for any worker count.
+func (e *matrixEngine[R]) assessAll(records []*R) []*Assessment {
+	out := make([]*Assessment, len(records))
+	e.forEachChunk(len(records), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = e.assess(records[i])
+		}
+	})
+	return out
+}
+
+// rank assesses all records in parallel and merges deterministically:
+// score descending, ID ascending.
+func (e *matrixEngine[R]) rank(records []*R) []*Assessment {
+	out := e.assessAll(records)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// benchmarkIndex exposes the derived benchmark of the measure at catalogue
+// position m.
+func (e *matrixEngine[R]) benchmarkAt(m int) Benchmark { return e.benchmarks[m] }

@@ -1,0 +1,182 @@
+package quality
+
+// Equivalence guarantees of the measure-matrix engine (matrix.go): the
+// worker pool must never change any published number, and measure Eval
+// closures must run exactly once per corpus record per assessor lifetime.
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// contribWorld generates a synthetic world with users for contributor
+// records.
+func contribWorld(t *testing.T, sources, users int, seed int64) *webgen.World {
+	t.Helper()
+	return webgen.Generate(webgen.Config{Seed: seed, NumSources: sources, NumUsers: users})
+}
+
+// rankedEqual deep-compares two rankings including every map.
+func rankedEqual(t *testing.T, got, want []*Assessment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("ranking length %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("assessment %d differs:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSourceRankParallelMatchesSingleWorker(t *testing.T) {
+	records := worldRecords(t, 120, 7)
+	di := defaultDI()
+	parallel := NewSourceAssessor(records, di, &AssessorOptions{Workers: 8})
+	serial := NewSourceAssessor(records, di, &AssessorOptions{Workers: 1})
+	rankedEqual(t, parallel.Rank(records), serial.Rank(records))
+
+	pa := parallel.AssessAll(records)
+	sa := serial.AssessAll(records)
+	rankedEqual(t, pa, sa)
+	for i, r := range records {
+		if pa[i].ID != r.ID {
+			t.Fatalf("AssessAll order broken at %d: got ID %d, want %d", i, pa[i].ID, r.ID)
+		}
+	}
+	for _, m := range SourceMeasures() {
+		pb, pok := parallel.Benchmark(m.ID)
+		sb, sok := serial.Benchmark(m.ID)
+		if pok != sok || pb != sb {
+			t.Fatalf("benchmark %s differs: %+v vs %+v", m.ID, pb, sb)
+		}
+	}
+}
+
+func TestContributorRankParallelMatchesSingleWorker(t *testing.T) {
+	world := contribWorld(t, 60, 250, 9)
+	records := ContributorRecordsFromWorld(world)
+	di := defaultDI()
+	parallel := NewContributorAssessor(records, di, &AssessorOptions{Workers: 8})
+	serial := NewContributorAssessor(records, di, &AssessorOptions{Workers: 1})
+	rankedEqual(t, parallel.Rank(records), serial.Rank(records))
+}
+
+// TestSourceEvalRunsOncePerRecord pins the tentpole contract: the cached
+// matrix means a measure's Eval runs once per corpus record when the
+// assessor is built, and never again for Assess/Rank over those records.
+func TestSourceEvalRunsOncePerRecord(t *testing.T) {
+	records := worldRecords(t, 40, 11)
+	var calls atomic.Int64
+	counting := SourceMeasure{
+		ID:             "test.counting",
+		Description:    "counts Eval invocations",
+		Dimension:      Accuracy,
+		Attribute:      Relevance,
+		HigherIsBetter: true,
+		Eval: func(r *SourceRecord, _ *DomainOfInterest) (float64, bool) {
+			calls.Add(1)
+			return float64(r.ID), true
+		},
+	}
+	a := NewSourceAssessor(records, defaultDI(), &AssessorOptions{
+		ExtraSourceMeasures: []SourceMeasure{counting},
+	})
+	if got := calls.Load(); got != int64(len(records)) {
+		t.Fatalf("construction ran Eval %d times, want %d", got, len(records))
+	}
+	a.Rank(records)
+	a.Rank(records)
+	for _, r := range records {
+		a.Assess(r)
+	}
+	if got := calls.Load(); got != int64(len(records)) {
+		t.Fatalf("Eval ran %d times after Rank+Assess, want exactly %d (once per record)", got, len(records))
+	}
+	// A record outside the corpus cannot be served from the matrix and
+	// must fall back to direct evaluation.
+	outside := *records[0]
+	a.Assess(&outside)
+	if got := calls.Load(); got != int64(len(records))+1 {
+		t.Fatalf("outside-corpus Assess ran Eval %d times total, want %d", got, len(records)+1)
+	}
+}
+
+func TestContributorEvalRunsOncePerRecord(t *testing.T) {
+	world := contribWorld(t, 30, 120, 13)
+	records := ContributorRecordsFromWorld(world)
+	var calls atomic.Int64
+	counting := ContributorMeasure{
+		ID:             "test.counting",
+		Description:    "counts Eval invocations",
+		Dimension:      Accuracy,
+		Attribute:      Relevance,
+		HigherIsBetter: true,
+		Eval: func(r *ContributorRecord, _ *DomainOfInterest) (float64, bool) {
+			calls.Add(1)
+			return float64(r.ID), true
+		},
+	}
+	a := NewContributorAssessor(records, defaultDI(), &AssessorOptions{
+		ExtraContributorMeasures: []ContributorMeasure{counting},
+	})
+	a.Rank(records)
+	for _, r := range records {
+		a.Assess(r)
+	}
+	if got := calls.Load(); got != int64(len(records)) {
+		t.Fatalf("Eval ran %d times, want exactly %d (once per record)", got, len(records))
+	}
+}
+
+// TestExtensionMeasureWithCustomAxes pins the extensibility contract: a
+// caller-defined measure may carry a Dimension/Attribute outside the stock
+// enums (the paper's "new quality dimensions" extension) without breaking
+// assessment.
+func TestExtensionMeasureWithCustomAxes(t *testing.T) {
+	records := worldRecords(t, 20, 23)
+	customDim := Dimension(numDimensions + 2)
+	customAtt := Attribute(numAttributes + 1)
+	extra := SourceMeasure{
+		ID:             "test.custom.axes",
+		Description:    "extension measure on caller-defined axes",
+		Dimension:      customDim,
+		Attribute:      customAtt,
+		HigherIsBetter: true,
+		Eval: func(r *SourceRecord, _ *DomainOfInterest) (float64, bool) {
+			return float64(r.ID % 7), true
+		},
+	}
+	a := NewSourceAssessor(records, defaultDI(), &AssessorOptions{
+		ExtraSourceMeasures: []SourceMeasure{extra},
+	})
+	for _, as := range a.Rank(records) {
+		if _, ok := as.Raw["test.custom.axes"]; !ok {
+			t.Fatal("extension measure missing from Raw")
+		}
+		if _, ok := as.DimensionScores[customDim]; !ok {
+			t.Fatalf("custom dimension missing from DimensionScores: %v", as.DimensionScores)
+		}
+		if _, ok := as.AttributeScores[customAtt]; !ok {
+			t.Fatalf("custom attribute missing from AttributeScores: %v", as.AttributeScores)
+		}
+	}
+}
+
+// TestAssessOutsideCorpusMatchesCached checks the fallback path computes
+// the same assessment as the cache for an identical record.
+func TestAssessOutsideCorpusMatchesCached(t *testing.T) {
+	records := worldRecords(t, 50, 17)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	for _, r := range records[:10] {
+		copyRec := *r
+		got := a.Assess(&copyRec)
+		want := a.Assess(r)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback assessment differs for record %d:\n got  %+v\n want %+v", r.ID, got, want)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 package sentiment
 
 import (
+	"maps"
 	"strings"
+	"sync"
 
 	"github.com/informing-observers/informer/internal/textgen"
 )
@@ -21,29 +23,53 @@ type Lexicon struct {
 	intensifiers map[string]float64
 }
 
-// DefaultLexicon builds a lexicon from the same opinion vocabulary the
+// defaultLexiconOnce memoizes the vocabulary build: analyzers are created
+// on hot paths (one per corpus environment, historically one per
+// SentimentByCategory call), and the underlying word lists never change.
+var (
+	defaultLexiconOnce sync.Once
+	defaultLexiconVal  *Lexicon
+)
+
+// sharedDefaultLexicon returns the memoized default lexicon. It must be
+// treated as immutable: NewAnalyzer hands it to analyzers that only read
+// it, which also makes them safe for concurrent use.
+func sharedDefaultLexicon() *Lexicon {
+	defaultLexiconOnce.Do(func() {
+		l := &Lexicon{
+			polarity:     map[string]float64{},
+			negators:     map[string]bool{},
+			intensifiers: map[string]float64{},
+		}
+		for _, w := range textgen.PositiveWords() {
+			l.polarity[w] = 1
+		}
+		for _, w := range textgen.NegativeWords() {
+			l.polarity[w] = -1
+		}
+		for _, w := range textgen.Negators() {
+			l.negators[w] = true
+		}
+		for _, w := range textgen.Intensifiers() {
+			l.intensifiers[w] = 1.5
+		}
+		defaultLexiconVal = l
+	})
+	return defaultLexiconVal
+}
+
+// DefaultLexicon returns a lexicon over the same opinion vocabulary the
 // synthetic corpus generator writes with, giving experiments a known
 // ground truth while remaining a perfectly ordinary lexicon scorer for any
-// other text.
+// other text. The vocabulary is built once; callers get their own copy, so
+// Add never leaks customisations into other analyzers.
 func DefaultLexicon() *Lexicon {
-	l := &Lexicon{
-		polarity:     map[string]float64{},
-		negators:     map[string]bool{},
-		intensifiers: map[string]float64{},
+	base := sharedDefaultLexicon()
+	return &Lexicon{
+		polarity:     maps.Clone(base.polarity),
+		negators:     maps.Clone(base.negators),
+		intensifiers: maps.Clone(base.intensifiers),
 	}
-	for _, w := range textgen.PositiveWords() {
-		l.polarity[w] = 1
-	}
-	for _, w := range textgen.NegativeWords() {
-		l.polarity[w] = -1
-	}
-	for _, w := range textgen.Negators() {
-		l.negators[w] = true
-	}
-	for _, w := range textgen.Intensifiers() {
-		l.intensifiers[w] = 1.5
-	}
-	return l
 }
 
 // Add registers an opinion word with the given polarity weight.
@@ -83,8 +109,10 @@ type Analyzer struct {
 	NegationWindow int
 }
 
-// NewAnalyzer returns an Analyzer over the default lexicon.
-func NewAnalyzer() *Analyzer { return &Analyzer{lex: DefaultLexicon(), NegationWindow: 3} }
+// NewAnalyzer returns an Analyzer over the (shared, memoized) default
+// lexicon. Analyzers only read their lexicon, so they are safe for
+// concurrent use from multiple goroutines.
+func NewAnalyzer() *Analyzer { return &Analyzer{lex: sharedDefaultLexicon(), NegationWindow: 3} }
 
 // NewAnalyzerWithLexicon returns an Analyzer over a custom lexicon.
 func NewAnalyzerWithLexicon(l *Lexicon) *Analyzer {

@@ -33,6 +33,7 @@ type Env struct {
 	DI    quality.DomainOfInterest
 
 	SourceRecords      []*quality.SourceRecord
+	Sources            *quality.SourceAssessor
 	SourceScores       map[int]float64 // source ID -> overall quality score
 	ContributorRecords []*quality.ContributorRecord
 	Contributors       *quality.ContributorAssessor
@@ -48,10 +49,10 @@ func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInte
 		Analyzer: sentiment.NewAnalyzer(),
 	}
 	env.SourceRecords = quality.SourceRecordsFromWorld(world, panel)
-	assessor := quality.NewSourceAssessor(env.SourceRecords, di, nil)
+	env.Sources = quality.NewSourceAssessor(env.SourceRecords, di, nil)
 	env.SourceScores = make(map[int]float64, len(env.SourceRecords))
-	for _, r := range env.SourceRecords {
-		env.SourceScores[r.ID] = assessor.Assess(r).Score
+	for _, a := range env.Sources.AssessAll(env.SourceRecords) {
+		env.SourceScores[a.ID] = a.Score
 	}
 	env.ContributorRecords = quality.ContributorRecordsFromWorld(world)
 	env.Contributors = quality.NewContributorAssessor(env.ContributorRecords, di, nil)

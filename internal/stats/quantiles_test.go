@@ -1,0 +1,63 @@
+package stats
+
+// Pins the single-sort quantile API (SortedQuantile/SortedQuantiles/
+// Quantiles) bit-for-bit against the original Quantile, which the quality
+// benchmark derivation depended on before the matrix refactor.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortedQuantilesMatchQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	qs := []float64{0, 0.05, 0.10, 0.25, 0.5, 0.75, 0.90, 0.95, 1}
+	for _, n := range []int{1, 2, 3, 7, 10, 101, 500} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		// Include ties: duplicate a fifth of the values.
+		for i := 0; i+5 < n; i += 5 {
+			xs[i+5] = xs[i]
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+
+		multi := Quantiles(xs, qs...)
+		multiSorted := SortedQuantiles(sorted, qs...)
+		for i, q := range qs {
+			want := Quantile(xs, q)
+			if got := SortedQuantile(sorted, q); got != want {
+				t.Fatalf("n=%d q=%v: SortedQuantile=%v, Quantile=%v", n, q, got, want)
+			}
+			if multi[i] != want {
+				t.Fatalf("n=%d q=%v: Quantiles=%v, Quantile=%v", n, q, multi[i], want)
+			}
+			if multiSorted[i] != want {
+				t.Fatalf("n=%d q=%v: SortedQuantiles=%v, Quantile=%v", n, q, multiSorted[i], want)
+			}
+		}
+	}
+}
+
+func TestSortedQuantileClampsAndPanics(t *testing.T) {
+	sorted := []float64{1, 2, 3}
+	if SortedQuantile(sorted, -0.5) != 1 || SortedQuantile(sorted, 1.5) != 3 {
+		t.Error("out-of-range q must clamp to min/max")
+	}
+	for name, fn := range map[string]func(){
+		"SortedQuantile": func() { SortedQuantile(nil, 0.5) },
+		"Quantiles":      func() { Quantiles(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of empty slice must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

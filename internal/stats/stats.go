@@ -116,14 +116,25 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedQuantile(sorted, q)
+}
+
+// SortedQuantile returns the q-th quantile of an already-sorted (ascending)
+// slice, with the same type-7 interpolation as Quantile. Reading several
+// quantiles from one sorted slice amortises the sort, which is what the
+// quality benchmark derivation relies on. It panics on an empty slice.
+func SortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: SortedQuantile of empty slice")
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	h := q * float64(len(sorted)-1)
 	lo := int(math.Floor(h))
 	hi := int(math.Ceil(h))
@@ -132,6 +143,26 @@ func Quantile(xs []float64, q float64) float64 {
 	}
 	frac := h - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SortedQuantiles reads multiple quantiles from an already-sorted slice.
+func SortedQuantiles(sorted []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = SortedQuantile(sorted, q)
+	}
+	return out
+}
+
+// Quantiles sorts one copy of xs and returns the requested quantiles,
+// paying for a single sort however many quantiles are read.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedQuantiles(sorted, qs...)
 }
 
 // Standardize returns (xs - mean) / stddev. When the standard deviation is

@@ -1,0 +1,114 @@
+package informer
+
+// The comment scan is the shared single pass behind the corpus-wide text
+// analytics: SentimentByCategory and TrendingTerms used to walk every
+// source, discussion and comment independently (and the sentiment path
+// additionally rebuilt its analyzer per call). The scan walks the corpus
+// once, scoring sources in parallel — each worker owns a contiguous chunk
+// of sources and produces a per-source partial, so the merged result never
+// depends on scheduling — and caches both the DI-scoped per-category
+// sentiment cells and the per-category/background term counts.
+
+import (
+	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/parallel"
+)
+
+// sentimentCell accumulates the comment sentiment of one (category,
+// source) pair.
+type sentimentCell struct {
+	sum float64
+	n   int
+}
+
+// commentScan is the cached result of one pass over every comment.
+type commentScan struct {
+	// sentiByCatSource holds DI-scoped sentiment accumulation:
+	// category -> source ID -> cell.
+	sentiByCatSource map[string]map[int]*sentimentCell
+	// fgByCategory counts terms per discussion category (all categories,
+	// DI or not — TrendingTerms takes the category verbatim); bg is the
+	// background over every comment in the corpus.
+	fgByCategory map[string]*buzz.Counts
+	bg           *buzz.Counts
+}
+
+// sourcePartial is one worker's scan of a single source. Sentiment cells
+// are keyed by category only: a partial belongs to exactly one source, so
+// merging never reorders floating-point additions within a cell.
+type sourcePartial struct {
+	senti map[string]*sentimentCell
+	fg    map[string]*buzz.Counts
+	bg    *buzz.Counts
+}
+
+// commentScan builds (once) and returns the corpus comment scan.
+func (c *Corpus) commentScan() *commentScan {
+	c.scanOnce.Do(func() {
+		analyzer := c.env.Analyzer
+		sources := c.World.Sources
+		partials := make([]*sourcePartial, len(sources))
+
+		parallel.ForEachChunk(len(sources), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := sources[i]
+				p := &sourcePartial{
+					senti: map[string]*sentimentCell{},
+					fg:    map[string]*buzz.Counts{},
+					bg:    buzz.NewCounts(),
+				}
+				for _, d := range s.Discussions {
+					inDI := c.DI.InCategory(d.Category)
+					fg := p.fg[d.Category]
+					if fg == nil {
+						fg = buzz.NewCounts()
+						p.fg[d.Category] = fg
+					}
+					for _, com := range d.Comments {
+						p.bg.Add(com.Body)
+						fg.Add(com.Body)
+						if !inDI {
+							continue
+						}
+						cell := p.senti[d.Category]
+						if cell == nil {
+							cell = &sentimentCell{}
+							p.senti[d.Category] = cell
+						}
+						cell.sum += analyzer.Score(com.Body).Value
+						cell.n++
+					}
+				}
+				partials[i] = p
+			}
+		})
+
+		scan := &commentScan{
+			sentiByCatSource: map[string]map[int]*sentimentCell{},
+			fgByCategory:     map[string]*buzz.Counts{},
+			bg:               buzz.NewCounts(),
+		}
+		for i, p := range partials {
+			sid := sources[i].ID
+			for cat, cell := range p.senti {
+				m := scan.sentiByCatSource[cat]
+				if m == nil {
+					m = map[int]*sentimentCell{}
+					scan.sentiByCatSource[cat] = m
+				}
+				m[sid] = cell
+			}
+			for cat, fg := range p.fg {
+				dst := scan.fgByCategory[cat]
+				if dst == nil {
+					dst = buzz.NewCounts()
+					scan.fgByCategory[cat] = dst
+				}
+				dst.Merge(fg)
+			}
+			scan.bg.Merge(p.bg)
+		}
+		c.scan = scan
+	})
+	return c.scan
+}
