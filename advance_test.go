@@ -1,0 +1,199 @@
+package informer
+
+// Facade-level contracts of incremental corpus advancement: an advanced
+// corpus must be bit-identical to a full FromWorld rebuild of the same
+// world under the corpus' construction seed; a zero-delta tick must be a
+// true no-op (pointer-equal snapshot internals); and every reading method
+// must stay safe while a writer ticks the world (run under -race in CI).
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// assertCorpusEquals checks every published number of two corpora over the
+// same world: rankings (with all raw/normalised/axis maps), benchmarks,
+// source scores, sentiment indicators and trending terms.
+func assertCorpusEquals(t *testing.T, inc, full *Corpus) {
+	t.Helper()
+	ri, rf := inc.RankSources(), full.RankSources()
+	if !reflect.DeepEqual(ri, rf) {
+		for i := range ri {
+			if !reflect.DeepEqual(ri[i], rf[i]) {
+				t.Fatalf("source ranking differs at %d:\n inc  %+v\n full %+v", i, ri[i], rf[i])
+			}
+		}
+		t.Fatalf("source rankings differ in length: %d vs %d", len(ri), len(rf))
+	}
+	if !reflect.DeepEqual(inc.RankContributors(), full.RankContributors()) {
+		t.Fatal("contributor rankings differ")
+	}
+	for _, m := range quality.SourceMeasures() {
+		bi, iok := inc.state.Load().env.Sources.Benchmark(m.ID)
+		bf, fok := full.state.Load().env.Sources.Benchmark(m.ID)
+		if iok != fok || bi != bf {
+			t.Fatalf("benchmark %s: %+v vs %+v", m.ID, bi, bf)
+		}
+	}
+	if !reflect.DeepEqual(inc.state.Load().env.SourceScores, full.state.Load().env.SourceScores) {
+		t.Fatal("source score joins differ")
+	}
+	si, sf := inc.SentimentByCategory(), full.SentimentByCategory()
+	if !reflect.DeepEqual(si, sf) {
+		t.Fatalf("sentiment indicators differ:\n inc  %+v\n full %+v", si, sf)
+	}
+	for _, cat := range inc.World().Categories {
+		if !reflect.DeepEqual(inc.TrendingTerms(cat, 8), full.TrendingTerms(cat, 8)) {
+			t.Fatalf("trending terms differ for %q", cat)
+		}
+	}
+}
+
+func TestAdvanceIncrementalMatchesRebuild(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 901, NumSources: 50, NumUsers: 150, CommentText: true})
+	c := FromWorld(world, DomainOfInterest{}, 901)
+	// Touch the scan before ticking so the per-source invalidation path is
+	// exercised (not just a cold rebuild).
+	if len(c.SentimentByCategory()) == 0 {
+		t.Fatal("corpus has no sentiment to begin with")
+	}
+
+	c.Advance(5, 9001)
+	c.Advance(3, 9002) // second tick stacks repair on repair
+
+	full := FromWorld(c.World(), c.DI, 901)
+	assertCorpusEquals(t, c, full)
+}
+
+// TestAdvanceFullyDirtyMatchesRebuild drives a tick big enough to touch
+// every source, pinning the threshold (full re-sort) path end to end.
+func TestAdvanceFullyDirtyMatchesRebuild(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 903, NumSources: 30, NumUsers: 90, CommentText: true})
+	c := FromWorld(world, DomainOfInterest{}, 903)
+	c.SentimentByCategory()
+
+	before := c.World()
+	c.Advance(120, 9003)
+	after := c.World()
+	dirty := 0
+	for i := range after.Sources {
+		if after.Sources[i] != before.Sources[i] {
+			dirty++
+		}
+	}
+	if dirty != len(after.Sources) {
+		t.Fatalf("tick dirtied %d/%d sources; pick a bigger tick", dirty, len(after.Sources))
+	}
+
+	full := FromWorld(after, c.DI, 903)
+	assertCorpusEquals(t, c, full)
+}
+
+func TestAdvanceZeroDeltaIsNoop(t *testing.T) {
+	c := New(Config{Seed: 905, NumSources: 20})
+	before := c.state.Load()
+	if got := c.Advance(0, 9005); got != c {
+		t.Fatal("Advance must return the receiver")
+	}
+	if c.state.Load() != before {
+		t.Fatal("zero-delta tick must keep the snapshot pointer-identical")
+	}
+	if c.World() != before.world {
+		t.Fatal("zero-delta tick must not replace the world")
+	}
+}
+
+// TestAdvanceNoReevaluationOnZeroDelta pins "no re-evaluation" directly:
+// the assessor, records and env survive a zero-day tick untouched.
+func TestAdvanceNoReevaluationOnZeroDelta(t *testing.T) {
+	c := New(Config{Seed: 907, NumSources: 15})
+	env := c.state.Load().env
+	c.Advance(0, 9007)
+	if c.state.Load().env != env {
+		t.Fatal("zero-delta tick rebuilt the environment")
+	}
+}
+
+// TestAdvanceOldSnapshotStaysValid pins the reader guarantee: a reader
+// holding pre-advance results is unaffected by a tick.
+func TestAdvanceOldSnapshotStaysValid(t *testing.T) {
+	c := New(Config{Seed: 909, NumSources: 25, CommentText: true})
+	oldWorld := c.World()
+	oldRanked := c.RankSources()
+	oldSenti := c.SentimentByCategory()
+
+	c.Advance(30, 9009)
+
+	// Re-assess the retained old world from scratch: it must be untouched.
+	fullOld := FromWorld(oldWorld, c.DI, 909)
+	if !reflect.DeepEqual(fullOld.RankSources(), oldRanked) {
+		t.Fatal("pre-advance world mutated by the tick")
+	}
+	if !reflect.DeepEqual(fullOld.SentimentByCategory(), oldSenti) {
+		t.Fatal("pre-advance sentiment mutated by the tick")
+	}
+}
+
+// TestAdvanceConcurrentReaders serves every reading surface while a writer
+// ticks the world repeatedly; run with -race this pins the snapshot-swap
+// guarantee of the tentpole.
+func TestAdvanceConcurrentReaders(t *testing.T) {
+	c := New(Config{Seed: 911, NumSources: 25, NumUsers: 80, CommentText: true})
+	n := len(c.RankSources())
+	handler := c.Handler()
+	panelHandler := c.PanelHandler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	reader := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	reader(func() {
+		if len(c.RankSources()) != n {
+			t.Error("short ranking during advance")
+		}
+	})
+	reader(func() { c.RankContributors() })
+	reader(func() { c.SentimentByCategory() })
+	reader(func() { c.TrendingTerms("prerequisites", 5) })
+	reader(func() { c.SourceReport() })
+	reader(func() { c.AssessSource(3) })
+	reader(func() { c.Search("hotel milan", 5) })
+	reader(func() {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/sitemap.txt", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("sitemap status %d during advance", rec.Code)
+		}
+	})
+	reader(func() {
+		rec := httptest.NewRecorder()
+		panelHandler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?host="+c.World().Sources[0].Host, nil))
+	})
+
+	for i := 0; i < 6; i++ {
+		c.Advance(2, int64(9100+i))
+	}
+	close(stop)
+	wg.Wait()
+
+	full := FromWorld(c.World(), c.DI, 911)
+	assertCorpusEquals(t, c, full)
+}

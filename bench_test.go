@@ -387,6 +387,51 @@ func BenchmarkRankSourcesLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkAdvanceIncremental measures one daily monitoring tick at web
+// scale: 2000 sources with ~1% daily churn, assessed incrementally
+// (delta-aware record refresh, measure-matrix row updates with sorted-
+// column repair, panel refresh, snapshot swap). Compare against
+// BenchmarkAdvanceRebuild — the same tick followed by a full FromWorld
+// rebuild — for the perf trajectory recorded in CHANGES.md. Both loops
+// include world generation for the tick itself, which is common cost.
+func BenchmarkAdvanceIncremental(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 91, NumSources: 2000, ChurnScale: 0.27})
+	c := FromWorld(world, quality.DomainOfInterest{}, 91)
+	b.ReportAllocs()
+	b.ResetTimer()
+	dirty := 0
+	for i := 0; i < b.N; i++ {
+		c.Advance(1, int64(9100+i))
+		dirty += len(c.LastDelta().DirtySourceIDs())
+	}
+	b.StopTimer()
+	// Report the measured churn so the "~1% daily" claim is checked, not
+	// asserted.
+	b.ReportMetric(float64(dirty)/float64(b.N)/float64(len(world.Sources)), "dirty-frac")
+	if len(c.RankSources()) != 2000 {
+		b.Fatal("short ranking after advance")
+	}
+}
+
+// BenchmarkAdvanceRebuild is the non-incremental baseline for
+// BenchmarkAdvanceIncremental: identical world and churn, but each tick
+// re-assesses the corpus from scratch via FromWorld (the pre-incremental
+// Advance behaviour).
+func BenchmarkAdvanceRebuild(b *testing.B) {
+	world := webgen.Generate(webgen.Config{Seed: 91, NumSources: 2000, ChurnScale: 0.27})
+	di := quality.DomainOfInterest{Categories: world.Categories}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var c *Corpus
+	for i := 0; i < b.N; i++ {
+		world, _ = webgen.Advance(world, 1, int64(9100+i))
+		c = FromWorld(world, di, 91)
+	}
+	if len(c.RankSources()) != 2000 {
+		b.Fatal("short ranking after rebuild")
+	}
+}
+
 // BenchmarkNewCorpus measures corpus construction end to end: world
 // generation, panel, environment assessment (sources + contributors) and
 // benchmark derivation.

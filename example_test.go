@@ -33,6 +33,38 @@ func ExampleCorpus_Influencers() {
 	// influencers: 5 spam bots among them: 0
 }
 
+// ExampleCorpus_Advance runs the paper's monitoring loop incrementally:
+// archive the current ranking as a report, let a week of activity arrive
+// (Advance re-assesses only the delta, swapping the assessment snapshot
+// atomically under any concurrent readers), then diff the rankings with
+// RankShift.
+func ExampleCorpus_Advance() {
+	c := informer.New(informer.Config{Seed: 81, NumSources: 40})
+	before := c.SourceReport()
+
+	c.Advance(7, 811) // a week of fresh discussions and comments
+
+	after := c.SourceReport()
+	delta := c.LastDelta()
+	shift := informer.RankShift(before, after)
+	moved := 0
+	for _, d := range shift {
+		if d != 0 {
+			moved++
+		}
+	}
+	fmt.Println("round 1:", before.GeneratedAt.Format("2006-01-02"),
+		"- round 2:", after.GeneratedAt.Format("2006-01-02"))
+	fmt.Println("tick touched some sources:", len(delta.DirtySourceIDs()) > 0)
+	fmt.Println("shift tracked for every source:", len(shift) == 40)
+	fmt.Println("a week of activity moved some ranks:", moved > 0)
+	// Output:
+	// round 1: 2011-10-01 - round 2: 2011-10-08
+	// tick touched some sources: true
+	// shift tracked for every source: true
+	// a week of activity moved some ranks: true
+}
+
 // ExampleCorpus_RunMashup executes a small JSON composition.
 func ExampleCorpus_RunMashup() {
 	c := informer.New(informer.Config{Seed: 7, NumSources: 20, CommentText: true})

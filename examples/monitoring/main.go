@@ -22,8 +22,14 @@ func main() {
 		before.GeneratedAt.Format("2006-01-02"),
 		len(before.Entries), before.Entries[0].Name, before.Entries[0].Score)
 
-	// A month of fresh discussions and comments arrives.
+	// A month of fresh discussions and comments arrives; re-assessment is
+	// incremental — only the sources the month touched are re-evaluated —
+	// and readers could keep being served throughout the tick.
 	c = c.Advance(30, 811)
+	delta := c.LastDelta()
+	fmt.Printf("the month touched %d of %d sources (%d new discussions, %d new comments)\n",
+		len(delta.DirtySourceIDs()), len(c.SourceRecords()),
+		len(delta.Discussions), delta.NewCommentCount())
 
 	after := c.SourceReport()
 	fmt.Printf("assessment round 2 (%s): leader %q (%.3f)\n\n",

@@ -24,6 +24,15 @@
 //	dash, _ := rt.Run()
 //	fmt.Println(dash.Render())
 //
+// The monitoring scenario advances the corpus timeline incrementally:
+// Advance re-assesses only what a tick changed and swaps the assessment
+// snapshot atomically, so readers keep being served while the world ticks
+// (see DESIGN.md section 6):
+//
+//	before := c.SourceReport()
+//	c.Advance(7, seed)
+//	shift := informer.RankShift(before, c.SourceReport())
+//
 // The types below are aliases of the implementation packages so that
 // downstream code can name every value the facade returns.
 package informer
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/informing-observers/informer/internal/analytics"
@@ -67,6 +77,8 @@ type (
 	World = webgen.World
 	// WorldConfig configures corpus generation.
 	WorldConfig = webgen.Config
+	// Delta describes what one Advance tick changed (see LastDelta).
+	Delta = webgen.Delta
 	// SearchResult is one baseline search hit.
 	SearchResult = search.Result
 	// Dashboard is an executed mashup's rendered state.
@@ -106,22 +118,71 @@ type Config struct {
 }
 
 // Corpus is an assessed Web 2.0 world: the paper's analysis environment.
+//
+// A Corpus is safe for concurrent readers during advancement: every
+// reading method serves from an immutable assessment snapshot held behind
+// an atomic pointer, and Advance builds the next snapshot copy-on-write
+// before swapping it in. Readers therefore always observe one fully
+// consistent assessment round — never a half-ticked world.
 type Corpus struct {
-	World *World
-	DI    DomainOfInterest
+	DI DomainOfInterest
 
-	panel        *analytics.Panel
-	env          *services.Env
-	engine       *search.Engine
-	srcAssessor  *quality.SourceAssessor
-	userAssessor *quality.ContributorAssessor
-	records      []*SourceRecord
-	userRecords  []*ContributorRecord
+	// seed is the observation seed fixed at construction: the analytics
+	// panel derives from seed+1 and the search baseline from seed+2, on
+	// every assessment round (re-observing does not redraw panel noise).
+	seed int64
+
+	state     atomic.Pointer[assessState]
+	advanceMu sync.Mutex // serialises writers (Advance)
+}
+
+// assessState is one immutable assessment snapshot: the world as of a
+// tick, its panel join, the assessed environment and the lazily built
+// per-snapshot caches. States are never mutated after publication — the
+// lazy caches are internally synchronised — so any number of readers can
+// hold one while a writer prepares the next.
+type assessState struct {
+	world *World
+	panel *analytics.Panel
+	env   *services.Env
+	seed  int64
+	// delta is the tick that produced this snapshot (nil for the
+	// construction snapshot).
+	delta *webgen.Delta
+
+	engineOnce sync.Once
+	engine     *search.Engine
+
+	serverOnce sync.Once
+	server     http.Handler
+
+	panelHandlerOnce sync.Once
+	panelHandler     http.Handler
 
 	// scan caches the corpus-wide comment pass shared by
-	// SentimentByCategory and TrendingTerms (see scan.go).
-	scanOnce sync.Once
-	scan     *commentScan
+	// SentimentByCategory and TrendingTerms (see scan.go). scanBase and
+	// scanStale carry the previous snapshot's pass forward so an advanced
+	// corpus re-scans only the sources the tick touched.
+	scanMu    sync.Mutex
+	scan      *commentScan
+	scanBase  *commentScan
+	scanStale map[int]bool // source row -> stale in scanBase
+}
+
+// searchEngine lazily builds the snapshot's search baseline.
+func (st *assessState) searchEngine() *search.Engine {
+	st.engineOnce.Do(func() {
+		st.engine = search.NewEngine(st.world, st.panel, search.Config{Seed: st.seed + 2})
+	})
+	return st.engine
+}
+
+// webServer lazily builds the snapshot's crawlable HTTP surface.
+func (st *assessState) webServer() http.Handler {
+	st.serverOnce.Do(func() {
+		st.server = webserve.New(st.world)
+	})
+	return st.server
 }
 
 // New generates and assesses a corpus.
@@ -146,79 +207,82 @@ func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
 	}
 	panel := analytics.Build(world, seed+1)
 	env := services.NewEnv(world, panel, di)
-	c := &Corpus{
-		World:        world,
-		DI:           di,
-		panel:        panel,
-		env:          env,
-		engine:       search.NewEngine(world, panel, search.Config{Seed: seed + 2}),
-		records:      env.SourceRecords,
-		userRecords:  env.ContributorRecords,
-		srcAssessor:  env.Sources,
-		userAssessor: env.Contributors,
-	}
+	c := &Corpus{DI: di, seed: seed}
+	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed})
 	return c
 }
 
+// World returns the current world snapshot. After Advance the previous
+// snapshot stays valid — worlds are copy-on-write — so holders of an older
+// pointer are never disturbed.
+func (c *Corpus) World() *World { return c.state.Load().world }
+
 // SourceRecords exposes the raw source observation records.
-func (c *Corpus) SourceRecords() []*SourceRecord { return c.records }
+func (c *Corpus) SourceRecords() []*SourceRecord { return c.state.Load().env.SourceRecords }
 
 // ContributorRecords exposes the raw contributor records.
-func (c *Corpus) ContributorRecords() []*ContributorRecord { return c.userRecords }
+func (c *Corpus) ContributorRecords() []*ContributorRecord {
+	return c.state.Load().env.ContributorRecords
+}
 
 // AssessSource evaluates all Table 1 measures for one source.
 func (c *Corpus) AssessSource(id int) (*Assessment, bool) {
-	if id < 0 || id >= len(c.records) {
+	st := c.state.Load()
+	if id < 0 || id >= len(st.env.SourceRecords) {
 		return nil, false
 	}
-	return c.srcAssessor.Assess(c.records[id]), true
+	return st.env.Sources.Assess(st.env.SourceRecords[id]), true
 }
 
 // RankSources assesses and ranks every source, best first.
 func (c *Corpus) RankSources() []*Assessment {
-	return c.srcAssessor.Rank(c.records)
+	st := c.state.Load()
+	return st.env.Sources.Rank(st.env.SourceRecords)
 }
 
 // AssessContributor evaluates all Table 2 measures for one user.
 func (c *Corpus) AssessContributor(id int) (*Assessment, bool) {
-	if id < 0 || id >= len(c.userRecords) {
+	st := c.state.Load()
+	if id < 0 || id >= len(st.env.ContributorRecords) {
 		return nil, false
 	}
-	return c.userAssessor.Assess(c.userRecords[id]), true
+	return st.env.Contributors.Assess(st.env.ContributorRecords[id]), true
 }
 
 // RankContributors assesses and ranks every contributor, best first.
 func (c *Corpus) RankContributors() []*Assessment {
-	return c.userAssessor.Rank(c.userRecords)
+	st := c.state.Load()
+	return st.env.Contributors.Rank(st.env.ContributorRecords)
 }
 
 // Influencers detects opinion leaders (Section 3.2).
 func (c *Corpus) Influencers(opts InfluencerOptions) []Influencer {
-	return quality.Influencers(c.userAssessor, c.userRecords, opts)
+	st := c.state.Load()
+	return quality.Influencers(st.env.Contributors, st.env.ContributorRecords, opts)
 }
 
 // Search queries the built-in search-engine baseline (the paper's Google
 // stand-in) over the corpus.
 func (c *Corpus) Search(query string, k int) []SearchResult {
-	return c.engine.Search(query, k)
+	return c.state.Load().searchEngine().Search(query, k)
 }
 
 // SentimentByCategory scores every comment in the corpus and aggregates
 // per-category indicators, weighting each source by its quality score
 // (Section 6). Requires a corpus generated with CommentText. The
-// underlying corpus pass runs once per Corpus, scoring sources in
-// parallel, and is shared with TrendingTerms (see scan.go) — like the
-// quality assessments, it snapshots the world at first use; after Advance,
-// read from the returned fresh Corpus.
+// underlying corpus pass runs once per assessment round, scoring sources
+// in parallel, and is shared with TrendingTerms (see scan.go). After
+// Advance, only sources the tick touched are re-scanned.
 func (c *Corpus) SentimentByCategory() map[string]SentimentIndicator {
+	st := c.state.Load()
 	out := map[string]SentimentIndicator{}
-	for cat, bySource := range c.commentScan().sentiByCatSource {
+	for cat, bySource := range st.commentScan().sentiByCatSource {
 		var entries []sentiment.SourceSentiment
 		total := 0
 		for sid, cl := range bySource {
 			entries = append(entries, sentiment.SourceSentiment{
 				SourceID: sid,
-				Quality:  c.env.SourceScores[sid],
+				Quality:  st.env.SourceScores[sid],
 				Mean:     cl.sum / float64(cl.n),
 				N:        cl.n,
 			})
@@ -242,7 +306,7 @@ func (c *Corpus) NewMashup(compositionJSON []byte) (*MashupRuntime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mashup.NewRuntime(comp, services.NewRegistry(c.env))
+	return mashup.NewRuntime(comp, services.NewRegistry(c.state.Load().env))
 }
 
 // RunMashup parses, instantiates and runs a composition in one call.
@@ -262,12 +326,24 @@ func EmitSelect(rt *MashupRuntime, viewerID string, payload MashupEvent) (*Dashb
 
 // Handler serves the corpus over HTTP (per-source pages, discussion pages
 // with data islands, RSS/Atom feeds, sitemap) so it can be crawled like
-// the live Web.
-func (c *Corpus) Handler() http.Handler { return webserve.New(c.World) }
+// the live Web. The handler always serves the corpus' current snapshot:
+// requests racing an Advance see either the whole old world or the whole
+// new one, so a crawler's conditional re-fetch (ETags) works across ticks.
+func (c *Corpus) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.state.Load().webServer().ServeHTTP(w, r)
+	})
+}
 
 // PanelHandler serves the analytics panel (the Alexa substitute) as a
-// JSON API.
-func (c *Corpus) PanelHandler() http.Handler { return c.panel.Handler() }
+// JSON API, always reading the current snapshot's panel.
+func (c *Corpus) PanelHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := c.state.Load()
+		st.panelHandlerOnce.Do(func() { st.panelHandler = st.panel.Handler() })
+		st.panelHandler.ServeHTTP(w, r)
+	})
+}
 
 // CrawlOptions configures Crawl.
 type CrawlOptions struct {
@@ -292,7 +368,8 @@ func (c *Corpus) Crawl(ctx context.Context, baseURL string, opts CrawlOptions) (
 	if err != nil {
 		return nil, err
 	}
-	return quality.SourceRecordsFromSnapshot(snap, c.panel, c.World.Config.End, c.World.Days()), nil
+	st := c.state.Load()
+	return quality.SourceRecordsFromSnapshot(snap, st.panel, st.world.Config.End, st.world.Days()), nil
 }
 
 // AssessRecords ranks externally obtained records (e.g. from Crawl) with
@@ -316,23 +393,57 @@ func AssessMicroblog(records []*ContributorRecord) []*Assessment {
 
 // Advance extends the corpus timeline by the given number of days,
 // generating fresh activity (the monitoring scenario: content keeps
-// arriving between assessment rounds), and re-assesses everything.
-// The returned Corpus shares the underlying (mutated) world; use it — not
-// the receiver — for post-advance readings, since the receiver's cached
-// assessments and comment scan reflect the pre-advance world.
+// arriving between assessment rounds), and re-assesses incrementally:
+// webgen.Advance reports a Delta of the sources and contributors whose
+// content changed, records and measure matrices are repaired for exactly
+// that delta (plus the time-sensitive measures, which move with the
+// observation instant for everyone), and the comment-scan caches are
+// invalidated per source instead of wholesale. The resulting numbers are
+// bit-identical to a full FromWorld rebuild over the advanced world with
+// the corpus' construction seed.
+//
+// seed drives only the freshly generated activity; the observation side
+// (panel noise, search baseline) keeps the corpus' construction seed, so
+// re-assessment never redraws panel noise for sources that did not change.
+//
+// Advance swaps the corpus' assessment snapshot atomically and returns the
+// receiver: concurrent readers (RankSources, SentimentByCategory, Handler,
+// ...) keep serving the previous snapshot until the swap and are never
+// disturbed — the previous world and its assessments stay valid and
+// immutable. Writers are serialised internally. A tick that changes
+// nothing (days <= 0) is a no-op returning the receiver unchanged.
 func (c *Corpus) Advance(days int, seed int64) *Corpus {
-	webgen.Advance(c.World, days, seed)
-	return FromWorld(c.World, c.DI, seed)
+	c.advanceMu.Lock()
+	defer c.advanceMu.Unlock()
+	cur := c.state.Load()
+	world, delta := webgen.Advance(cur.world, days, seed)
+	if world == cur.world {
+		return c // zero-delta tick: keep the snapshot, pointer-identical
+	}
+	panel := cur.panel.Refresh(world)
+	env := cur.env.Advance(world, panel, delta)
+	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, delta: delta}
+	next.inheritScan(cur, delta)
+	c.state.Store(next)
+	return c
 }
+
+// LastDelta returns the Delta of the tick that produced the current
+// snapshot — which sources and contributors changed, and how much content
+// arrived — or nil before the first effective Advance. Monitoring loops
+// use it to drive conditional re-crawls and churn dashboards.
+func (c *Corpus) LastDelta() *Delta { return c.state.Load().delta }
 
 // SourceReport archives the current source ranking for later comparison.
 func (c *Corpus) SourceReport() *Report {
-	return quality.NewSourceReport(c.srcAssessor, c.RankSources(), c.World.Config.End)
+	st := c.state.Load()
+	return quality.NewSourceReport(st.env.Sources, st.env.Sources.Rank(st.env.SourceRecords), st.world.Config.End)
 }
 
 // ContributorReport archives the current contributor ranking.
 func (c *Corpus) ContributorReport() *Report {
-	return quality.NewContributorReport(c.userAssessor, c.RankContributors(), c.World.Config.End)
+	st := c.state.Load()
+	return quality.NewContributorReport(st.env.Contributors, st.env.Contributors.Rank(st.env.ContributorRecords), st.world.Config.End)
 }
 
 // Report is a serialisable ranking snapshot; see WriteJSON/ReadReport.
@@ -350,7 +461,7 @@ func RankShift(old, new *Report) map[string]int { return quality.RankShift(old, 
 // Term counts come from the shared cached corpus pass (see scan.go), so
 // calling this for every category costs one scan, not one per category.
 func (c *Corpus) TrendingTerms(category string, k int) []BuzzTerm {
-	scan := c.commentScan()
+	scan := c.state.Load().commentScan()
 	fg := scan.fgByCategory[category]
 	if fg == nil {
 		fg = buzz.NewCounts()

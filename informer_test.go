@@ -17,8 +17,8 @@ func testCorpus(t *testing.T) *Corpus {
 
 func TestNewCorpusDefaults(t *testing.T) {
 	c := New(Config{NumSources: 10})
-	if len(c.World.Sources) != 10 {
-		t.Fatalf("sources = %d", len(c.World.Sources))
+	if len(c.World().Sources) != 10 {
+		t.Fatalf("sources = %d", len(c.World().Sources))
 	}
 	if len(c.DI.Categories) != 6 {
 		t.Errorf("DI should default to the world's categories: %v", c.DI.Categories)
@@ -187,7 +187,7 @@ func TestPanelHandlerFacade(t *testing.T) {
 	c := New(Config{Seed: 79, NumSources: 4})
 	ts := httptest.NewServer(c.PanelHandler())
 	defer ts.Close()
-	resp, err := httpGet(ts.URL + "/metrics?host=" + c.World.Sources[0].Host)
+	resp, err := httpGet(ts.URL + "/metrics?host=" + c.World().Sources[0].Host)
 	if err != nil {
 		t.Fatal(err)
 	}

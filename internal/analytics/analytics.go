@@ -48,6 +48,12 @@ type Metrics struct {
 type Panel struct {
 	metrics []Metrics
 	byHost  map[string]int
+	// activityNoise[i] is the multiplicative panel noise drawn for source
+	// i's NewDiscussionsPerDay estimate. It is retained so Refresh can
+	// re-derive the per-day activity after an Advance tick bit-identically
+	// to a full Build with the same seed, without replaying the session
+	// simulation.
+	activityNoise []float64
 }
 
 // sessionsPerSource is the fixed per-source sample size of the simulated
@@ -98,9 +104,10 @@ func Build(world *webgen.World, seed int64) *Panel {
 
 		// Activity estimate: discussions per day over the world timeline,
 		// with panel noise.
-		m.NewDiscussionsPerDay = float64(len(src.Discussions)) / world.Days() *
-			math.Exp(0.1*rng.NormFloat64())
+		noise := math.Exp(0.1 * rng.NormFloat64())
+		m.NewDiscussionsPerDay = float64(len(src.Discussions)) / world.Days() * noise
 
+		p.activityNoise = append(p.activityNoise, noise)
 		p.metrics = append(p.metrics, m)
 		p.byHost[src.Host] = src.ID
 		ranks = append(ranks, ranked{id: src.ID, score: m.DailyVisitors})
@@ -128,6 +135,30 @@ func sampleGeometric(rng *rand.Rand, mean float64) int {
 		}
 	}
 	return n
+}
+
+// Refresh re-derives the panel for an advanced world without replaying the
+// session simulation. The panel's session log (visitors, bounce rate,
+// dwell) depends only on the seed and the sources' latent factors, so it
+// is reusable as-is; only the per-day activity estimate moves with the
+// timeline (each source's discussion count over the grown window, scaled
+// by the retained noise draw). The result is bit-identical to
+// Build(world, seed) with the original seed — the substrate for
+// incremental corpus advancement. The receiver is left untouched for
+// concurrent readers of the pre-advance snapshot.
+func (p *Panel) Refresh(world *webgen.World) *Panel {
+	np := &Panel{
+		metrics:       append([]Metrics(nil), p.metrics...),
+		byHost:        p.byHost,
+		activityNoise: p.activityNoise,
+	}
+	for i, src := range world.Sources {
+		if i >= len(np.metrics) {
+			break
+		}
+		np.metrics[i].NewDiscussionsPerDay = float64(len(src.Discussions)) / world.Days() * np.activityNoise[i]
+	}
+	return np
 }
 
 // BySource returns the metrics of source id.

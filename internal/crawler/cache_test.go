@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"github.com/informing-observers/informer/internal/webgen"
@@ -106,7 +107,13 @@ func (s stripETag) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // reflects the growth.
 func TestMonitoringRecrawl(t *testing.T) {
 	world := webgen.Generate(webgen.Config{Seed: 16, NumSources: 8, CommentText: true})
-	ts := httptest.NewServer(webserve.New(world))
+	// Advance is copy-on-write, so the served world is swapped between
+	// crawls — the same snapshot-per-tick serving the informer facade does.
+	var served atomic.Pointer[webserve.Server]
+	served.Store(webserve.New(world))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Load().ServeHTTP(w, r)
+	}))
 	defer ts.Close()
 
 	cache := NewCache()
@@ -117,7 +124,8 @@ func TestMonitoringRecrawl(t *testing.T) {
 	}
 	_, misses1 := cache.Stats()
 
-	webgen.Advance(world, 30, 161)
+	world, _ = webgen.Advance(world, 30, 161)
+	served.Store(webserve.New(world))
 
 	snap2, err := Crawl(context.Background(), cfg)
 	if err != nil {

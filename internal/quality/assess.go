@@ -99,8 +99,8 @@ type Assessment struct {
 // measure over every corpus record exactly once (see matrix.go); Assess
 // and Rank serve corpus records from that cache. The assessor is therefore
 // a snapshot: mutating a corpus record after construction does not change
-// its assessment — build a new assessor to re-observe (as Corpus.Advance
-// does).
+// its assessment — derive a new assessor to re-observe, either from
+// scratch or incrementally via UpdateRows (as Corpus.Advance does).
 type SourceAssessor struct {
 	DI         DomainOfInterest
 	opts       AssessorOptions
@@ -124,7 +124,7 @@ func NewSourceAssessor(corpus []*SourceRecord, di DomainOfInterest, opts *Assess
 	infos := make([]measureInfo, len(measures))
 	evals := make([]func(*SourceRecord, *DomainOfInterest) (float64, bool), len(measures))
 	for i, m := range measures {
-		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter}
+		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter, timeSensitive: m.TimeSensitive}
 		evals[i] = m.Eval
 	}
 	a := &SourceAssessor{DI: di, opts: o, measures: measures}
@@ -163,6 +163,26 @@ func (a *SourceAssessor) Rank(records []*SourceRecord) []*Assessment {
 	return a.engine.rank(records)
 }
 
+// UpdateRows derives a new assessor for an incrementally advanced corpus
+// (the monitoring scenario): corpus is the refreshed record slice — same
+// sources, same order — dirtyRows indexes the records whose content
+// changed, and epochMoved reports whether the observation instant moved
+// (which shifts every time-sensitive measure, so those are re-evaluated
+// for all records). Only dirty rows are re-evaluated for content measures;
+// per-measure sorted columns are repaired in place of a full re-sort and
+// the benchmarks re-derived from them. The result is bit-identical to
+// NewSourceAssessor over the same records, and the receiver stays valid
+// for concurrent readers of the pre-advance snapshot.
+func (a *SourceAssessor) UpdateRows(corpus []*SourceRecord, dirtyRows []int, epochMoved bool) *SourceAssessor {
+	na := &SourceAssessor{DI: a.DI, opts: a.opts, measures: a.measures}
+	na.engine = a.engine.updateRows(corpus, dirtyRows, epochMoved)
+	na.benchmarks = make(map[string]Benchmark, len(a.measures))
+	for i, m := range a.measures {
+		na.benchmarks[m.ID] = na.engine.benchmarkAt(i)
+	}
+	return na
+}
+
 // ContributorAssessor assesses ContributorRecords (Table 2) with the same
 // cached-matrix engine as SourceAssessor.
 type ContributorAssessor struct {
@@ -187,7 +207,7 @@ func NewContributorAssessor(corpus []*ContributorRecord, di DomainOfInterest, op
 	infos := make([]measureInfo, len(measures))
 	evals := make([]func(*ContributorRecord, *DomainOfInterest) (float64, bool), len(measures))
 	for i, m := range measures {
-		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter}
+		infos[i] = measureInfo{id: m.ID, dimension: m.Dimension, attribute: m.Attribute, higherIsBetter: m.HigherIsBetter, timeSensitive: m.TimeSensitive}
 		evals[i] = m.Eval
 	}
 	a := &ContributorAssessor{DI: di, opts: o, measures: measures}
@@ -221,4 +241,16 @@ func (a *ContributorAssessor) AssessAll(records []*ContributorRecord) []*Assessm
 // Rank assesses all records and returns them best-first.
 func (a *ContributorAssessor) Rank(records []*ContributorRecord) []*Assessment {
 	return a.engine.rank(records)
+}
+
+// UpdateRows derives a new assessor for an incrementally advanced
+// contributor population; see SourceAssessor.UpdateRows.
+func (a *ContributorAssessor) UpdateRows(corpus []*ContributorRecord, dirtyRows []int, epochMoved bool) *ContributorAssessor {
+	na := &ContributorAssessor{DI: a.DI, opts: a.opts, measures: a.measures}
+	na.engine = a.engine.updateRows(corpus, dirtyRows, epochMoved)
+	na.benchmarks = make(map[string]Benchmark, len(a.measures))
+	for i, m := range a.measures {
+		na.benchmarks[m.ID] = na.engine.benchmarkAt(i)
+	}
+	return na
 }

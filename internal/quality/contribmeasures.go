@@ -9,7 +9,11 @@ type ContributorMeasure struct {
 	Attribute       Attribute
 	DomainDependent bool
 	HigherIsBetter  bool
-	Eval            func(r *ContributorRecord, di *DomainOfInterest) (float64, bool)
+	// TimeSensitive marks measures whose value moves with the observation
+	// instant (account ages, per-day interaction rates) even when the
+	// contributor gained no new activity; see SourceMeasure.TimeSensitive.
+	TimeSensitive bool
+	Eval          func(r *ContributorRecord, di *DomainOfInterest) (float64, bool)
 }
 
 // diComments sums the contributor's comments in DI categories, and counts
@@ -91,10 +95,11 @@ var contributorMeasures = []ContributorMeasure{
 		},
 	},
 	{
-		ID:          "usr.time.breadth",
-		Description: "age of the user (days since joining)",
-		Dimension:   Time,
-		Attribute:   Breadth,
+		ID:            "usr.time.breadth",
+		TimeSensitive: true,
+		Description:   "age of the user (days since joining)",
+		Dimension:     Time,
+		Attribute:     Breadth,
 		// Longer-standing members are more established contributors.
 		HigherIsBetter: true,
 		Eval: func(r *ContributorRecord, _ *DomainOfInterest) (float64, bool) {
@@ -117,6 +122,7 @@ var contributorMeasures = []ContributorMeasure{
 	},
 	{
 		ID:             "usr.time.liveliness",
+		TimeSensitive:  true,
 		Description:    "average number of new interactions per day",
 		Dimension:      Time,
 		Attribute:      Liveliness,
@@ -204,6 +210,7 @@ var contributorMeasures = []ContributorMeasure{
 	},
 	{
 		ID:             "usr.dependability.liveliness",
+		TimeSensitive:  true,
 		Description:    "average interactions per discussion per day",
 		Dimension:      Dependability,
 		Attribute:      Liveliness,

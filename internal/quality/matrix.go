@@ -30,6 +30,10 @@ type measureInfo struct {
 	dimension      Dimension
 	attribute      Attribute
 	higherIsBetter bool
+	// timeSensitive measures are re-evaluated for every record on an
+	// incremental update whose tick moved the observation instant; the
+	// others only for dirty records (see updateRows).
+	timeSensitive bool
 }
 
 // matrixEngine evaluates a measure catalogue over a corpus once and serves
@@ -57,6 +61,13 @@ type matrixEngine[R any] struct {
 	col      map[*R]int // corpus record -> matrix column
 	vals     []float64  // vals[m*nRecords+c]: raw value of measure m on record c
 	present  []bool     // present[m*nRecords+c]: measure defined for record
+
+	// sorted[m] holds measure m's defined values in ascending order — the
+	// exact slice the benchmark quantiles were read from. It is retained
+	// so updateRows can repair it (remove+insert) instead of re-sorting
+	// when only a few records changed. Engines and their sorted columns
+	// are immutable after construction; updateRows copies before editing.
+	sorted [][]float64
 }
 
 // newMatrixEngine fills the matrix and derives the benchmarks.
@@ -115,8 +126,10 @@ func newMatrixEngine[R any](
 		}
 	})
 	// Benchmarks: per measure, gather the defined values in record order
-	// and sort once; Lo and Hi both read from the same sorted slice.
+	// and sort once; Lo and Hi both read from the same sorted slice, which
+	// is retained for incremental repair.
 	e.benchmarks = make([]Benchmark, nm)
+	e.sorted = make([][]float64, nm)
 	e.forEachChunk(nm, func(lo, hi int) {
 		for m := lo; m < hi; m++ {
 			values := make([]float64, 0, nr)
@@ -125,24 +138,136 @@ func newMatrixEngine[R any](
 					values = append(values, e.vals[m*nr+c])
 				}
 			}
-			e.benchmarks[m] = benchmarkFromSorted(values, opts)
+			sort.Float64s(values)
+			e.sorted[m] = values
+			e.benchmarks[m] = benchmarkFromPresorted(values, opts)
 		}
 	})
 	return e
 }
 
-// benchmarkFromSorted derives a Benchmark from observed values, sorting
-// them once in place.
-func benchmarkFromSorted(values []float64, opts AssessorOptions) Benchmark {
+// benchmarkFromPresorted derives a Benchmark from an ascending-sorted value
+// slice.
+func benchmarkFromPresorted(values []float64, opts AssessorOptions) Benchmark {
 	if len(values) == 0 {
 		return Benchmark{}
 	}
-	sort.Float64s(values)
 	if opts.PlainMinMax {
 		return Benchmark{Lo: values[0], Hi: values[len(values)-1]}
 	}
 	q := stats.SortedQuantiles(values, opts.BenchmarkLoQ, opts.BenchmarkHiQ)
 	return Benchmark{Lo: q[0], Hi: q[1]}
+}
+
+// resortDenominator bounds the remove+insert repair: past nRecords /
+// resortDenominator dirty records, re-sorting the whole column is cheaper
+// (and allocation-flatter) than O(dirty) memmoves over it.
+const resortDenominator = 8
+
+// updateRows derives a new engine for an advanced corpus: same record
+// population (by position), where the records listed in dirty changed
+// content and — when epochMoved — the observation instant moved, which
+// shifts every time-sensitive measure. Dirty rows are re-evaluated for all
+// measures; clean rows only for time-sensitive ones. Per-measure sorted
+// columns are repaired with remove+insert (full re-sort past a dirtiness
+// threshold) and the benchmarks re-read from the repaired sort, so every
+// derived number is bit-identical to a from-scratch rebuild over the same
+// records. The receiver is left untouched and keeps serving concurrent
+// readers.
+//
+// corpus must have the same length and ordering as the construction
+// corpus; records not in dirty must hold the same measure inputs as before
+// (up to time-sensitive fields). If the population changed shape, fall
+// back to building a fresh engine.
+func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
+	nm, nr := len(e.infos), e.nRecords
+	if len(corpus) != nr {
+		return newMatrixEngine(corpus, e.di, e.opts, e.infos, e.evals, e.ident)
+	}
+	ne := &matrixEngine[R]{
+		di:      e.di,
+		opts:    e.opts,
+		infos:   e.infos,
+		evals:   e.evals,
+		ident:   e.ident,
+		weights: e.weights,
+		dimOff:  e.dimOff, nDims: e.nDims,
+		attOff: e.attOff, nAtts: e.nAtts,
+		nRecords:   nr,
+		col:        make(map[*R]int, nr),
+		vals:       append([]float64(nil), e.vals...),
+		present:    append([]bool(nil), e.present...),
+		benchmarks: append([]Benchmark(nil), e.benchmarks...),
+		sorted:     make([][]float64, nm),
+	}
+	for c, r := range corpus {
+		ne.col[r] = c
+	}
+	// Each worker owns a contiguous chunk of measure columns; columns are
+	// independent, so the result cannot depend on scheduling.
+	e.forEachChunk(nm, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			switch {
+			case e.infos[m].timeSensitive && epochMoved:
+				// The instant moved under every record: recompute the
+				// column wholesale, exactly like construction.
+				values := make([]float64, 0, nr)
+				for c := 0; c < nr; c++ {
+					v, ok := e.evals[m](corpus[c], &ne.di)
+					ne.vals[m*nr+c], ne.present[m*nr+c] = v, ok
+					if ok {
+						values = append(values, v)
+					}
+				}
+				sort.Float64s(values)
+				ne.sorted[m] = values
+				ne.benchmarks[m] = benchmarkFromPresorted(values, ne.opts)
+			case len(dirty)*resortDenominator > nr:
+				// Dirtiness threshold exceeded: re-evaluate the dirty rows
+				// and re-sort the column from scratch.
+				for _, c := range dirty {
+					ne.vals[m*nr+c], ne.present[m*nr+c] = e.evals[m](corpus[c], &ne.di)
+				}
+				values := make([]float64, 0, nr)
+				for c := 0; c < nr; c++ {
+					if ne.present[m*nr+c] {
+						values = append(values, ne.vals[m*nr+c])
+					}
+				}
+				sort.Float64s(values)
+				ne.sorted[m] = values
+				ne.benchmarks[m] = benchmarkFromPresorted(values, ne.opts)
+			default:
+				// Sparse dirt: repair the retained sorted column by
+				// remove+insert and re-read the quantiles.
+				col := e.sorted[m]
+				copied := false
+				for _, c := range dirty {
+					oldV, oldOk := e.vals[m*nr+c], e.present[m*nr+c]
+					v, ok := e.evals[m](corpus[c], &ne.di)
+					ne.vals[m*nr+c], ne.present[m*nr+c] = v, ok
+					if ok == oldOk && (!ok || v == oldV) {
+						continue // value unchanged: sorted column unaffected
+					}
+					if !copied {
+						col = append(make([]float64, 0, len(col)+len(dirty)), col...)
+						copied = true
+					}
+					if oldOk {
+						col, _ = stats.SortedRemove(col, oldV)
+					}
+					if ok {
+						col = stats.SortedInsert(col, v)
+					}
+				}
+				ne.sorted[m] = col
+				if copied {
+					ne.benchmarks[m] = benchmarkFromPresorted(col, ne.opts)
+				}
+			}
+		}
+	})
+	return ne
 }
 
 // forEachChunk fans fn out over the assessor's worker pool with

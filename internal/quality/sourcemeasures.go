@@ -16,7 +16,15 @@ type SourceMeasure struct {
 	// HigherIsBetter orients normalisation; e.g. traffic rank and bounce
 	// rate improve downward.
 	HigherIsBetter bool
-	Eval           func(r *SourceRecord, di *DomainOfInterest) (float64, bool)
+	// TimeSensitive marks measures whose value can change when the
+	// observation instant moves even though the record's own content did
+	// not: ages measured from ObservedAt, per-day rates over the window,
+	// and comparisons against corpus-wide bases (MaxOpenDiscussions, the
+	// panel's per-day activity estimate). Incremental advancement
+	// (UpdateRows) re-evaluates these for every record on each tick;
+	// everything else is re-evaluated only for dirty records.
+	TimeSensitive bool
+	Eval          func(r *SourceRecord, di *DomainOfInterest) (float64, bool)
 }
 
 // relevantDiscussion reports whether d belongs to the DI (category and time
@@ -127,6 +135,7 @@ var sourceMeasures = []SourceMeasure{
 	},
 	{
 		ID:             "src.completeness.traffic",
+		TimeSensitive:  true,
 		Description:    "open discussions compared to the largest Web blog/forum",
 		Dimension:      Completeness,
 		Attribute:      Traffic,
@@ -155,11 +164,12 @@ var sourceMeasures = []SourceMeasure{
 		},
 	},
 	{
-		ID:          "src.time.breadth",
-		Description: "average age of discussion threads (days)",
-		Dimension:   Time,
-		Attribute:   Breadth,
-		Provenance:  Crawling,
+		ID:            "src.time.breadth",
+		TimeSensitive: true,
+		Description:   "average age of discussion threads (days)",
+		Dimension:     Time,
+		Attribute:     Breadth,
+		Provenance:    Crawling,
 		// Fresher threads respond to newer issues; large average age means
 		// a stale board, so the measure improves downward.
 		HigherIsBetter: false,
@@ -190,6 +200,7 @@ var sourceMeasures = []SourceMeasure{
 	},
 	{
 		ID:             "src.time.liveliness",
+		TimeSensitive:  true,
 		Description:    "average number of newly opened discussions per day (panel)",
 		Dimension:      Time,
 		Attribute:      Liveliness,
@@ -319,6 +330,7 @@ var sourceMeasures = []SourceMeasure{
 	},
 	{
 		ID:             "src.dependability.liveliness",
+		TimeSensitive:  true,
 		Description:    "average number of comments per discussion per day",
 		Dimension:      Dependability,
 		Attribute:      Liveliness,

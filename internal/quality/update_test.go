@@ -1,0 +1,196 @@
+package quality
+
+// Incremental-vs-rebuild equivalence of the delta-aware assessment path:
+// UpdateRows must produce numbers bit-identical to a from-scratch assessor
+// over the same records — for partial dirt (sorted-column repair), full
+// dirt (threshold re-sort), and pure time advancement (time-sensitive
+// re-evaluation) — and the pre-advance assessor must keep serving its
+// original snapshot.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// advancedWorldRecords generates a world, advances it, and returns the
+// pre-advance records plus everything needed to build the post-advance
+// ones.
+func advancedWorld(t *testing.T, n int, seed int64, days int) (*webgen.World, *webgen.World, *webgen.Delta, *analytics.Panel, *analytics.Panel) {
+	t.Helper()
+	w := webgen.Generate(webgen.Config{Seed: seed, NumSources: n})
+	panel := analytics.Build(w, seed+1000)
+	nw, delta := webgen.Advance(w, days, seed+2000)
+	return w, nw, delta, panel, panel.Refresh(nw)
+}
+
+func assertAssessorsEqual(t *testing.T, got *SourceAssessor, want *SourceAssessor, records []*SourceRecord) {
+	t.Helper()
+	for _, m := range SourceMeasures() {
+		gb, gok := got.Benchmark(m.ID)
+		wb, wok := want.Benchmark(m.ID)
+		if gok != wok || gb != wb {
+			t.Fatalf("benchmark %s: got %+v, want %+v", m.ID, gb, wb)
+		}
+	}
+	rankedEqual(t, got.Rank(records), want.Rank(records))
+	rankedEqual(t, got.AssessAll(records), want.AssessAll(records))
+}
+
+func TestUpdateRowsPartialMatchesRebuild(t *testing.T) {
+	w, nw, delta, panel, npanel := advancedWorld(t, 80, 501, 7)
+	di := defaultDI()
+	oldRecords := SourceRecordsFromWorld(w, panel)
+	base := NewSourceAssessor(oldRecords, di, nil)
+
+	records, dirtyRows := UpdateSourceRecordsFromWorld(oldRecords, nw, npanel, delta.DirtySourceIDs())
+	if len(dirtyRows) == 0 || len(dirtyRows) == len(records) {
+		t.Fatalf("want partial dirt for this seed, got %d/%d dirty rows", len(dirtyRows), len(records))
+	}
+	// The refreshed records must equal a from-scratch walk of the new world.
+	wantRecords := SourceRecordsFromWorld(nw, npanel)
+	for i := range records {
+		if !reflect.DeepEqual(records[i], wantRecords[i]) {
+			t.Fatalf("record %d differs from rebuild:\n got  %+v\n want %+v", i, records[i], wantRecords[i])
+		}
+	}
+
+	inc := base.UpdateRows(records, dirtyRows, delta.EpochMoved())
+	fresh := NewSourceAssessor(records, di, nil)
+	assertAssessorsEqual(t, inc, fresh, records)
+}
+
+func TestUpdateRowsAllDirtyMatchesRebuild(t *testing.T) {
+	w, nw, _, panel, npanel := advancedWorld(t, 40, 503, 7)
+	di := defaultDI()
+	oldRecords := SourceRecordsFromWorld(w, panel)
+	base := NewSourceAssessor(oldRecords, di, nil)
+
+	// Force the 100%-dirty path regardless of what the tick touched: every
+	// record rebuilt, every row re-evaluated (the threshold re-sort branch).
+	allIDs := make([]int, len(oldRecords))
+	for i, r := range oldRecords {
+		allIDs[i] = r.ID
+	}
+	records, dirtyRows := UpdateSourceRecordsFromWorld(oldRecords, nw, npanel, allIDs)
+	if len(dirtyRows) != len(records) {
+		t.Fatalf("dirty rows = %d, want all %d", len(dirtyRows), len(records))
+	}
+	inc := base.UpdateRows(records, dirtyRows, true)
+	fresh := NewSourceAssessor(records, di, nil)
+	assertAssessorsEqual(t, inc, fresh, records)
+}
+
+// TestUpdateRowsTimeOnly pins the epoch semantics: a tick that touched no
+// source content still moves the observation instant, so time-sensitive
+// measures shift for every record while content measures keep their
+// benchmarks bit-for-bit.
+func TestUpdateRowsTimeOnly(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 505, NumSources: 50})
+	panel := analytics.Build(w, 1505)
+	di := defaultDI()
+	oldRecords := SourceRecordsFromWorld(w, panel)
+	base := NewSourceAssessor(oldRecords, di, nil)
+
+	// Move only the clock: same content, later End.
+	nw := &webgen.World{
+		Config:             w.Config,
+		Categories:         w.Categories,
+		Sources:            w.Sources,
+		Users:              w.Users,
+		MaxOpenDiscussions: w.MaxOpenDiscussions,
+	}
+	nw.Config.End = w.Config.End.AddDate(0, 0, 30)
+	npanel := panel.Refresh(nw)
+	records, dirtyRows := UpdateSourceRecordsFromWorld(oldRecords, nw, npanel, nil)
+	if len(dirtyRows) != 0 {
+		t.Fatalf("no source changed, got %d dirty rows", len(dirtyRows))
+	}
+	inc := base.UpdateRows(records, nil, true)
+	fresh := NewSourceAssessor(records, di, nil)
+	assertAssessorsEqual(t, inc, fresh, records)
+
+	// Time-sensitive benchmarks moved; the old assessor still serves the
+	// old snapshot.
+	ob, _ := base.Benchmark("src.time.breadth")
+	nb, _ := inc.Benchmark("src.time.breadth")
+	if ob == nb {
+		t.Error("30 days should move the thread-age benchmark")
+	}
+	oldAgain, _ := base.Benchmark("src.time.breadth")
+	if oldAgain != ob {
+		t.Error("pre-advance assessor mutated by UpdateRows")
+	}
+}
+
+func TestContributorUpdateRowsMatchesRebuild(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 507, NumSources: 40, NumUsers: 160})
+	di := defaultDI()
+	ix := NewContributorIndex(w)
+	base := NewContributorAssessor(ix.Records(), di, nil)
+
+	nw, delta := webgen.Advance(w, 10, 607)
+	nix, dirtyRows := ix.Apply(nw, delta)
+	records := nix.Records()
+
+	// Index application must equal a from-scratch world walk.
+	want := ContributorRecordsFromWorld(nw)
+	for i := range records {
+		if !reflect.DeepEqual(records[i], want[i]) {
+			t.Fatalf("contributor record %d differs from rebuild:\n got  %+v\n want %+v", i, records[i], want[i])
+		}
+	}
+	if len(dirtyRows) == 0 {
+		t.Fatal("10-day tick should dirty some contributors")
+	}
+
+	inc := base.UpdateRows(records, dirtyRows, delta.EpochMoved())
+	fresh := NewContributorAssessor(records, di, nil)
+	rankedEqual(t, inc.Rank(records), fresh.Rank(records))
+	for _, m := range ContributorMeasures() {
+		gb, gok := inc.Benchmark(m.ID)
+		wb, wok := fresh.Benchmark(m.ID)
+		if gok != wok || gb != wb {
+			t.Fatalf("benchmark %s: got %+v, want %+v", m.ID, gb, wb)
+		}
+	}
+}
+
+// TestUpdateRowsChained pins correctness across consecutive ticks: repair
+// over repair must still equal a from-scratch rebuild.
+func TestUpdateRowsChained(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 509, NumSources: 60})
+	panel := analytics.Build(w, 1509)
+	di := defaultDI()
+	records := SourceRecordsFromWorld(w, panel)
+	assessor := NewSourceAssessor(records, di, nil)
+
+	for tick := 0; tick < 3; tick++ {
+		nw, delta := webgen.Advance(w, 4, int64(700+tick))
+		npanel := panel.Refresh(nw)
+		var dirtyRows []int
+		records, dirtyRows = UpdateSourceRecordsFromWorld(records, nw, npanel, delta.DirtySourceIDs())
+		assessor = assessor.UpdateRows(records, dirtyRows, delta.EpochMoved())
+		w, panel = nw, npanel
+	}
+	fresh := NewSourceAssessor(records, di, nil)
+	assertAssessorsEqual(t, assessor, fresh, records)
+}
+
+// TestUpdateRowsPreservesReceiver pins the snapshot contract needed for
+// concurrent readers: deriving an updated assessor must not change any
+// number served by the original.
+func TestUpdateRowsPreservesReceiver(t *testing.T) {
+	w, nw, delta, panel, npanel := advancedWorld(t, 50, 511, 7)
+	di := defaultDI()
+	oldRecords := SourceRecordsFromWorld(w, panel)
+	base := NewSourceAssessor(oldRecords, di, nil)
+	before := base.Rank(oldRecords)
+
+	records, dirtyRows := UpdateSourceRecordsFromWorld(oldRecords, nw, npanel, delta.DirtySourceIDs())
+	base.UpdateRows(records, dirtyRows, delta.EpochMoved())
+
+	rankedEqual(t, base.Rank(oldRecords), before)
+}

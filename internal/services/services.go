@@ -38,6 +38,10 @@ type Env struct {
 	ContributorRecords []*quality.ContributorRecord
 	Contributors       *quality.ContributorAssessor
 	Analyzer           *sentiment.Analyzer
+
+	// contribIx keeps the per-user activity aggregation incremental
+	// across Advance ticks.
+	contribIx *quality.ContributorIndex
 }
 
 // NewEnv assesses the world once and returns the shared environment.
@@ -54,9 +58,38 @@ func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInte
 	for _, a := range env.Sources.AssessAll(env.SourceRecords) {
 		env.SourceScores[a.ID] = a.Score
 	}
-	env.ContributorRecords = quality.ContributorRecordsFromWorld(world)
+	env.contribIx = quality.NewContributorIndex(world)
+	env.ContributorRecords = env.contribIx.Records()
 	env.Contributors = quality.NewContributorAssessor(env.ContributorRecords, di, nil)
 	return env
+}
+
+// Advance derives the environment of an incrementally advanced world: the
+// records of the delta's dirty sources and contributors are rebuilt or
+// additively updated, the assessors repair their measure matrices via
+// UpdateRows instead of re-evaluating the corpus, and the source-score
+// join is re-read from the updated assessor. Every derived number is
+// bit-identical to NewEnv over the same world and panel; the receiver is
+// left untouched, still serving readers of the pre-advance snapshot.
+func (env *Env) Advance(world *webgen.World, panel *analytics.Panel, delta *webgen.Delta) *Env {
+	ne := &Env{
+		World:    world,
+		Panel:    panel,
+		DI:       env.DI,
+		Analyzer: env.Analyzer,
+	}
+	records, dirtyRows := quality.UpdateSourceRecordsFromWorld(env.SourceRecords, world, panel, delta.DirtySourceIDs())
+	ne.SourceRecords = records
+	ne.Sources = env.Sources.UpdateRows(records, dirtyRows, delta.EpochMoved())
+	ne.SourceScores = make(map[int]float64, len(records))
+	for _, a := range ne.Sources.AssessAll(records) {
+		ne.SourceScores[a.ID] = a.Score
+	}
+	ix, contribDirty := env.contribIx.Apply(world, delta)
+	ne.contribIx = ix
+	ne.ContributorRecords = ix.Records()
+	ne.Contributors = env.Contributors.UpdateRows(ne.ContributorRecords, contribDirty, delta.EpochMoved())
+	return ne
 }
 
 // Register adds all domain component types to the registry.

@@ -1,0 +1,35 @@
+package stats
+
+import "sort"
+
+// Sorted-slice repair primitives for incremental quantile maintenance.
+// The quality matrix keeps one sorted column of observed values per
+// measure; when a handful of corpus records change, the column is repaired
+// with SortedRemove + SortedInsert instead of being re-sorted, and the
+// benchmarks are re-read from the repaired slice with SortedQuantiles.
+// Both operations preserve the invariant that the slice holds exactly the
+// multiset of observed values in ascending order — the same array a full
+// sort of the multiset would produce — so incrementally maintained
+// quantiles are bit-identical to recomputed ones.
+
+// SortedInsert inserts v into ascending-sorted xs, in place when capacity
+// allows, and returns the grown slice.
+func SortedInsert(xs []float64, v float64) []float64 {
+	i := sort.SearchFloat64s(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// SortedRemove deletes one occurrence of v from ascending-sorted xs and
+// returns the shrunk slice. The second result reports whether v was found;
+// when false the slice is returned unchanged.
+func SortedRemove(xs []float64, v float64) ([]float64, bool) {
+	i := sort.SearchFloat64s(xs, v)
+	if i >= len(xs) || xs[i] != v {
+		return xs, false
+	}
+	copy(xs[i:], xs[i+1:])
+	return xs[:len(xs)-1], true
+}

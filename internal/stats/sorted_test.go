@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSortedInsertRemove(t *testing.T) {
+	xs := []float64{1, 3, 3, 5}
+	xs = SortedInsert(xs, 3)
+	want := []float64{1, 3, 3, 3, 5}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("after insert: %v", xs)
+		}
+	}
+	xs, ok := SortedRemove(xs, 3)
+	if !ok || len(xs) != 4 {
+		t.Fatalf("remove failed: %v", xs)
+	}
+	if _, ok := SortedRemove(xs, 99); ok {
+		t.Fatal("removing an absent value must report false")
+	}
+	xs = SortedInsert(xs, -2)
+	if xs[0] != -2 {
+		t.Fatalf("head insert: %v", xs)
+	}
+	xs = SortedInsert(xs, 100)
+	if xs[len(xs)-1] != 100 {
+		t.Fatalf("tail insert: %v", xs)
+	}
+}
+
+func TestSortedInsertEmpty(t *testing.T) {
+	xs := SortedInsert(nil, 7)
+	if len(xs) != 1 || xs[0] != 7 {
+		t.Fatalf("insert into nil: %v", xs)
+	}
+	if got, ok := SortedRemove(nil, 7); ok || len(got) != 0 {
+		t.Fatal("remove from nil must be a no-op")
+	}
+}
+
+// TestSortedRepairMatchesResort pins the incremental-benchmark contract:
+// a randomly repaired slice is bit-identical to sorting the multiset from
+// scratch, so quantiles read from it match a full recomputation.
+func TestSortedRepairMatchesResort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(40)) / 4 // ties on purpose
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(len(vals))
+		old := vals[i]
+		vals[i] = float64(rng.Intn(40)) / 4
+		var ok bool
+		sorted, ok = SortedRemove(sorted, old)
+		if !ok {
+			t.Fatalf("step %d: value %v missing from sorted column", step, old)
+		}
+		sorted = SortedInsert(sorted, vals[i])
+	}
+
+	want := append([]float64(nil), vals...)
+	sort.Float64s(want)
+	if len(sorted) != len(want) {
+		t.Fatalf("length drifted: %d != %d", len(sorted), len(want))
+	}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("repair diverged at %d: %v != %v", i, sorted[i], want[i])
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if SortedQuantile(sorted, q) != SortedQuantile(want, q) {
+			t.Fatalf("quantile %v diverged", q)
+		}
+	}
+}

@@ -158,6 +158,11 @@ type Config struct {
 	MeanDiscussions float64
 	// MeanComments scales comments per discussion (default 5).
 	MeanComments float64
+	// ChurnScale scales the per-day activity intensity of Advance ticks
+	// without touching the initial corpus volume (default 1). Monitoring
+	// benchmarks use small values to model slow daily churn over a large
+	// corpus.
+	ChurnScale float64
 }
 
 // withDefaults fills unset Config fields.

@@ -8,10 +8,18 @@ package informer
 // of sources and produces a per-source partial, so the merged result never
 // depends on scheduling — and caches both the DI-scoped per-category
 // sentiment cells and the per-category/background term counts.
+//
+// The per-source partials are retained: after an Advance tick the next
+// snapshot inherits them and re-scans only the sources the tick touched
+// (per-source invalidation instead of wholesale), then re-merges. Because
+// a partial is an exact function of one source's content, the merged
+// result is bit-identical to a from-scratch scan of the advanced world.
 
 import (
 	"github.com/informing-observers/informer/internal/buzz"
 	"github.com/informing-observers/informer/internal/parallel"
+	"github.com/informing-observers/informer/internal/sentiment"
+	"github.com/informing-observers/informer/internal/webgen"
 )
 
 // sentimentCell accumulates the comment sentiment of one (category,
@@ -31,6 +39,9 @@ type commentScan struct {
 	// background over every comment in the corpus.
 	fgByCategory map[string]*buzz.Counts
 	bg           *buzz.Counts
+	// partials[i] is the scan of source row i, retained for per-source
+	// invalidation across Advance ticks.
+	partials []*sourcePartial
 }
 
 // sourcePartial is one worker's scan of a single source. Sentiment cells
@@ -42,73 +53,135 @@ type sourcePartial struct {
 	bg    *buzz.Counts
 }
 
-// commentScan builds (once) and returns the corpus comment scan.
-func (c *Corpus) commentScan() *commentScan {
-	c.scanOnce.Do(func() {
-		analyzer := c.env.Analyzer
-		sources := c.World.Sources
-		partials := make([]*sourcePartial, len(sources))
+// inheritScan carries the previous snapshot's comment scan into the next
+// one, marking the delta's dirty sources stale. If the previous snapshot
+// never scanned (the pass is lazy), any pending staleness it inherited is
+// propagated instead, so a chain of unread ticks still resolves to a
+// minimal re-scan.
+func (st *assessState) inheritScan(prev *assessState, delta interface{ DirtySourceIDs() []int }) {
+	prev.scanMu.Lock()
+	base, stale := prev.scan, map[int]bool{}
+	if base == nil {
+		base = prev.scanBase
+		for row := range prev.scanStale {
+			stale[row] = true
+		}
+	}
+	prev.scanMu.Unlock()
+	if base == nil {
+		return // previous snapshot never scanned: stay lazy and cold
+	}
+	rowByID := make(map[int]int, len(st.world.Sources))
+	for i, s := range st.world.Sources {
+		rowByID[s.ID] = i
+	}
+	for _, id := range delta.DirtySourceIDs() {
+		if row, ok := rowByID[id]; ok {
+			stale[row] = true
+		}
+	}
+	st.scanBase, st.scanStale = base, stale
+}
 
-		parallel.ForEachChunk(len(sources), 0, func(lo, hi int) {
+// commentScan builds (or incrementally repairs) and returns the snapshot's
+// corpus comment scan.
+func (st *assessState) commentScan() *commentScan {
+	st.scanMu.Lock()
+	defer st.scanMu.Unlock()
+	if st.scan != nil {
+		return st.scan
+	}
+	analyzer := st.env.Analyzer
+	sources := st.world.Sources
+	di := st.env.DI
+	partials := make([]*sourcePartial, len(sources))
+
+	if base := st.scanBase; base != nil && len(base.partials) == len(sources) {
+		// Incremental repair: reuse the inherited partial of every clean
+		// source; re-scan only the stale rows.
+		copy(partials, base.partials)
+		stale := make([]int, 0, len(st.scanStale))
+		for row := range st.scanStale {
+			stale = append(stale, row)
+		}
+		parallel.ForEachChunk(len(stale), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				s := sources[i]
-				p := &sourcePartial{
-					senti: map[string]*sentimentCell{},
-					fg:    map[string]*buzz.Counts{},
-					bg:    buzz.NewCounts(),
-				}
-				for _, d := range s.Discussions {
-					inDI := c.DI.InCategory(d.Category)
-					fg := p.fg[d.Category]
-					if fg == nil {
-						fg = buzz.NewCounts()
-						p.fg[d.Category] = fg
-					}
-					for _, com := range d.Comments {
-						p.bg.Add(com.Body)
-						fg.Add(com.Body)
-						if !inDI {
-							continue
-						}
-						cell := p.senti[d.Category]
-						if cell == nil {
-							cell = &sentimentCell{}
-							p.senti[d.Category] = cell
-						}
-						cell.sum += analyzer.Score(com.Body).Value
-						cell.n++
-					}
-				}
-				partials[i] = p
+				row := stale[i]
+				partials[row] = scanSource(sources[row], &di, analyzer)
 			}
 		})
+	} else {
+		parallel.ForEachChunk(len(sources), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				partials[i] = scanSource(sources[i], &di, analyzer)
+			}
+		})
+	}
 
-		scan := &commentScan{
-			sentiByCatSource: map[string]map[int]*sentimentCell{},
-			fgByCategory:     map[string]*buzz.Counts{},
-			bg:               buzz.NewCounts(),
-		}
-		for i, p := range partials {
-			sid := sources[i].ID
-			for cat, cell := range p.senti {
-				m := scan.sentiByCatSource[cat]
-				if m == nil {
-					m = map[int]*sentimentCell{}
-					scan.sentiByCatSource[cat] = m
-				}
-				m[sid] = cell
+	scan := &commentScan{
+		sentiByCatSource: map[string]map[int]*sentimentCell{},
+		fgByCategory:     map[string]*buzz.Counts{},
+		bg:               buzz.NewCounts(),
+		partials:         partials,
+	}
+	for i, p := range partials {
+		sid := sources[i].ID
+		for cat, cell := range p.senti {
+			m := scan.sentiByCatSource[cat]
+			if m == nil {
+				m = map[int]*sentimentCell{}
+				scan.sentiByCatSource[cat] = m
 			}
-			for cat, fg := range p.fg {
-				dst := scan.fgByCategory[cat]
-				if dst == nil {
-					dst = buzz.NewCounts()
-					scan.fgByCategory[cat] = dst
-				}
-				dst.Merge(fg)
-			}
-			scan.bg.Merge(p.bg)
+			m[sid] = cell
 		}
-		c.scan = scan
-	})
-	return c.scan
+		for cat, fg := range p.fg {
+			dst := scan.fgByCategory[cat]
+			if dst == nil {
+				dst = buzz.NewCounts()
+				scan.fgByCategory[cat] = dst
+			}
+			dst.Merge(fg)
+		}
+		scan.bg.Merge(p.bg)
+	}
+	st.scan = scan
+	// The inherited base is dead once the repaired scan exists (the next
+	// snapshot inherits st.scan directly); drop it so each live snapshot
+	// pins at most one scan's worth of term counts.
+	st.scanBase, st.scanStale = nil, nil
+	return scan
+}
+
+// scanSource walks one source's discussions and comments — the unit of
+// both the full pass and per-source invalidation. sentiment.Analyzer is
+// safe for concurrent use.
+func scanSource(s *webgen.Source, di *DomainOfInterest, analyzer *sentiment.Analyzer) *sourcePartial {
+	p := &sourcePartial{
+		senti: map[string]*sentimentCell{},
+		fg:    map[string]*buzz.Counts{},
+		bg:    buzz.NewCounts(),
+	}
+	for _, d := range s.Discussions {
+		inDI := di.InCategory(d.Category)
+		fg := p.fg[d.Category]
+		if fg == nil {
+			fg = buzz.NewCounts()
+			p.fg[d.Category] = fg
+		}
+		for _, com := range d.Comments {
+			p.bg.Add(com.Body)
+			fg.Add(com.Body)
+			if !inDI {
+				continue
+			}
+			cell := p.senti[d.Category]
+			if cell == nil {
+				cell = &sentimentCell{}
+				p.senti[d.Category] = cell
+			}
+			cell.sum += analyzer.Score(com.Body).Value
+			cell.n++
+		}
+	}
+	return p
 }
