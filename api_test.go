@@ -1,0 +1,355 @@
+package informer
+
+// End-to-end contracts of the /api/v1 serving layer over a real corpus:
+// an HTTP response must be byte-identical to the equivalent in-process
+// Query against the same snapshot (the wire layer adds representation,
+// never computation); every endpoint serves; conditional GETs work across
+// Advance ticks; and a paginated walk pinned to a snapshot token never
+// mixes two assessment rounds, even while a writer ticks the corpus
+// concurrently (run under -race in CI).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/apiserve"
+)
+
+func apiGet(t *testing.T, h http.Handler, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestAPISourcesByteIdenticalToInProcessQuery is the acceptance contract:
+// /api/v1/sources with bound parameters returns exactly the bytes of the
+// equivalent in-process Query wrapped in the envelope.
+func TestAPISourcesByteIdenticalToInProcessQuery(t *testing.T) {
+	c := New(Config{Seed: 171, NumSources: 60, NumUsers: 150, CommentText: true})
+	h := c.APIHandler()
+
+	cases := map[string]Query{
+		"/api/v1/sources?min_score=0.55&k=10": NewQuery().MinScore(0.55).TopK(10).Build(),
+		"/api/v1/sources?category=place&min_dim.time=0.3&sort=dim.time&k=5&fields=scores": NewQuery().
+			Categories("place").MinDimension(Time, 0.3).SortByDimension(Time).TopK(5).ScoresOnly().Build(),
+		"/api/v1/sources?kind=blog&offset=3&limit=4": NewQuery().Kinds("blog").Page(3, 4).Build(),
+	}
+	for target, q := range cases {
+		rec := apiGet(t, h, target, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, rec.Code, rec.Body.String())
+		}
+		res, err := c.QuerySources(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(apiserve.NewEnvelope(
+			c.SnapshotVersion(), res.Total, q.Offset, apiserve.AssessmentItems(res.Items)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Body.String() != string(want) {
+			t.Fatalf("%s: HTTP body diverges from the in-process query\n http: %s\n want: %s",
+				target, rec.Body.String(), want)
+		}
+	}
+
+	// Contributors too, including the spam-resistance predicate.
+	target := "/api/v1/contributors?spam_resistance=0.3&k=8"
+	rec := apiGet(t, h, target, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: status %d", target, rec.Code)
+	}
+	res, err := c.QueryContributors(NewQuery().SpamResistant(0.3).TopK(8).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(apiserve.NewEnvelope(
+		c.SnapshotVersion(), res.Total, 0, apiserve.AssessmentItems(res.Items)))
+	if rec.Body.String() != string(want) {
+		t.Fatalf("%s: HTTP body diverges from the in-process query", target)
+	}
+}
+
+// TestAPISmoke drives every mounted endpoint once — the serving layer
+// cannot rot while this runs in CI.
+func TestAPISmoke(t *testing.T) {
+	c := New(Config{Seed: 173, NumSources: 30, NumUsers: 90, CommentText: true})
+	h := c.APIHandler()
+	category := c.World().Categories[0]
+	for _, target := range []string{
+		"/api/v1/sources?k=5",
+		"/api/v1/sources?min_score=0.4&sort=att.traffic&fields=scores",
+		"/api/v1/contributors?k=5",
+		"/api/v1/influencers?strategy=combined&k=5",
+		"/api/v1/sentiment",
+		"/api/v1/trending?category=" + category,
+		"/api/v1/search?q=hotel+milan&k=5",
+	} {
+		rec := apiGet(t, h, target, nil)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d: %s", target, rec.Code, rec.Body.String())
+			continue
+		}
+		var env apiserve.Envelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Errorf("%s: bad envelope: %v", target, err)
+			continue
+		}
+		if env.APIVersion != "v1" || env.Snapshot != c.SnapshotVersion() {
+			t.Errorf("%s: envelope %+v", target, env)
+		}
+		items, ok := env.Items.([]any)
+		if !ok || len(items) != env.Count {
+			t.Errorf("%s: count %d does not match items", target, env.Count)
+		}
+	}
+}
+
+// TestAPIConditionalGetAcrossTicks pins ETag semantics for polling
+// clients: same snapshot, same query → 304; after a tick the assessments
+// move, so the stale ETag re-fetches a full body with a new token.
+func TestAPIConditionalGetAcrossTicks(t *testing.T) {
+	c := New(Config{Seed: 175, NumSources: 30, NumUsers: 90, CommentText: true})
+	h := c.APIHandler()
+	target := "/api/v1/sources?min_score=0.4&k=10"
+
+	first := apiGet(t, h, target, nil)
+	etag := first.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+	if rec := apiGet(t, h, target, map[string]string{"If-None-Match": etag}); rec.Code != http.StatusNotModified {
+		t.Fatalf("unchanged snapshot: status %d, want 304", rec.Code)
+	}
+
+	c.Advance(30, 1750)
+	rec := apiGet(t, h, target, map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-tick: status %d, want 200", rec.Code)
+	}
+	if rec.Header().Get("ETag") == etag {
+		t.Fatal("post-tick ETag did not change")
+	}
+	var env apiserve.Envelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Snapshot != c.SnapshotVersion() || env.Snapshot < 2 {
+		t.Fatalf("post-tick snapshot token %d", env.Snapshot)
+	}
+}
+
+// apiWalk pages through /api/v1/sources pinned to the first page's
+// snapshot token and returns the concatenated item IDs plus the token. A
+// 410 (pin aged out) restarts the walk from the current round.
+func apiWalk(t *testing.T, h http.Handler, pageSize int) ([]int, []float64, int64) {
+	t.Helper()
+restart:
+	for {
+		first := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&limit=%d", pageSize), nil)
+		if first.Code != http.StatusOK {
+			t.Fatalf("first page: status %d", first.Code)
+		}
+		var env struct {
+			Snapshot int64 `json:"snapshot"`
+			Total    int   `json:"total"`
+			Items    []struct {
+				ID    int     `json:"id"`
+				Score float64 `json:"score"`
+			} `json:"items"`
+		}
+		if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		token := env.Snapshot
+		var ids []int
+		var scores []float64
+		for _, it := range env.Items {
+			ids = append(ids, it.ID)
+			scores = append(scores, it.Score)
+		}
+		for offset := pageSize; offset < env.Total; offset += pageSize {
+			rec := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&limit=%d&offset=%d&snapshot=%d",
+				pageSize, offset, token), nil)
+			if rec.Code == http.StatusGone {
+				continue restart
+			}
+			if rec.Code != http.StatusOK {
+				t.Fatalf("page at %d: status %d", offset, rec.Code)
+			}
+			var page struct {
+				Snapshot int64 `json:"snapshot"`
+				Items    []struct {
+					ID    int     `json:"id"`
+					Score float64 `json:"score"`
+				} `json:"items"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+				t.Fatal(err)
+			}
+			if page.Snapshot != token {
+				t.Fatalf("pinned walk changed rounds: %d then %d", token, page.Snapshot)
+			}
+			for _, it := range page.Items {
+				ids = append(ids, it.ID)
+				scores = append(scores, it.Score)
+			}
+		}
+		return ids, scores, token
+	}
+}
+
+// TestAPIPaginatedWalkPinnedAcrossAdvance ticks the corpus between pages
+// deterministically: the pinned walk must keep reading the pre-tick round
+// and match the pre-tick in-process ranking exactly.
+func TestAPIPaginatedWalkPinnedAcrossAdvance(t *testing.T) {
+	c := New(Config{Seed: 177, NumSources: 40, NumUsers: 120, CommentText: true})
+	h := c.APIHandler()
+
+	before, err := c.QuerySources(NewQuery().ScoresOnly().Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := make([]int, len(before.Items))
+	for i, a := range before.Items {
+		wantIDs[i] = a.ID
+	}
+
+	// First page on round 1, then tick, then keep walking pinned.
+	first := apiGet(t, h, "/api/v1/sources?fields=scores&limit=15", nil)
+	var env struct {
+		Snapshot int64 `json:"snapshot"`
+		Total    int   `json:"total"`
+		Items    []struct {
+			ID int `json:"id"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(20, 1770)
+	if c.SnapshotVersion() != 2 {
+		t.Fatalf("tick did not move the snapshot: %d", c.SnapshotVersion())
+	}
+
+	got := []int{}
+	for _, it := range env.Items {
+		got = append(got, it.ID)
+	}
+	for offset := 15; offset < env.Total; offset += 15 {
+		rec := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&limit=15&offset=%d&snapshot=%d", offset, env.Snapshot), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pinned page: status %d: %s", rec.Code, rec.Body.String())
+		}
+		var page struct {
+			Snapshot int64 `json:"snapshot"`
+			Items    []struct {
+				ID int `json:"id"`
+			} `json:"items"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Snapshot != env.Snapshot {
+			t.Fatalf("pinned page served round %d, want %d", page.Snapshot, env.Snapshot)
+		}
+		for _, it := range page.Items {
+			got = append(got, it.ID)
+		}
+	}
+	if !reflect.DeepEqual(got, wantIDs) {
+		t.Fatalf("pinned walk diverged from the pre-tick ranking:\n got  %v\n want %v", got, wantIDs)
+	}
+
+	// An unpinned request now serves round 2.
+	var cur struct {
+		Snapshot int64 `json:"snapshot"`
+	}
+	rec := apiGet(t, h, "/api/v1/sources?limit=1", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &cur); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Snapshot != 2 {
+		t.Fatalf("unpinned request served round %d, want 2", cur.Snapshot)
+	}
+}
+
+// TestAPIConcurrentReadersDuringAdvance hammers every endpoint, including
+// full pinned paginated walks, while a writer ticks the corpus — run with
+// -race in CI. Each walk asserts its snapshot token never changes
+// mid-walk, there are no duplicate IDs, and scores arrive non-increasing:
+// any mix of two assessment rounds would break at least one of those.
+func TestAPIConcurrentReadersDuringAdvance(t *testing.T) {
+	c := New(Config{Seed: 179, NumSources: 30, NumUsers: 90, CommentText: true})
+	h := c.APIHandler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	walker := func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids, scores, _ := apiWalk(t, h, 7)
+			seen := map[int]bool{}
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate id %d in pinned walk", id)
+					return
+				}
+				seen[id] = true
+			}
+			if len(ids) != 30 {
+				t.Errorf("walk returned %d sources, want 30", len(ids))
+				return
+			}
+			for i := 1; i < len(scores); i++ {
+				if scores[i] > scores[i-1] {
+					t.Errorf("walk scores not ranked at %d", i)
+					return
+				}
+			}
+		}
+	}
+	poller := func(target string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := apiGet(t, h, target, nil)
+			if rec.Code != http.StatusOK {
+				t.Errorf("%s: status %d during advance", target, rec.Code)
+				return
+			}
+		}
+	}
+	wg.Add(5)
+	go walker()
+	go walker()
+	go poller("/api/v1/influencers?k=5")
+	go poller("/api/v1/sentiment")
+	go poller("/api/v1/contributors?k=5&fields=scores")
+
+	for i := 0; i < 5; i++ {
+		c.Advance(2, int64(1790+i))
+	}
+	close(stop)
+	wg.Wait()
+}

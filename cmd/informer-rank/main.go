@@ -1,7 +1,11 @@
 // Command informer-rank generates (or crawls) a Web 2.0 corpus and prints
-// quality rankings of its sources and contributors:
+// quality rankings of its sources and contributors through the composable
+// query API — filters execute below the ranking, so -top never assesses
+// more than it prints:
 //
 //	informer-rank -sources 100 -top 15
+//	informer-rank -min-score 0.6 -category place -top 10
+//	informer-rank -sort dim.time -top 10      # rank by the time dimension
 //	informer-rank -crawl http://127.0.0.1:8080 -top 10
 //	informer-rank -show 3            # full Table 1 assessment of source 3
 //	informer-rank -influencers 10    # top opinion leaders
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	informer "github.com/informing-observers/informer"
 )
@@ -23,6 +28,10 @@ func main() {
 		sources     = flag.Int("sources", 100, "number of sources to generate")
 		users       = flag.Int("users", 0, "number of users (default 2x sources)")
 		top         = flag.Int("top", 10, "how many ranked entries to print")
+		minScore    = flag.Float64("min-score", 0, "only sources whose overall score clears this bar")
+		category    = flag.String("category", "", "only sources active in this content category")
+		kind        = flag.String("kind", "", "only sources of this kind (blog, forum, review-site, social-network)")
+		sortAxis    = flag.String("sort", "score", "ranking axis: score, dim.<dimension> or att.<attribute>")
 		show        = flag.Int("show", -1, "print the full assessment of this source ID")
 		influencers = flag.Int("influencers", 0, "print the top-N influencers")
 		crawl       = flag.String("crawl", "", "crawl this base URL instead of assessing in memory")
@@ -37,25 +46,60 @@ func main() {
 		CommentText: true,
 	})
 
-	var ranked []*informer.Assessment
-	if *crawl != "" {
-		records, err := c.Crawl(context.Background(), *crawl, informer.CrawlOptions{FetchFeeds: true})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "informer-rank:", err)
+	// Compose the declarative query once; it runs identically against the
+	// in-memory corpus or externally crawled records.
+	qb := informer.NewQuery().TopK(*top).MinScore(*minScore)
+	if *category != "" {
+		qb.Categories(*category)
+	}
+	if *kind != "" {
+		qb.Kinds(*kind)
+	}
+	switch {
+	case *sortAxis == "" || *sortAxis == "score":
+	case strings.HasPrefix(*sortAxis, "dim."):
+		d, ok := informer.ParseDimension(strings.TrimPrefix(*sortAxis, "dim."))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "informer-rank: unknown dimension in -sort %q\n", *sortAxis)
 			os.Exit(1)
 		}
-		ranked = c.AssessRecords(records)
-		fmt.Printf("crawled %d sources from %s\n\n", len(records), *crawl)
+		qb.SortByDimension(d)
+	case strings.HasPrefix(*sortAxis, "att."):
+		at, ok := informer.ParseAttribute(strings.TrimPrefix(*sortAxis, "att."))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "informer-rank: unknown attribute in -sort %q\n", *sortAxis)
+			os.Exit(1)
+		}
+		qb.SortByAttribute(at)
+	default:
+		fmt.Fprintf(os.Stderr, "informer-rank: bad -sort %q\n", *sortAxis)
+		os.Exit(1)
+	}
+	q := qb.Build()
+
+	var res *informer.QueryResult
+	var err error
+	if *crawl != "" {
+		records, cerr := c.Crawl(context.Background(), *crawl, informer.CrawlOptions{FetchFeeds: true})
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "informer-rank:", cerr)
+			os.Exit(1)
+		}
+		res, err = informer.QueryRecords(records, c.DI, q)
+		if err == nil {
+			fmt.Printf("crawled %d sources from %s\n\n", len(records), *crawl)
+		}
 	} else {
-		ranked = c.RankSources()
+		res, err = c.QuerySources(q)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "informer-rank:", err)
+		os.Exit(1)
 	}
 
-	fmt.Printf("top %d sources by overall quality:\n", *top)
+	fmt.Printf("top %d of %d matching sources (sort: %s):\n", len(res.Items), res.Total, *sortAxis)
 	fmt.Printf("%4s  %-28s %7s  %s\n", "rank", "source", "score", "strongest dimension")
-	for i, a := range ranked {
-		if i >= *top {
-			break
-		}
+	for i, a := range res.Items {
 		fmt.Printf("%4d  %-28s %7.3f  %s\n", i+1, a.Name, a.Score, bestDimension(a))
 	}
 

@@ -1,10 +1,17 @@
 // Command informer-serve exposes a generated Web 2.0 corpus over HTTP —
 // per-source pages, discussion pages with embedded data islands, RSS/Atom
 // feeds and a sitemap — plus the analytics panel as a JSON API, so the
-// crawler (or informer-rank -crawl) can walk it like the live Web:
+// crawler (or informer-rank -crawl) can walk it like the live Web, and the
+// versioned quality-query API under /api/v1 (sources, contributors,
+// influencers, sentiment, trending, search) for remote observers:
 //
 //	informer-serve -addr 127.0.0.1:8080 -sources 60
 //	informer-rank  -crawl http://127.0.0.1:8080
+//	curl 'http://127.0.0.1:8080/api/v1/sources?min_score=0.6&k=10'
+//
+// With -tick-days > 0 the corpus advances on a timer (the monitoring
+// scenario): /api/v1 responses then carry moving snapshot tokens, and
+// clients pinning ?snapshot=N keep reading one coherent assessment round.
 package main
 
 import (
@@ -12,15 +19,18 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	informer "github.com/informing-observers/informer"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		seed    = flag.Int64("seed", 1, "corpus seed")
-		sources = flag.Int("sources", 60, "number of sources")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		sources  = flag.Int("sources", 60, "number of sources")
+		tickDays = flag.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
+		tickWait = flag.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
 	)
 	flag.Parse()
 
@@ -28,9 +38,22 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", c.Handler())
 	mux.Handle("/panel/", http.StripPrefix("/panel", c.PanelHandler()))
+	mux.Handle("/api/v1/", c.APIHandler())
 
-	fmt.Printf("serving %d sources on http://%s (sitemap at /sitemap.txt, panel at /panel/metrics?host=...)\n",
-		*sources, *addr)
+	if *tickDays > 0 {
+		go func() {
+			for tick := int64(1); ; tick++ {
+				time.Sleep(*tickWait)
+				c.Advance(*tickDays, *seed+tick)
+				fmt.Printf("tick: +%dd, snapshot %d, %d dirty sources\n",
+					*tickDays, c.SnapshotVersion(), len(c.LastDelta().DirtySourceIDs()))
+			}
+		}()
+	}
+
+	fmt.Printf("serving %d sources on http://%s\n", *sources, *addr)
+	fmt.Printf("  crawlable world: /sitemap.txt   panel: /panel/metrics?host=...\n")
+	fmt.Printf("  quality API:     /api/v1/sources?min_score=0.6&k=10 (snapshot %d)\n", c.SnapshotVersion())
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "informer-serve:", err)
 		os.Exit(1)

@@ -1,5 +1,7 @@
 // Quickstart: generate a synthetic Web 2.0 corpus, assess every source
-// against the paper's quality model (Table 1), and print the ranking.
+// against the paper's quality model (Table 1), and consume the ranking
+// through the composable query API — the filters run below the ranking,
+// so asking for ten sources never materializes sixty assessments.
 //
 //	go run ./examples/quickstart
 package main
@@ -19,17 +21,30 @@ func main() {
 		CommentText: true,
 	})
 
+	// Top-k selection through the fluent query builder.
+	top, _ := c.QuerySources(informer.NewQuery().TopK(10).Build())
 	fmt.Println("Top 10 sources by overall quality score:")
-	for i, a := range c.RankSources() {
-		if i >= 10 {
-			break
-		}
+	for i, a := range top.Items {
 		fmt.Printf("%3d. %-30s score %.3f\n", i+1, a.Name, a.Score)
+	}
+
+	// Composable predicates: authoritative blogs only, ranked by the time
+	// dimension (freshness/liveliness of their content).
+	fresh, _ := c.QuerySources(informer.NewQuery().
+		Kinds("blog").
+		MinDimension(informer.Authority, 0.4).
+		SortByDimension(informer.Time).
+		TopK(5).
+		Build())
+	fmt.Printf("\n%d blogs clear the authority bar; the 5 freshest:\n", fresh.Total)
+	for i, a := range fresh.Items {
+		fmt.Printf("%3d. %-30s time %.3f  overall %.3f\n",
+			i+1, a.Name, a.DimensionScores[informer.Time], a.Score)
 	}
 
 	// Inspect one assessment in depth: per-dimension and per-attribute
 	// scores are the orthogonal axes end users filter on (Section 5).
-	best := c.RankSources()[0]
+	best := top.Items[0]
 	fmt.Printf("\nDimension scores of %q:\n", best.Name)
 	for dim, v := range best.DimensionScores {
 		fmt.Printf("  %-18s %.3f\n", dim, v)

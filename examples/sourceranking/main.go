@@ -1,13 +1,14 @@
 // Sourceranking: the Section 4.1 story at laptop scale. Query the built-in
 // search-engine baseline (the Google stand-in), then re-rank its results
-// with the quality model and compare the two orderings.
+// with the quality model and compare the two orderings. The re-ranking is
+// one ID-scoped quality query: the result set becomes the query's scope
+// and the assessor ranks exactly those sources.
 //
 //	go run ./examples/sourceranking
 package main
 
 import (
 	"fmt"
-	"sort"
 
 	informer "github.com/informing-observers/informer"
 )
@@ -23,26 +24,30 @@ func main() {
 	}
 	fmt.Printf("baseline search results for %q:\n", query)
 
+	// Quality re-ranking of the same result list: scope a query to the
+	// searched IDs and let the assessor rank them.
+	ids := make([]int, len(results))
+	for i, r := range results {
+		ids[i] = r.SourceID
+	}
+	reranked, err := c.QuerySources(informer.NewQuery().IDs(ids...).ScoresOnly().Build())
+	if err != nil {
+		panic(err)
+	}
+
 	type row struct {
 		name                string
 		basePos, qualityPos int
 		quality             float64
 	}
 	rows := make([]row, 0, len(results))
+	posByID := map[int]int{}
+	for pos, a := range reranked.Items {
+		posByID[a.ID] = pos + 1
+	}
 	for i, r := range results {
 		a, _ := c.AssessSource(r.SourceID)
-		rows = append(rows, row{name: a.Name, basePos: i + 1, quality: a.Score})
-	}
-	// Quality re-ranking of the same result list.
-	byQuality := make([]int, len(rows))
-	for i := range byQuality {
-		byQuality[i] = i
-	}
-	sort.SliceStable(byQuality, func(a, b int) bool {
-		return rows[byQuality[a]].quality > rows[byQuality[b]].quality
-	})
-	for pos, idx := range byQuality {
-		rows[idx].qualityPos = pos + 1
+		rows = append(rows, row{name: a.Name, basePos: i + 1, qualityPos: posByID[r.SourceID], quality: a.Score})
 	}
 
 	fmt.Printf("%-28s %9s %12s %9s %10s\n", "source", "base pos", "quality pos", "moved", "quality")

@@ -10,12 +10,20 @@
 // viewers (Sections 5 and 6).
 //
 // A Corpus bundles a (synthetic, deterministic) Web 2.0 world with its
-// analytics panel and pre-computed quality assessments:
+// analytics panel and pre-computed quality assessments. Reads go through
+// the composable Query model — scope, quality predicates, ranking axis,
+// top-k, pagination — executed below the ranking against the cached
+// measure matrix (DESIGN.md section 7):
 //
 //	c := informer.New(informer.Config{Seed: 42, NumSources: 200})
-//	for _, a := range c.RankSources()[:10] {
+//	res, _ := c.QuerySources(informer.NewQuery().MinScore(0.6).TopK(10).Build())
+//	for _, a := range res.Items {
 //	    fmt.Println(a.Name, a.Score)
 //	}
+//
+// The same Query is served remotely by the versioned JSON API (see
+// APIHandler): GET /api/v1/sources?min_score=0.6&k=10 returns the same
+// assessments byte for byte.
 //
 // Mashups are declared in JSON and executed with live viewer
 // synchronisation:
@@ -41,12 +49,12 @@ import (
 	"context"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/apiserve"
 	"github.com/informing-observers/informer/internal/buzz"
 	"github.com/informing-observers/informer/internal/crawler"
 	"github.com/informing-observers/informer/internal/mashup"
@@ -64,6 +72,11 @@ import (
 type (
 	// DomainOfInterest scopes domain-dependent quality measures.
 	DomainOfInterest = quality.DomainOfInterest
+	// Dimension is a data-quality dimension (rows of Tables 1 and 2);
+	// Attribute is a Web 2.0 attribute (the columns). Queries filter and
+	// sort along both axes.
+	Dimension = quality.Dimension
+	Attribute = quality.Attribute
 	// Assessment is a full quality evaluation of a source or contributor.
 	Assessment = quality.Assessment
 	// SourceRecord / ContributorRecord are the raw observation records.
@@ -100,6 +113,35 @@ const (
 	ByActivity = quality.ByActivity
 	ByRelative = quality.ByRelative
 	Combined   = quality.Combined
+)
+
+// ParseDimension and ParseAttribute resolve query axes by name ("time",
+// "relevance", ...) — the binding used by /api/v1 query strings and CLI
+// flags.
+var (
+	ParseDimension = quality.ParseDimension
+	ParseAttribute = quality.ParseAttribute
+)
+
+// Quality dimensions (Batini et al.'s classification revisited for
+// user-generated content) — the rows of Tables 1 and 2.
+const (
+	Accuracy         = quality.Accuracy
+	Completeness     = quality.Completeness
+	Time             = quality.Time
+	Interpretability = quality.Interpretability
+	Authority        = quality.Authority
+	Dependability    = quality.Dependability
+)
+
+// Web 2.0 attributes — the columns of Tables 1 and 2 (Traffic applies to
+// sources, Activity to contributors).
+const (
+	Relevance  = quality.Relevance
+	Breadth    = quality.Breadth
+	Traffic    = quality.Traffic
+	Activity   = quality.Activity
+	Liveliness = quality.Liveliness
 )
 
 // Config configures a Corpus.
@@ -146,6 +188,10 @@ type assessState struct {
 	panel *analytics.Panel
 	env   *services.Env
 	seed  int64
+	// version numbers assessment rounds monotonically (construction = 1,
+	// +1 per effective Advance). It is the snapshot token the /api/v1
+	// serving layer pins paginated walks to.
+	version int64
 	// delta is the tick that produced this snapshot (nil for the
 	// construction snapshot).
 	delta *webgen.Delta
@@ -208,9 +254,14 @@ func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
 	panel := analytics.Build(world, seed+1)
 	env := services.NewEnv(world, panel, di)
 	c := &Corpus{DI: di, seed: seed}
-	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed})
+	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed, version: 1})
 	return c
 }
+
+// SnapshotVersion returns the current assessment round's monotonic version
+// — the snapshot token carried by the /api/v1 envelopes and ETags. It
+// increments on every effective Advance.
+func (c *Corpus) SnapshotVersion() int64 { return c.state.Load().version }
 
 // World returns the current world snapshot. After Advance the previous
 // snapshot stays valid — worlds are copy-on-write — so holders of an older
@@ -234,10 +285,31 @@ func (c *Corpus) AssessSource(id int) (*Assessment, bool) {
 	return st.env.Sources.Assess(st.env.SourceRecords[id]), true
 }
 
-// RankSources assesses and ranks every source, best first.
-func (c *Corpus) RankSources() []*Assessment {
+// QuerySources executes a composable quality query over the current
+// assessment snapshot: scope and predicates are pushed below the ranking,
+// and a top-k bound selects winners through a bounded heap over the cached
+// measure matrix instead of materializing and sorting every assessment.
+// Build queries with NewQuery; the zero Query ranks everything.
+func (c *Corpus) QuerySources(q Query) (*QueryResult, error) {
 	st := c.state.Load()
-	return st.env.Sources.Rank(st.env.SourceRecords)
+	return st.env.Sources.Query(st.env.SourceRecords, q)
+}
+
+// QueryContributors executes a quality query over the contributors; in
+// addition to the source predicates it understands SpamResistant.
+func (c *Corpus) QueryContributors(q Query) (*QueryResult, error) {
+	st := c.state.Load()
+	return st.env.Contributors.Query(st.env.ContributorRecords, q)
+}
+
+// RankSources assesses and ranks every source, best first.
+//
+// Deprecated: RankSources materializes the full assessment of every source
+// on every call. Use QuerySources, which filters and bounds the selection
+// below the ranking (this shim is QuerySources with the zero Query).
+func (c *Corpus) RankSources() []*Assessment {
+	res, _ := c.QuerySources(Query{}) // the zero query cannot be invalid
+	return res.Items
 }
 
 // AssessContributor evaluates all Table 2 measures for one user.
@@ -250,9 +322,12 @@ func (c *Corpus) AssessContributor(id int) (*Assessment, bool) {
 }
 
 // RankContributors assesses and ranks every contributor, best first.
+//
+// Deprecated: use QueryContributors (this shim is QueryContributors with
+// the zero Query).
 func (c *Corpus) RankContributors() []*Assessment {
-	st := c.state.Load()
-	return st.env.Contributors.Rank(st.env.ContributorRecords)
+	res, _ := c.QueryContributors(Query{}) // the zero query cannot be invalid
+	return res.Items
 }
 
 // Influencers detects opinion leaders (Section 3.2).
@@ -271,31 +346,13 @@ func (c *Corpus) Search(query string, k int) []SearchResult {
 // per-category indicators, weighting each source by its quality score
 // (Section 6). Requires a corpus generated with CommentText. The
 // underlying corpus pass runs once per assessment round, scoring sources
-// in parallel, and is shared with TrendingTerms (see scan.go). After
-// Advance, only sources the tick touched are re-scanned.
+// in parallel, and is shared with TrendingTerms (see scan.go); the
+// aggregated indicator map itself is also computed once per round and
+// shared between callers (including /api/v1/sentiment), so treat the
+// returned map as read-only. After Advance, only sources the tick touched
+// are re-scanned.
 func (c *Corpus) SentimentByCategory() map[string]SentimentIndicator {
-	st := c.state.Load()
-	out := map[string]SentimentIndicator{}
-	for cat, bySource := range st.commentScan().sentiByCatSource {
-		var entries []sentiment.SourceSentiment
-		total := 0
-		for sid, cl := range bySource {
-			entries = append(entries, sentiment.SourceSentiment{
-				SourceID: sid,
-				Quality:  st.env.SourceScores[sid],
-				Mean:     cl.sum / float64(cl.n),
-				N:        cl.n,
-			})
-			total += cl.n
-		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].SourceID < entries[j].SourceID })
-		out[cat] = SentimentIndicator{
-			Category: cat,
-			Mean:     sentiment.QualityWeighted(entries),
-			N:        total,
-		}
-	}
-	return out
+	return c.state.Load().sentimentByCategory()
 }
 
 // NewMashup parses a JSON composition and instantiates it against this
@@ -345,6 +402,55 @@ func (c *Corpus) PanelHandler() http.Handler {
 	})
 }
 
+// APIHandler serves the corpus' quality assessments as the versioned JSON
+// HTTP API of DESIGN.md section 7 — /api/v1/sources, /api/v1/contributors,
+// /api/v1/influencers, /api/v1/sentiment, /api/v1/trending and
+// /api/v1/search — with query-string-bound Query execution, pagination
+// envelopes and snapshot-consistent ETags. Every request is answered from
+// one immutable assessment snapshot; clients echoing the envelope's
+// snapshot token (?snapshot=N) pin a paginated walk to that round even
+// while Advance ticks the corpus underneath, so a walk never mixes two
+// assessment rounds.
+func (c *Corpus) APIHandler() http.Handler {
+	return apiserve.New(apiProvider{c})
+}
+
+// apiProvider adapts the corpus to apiserve's snapshot source.
+type apiProvider struct{ c *Corpus }
+
+func (p apiProvider) Snapshot() apiserve.Snapshot {
+	return apiSnapshot{p.c.state.Load()}
+}
+
+// apiSnapshot exposes one immutable assessment round to the serving layer.
+type apiSnapshot struct{ st *assessState }
+
+func (s apiSnapshot) Version() int64 { return s.st.version }
+
+func (s apiSnapshot) QuerySources(q Query) (*QueryResult, error) {
+	return s.st.env.Sources.Query(s.st.env.SourceRecords, q)
+}
+
+func (s apiSnapshot) QueryContributors(q Query) (*QueryResult, error) {
+	return s.st.env.Contributors.Query(s.st.env.ContributorRecords, q)
+}
+
+func (s apiSnapshot) Influencers(opts InfluencerOptions) []Influencer {
+	return quality.Influencers(s.st.env.Contributors, s.st.env.ContributorRecords, opts)
+}
+
+func (s apiSnapshot) SentimentByCategory() map[string]SentimentIndicator {
+	return s.st.sentimentByCategory()
+}
+
+func (s apiSnapshot) TrendingTerms(category string, k int) []BuzzTerm {
+	return s.st.trendingTerms(category, k)
+}
+
+func (s apiSnapshot) Search(query string, k int) []SearchResult {
+	return s.st.searchEngine().Search(query, k)
+}
+
 // CrawlOptions configures Crawl.
 type CrawlOptions struct {
 	// Workers bounds concurrency (default 8); Delay is the politeness
@@ -372,10 +478,32 @@ func (c *Corpus) Crawl(ctx context.Context, baseURL string, opts CrawlOptions) (
 	return quality.SourceRecordsFromSnapshot(snap, st.panel, st.world.Config.End, st.world.Days()), nil
 }
 
+// QueryRecords assesses externally obtained source records (e.g. from
+// Crawl) under an explicit DomainOfInterest and executes q over them.
+//
+// Benchmark-derivation semantics: each call builds a fresh assessor whose
+// normalisation benchmarks are the winsorised corpus quantiles of the
+// records themselves (AssessorOptions defaults: the 0.10/0.90 quantiles
+// play the paper's "well-known, highly-ranked sources" role). The records
+// are both the assessed population and the benchmark reference — nothing
+// is inherited from any Corpus, so scores are comparable within one call's
+// record set but not across calls with different record sets. Callers
+// needing corpus-anchored benchmarks should assess through a Corpus
+// instead (AssessSource / QuerySources).
+func QueryRecords(records []*SourceRecord, di DomainOfInterest, q Query) (*QueryResult, error) {
+	return quality.NewSourceAssessor(records, di, nil).Query(records, q)
+}
+
 // AssessRecords ranks externally obtained records (e.g. from Crawl) with
-// benchmarks derived from those same records.
+// benchmarks derived from those same records — see QueryRecords for the
+// exact derivation semantics. The corpus contributes only its DI; the
+// panel-backed benchmarks of the corpus' own assessor are NOT reused.
+//
+// Deprecated: use QueryRecords, which makes the DI explicit and composes
+// with the full Query model.
 func (c *Corpus) AssessRecords(records []*SourceRecord) []*Assessment {
-	return quality.NewSourceAssessor(records, c.DI, nil).Rank(records)
+	res, _ := QueryRecords(records, c.DI, Query{}) // the zero query cannot be invalid
+	return res.Items
 }
 
 // GenerateMicroblog builds the annotated microblog dataset of Section 4.2
@@ -422,7 +550,7 @@ func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	}
 	panel := cur.panel.Refresh(world)
 	env := cur.env.Advance(world, panel, delta)
-	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, delta: delta}
+	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta}
 	next.inheritScan(cur, delta)
 	c.state.Store(next)
 	return c
@@ -461,12 +589,7 @@ func RankShift(old, new *Report) map[string]int { return quality.RankShift(old, 
 // Term counts come from the shared cached corpus pass (see scan.go), so
 // calling this for every category costs one scan, not one per category.
 func (c *Corpus) TrendingTerms(category string, k int) []BuzzTerm {
-	scan := c.state.Load().commentScan()
-	fg := scan.fgByCategory[category]
-	if fg == nil {
-		fg = buzz.NewCounts()
-	}
-	return buzz.TopTerms(fg, scan.bg, k, 2)
+	return c.state.Load().trendingTerms(category, k)
 }
 
 // BuzzTerm is one scored buzz word.

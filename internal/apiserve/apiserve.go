@@ -1,0 +1,569 @@
+// Package apiserve exposes quality assessments as a versioned,
+// snapshot-consistent JSON HTTP API (DESIGN.md section 7) — the serving
+// layer for observers who consume filtered, ranked slices of the corpus
+// rather than whole assessment dumps:
+//
+//	GET /api/v1/sources?category=place&min_score=0.6&sort=dim.time&k=10
+//	GET /api/v1/contributors?spam_resistance=0.3&k=25&fields=scores
+//	GET /api/v1/influencers?strategy=combined&k=10
+//	GET /api/v1/sentiment            GET /api/v1/trending?category=place
+//	GET /api/v1/search?q=hotel+milan
+//
+// Filters are pushed down: the query string binds to a quality.Query and
+// executes below the ranking inside the assessor (bounded top-k selection
+// over the cached measure matrix), so the handler never materializes more
+// assessments than one response page.
+//
+// Consistency model: every response is computed from ONE immutable
+// assessment snapshot and carries its monotonic version both in the
+// envelope ("snapshot") and in the X-Informer-Snapshot header, plus a
+// strong content ETag honouring If-None-Match with 304. A client walking
+// pages echoes the first page's token (?snapshot=N); the server retains a
+// small ring of recent snapshots and keeps serving the pinned round even
+// while Advance publishes new ones, so a paginated walk never mixes two
+// assessment rounds. A pin that has aged out of the ring answers 410 Gone
+// — the client restarts the walk on the current round.
+package apiserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/etag"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/search"
+	"github.com/informing-observers/informer/internal/sentiment"
+)
+
+// Snapshot is one immutable assessment round: everything a request needs,
+// answered consistently. The informer facade adapts its internal snapshot
+// type to this interface; implementations must be safe for concurrent use
+// and must never mutate after publication.
+type Snapshot interface {
+	// Version is the round's monotonic snapshot token.
+	Version() int64
+	QuerySources(q quality.Query) (*quality.QueryResult, error)
+	QueryContributors(q quality.Query) (*quality.QueryResult, error)
+	Influencers(opts quality.InfluencerOptions) []quality.Influencer
+	SentimentByCategory() map[string]sentiment.Indicator
+	TrendingTerms(category string, k int) []buzz.Term
+	Search(query string, k int) []search.Result
+}
+
+// Provider hands out the current snapshot; the facade's atomic snapshot
+// pointer sits behind it.
+type Provider interface {
+	Snapshot() Snapshot
+}
+
+// retainedSnapshots bounds the pin ring: how many assessment rounds stay
+// addressable by ?snapshot=N after newer rounds are published. Snapshots
+// are immutable and share unchanged state copy-on-write, so retention is
+// cheap; the bound exists only to cap worst-case memory on fast tickers.
+const retainedSnapshots = 8
+
+// Server is the /api/v1 handler.
+type Server struct {
+	provider Provider
+	mux      *http.ServeMux
+
+	mu     sync.Mutex
+	recent map[int64]Snapshot
+	order  []int64 // retained versions, oldest first (versions are monotonic)
+}
+
+// New builds the API server over a snapshot provider. Mount it at the host
+// mux root (it routes full /api/v1/... paths).
+func New(p Provider) *Server {
+	s := &Server{provider: p, recent: map[int64]Snapshot{}}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/api/v1/sources", s.endpoint(handleSources))
+	s.mux.HandleFunc("/api/v1/contributors", s.endpoint(handleContributors))
+	s.mux.HandleFunc("/api/v1/influencers", s.endpoint(handleInfluencers))
+	s.mux.HandleFunc("/api/v1/sentiment", s.endpoint(handleSentiment))
+	s.mux.HandleFunc("/api/v1/trending", s.endpoint(handleTrending))
+	s.mux.HandleFunc("/api/v1/search", s.endpoint(handleSearch))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// handlerFunc answers one endpoint from a pinned snapshot: items, the
+// pre-pagination total and the window offset, or a binding/validation
+// error (answered as 400).
+type handlerFunc func(st Snapshot, v url.Values) (items any, total, offset int, err error)
+
+// endpoint wraps a handler with the shared serving machinery: method
+// check, snapshot resolution/pinning, envelope, ETag and 304.
+func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		v := r.URL.Query()
+		st, status, err := s.resolveSnapshot(v.Get("snapshot"))
+		if err != nil {
+			writeError(w, status, err.Error())
+			return
+		}
+		items, total, offset, err := fn(st, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		body, err := json.Marshal(NewEnvelope(st.Version(), total, offset, items))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		tag := `"` + etag.Hash(body) + `"`
+		h := w.Header()
+		h.Set("Content-Type", "application/json; charset=utf-8")
+		h.Set("ETag", tag)
+		h.Set("X-Informer-Snapshot", strconv.FormatInt(st.Version(), 10))
+		if r.Header.Get("If-None-Match") == tag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Write(body)
+	}
+}
+
+// resolveSnapshot returns the snapshot a request is served from: the pinned
+// round when ?snapshot=N names a retained version, the current round
+// otherwise. The current round is remembered in the ring on every request,
+// so any version a client has ever seen in an envelope was retained at
+// that moment.
+func (s *Server) resolveSnapshot(param string) (Snapshot, int, error) {
+	cur := s.provider.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.recent[cur.Version()]; !seen {
+		s.recent[cur.Version()] = cur
+		s.order = append(s.order, cur.Version())
+		for len(s.order) > retainedSnapshots {
+			delete(s.recent, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	if param == "" {
+		return cur, 0, nil
+	}
+	want, err := strconv.ParseInt(param, 10, 64)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("bad snapshot token %q", param)
+	}
+	if pinned, ok := s.recent[want]; ok {
+		return pinned, 0, nil
+	}
+	return nil, http.StatusGone, fmt.Errorf("snapshot %d is no longer retained; restart from the current round", want)
+}
+
+// Envelope is the pagination wrapper of every /api/v1 response.
+type Envelope struct {
+	APIVersion string `json:"api_version"`
+	// Snapshot is the assessment round every item in this response was
+	// computed from; echo it as ?snapshot=N to pin a paginated walk.
+	Snapshot int64 `json:"snapshot"`
+	// Total counts the matches before top-k selection and pagination
+	// (sources, contributors, influencers, sentiment). Trending and
+	// search are generators bounded by k at the source, so there Total
+	// equals Count.
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Count  int `json:"count"`
+	Items  any `json:"items"`
+}
+
+// NewEnvelope wraps one response page. It is exported (with the item
+// constructors below) so tests and in-process consumers can reproduce a
+// response byte for byte.
+func NewEnvelope(snapshot int64, total, offset int, items any) Envelope {
+	count := 0
+	if items != nil {
+		if v := reflect.ValueOf(items); v.Kind() == reflect.Slice {
+			count = v.Len()
+		}
+	}
+	return Envelope{APIVersion: "v1", Snapshot: snapshot, Total: total, Offset: offset, Count: count, Items: items}
+}
+
+// Item is the wire form of one Assessment. Raw and Normalized appear only
+// under fields=full (the ProjectFull projection).
+type Item struct {
+	ID         int                `json:"id"`
+	Name       string             `json:"name"`
+	Score      float64            `json:"score"`
+	Dimensions map[string]float64 `json:"dimensions"`
+	Attributes map[string]float64 `json:"attributes"`
+	Raw        map[string]float64 `json:"raw,omitempty"`
+	Normalized map[string]float64 `json:"normalized,omitempty"`
+}
+
+// AssessmentItems converts assessments to their wire form.
+func AssessmentItems(as []*quality.Assessment) []Item {
+	items := make([]Item, len(as))
+	for i, a := range as {
+		dims := make(map[string]float64, len(a.DimensionScores))
+		for d, v := range a.DimensionScores {
+			dims[d.String()] = v
+		}
+		atts := make(map[string]float64, len(a.AttributeScores))
+		for at, v := range a.AttributeScores {
+			atts[at.String()] = v
+		}
+		items[i] = Item{
+			ID:         a.ID,
+			Name:       a.Name,
+			Score:      a.Score,
+			Dimensions: dims,
+			Attributes: atts,
+			Raw:        a.Raw,
+			Normalized: a.Normalized,
+		}
+	}
+	return items
+}
+
+// InfluencerItem is the wire form of one detected opinion leader.
+type InfluencerItem struct {
+	ID              int     `json:"id"`
+	Name            string  `json:"name"`
+	Influence       float64 `json:"influence"`
+	Score           float64 `json:"score"`
+	Interactions    int     `json:"interactions"`
+	RepliesReceived int     `json:"replies_received"`
+}
+
+// InfluencerItems converts influencers to their wire form.
+func InfluencerItems(infs []quality.Influencer) []InfluencerItem {
+	items := make([]InfluencerItem, len(infs))
+	for i, inf := range infs {
+		items[i] = InfluencerItem{
+			ID:              inf.Record.ID,
+			Name:            inf.Record.Name,
+			Influence:       inf.InfluenceScore,
+			Score:           inf.Assessment.Score,
+			Interactions:    inf.Record.Interactions,
+			RepliesReceived: inf.Record.RepliesReceived,
+		}
+	}
+	return items
+}
+
+// SentimentItem is the wire form of one per-category indicator.
+type SentimentItem struct {
+	Category string  `json:"category"`
+	Mean     float64 `json:"mean"`
+	N        int     `json:"n"`
+}
+
+// SentimentItems converts (and deterministically orders) indicator maps.
+func SentimentItems(ind map[string]sentiment.Indicator, categories []string) []SentimentItem {
+	cats := categories
+	if len(cats) == 0 {
+		cats = make([]string, 0, len(ind))
+		for cat := range ind {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+	}
+	items := make([]SentimentItem, 0, len(cats))
+	for _, cat := range cats {
+		i, ok := ind[cat]
+		if !ok {
+			continue
+		}
+		items = append(items, SentimentItem{Category: cat, Mean: i.Mean, N: i.N})
+	}
+	return items
+}
+
+// TermItem is the wire form of one trending term.
+type TermItem struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+	Fg    int     `json:"fg"`
+	Bg    int     `json:"bg"`
+}
+
+// TermItems converts buzz terms to their wire form.
+func TermItems(terms []buzz.Term) []TermItem {
+	items := make([]TermItem, len(terms))
+	for i, t := range terms {
+		items[i] = TermItem{Term: t.Word, Score: t.Score, Fg: t.FgCount, Bg: t.BgCount}
+	}
+	return items
+}
+
+// SearchItem is the wire form of one baseline search hit.
+type SearchItem struct {
+	SourceID int     `json:"source_id"`
+	Score    float64 `json:"score"`
+}
+
+// SearchItems converts search results to their wire form.
+func SearchItems(results []search.Result) []SearchItem {
+	items := make([]SearchItem, len(results))
+	for i, r := range results {
+		items[i] = SearchItem{SourceID: r.SourceID, Score: r.Score}
+	}
+	return items
+}
+
+func handleSources(st Snapshot, v url.Values) (any, int, int, error) {
+	q, err := BindQuery(v)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, err := st.QuerySources(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return AssessmentItems(res.Items), res.Total, q.Offset, nil
+}
+
+func handleContributors(st Snapshot, v url.Values) (any, int, int, error) {
+	q, err := BindQuery(v)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, err := st.QueryContributors(q)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return AssessmentItems(res.Items), res.Total, q.Offset, nil
+}
+
+func handleInfluencers(st Snapshot, v url.Values) (any, int, int, error) {
+	opts := quality.InfluencerOptions{Strategy: quality.Combined}
+	switch strat := v.Get("strategy"); strat {
+	case "", "combined":
+	case "by-activity":
+		opts.Strategy = quality.ByActivity
+	case "by-relative":
+		opts.Strategy = quality.ByRelative
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown strategy %q", strat)
+	}
+	k, err := intParam(v, "k", 10)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if opts.MinInteractions, err = intParam(v, "min_interactions", 0); err != nil {
+		return nil, 0, 0, err
+	}
+	// Rank unbounded and truncate here, so Total keeps its envelope
+	// meaning: qualifying influencers before top-k selection.
+	ranked := st.Influencers(opts)
+	total := len(ranked)
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return InfluencerItems(ranked), total, 0, nil
+}
+
+func handleSentiment(st Snapshot, v url.Values) (any, int, int, error) {
+	items := SentimentItems(st.SentimentByCategory(), multiParam(v, "category"))
+	return items, len(items), 0, nil
+}
+
+func handleTrending(st Snapshot, v url.Values) (any, int, int, error) {
+	category := v.Get("category")
+	if category == "" {
+		return nil, 0, 0, fmt.Errorf("missing required parameter category")
+	}
+	k, err := intParam(v, "k", 10)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	items := TermItems(st.TrendingTerms(category, k))
+	return items, len(items), 0, nil
+}
+
+func handleSearch(st Snapshot, v url.Values) (any, int, int, error) {
+	query := v.Get("q")
+	if query == "" {
+		return nil, 0, 0, fmt.Errorf("missing required parameter q")
+	}
+	k, err := intParam(v, "k", 10)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	items := SearchItems(st.Search(query, k))
+	return items, len(items), 0, nil
+}
+
+// BindQuery binds a URL query string to a quality.Query:
+//
+//	category=place&category=pulse     scope (repeatable)
+//	kind=blog&id=3&id=17              scope (sources: kind; both repeatable)
+//	min_score=0.6                     overall-score predicate
+//	min_dim.time=0.5                  per-dimension predicate
+//	min_att.relevance=0.4             per-attribute predicate
+//	min_measure.src.time.liveliness=0.3
+//	spam_resistance=0.25              contributor spam-resistance predicate
+//	sort=score | dim.<name> | att.<name>
+//	k=10&offset=0&limit=20            top-k bound and pagination window
+//	fields=scores | full              projection (default full)
+//
+// Exported so tests and other mounts can reuse the binding.
+func BindQuery(v url.Values) (quality.Query, error) {
+	var q quality.Query
+	q.Categories = multiParam(v, "category")
+	q.Kinds = multiParam(v, "kind")
+	for _, s := range multiParam(v, "id") {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return q, fmt.Errorf("bad id %q", s)
+		}
+		q.IDs = append(q.IDs, id)
+	}
+	var err error
+	if q.MinScore, err = floatParam(v, "min_score", 0); err != nil {
+		return q, err
+	}
+	if q.MinSpamResistance, err = floatParam(v, "spam_resistance", 0); err != nil {
+		return q, err
+	}
+	// Prefixed predicate families. Iterate sorted keys so error messages
+	// are deterministic.
+	keys := make([]string, 0, len(v))
+	for key := range v {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		switch {
+		case strings.HasPrefix(key, "min_dim."):
+			name := strings.TrimPrefix(key, "min_dim.")
+			d, ok := quality.ParseDimension(name)
+			if !ok {
+				return q, fmt.Errorf("unknown dimension %q", name)
+			}
+			val, err := strconv.ParseFloat(v.Get(key), 64)
+			if err != nil {
+				return q, fmt.Errorf("bad %s: %q", key, v.Get(key))
+			}
+			if q.MinDimension == nil {
+				q.MinDimension = map[quality.Dimension]float64{}
+			}
+			q.MinDimension[d] = val
+		case strings.HasPrefix(key, "min_att."):
+			name := strings.TrimPrefix(key, "min_att.")
+			at, ok := quality.ParseAttribute(name)
+			if !ok {
+				return q, fmt.Errorf("unknown attribute %q", name)
+			}
+			val, err := strconv.ParseFloat(v.Get(key), 64)
+			if err != nil {
+				return q, fmt.Errorf("bad %s: %q", key, v.Get(key))
+			}
+			if q.MinAttribute == nil {
+				q.MinAttribute = map[quality.Attribute]float64{}
+			}
+			q.MinAttribute[at] = val
+		case strings.HasPrefix(key, "min_measure."):
+			id := strings.TrimPrefix(key, "min_measure.")
+			val, err := strconv.ParseFloat(v.Get(key), 64)
+			if err != nil {
+				return q, fmt.Errorf("bad %s: %q", key, v.Get(key))
+			}
+			if q.MinMeasure == nil {
+				q.MinMeasure = map[string]float64{}
+			}
+			q.MinMeasure[id] = val
+		}
+	}
+	switch srt := v.Get("sort"); {
+	case srt == "" || srt == "score":
+	case strings.HasPrefix(srt, "dim."):
+		d, ok := quality.ParseDimension(strings.TrimPrefix(srt, "dim."))
+		if !ok {
+			return q, fmt.Errorf("unknown sort %q", srt)
+		}
+		q.Sort = quality.SortKey{By: quality.SortByDimension, Dimension: d}
+	case strings.HasPrefix(srt, "att."):
+		at, ok := quality.ParseAttribute(strings.TrimPrefix(srt, "att."))
+		if !ok {
+			return q, fmt.Errorf("unknown sort %q", srt)
+		}
+		q.Sort = quality.SortKey{By: quality.SortByAttribute, Attribute: at}
+	default:
+		return q, fmt.Errorf("unknown sort %q", srt)
+	}
+	if q.TopK, err = intParam(v, "k", 0); err != nil {
+		return q, err
+	}
+	if q.Offset, err = intParam(v, "offset", 0); err != nil {
+		return q, err
+	}
+	if q.Limit, err = intParam(v, "limit", 0); err != nil {
+		return q, err
+	}
+	switch f := v.Get("fields"); f {
+	case "", "full":
+		q.Fields = quality.ProjectFull
+	case "scores":
+		q.Fields = quality.ProjectScores
+	default:
+		return q, fmt.Errorf("unknown fields %q (use full or scores)", f)
+	}
+	return q, nil
+}
+
+// multiParam collects a repeatable parameter, also splitting on commas.
+func multiParam(v url.Values, key string) []string {
+	var out []string
+	for _, raw := range v[key] {
+		for _, part := range strings.Split(raw, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+func intParam(v url.Values, key string, def int) (int, error) {
+	s := v.Get(key)
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %q", key, s)
+	}
+	return n, nil
+}
+
+func floatParam(v url.Values, key string, def float64) (float64, error) {
+	s := v.Get(key)
+	if s == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %q", key, s)
+	}
+	return f, nil
+}
+
+// writeError answers a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,19 @@
+// Package etag is the shared strong-ETag scheme of every HTTP surface:
+// an FNV-1a content hash rendered as hex. internal/webserve (the
+// crawlable world) and internal/apiserve (the /api/v1 quality API) must
+// stamp identically-derived validators so conditional re-fetch behaves
+// the same across the whole serving stack — sharing the implementation
+// enforces that.
+package etag
+
+import "strconv"
+
+// Hash renders the FNV-1a hash of a response body as hex.
+func Hash(p []byte) string {
+	var h uint64 = 14695981039346656037
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return strconv.FormatUint(h, 16)
+}

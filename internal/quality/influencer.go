@@ -46,6 +46,16 @@ type InfluencerOptions struct {
 	MinInteractions int
 }
 
+// relativeReactionMeasures are the normalised per-contribution reaction
+// rates forming the relative influence signal — the quantity that stays
+// near zero for spammers and bots however high their absolute volume.
+// Influencers' Combined strategy multiplies it in, and Query's
+// MinSpamResistance predicate thresholds it directly.
+var relativeReactionMeasures = []string{
+	"usr.authority.relevance",
+	"usr.dependability.relevance",
+}
+
 // Influencer is one detected opinion leader.
 type Influencer struct {
 	Record *ContributorRecord
@@ -81,10 +91,7 @@ func Influencers(a *ContributorAssessor, records []*ContributorRecord, opts Infl
 			"usr.time.activity",
 		)
 		// Relative signal: normalised per-contribution reaction rates.
-		rel := avgOf(as.Normalized,
-			"usr.authority.relevance",
-			"usr.dependability.relevance",
-		)
+		rel := avgOf(as.Normalized, relativeReactionMeasures...)
 		var score float64
 		switch opts.Strategy {
 		case ByActivity:

@@ -282,6 +282,12 @@ func (e *matrixEngine[R]) forEachChunk(n int, fn func(lo, hi int)) {
 // order, weighting, per-axis averaging — mirrors the historical sequential
 // implementation exactly, so scores are bit-for-bit reproducible.
 func (e *matrixEngine[R]) assess(r *R) *Assessment {
+	return e.assessProject(r, ProjectFull)
+}
+
+// assessProject is assess with a projection: ProjectScores skips the
+// per-measure Raw/Normalized maps (the query serving path).
+func (e *matrixEngine[R]) assessProject(r *R, fields Projection) *Assessment {
 	nm, nr := len(e.infos), e.nRecords
 
 	raw := make([]float64, nm)
@@ -332,16 +338,15 @@ func (e *matrixEngine[R]) assess(r *R) *Assessment {
 	}
 
 	id, name := e.ident(r)
-	out := &Assessment{
-		ID:         id,
-		Name:       name,
-		Raw:        make(map[string]float64, defined),
-		Normalized: make(map[string]float64, defined),
-	}
-	for m := 0; m < nm; m++ {
-		if def[m] {
-			out.Raw[e.infos[m].id] = raw[m]
-			out.Normalized[e.infos[m].id] = norm[m]
+	out := &Assessment{ID: id, Name: name}
+	if fields == ProjectFull {
+		out.Raw = make(map[string]float64, defined)
+		out.Normalized = make(map[string]float64, defined)
+		for m := 0; m < nm; m++ {
+			if def[m] {
+				out.Raw[e.infos[m].id] = raw[m]
+				out.Normalized[e.infos[m].id] = norm[m]
+			}
 		}
 	}
 	if wTotal > 0 {

@@ -1,0 +1,575 @@
+package quality
+
+// Query is the declarative read request of the quality-driven filtering
+// stack — the paper's headline consumption pattern ("observers consume
+// filtered, ranked slices, not whole corpora") as a first-class value. One
+// Query scopes the candidate records, filters them by quality predicates,
+// ranks the survivors by a chosen axis and returns a paginated window —
+// and the same value is understood by every layer: the assessors execute
+// it below ranking (bounded top-k selection over the cached measure matrix
+// instead of sorting all N assessments), the mashup data services compile
+// their parameters to it, and internal/apiserve binds it from HTTP query
+// strings (DESIGN.md section 7).
+//
+// The zero Query matches every record, ranks by overall score and returns
+// everything — exactly the historical Rank behaviour.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Projection selects how much of each Assessment a query materializes.
+type Projection int
+
+const (
+	// ProjectFull materializes the complete Assessment, including the
+	// per-measure Raw and Normalized maps.
+	ProjectFull Projection = iota
+	// ProjectScores skips the per-measure maps and keeps only Score,
+	// DimensionScores and AttributeScores — the serving-path projection
+	// (roughly halves the allocation cost per returned item).
+	ProjectScores
+)
+
+// SortBy names the ranking axis of a Query.
+type SortBy int
+
+const (
+	// SortByScore ranks by the overall weighted score (the default).
+	SortByScore SortBy = iota
+	// SortByDimension ranks by one data-quality dimension's average.
+	SortByDimension
+	// SortByAttribute ranks by one Web 2.0 attribute's average.
+	SortByAttribute
+)
+
+// SortKey is the ranking axis: the overall score, one dimension or one
+// attribute. Ranking is always best-first with ties broken by ascending ID
+// (the historical Rank order); records for which the axis is undefined
+// sort last.
+type SortKey struct {
+	By        SortBy
+	Dimension Dimension // read when By == SortByDimension
+	Attribute Attribute // read when By == SortByAttribute
+}
+
+// Query is a composable read request over an assessed corpus. Fields
+// combine with AND semantics; zero values mean "no restriction". Build one
+// literally or through the fluent builder in the root informer package.
+type Query struct {
+	// IDs restricts candidates to the given record IDs (a search result
+	// set, a crawl frontier, an explicit watchlist).
+	IDs []int
+	// Categories restricts candidates to records active in at least one of
+	// the given content categories: sources with a discussion in a
+	// category, contributors with a comment in one.
+	Categories []string
+	// Kinds restricts source candidates by source kind ("blog", "forum",
+	// "review-site", "social-network"). Source queries only.
+	Kinds []string
+
+	// MinScore keeps records whose overall weighted score clears the bar.
+	MinScore float64
+	// MinDimension keeps records whose per-dimension average clears the
+	// bar; records lacking the dimension entirely never match.
+	MinDimension map[Dimension]float64
+	// MinAttribute likewise thresholds per-attribute averages.
+	MinAttribute map[Attribute]float64
+	// MinMeasure thresholds individual normalized measure values by
+	// catalogue ID; unknown IDs are an error.
+	MinMeasure map[string]float64
+	// MinSpamResistance keeps contributors whose relative reaction signal
+	// (the per-contribution reaction rates of Section 3.2, the quantity
+	// that is near zero for spammers and bots regardless of their volume)
+	// clears the bar. Contributor queries only.
+	MinSpamResistance float64
+
+	// Sort is the ranking axis (zero value: overall score, best first).
+	Sort SortKey
+	// TopK bounds the ranked selection to the k best matches before
+	// pagination (0 = unbounded). Execution with a bound never sorts the
+	// full corpus: matches stream through a bounded heap and only the
+	// winners are materialized.
+	TopK int
+	// Offset and Limit window the ranked matches for pagination.
+	Offset, Limit int
+	// Fields selects the materialization (ProjectFull or ProjectScores).
+	Fields Projection
+}
+
+// QueryResult is one executed Query.
+type QueryResult struct {
+	// Items is the requested window of the ranked matches, best first.
+	Items []*Assessment
+	// Total counts every record matching the scope and predicates, before
+	// top-k selection and pagination — the pagination envelope's total.
+	Total int
+}
+
+// Query executes q over the records: scope and predicates filter below the
+// ranking, the survivors are ranked by q.Sort, and only the requested
+// window is materialized. With a selection bound (TopK and/or Limit) the
+// matches stream through a bounded heap — O(N log k) with O(k)
+// materializations — instead of assessing and sorting the whole corpus.
+// Results are bit-identical to filtering and slicing Rank's output.
+func (a *SourceAssessor) Query(records []*SourceRecord, q Query) (*QueryResult, error) {
+	if q.MinSpamResistance > 0 {
+		return nil, fmt.Errorf("quality: MinSpamResistance applies to contributor queries only")
+	}
+	return a.engine.rankTopK(records, q, sourceKeep(q), nil)
+}
+
+// RankTopK returns the k best records, best first — shorthand for a Query
+// with only TopK set.
+func (a *SourceAssessor) RankTopK(records []*SourceRecord, k int) []*Assessment {
+	res, err := a.Query(records, Query{TopK: k})
+	if err != nil {
+		panic(err) // unreachable: a bare top-k query cannot be invalid
+	}
+	return res.Items
+}
+
+// Query executes q over contributor records; see SourceAssessor.Query.
+// Contributor queries additionally understand MinSpamResistance; Kinds is
+// rejected (contributors have no source kind).
+func (a *ContributorAssessor) Query(records []*ContributorRecord, q Query) (*QueryResult, error) {
+	if len(q.Kinds) > 0 {
+		return nil, fmt.Errorf("quality: Kinds applies to source queries only")
+	}
+	var spamIdx []int
+	if q.MinSpamResistance > 0 {
+		for _, id := range relativeReactionMeasures {
+			if m := a.engine.measurePos(id); m >= 0 {
+				spamIdx = append(spamIdx, m)
+			}
+		}
+	}
+	return a.engine.rankTopK(records, q, contributorKeep(q), spamIdx)
+}
+
+// RankTopK returns the k best contributors, best first.
+func (a *ContributorAssessor) RankTopK(records []*ContributorRecord, k int) []*Assessment {
+	res, err := a.Query(records, Query{TopK: k})
+	if err != nil {
+		panic(err) // unreachable: a bare top-k query cannot be invalid
+	}
+	return res.Items
+}
+
+// sourceKeep compiles the source-scope fields into a record predicate, or
+// nil when the query is unscoped.
+func sourceKeep(q Query) func(*SourceRecord) bool {
+	if len(q.IDs) == 0 && len(q.Categories) == 0 && len(q.Kinds) == 0 {
+		return nil
+	}
+	idSet := intSet(q.IDs)
+	kindSet := stringSet(q.Kinds)
+	catSet := stringSet(q.Categories)
+	return func(r *SourceRecord) bool {
+		if idSet != nil && !idSet[r.ID] {
+			return false
+		}
+		if kindSet != nil && !kindSet[r.Kind] {
+			return false
+		}
+		if catSet != nil {
+			found := false
+			for i := range r.Discussions {
+				if catSet[r.Discussions[i].Category] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// contributorKeep compiles the contributor-scope fields into a predicate.
+func contributorKeep(q Query) func(*ContributorRecord) bool {
+	if len(q.IDs) == 0 && len(q.Categories) == 0 {
+		return nil
+	}
+	idSet := intSet(q.IDs)
+	catSet := stringSet(q.Categories)
+	return func(r *ContributorRecord) bool {
+		if idSet != nil && !idSet[r.ID] {
+			return false
+		}
+		if catSet != nil {
+			found := false
+			for cat, n := range r.CommentsByCategory {
+				if n > 0 && catSet[cat] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func intSet(xs []int) map[int]bool {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+func stringSet(xs []string) map[string]bool {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+// leanBuf holds the reusable scratch of the lean (map-free) evaluation of
+// one record during a query scan. Reusing one buffer across the scan keeps
+// the filter-and-rank pass allocation-free.
+type leanBuf struct {
+	raw            []float64
+	def            []bool
+	norm           []float64
+	dimSum, dimCnt []float64
+	attSum, attCnt []float64
+	score          float64
+}
+
+func (e *matrixEngine[R]) newLeanBuf() *leanBuf {
+	nm := len(e.infos)
+	return &leanBuf{
+		raw:    make([]float64, nm),
+		def:    make([]bool, nm),
+		norm:   make([]float64, nm),
+		dimSum: make([]float64, e.nDims),
+		dimCnt: make([]float64, e.nDims),
+		attSum: make([]float64, e.nAtts),
+		attCnt: make([]float64, e.nAtts),
+	}
+}
+
+// leanEval computes one record's score, axis accumulators and normalized
+// values into b without building any maps. The arithmetic — accumulation
+// order, weighting, normalisation — is exactly assessProject's, so every
+// number a query filters or sorts on is bit-identical to the materialized
+// Assessment.
+func (e *matrixEngine[R]) leanEval(r *R, b *leanBuf) {
+	nm, nr := len(e.infos), e.nRecords
+	if c, cached := e.col[r]; cached {
+		for m := 0; m < nm; m++ {
+			b.raw[m] = e.vals[m*nr+c]
+			b.def[m] = e.present[m*nr+c]
+		}
+	} else {
+		for m := range e.evals {
+			b.raw[m], b.def[m] = e.evals[m](r, &e.di)
+		}
+	}
+	for i := range b.dimSum {
+		b.dimSum[i], b.dimCnt[i] = 0, 0
+	}
+	for i := range b.attSum {
+		b.attSum[i], b.attCnt[i] = 0, 0
+	}
+	var wSum, wTotal float64
+	for m := 0; m < nm; m++ {
+		if !b.def[m] {
+			b.norm[m] = 0
+			continue
+		}
+		info := &e.infos[m]
+		n := e.benchmarks[m].Normalize(b.raw[m], info.higherIsBetter)
+		b.norm[m] = n
+		w := e.weights[m]
+		wSum += w * n
+		wTotal += w
+		b.dimSum[int(info.dimension)+e.dimOff] += n
+		b.dimCnt[int(info.dimension)+e.dimOff]++
+		b.attSum[int(info.attribute)+e.attOff] += n
+		b.attCnt[int(info.attribute)+e.attOff]++
+	}
+	b.score = 0
+	if wTotal > 0 {
+		b.score = wSum / wTotal
+	}
+}
+
+// leanCand is one match surviving the predicates: its sort key and the
+// identifiers needed to rank and materialize it.
+type leanCand struct {
+	key float64
+	id  int
+	row int
+}
+
+// candWorse orders candidates for selection: a is worse than b when its
+// key is lower, or equal with a higher ID (ranking is best-first, ties by
+// ascending ID).
+func candWorse(a, b leanCand) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id > b.id
+}
+
+// axisThreshold is a resolved per-axis predicate (dense index + bar).
+type axisThreshold struct {
+	idx int
+	v   float64
+}
+
+// rankTopK executes a query over the engine: one lean pass evaluates
+// scope, predicates and sort key per record straight from the cached
+// matrix (no maps, no Assessment structs), a bounded heap keeps the best
+// candidates when the query carries a selection bound, and only the final
+// window is materialized — in parallel, with the requested projection.
+func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*QueryResult, error) {
+	// Resolve predicate and sort targets against the catalogue up front.
+	type measureThreshold struct {
+		m int
+		v float64
+	}
+	var minMeasure []measureThreshold
+	if len(q.MinMeasure) > 0 {
+		ids := make([]string, 0, len(q.MinMeasure))
+		for id := range q.MinMeasure {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			m := e.measurePos(id)
+			if m < 0 {
+				return nil, fmt.Errorf("quality: unknown measure %q in query", id)
+			}
+			minMeasure = append(minMeasure, measureThreshold{m, q.MinMeasure[id]})
+		}
+	}
+	var minDim, minAtt []axisThreshold
+	unmatchable := false
+	for d, v := range q.MinDimension {
+		idx := int(d) + e.dimOff
+		if idx < 0 || idx >= e.nDims {
+			unmatchable = true // dimension absent from the catalogue
+			continue
+		}
+		minDim = append(minDim, axisThreshold{idx, v})
+	}
+	for at, v := range q.MinAttribute {
+		idx := int(at) + e.attOff
+		if idx < 0 || idx >= e.nAtts {
+			unmatchable = true
+			continue
+		}
+		minAtt = append(minAtt, axisThreshold{idx, v})
+	}
+	sortDim, sortAtt := -1, -1
+	switch q.Sort.By {
+	case SortByScore:
+	case SortByDimension:
+		sortDim = int(q.Sort.Dimension) + e.dimOff
+		if sortDim < 0 || sortDim >= e.nDims {
+			return nil, fmt.Errorf("quality: sort dimension %s not in catalogue", q.Sort.Dimension)
+		}
+	case SortByAttribute:
+		sortAtt = int(q.Sort.Attribute) + e.attOff
+		if sortAtt < 0 || sortAtt >= e.nAtts {
+			return nil, fmt.Errorf("quality: sort attribute %s not in catalogue", q.Sort.Attribute)
+		}
+	default:
+		return nil, fmt.Errorf("quality: unknown sort key %d", q.Sort.By)
+	}
+	if unmatchable {
+		return &QueryResult{Items: []*Assessment{}}, nil
+	}
+
+	offset := q.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	// bound is how many ranked candidates the window can possibly need:
+	// min(TopK, Offset+Limit) of the set values; 0 keeps every match.
+	bound := 0
+	if q.TopK > 0 {
+		bound = q.TopK
+	}
+	if q.Limit > 0 {
+		if w := offset + q.Limit; bound == 0 || w < bound {
+			bound = w
+		}
+	}
+
+	// Lean scan: predicates and sort keys straight off the matrix.
+	buf := e.newLeanBuf()
+	var cands []leanCand
+	if bound > 0 {
+		cands = make([]leanCand, 0, bound)
+	}
+	total := 0
+scan:
+	for i, r := range records {
+		if keep != nil && !keep(r) {
+			continue
+		}
+		e.leanEval(r, buf)
+		if buf.score < q.MinScore {
+			continue
+		}
+		for _, th := range minDim {
+			if buf.dimCnt[th.idx] == 0 || buf.dimSum[th.idx]/buf.dimCnt[th.idx] < th.v {
+				continue scan
+			}
+		}
+		for _, th := range minAtt {
+			if buf.attCnt[th.idx] == 0 || buf.attSum[th.idx]/buf.attCnt[th.idx] < th.v {
+				continue scan
+			}
+		}
+		for _, th := range minMeasure {
+			if !buf.def[th.m] || buf.norm[th.m] < th.v {
+				continue scan
+			}
+		}
+		if q.MinSpamResistance > 0 {
+			var sum float64
+			n := 0
+			for _, m := range spamIdx {
+				if buf.def[m] {
+					sum += buf.norm[m]
+					n++
+				}
+			}
+			if n == 0 || sum/float64(n) < q.MinSpamResistance {
+				continue
+			}
+		}
+		total++
+		key := buf.score
+		switch {
+		case sortDim >= 0:
+			key = 0
+			if buf.dimCnt[sortDim] > 0 {
+				key = buf.dimSum[sortDim] / buf.dimCnt[sortDim]
+			}
+		case sortAtt >= 0:
+			key = 0
+			if buf.attCnt[sortAtt] > 0 {
+				key = buf.attSum[sortAtt] / buf.attCnt[sortAtt]
+			}
+		}
+		id, _ := e.ident(r)
+		c := leanCand{key: key, id: id, row: i}
+		if bound == 0 {
+			cands = append(cands, c)
+			continue
+		}
+		// Bounded min-heap of the best `bound` candidates: the root is the
+		// worst kept; a better candidate replaces it.
+		if len(cands) < bound {
+			cands = append(cands, c)
+			siftUp(cands, len(cands)-1)
+		} else if candWorse(cands[0], c) {
+			cands[0] = c
+			siftDown(cands, 0)
+		}
+	}
+
+	// Rank the survivors best-first (k log k — tiny in the bounded case).
+	sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
+
+	// Pagination window.
+	if offset >= len(cands) {
+		cands = cands[:0]
+	} else {
+		cands = cands[offset:]
+	}
+	if q.Limit > 0 && len(cands) > q.Limit {
+		cands = cands[:q.Limit]
+	}
+
+	// Materialize only the window, in parallel, with the projection.
+	items := make([]*Assessment, len(cands))
+	e.forEachChunk(len(cands), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			items[j] = e.assessProject(records[cands[j].row], q.Fields)
+		}
+	})
+	return &QueryResult{Items: items, Total: total}, nil
+}
+
+// siftUp restores the min-heap property (candWorse order) after an append.
+func siftUp(h []leanCand, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !candWorse(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+func siftDown(h []leanCand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && candWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r < len(h) && candWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// measurePos returns the catalogue position of a measure ID, or -1.
+func (e *matrixEngine[R]) measurePos(id string) int {
+	for m := range e.infos {
+		if e.infos[m].id == id {
+			return m
+		}
+	}
+	return -1
+}
+
+// ParseDimension resolves a dimension by its String name ("accuracy",
+// "time", ...) — the inverse used by HTTP query binding.
+func ParseDimension(s string) (Dimension, bool) {
+	for _, d := range Dimensions() {
+		if d.String() == s {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// ParseAttribute resolves an attribute by its String name ("relevance",
+// "traffic", ...).
+func ParseAttribute(s string) (Attribute, bool) {
+	for _, a := range []Attribute{Relevance, Breadth, Traffic, Activity, Liveliness} {
+		if a.String() == s {
+			return a, true
+		}
+	}
+	return 0, false
+}

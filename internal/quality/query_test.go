@@ -1,0 +1,297 @@
+package quality
+
+// Query execution contracts: every filter/sort/pagination combination must
+// be bit-identical to the reference plan — Rank everything, filter the
+// materialized assessments by the same predicates, slice the window. The
+// bounded-heap path and the full-sort path must agree with each other and
+// with that reference for any k.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// referenceQuery executes q the slow way: full Rank, post-filter on the
+// materialized assessments, re-sort by the requested axis, slice.
+func referenceQuery(a *SourceAssessor, records []*SourceRecord, q Query) *QueryResult {
+	keep := sourceKeep(q)
+	var matches []*Assessment
+	for _, r := range records {
+		if keep != nil && !keep(r) {
+			continue
+		}
+		as := a.Assess(r)
+		if as.Score < q.MinScore {
+			continue
+		}
+		ok := true
+		for d, v := range q.MinDimension {
+			if s, present := as.DimensionScores[d]; !present || s < v {
+				ok = false
+			}
+		}
+		for at, v := range q.MinAttribute {
+			if s, present := as.AttributeScores[at]; !present || s < v {
+				ok = false
+			}
+		}
+		for id, v := range q.MinMeasure {
+			if n, present := as.Normalized[id]; !present || n < v {
+				ok = false
+			}
+		}
+		if ok {
+			matches = append(matches, as)
+		}
+	}
+	key := func(as *Assessment) float64 {
+		switch q.Sort.By {
+		case SortByDimension:
+			return as.DimensionScores[q.Sort.Dimension]
+		case SortByAttribute:
+			return as.AttributeScores[q.Sort.Attribute]
+		default:
+			return as.Score
+		}
+	}
+	// Insertion sort keeps the reference implementation independent of the
+	// engine's comparator code.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0; j-- {
+			ki, kj := key(matches[j]), key(matches[j-1])
+			if ki > kj || (ki == kj && matches[j].ID < matches[j-1].ID) {
+				matches[j], matches[j-1] = matches[j-1], matches[j]
+			} else {
+				break
+			}
+		}
+	}
+	total := len(matches)
+	if q.TopK > 0 && len(matches) > q.TopK {
+		matches = matches[:q.TopK]
+	}
+	offset := q.Offset
+	if offset > len(matches) {
+		offset = len(matches)
+	}
+	matches = matches[offset:]
+	if q.Limit > 0 && len(matches) > q.Limit {
+		matches = matches[:q.Limit]
+	}
+	if matches == nil {
+		matches = []*Assessment{}
+	}
+	return &QueryResult{Items: matches, Total: total}
+}
+
+func TestQueryMatchesReference(t *testing.T) {
+	records := worldRecords(t, 120, 31)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	timeDim := Time
+	cases := map[string]Query{
+		"zero":            {},
+		"top-k":           {TopK: 10},
+		"min-score":       {MinScore: 0.5},
+		"min-score-top-k": {MinScore: 0.45, TopK: 7},
+		"dimension-bar":   {MinDimension: map[Dimension]float64{timeDim: 0.4}, TopK: 12},
+		"attribute-bar":   {MinAttribute: map[Attribute]float64{Traffic: 0.3}},
+		"measure-bar":     {MinMeasure: map[string]float64{"src.time.liveliness": 0.2}, TopK: 20},
+		"sort-dimension":  {Sort: SortKey{By: SortByDimension, Dimension: Authority}, TopK: 15},
+		"sort-attribute":  {Sort: SortKey{By: SortByAttribute, Attribute: Liveliness}, TopK: 15},
+		"paged":           {MinScore: 0.3, Offset: 10, Limit: 10},
+		"paged-top-k":     {TopK: 30, Offset: 5, Limit: 10},
+		"offset-past-end": {TopK: 5, Offset: 50, Limit: 10},
+		"kind-scope":      {Kinds: []string{"blog", "forum"}, TopK: 10},
+		"category-scope":  {Categories: []string{"place"}, MinScore: 0.2},
+		"id-scope":        {IDs: []int{1, 3, 5, 7, 11, 13, 17}, TopK: 4},
+	}
+	for name, q := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := a.Query(records, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceQuery(a, records, q)
+			if got.Total != want.Total {
+				t.Fatalf("total = %d, want %d", got.Total, want.Total)
+			}
+			if !reflect.DeepEqual(got.Items, want.Items) {
+				if len(got.Items) != len(want.Items) {
+					t.Fatalf("items = %d, want %d", len(got.Items), len(want.Items))
+				}
+				for i := range got.Items {
+					if !reflect.DeepEqual(got.Items[i], want.Items[i]) {
+						t.Fatalf("item %d:\n got  %+v\n want %+v", i, got.Items[i], want.Items[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryHeapMatchesFullSort sweeps k across heap sizes (including k >=
+// matches, where the heap never evicts) pinning heap/full-sort agreement.
+func TestQueryHeapMatchesFullSort(t *testing.T) {
+	records := worldRecords(t, 90, 33)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	full, err := a.Query(records, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 3, 7, 10, 45, 89, 90, 200} {
+		got := a.RankTopK(records, k)
+		want := full.Items
+		if k < len(want) {
+			want = want[:k]
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d: heap selection disagrees with full sort", k)
+		}
+	}
+}
+
+func TestQueryRankTopKMatchesRankPrefix(t *testing.T) {
+	records := worldRecords(t, 70, 35)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	ranked := a.Rank(records)
+	top := a.RankTopK(records, 10)
+	if !reflect.DeepEqual(top, ranked[:10]) {
+		t.Fatal("RankTopK(10) is not the prefix of Rank")
+	}
+}
+
+func TestQueryScoresProjection(t *testing.T) {
+	records := worldRecords(t, 40, 37)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	res, err := a.Query(records, Query{TopK: 5, Fields: ProjectScores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRes, err := a.Query(records, Query{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, as := range res.Items {
+		if as.Raw != nil || as.Normalized != nil {
+			t.Fatal("ProjectScores must skip the per-measure maps")
+		}
+		full := fullRes.Items[i]
+		if as.ID != full.ID || as.Score != full.Score ||
+			!reflect.DeepEqual(as.DimensionScores, full.DimensionScores) ||
+			!reflect.DeepEqual(as.AttributeScores, full.AttributeScores) {
+			t.Fatal("projection changed the scores")
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	records := worldRecords(t, 20, 39)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	if _, err := a.Query(records, Query{MinMeasure: map[string]float64{"no.such.measure": 0.5}}); err == nil {
+		t.Error("unknown measure must error")
+	}
+	if _, err := a.Query(records, Query{Sort: SortKey{By: SortBy(99)}}); err == nil {
+		t.Error("unknown sort key must error")
+	}
+	if _, err := a.Query(records, Query{MinSpamResistance: 0.5}); err == nil {
+		t.Error("spam resistance on a source query must error")
+	}
+}
+
+func TestContributorQuerySpamResistance(t *testing.T) {
+	w := webgen.Generate(webgen.Config{Seed: 41, NumSources: 60, NumUsers: 200, SpamRate: 0.25})
+	records := ContributorRecordsFromWorld(w)
+	a := NewContributorAssessor(records, DomainOfInterest{Categories: w.Categories}, nil)
+
+	if _, err := a.Query(records, Query{Kinds: []string{"blog"}}); err == nil {
+		t.Error("kinds on a contributor query must error")
+	}
+
+	all, err := a.Query(records, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resistant, err := a.Query(records, Query{MinSpamResistance: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resistant.Total == 0 || resistant.Total >= all.Total {
+		t.Fatalf("spam-resistance did not narrow: %d of %d", resistant.Total, all.Total)
+	}
+	// The predicate thresholds the relative reaction signal, so every
+	// survivor must clear it on the materialized measures too.
+	for _, as := range resistant.Items {
+		if avgOf(as.Normalized, relativeReactionMeasures...) < 0.35 {
+			t.Fatalf("%s survived with weak relative signal", as.Name)
+		}
+	}
+	// And the spammer share among survivors must not exceed the unfiltered
+	// share (Section 3.2's robustness claim).
+	spamShare := func(items []*Assessment) float64 {
+		byID := map[int]*ContributorRecord{}
+		for _, r := range records {
+			byID[r.ID] = r
+		}
+		spam := 0
+		for _, as := range items {
+			if byID[as.ID].Spammer {
+				spam++
+			}
+		}
+		return float64(spam) / float64(len(items))
+	}
+	if s, u := spamShare(resistant.Items), spamShare(all.Items); s > u {
+		t.Errorf("spam share rose under the resistance predicate: %.3f > %.3f", s, u)
+	}
+}
+
+// TestQueryAfterUpdateRows pins that the lean query path reads the
+// repaired matrix, not stale construction state.
+func TestQueryAfterUpdateRows(t *testing.T) {
+	w, w2, delta, panel, panel2 := advancedWorld(t, 40, 43, 5)
+	if w2 == w {
+		t.Fatal("tick changed nothing; pick another seed")
+	}
+	records := SourceRecordsFromWorld(w, panel)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+
+	records2, dirty := UpdateSourceRecordsFromWorld(records, w2, panel2, delta.DirtySourceIDs())
+	updated := a.UpdateRows(records2, dirty, delta.EpochMoved())
+
+	fresh := NewSourceAssessor(records2, defaultDI(), nil)
+	q := Query{MinScore: 0.35, TopK: 12}
+	got, err := updated.Query(records2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Query(records2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != want.Total || !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatal("query over an incrementally updated assessor diverges from a rebuild")
+	}
+}
+
+func TestParseDimensionAttribute(t *testing.T) {
+	for _, d := range Dimensions() {
+		got, ok := ParseDimension(d.String())
+		if !ok || got != d {
+			t.Errorf("ParseDimension(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := ParseDimension("nope"); ok {
+		t.Error("bad dimension name must not parse")
+	}
+	for _, at := range []Attribute{Relevance, Breadth, Traffic, Activity, Liveliness} {
+		got, ok := ParseAttribute(at.String())
+		if !ok || got != at {
+			t.Errorf("ParseAttribute(%q) = %v, %v", at.String(), got, ok)
+		}
+	}
+	if _, ok := ParseAttribute("nope"); ok {
+		t.Error("bad attribute name must not parse")
+	}
+}

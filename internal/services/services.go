@@ -17,6 +17,7 @@ package services
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/informing-observers/informer/internal/analytics"
 	"github.com/informing-observers/informer/internal/mashup"
@@ -98,7 +99,7 @@ func Register(reg *mashup.Registry, env *Env) {
 		return newCommentSource(env, p)
 	})
 	reg.MustRegister("quality-filter", func(p mashup.Params) (mashup.Component, error) {
-		return newQualityFilter(env, p), nil
+		return newQualityFilter(env, p)
 	})
 	reg.MustRegister("influencer-filter", func(p mashup.Params) (mashup.Component, error) {
 		return newInfluencerFilter(env, p)
@@ -185,29 +186,39 @@ func newCommentSource(env *Env, p mashup.Params) (mashup.Component, error) {
 	topSources := p.Int("top_sources", 0)
 	limit := p.Int("limit", 0)
 
-	// Candidate sources: explicit IDs, else by kind (or all).
+	// Candidate sources. A top_sources selection compiles to a quality
+	// Query executed by the source assessor — the scope predicates and the
+	// top-k bound run below the ranking, over the cached measure matrix,
+	// instead of sorting every source's score here. Explicit IDs take
+	// precedence over the kind restriction, as they always have.
 	var candidates []*webgen.Source
-	for _, s := range env.World.Sources {
+	if topSources > 0 {
+		q := quality.Query{TopK: topSources, Fields: quality.ProjectScores}
 		if len(ids) > 0 {
-			if ids[s.ID] {
+			for id := range ids {
+				q.IDs = append(q.IDs, id)
+			}
+		} else if kind != "" {
+			q.Kinds = []string{kind}
+		}
+		res, err := env.Sources.Query(env.SourceRecords, q)
+		if err != nil {
+			return nil, fmt.Errorf("comments: %w", err)
+		}
+		for _, a := range res.Items {
+			candidates = append(candidates, env.World.Source(a.ID))
+		}
+	} else {
+		for _, s := range env.World.Sources {
+			if len(ids) > 0 {
+				if ids[s.ID] {
+					candidates = append(candidates, s)
+				}
+				continue
+			}
+			if kind == "" || s.Kind.String() == kind {
 				candidates = append(candidates, s)
 			}
-			continue
-		}
-		if kind == "" || s.Kind.String() == kind {
-			candidates = append(candidates, s)
-		}
-	}
-	if topSources > 0 {
-		sort.Slice(candidates, func(i, j int) bool {
-			qi, qj := env.SourceScores[candidates[i].ID], env.SourceScores[candidates[j].ID]
-			if qi != qj {
-				return qi > qj
-			}
-			return candidates[i].ID < candidates[j].ID
-		})
-		if len(candidates) > topSources {
-			candidates = candidates[:topSources]
 		}
 	}
 
@@ -232,20 +243,82 @@ func (cs *commentSource) Process(*mashup.Context, mashup.Inputs) (mashup.Outputs
 	return mashup.Outputs{"out": cs.items}, nil
 }
 
-// qualityFilter keeps comment items whose source quality clears a bar.
-// Params: "min_quality" (float, default 0.5).
+// qualityFilter keeps comment items whose source clears a quality bar.
+// Params: "min_quality" (float, default 0.5) thresholds the overall score;
+// "min_dim.<dimension>" and "min_att.<attribute>" (floats) additionally
+// threshold per-axis averages (e.g. "min_dim.time": 0.4). The thresholds
+// compile to one quality.Query executed at instantiation, so filtering a
+// comment stream costs a set lookup per item, not a re-assessment. Items
+// from sources outside the corpus fall back to their own "quality" field
+// against min_quality.
 type qualityFilter struct {
-	env *Env
-	min float64
+	env  *Env
+	min  float64
+	pass map[int]bool // corpus source IDs clearing the compiled query
 }
 
-func newQualityFilter(env *Env, p mashup.Params) *qualityFilter {
-	return &qualityFilter{env: env, min: p.Float("min_quality", 0.5)}
+func newQualityFilter(env *Env, p mashup.Params) (*qualityFilter, error) {
+	f := &qualityFilter{env: env, min: p.Float("min_quality", 0.5)}
+	q := quality.Query{MinScore: f.min, Fields: quality.ProjectScores}
+	for key, raw := range p {
+		val, isNum := numParam(raw)
+		switch {
+		case strings.HasPrefix(key, "min_dim."):
+			d, ok := quality.ParseDimension(strings.TrimPrefix(key, "min_dim."))
+			if !ok || !isNum {
+				return nil, fmt.Errorf("quality-filter: bad threshold %s=%v", key, raw)
+			}
+			if q.MinDimension == nil {
+				q.MinDimension = map[quality.Dimension]float64{}
+			}
+			q.MinDimension[d] = val
+		case strings.HasPrefix(key, "min_att."):
+			at, ok := quality.ParseAttribute(strings.TrimPrefix(key, "min_att."))
+			if !ok || !isNum {
+				return nil, fmt.Errorf("quality-filter: bad threshold %s=%v", key, raw)
+			}
+			if q.MinAttribute == nil {
+				q.MinAttribute = map[quality.Attribute]float64{}
+			}
+			q.MinAttribute[at] = val
+		}
+	}
+	res, err := env.Sources.Query(env.SourceRecords, q)
+	if err != nil {
+		return nil, fmt.Errorf("quality-filter: %w", err)
+	}
+	f.pass = make(map[int]bool, len(res.Items))
+	for _, a := range res.Items {
+		f.pass[a.ID] = true
+	}
+	return f, nil
+}
+
+// numParam coerces a mashup param to float64 with the same int/float
+// tolerance as mashup.Params.Float (JSON decodes numbers as float64;
+// Go-built Params may carry untyped int literals).
+func numParam(raw any) (float64, bool) {
+	switch v := raw.(type) {
+	case float64:
+		return v, true
+	case int:
+		return float64(v), true
+	default:
+		return 0, false
+	}
 }
 
 func (f *qualityFilter) Process(_ *mashup.Context, in mashup.Inputs) (mashup.Outputs, error) {
 	var out []mashup.Item
 	for _, it := range in.All() {
+		if sid, ok := it.Float("source_id"); ok {
+			if _, inCorpus := f.env.SourceScores[int(sid)]; inCorpus {
+				if f.pass[int(sid)] {
+					out = append(out, it)
+				}
+				continue
+			}
+		}
 		if q, ok := it.Float("quality"); ok && q >= f.min {
 			out = append(out, it)
 		}

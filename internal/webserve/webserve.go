@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/informing-observers/informer/internal/etag"
 	"github.com/informing-observers/informer/internal/feed"
 	"github.com/informing-observers/informer/internal/webgen"
 	"github.com/informing-observers/informer/internal/wire"
@@ -68,25 +69,15 @@ func (e *etagRecorder) flush(r *http.Request) {
 		status = http.StatusOK
 	}
 	if status == http.StatusOK && r.Method == http.MethodGet {
-		etag := fmt.Sprintf("%q", fnvHash(e.body))
-		e.inner.Header().Set("ETag", etag)
-		if r.Header.Get("If-None-Match") == etag {
+		tag := fmt.Sprintf("%q", etag.Hash(e.body))
+		e.inner.Header().Set("ETag", tag)
+		if r.Header.Get("If-None-Match") == tag {
 			e.inner.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
 	e.inner.WriteHeader(status)
 	e.inner.Write(e.body)
-}
-
-// fnvHash renders an FNV-1a content hash as hex.
-func fnvHash(p []byte) string {
-	var h uint64 = 14695981039346656037
-	for _, b := range p {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	return strconv.FormatUint(h, 16)
 }
 
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {

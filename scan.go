@@ -16,6 +16,9 @@ package informer
 // result is bit-identical to a from-scratch scan of the advanced world.
 
 import (
+	"sort"
+	"sync"
+
 	"github.com/informing-observers/informer/internal/buzz"
 	"github.com/informing-observers/informer/internal/parallel"
 	"github.com/informing-observers/informer/internal/sentiment"
@@ -42,6 +45,14 @@ type commentScan struct {
 	// partials[i] is the scan of source row i, retained for per-source
 	// invalidation across Advance ticks.
 	partials []*sourcePartial
+
+	// indicators caches the aggregated per-category SentimentIndicator map
+	// (built once per assessment round, on first demand). The scan struct
+	// is rebuilt per snapshot, so the cache can never leak a previous
+	// round's quality weights. The map is shared by every caller — it is
+	// immutable by convention.
+	indicatorsOnce sync.Once
+	indicators     map[string]sentiment.Indicator
 }
 
 // sourcePartial is one worker's scan of a single source. Sentiment cells
@@ -150,6 +161,50 @@ func (st *assessState) commentScan() *commentScan {
 	// pins at most one scan's worth of term counts.
 	st.scanBase, st.scanStale = nil, nil
 	return scan
+}
+
+// sentimentByCategory aggregates the scan's per-(category, source)
+// sentiment cells into quality-weighted per-category indicators. The
+// aggregation (entry building, sorting, weighting) used to run on every
+// SentimentByCategory call even though the scan itself was cached; it now
+// runs once per assessment round and the resulting map is shared.
+func (st *assessState) sentimentByCategory() map[string]sentiment.Indicator {
+	scan := st.commentScan()
+	scan.indicatorsOnce.Do(func() {
+		out := make(map[string]sentiment.Indicator, len(scan.sentiByCatSource))
+		for cat, bySource := range scan.sentiByCatSource {
+			entries := make([]sentiment.SourceSentiment, 0, len(bySource))
+			total := 0
+			for sid, cl := range bySource {
+				entries = append(entries, sentiment.SourceSentiment{
+					SourceID: sid,
+					Quality:  st.env.SourceScores[sid],
+					Mean:     cl.sum / float64(cl.n),
+					N:        cl.n,
+				})
+				total += cl.n
+			}
+			sort.Slice(entries, func(i, j int) bool { return entries[i].SourceID < entries[j].SourceID })
+			out[cat] = sentiment.Indicator{
+				Category: cat,
+				Mean:     sentiment.QualityWeighted(entries),
+				N:        total,
+			}
+		}
+		scan.indicators = out
+	})
+	return scan.indicators
+}
+
+// trendingTerms extracts the buzz words of a category from the snapshot's
+// cached corpus pass; see Corpus.TrendingTerms.
+func (st *assessState) trendingTerms(category string, k int) []buzz.Term {
+	scan := st.commentScan()
+	fg := scan.fgByCategory[category]
+	if fg == nil {
+		fg = buzz.NewCounts()
+	}
+	return buzz.TopTerms(fg, scan.bg, k, 2)
 }
 
 // scanSource walks one source's discussions and comments — the unit of

@@ -1,0 +1,97 @@
+package informer
+
+// Conditional re-fetch across Advance ticks on the crawlable surface
+// (satellite of the query-API PR): a crawler holding pre-tick ETags must
+// be told "not modified" for every page of an untouched source and get
+// fresh 200 bodies for the pages a tick actually changed — the contract
+// that makes incremental re-crawls of an advancing corpus cheap.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fetchPage GETs a path and returns status, ETag and body.
+func fetchPage(t *testing.T, h http.Handler, path, ifNoneMatch string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header().Get("ETag"), rec.Body.String()
+}
+
+func TestHandlerConditionalRefetchAcrossTicks(t *testing.T) {
+	c := New(Config{Seed: 181, NumSources: 40, NumUsers: 120, CommentText: true})
+	h := c.Handler()
+
+	// Crawl every source page (index + all discussion pages) and archive
+	// the ETags, like a polite crawler's first pass.
+	type page struct{ path, etag, body string }
+	pagesBySource := map[int][]page{}
+	for _, src := range c.World().Sources {
+		paths := []string{fmt.Sprintf("/s/%d/", src.ID)}
+		for _, d := range src.Discussions {
+			paths = append(paths, fmt.Sprintf("/s/%d/d/%d", src.ID, d.ID))
+		}
+		for _, p := range paths {
+			code, etag, body := fetchPage(t, h, p, "")
+			if code != http.StatusOK || etag == "" {
+				t.Fatalf("%s: status %d etag %q", p, code, etag)
+			}
+			pagesBySource[src.ID] = append(pagesBySource[src.ID], page{p, etag, body})
+		}
+	}
+
+	// Tick the world enough to touch some sources but not all.
+	c.Advance(4, 1810)
+	delta := c.LastDelta()
+	dirty := map[int]bool{}
+	for _, id := range delta.DirtySourceIDs() {
+		dirty[id] = true
+	}
+	if len(dirty) == 0 || len(dirty) == len(pagesBySource) {
+		t.Fatalf("tick dirtied %d/%d sources; pick another seed/tick", len(dirty), len(pagesBySource))
+	}
+
+	// Re-fetch with the archived ETags against the post-tick handler.
+	for _, src := range c.World().Sources {
+		changed := 0
+		for _, p := range pagesBySource[src.ID] {
+			code, _, body := fetchPage(t, h, p.path, p.etag)
+			switch {
+			case !dirty[src.ID]:
+				// Untouched source: every page must answer 304 — the tick
+				// shared its content copy-on-write, byte for byte.
+				if code != http.StatusNotModified {
+					t.Errorf("clean source %d: %s answered %d, want 304", src.ID, p.path, code)
+				}
+			case code == http.StatusOK:
+				if body == p.body {
+					t.Errorf("dirty source %d: %s re-sent an identical body with a new ETag", src.ID, p.path)
+				}
+				changed++
+			case code != http.StatusNotModified:
+				t.Errorf("dirty source %d: %s answered %d", src.ID, p.path, code)
+			}
+		}
+		// A dirty source must have at least one genuinely changed page
+		// (a new comment, a new discussion on its index, ...). Pages the
+		// tick did not touch may still answer 304 — that is the point.
+		if dirty[src.ID] && changed == 0 {
+			t.Errorf("dirty source %d: no page changed", src.ID)
+		}
+	}
+
+	// New discussions opened by the tick are fetchable on the new handler.
+	for _, d := range delta.Discussions {
+		p := fmt.Sprintf("/s/%d/d/%d", d.SourceID, d.ID)
+		if code, _, _ := fetchPage(t, h, p, ""); code != http.StatusOK {
+			t.Errorf("new discussion %s: status %d", p, code)
+		}
+	}
+}
