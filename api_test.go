@@ -16,6 +16,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/informing-observers/informer/internal/apiserve"
 )
@@ -54,7 +55,7 @@ func TestAPISourcesByteIdenticalToInProcessQuery(t *testing.T) {
 			t.Fatal(err)
 		}
 		want, err := json.Marshal(apiserve.NewEnvelope(
-			c.SnapshotVersion(), res.Total, q.Offset, apiserve.AssessmentItems(res.Items)))
+			c.SnapshotVersion(), res.Total, res.Start, apiserve.NextCursorOf(res), apiserve.AssessmentItems(res.Items)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestAPISourcesByteIdenticalToInProcessQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	want, _ := json.Marshal(apiserve.NewEnvelope(
-		c.SnapshotVersion(), res.Total, 0, apiserve.AssessmentItems(res.Items)))
+		c.SnapshotVersion(), res.Total, 0, apiserve.NextCursorOf(res), apiserve.AssessmentItems(res.Items)))
 	if rec.Body.String() != string(want) {
 		t.Fatalf("%s: HTTP body diverges from the in-process query", target)
 	}
@@ -349,6 +350,340 @@ func TestAPIConcurrentReadersDuringAdvance(t *testing.T) {
 
 	for i := 0; i < 5; i++ {
 		c.Advance(2, int64(1790+i))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// apiCursorWalk pages through /api/v1/sources by chaining next_cursor
+// tokens, pinned to the first page's snapshot. A 410 (pin aged out)
+// restarts the walk on the current round.
+func apiCursorWalk(t *testing.T, h http.Handler, pageSize int) ([]int, []float64, int64) {
+	t.Helper()
+restart:
+	for {
+		first := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&limit=%d", pageSize), nil)
+		if first.Code != http.StatusOK {
+			t.Fatalf("first page: status %d", first.Code)
+		}
+		var env struct {
+			Snapshot   int64  `json:"snapshot"`
+			Total      int    `json:"total"`
+			NextCursor string `json:"next_cursor"`
+			Items      []struct {
+				ID    int     `json:"id"`
+				Score float64 `json:"score"`
+			} `json:"items"`
+		}
+		if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		token := env.Snapshot
+		var ids []int
+		var scores []float64
+		for _, it := range env.Items {
+			ids = append(ids, it.ID)
+			scores = append(scores, it.Score)
+		}
+		for pages := 0; env.NextCursor != ""; pages++ {
+			if pages > 10000 {
+				t.Fatal("cursor walk did not terminate")
+			}
+			rec := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&limit=%d&cursor=%s&snapshot=%d",
+				pageSize, env.NextCursor, token), nil)
+			if rec.Code == http.StatusGone {
+				continue restart
+			}
+			if rec.Code != http.StatusOK {
+				t.Fatalf("cursor page: status %d: %s", rec.Code, rec.Body.String())
+			}
+			env.NextCursor = ""
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Snapshot != token {
+				t.Fatalf("pinned cursor walk changed rounds: %d then %d", token, env.Snapshot)
+			}
+			for _, it := range env.Items {
+				ids = append(ids, it.ID)
+				scores = append(scores, it.Score)
+			}
+		}
+		return ids, scores, token
+	}
+}
+
+// TestAPICursorWalkMatchesOffsetWalk is the keyset-pagination acceptance
+// contract over the wire: a chained next_cursor walk returns exactly the
+// bytes-worth of rows the deprecated offset walk returns, which in turn
+// match the in-process ranking.
+func TestAPICursorWalkMatchesOffsetWalk(t *testing.T) {
+	c := New(Config{Seed: 181, NumSources: 45, NumUsers: 120, CommentText: true})
+	h := c.APIHandler()
+
+	want, err := c.QuerySources(NewQuery().ScoresOnly().Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := make([]int, len(want.Items))
+	for i, a := range want.Items {
+		wantIDs[i] = a.ID
+	}
+
+	cursorIDs, _, _ := apiCursorWalk(t, h, 7)
+	offsetIDs, _, _ := apiWalk(t, h, 7)
+	if !reflect.DeepEqual(cursorIDs, wantIDs) {
+		t.Fatalf("cursor walk diverged from the in-process ranking:\n got  %v\n want %v", cursorIDs, wantIDs)
+	}
+	if !reflect.DeepEqual(offsetIDs, wantIDs) {
+		t.Fatalf("offset walk diverged from the in-process ranking:\n got  %v\n want %v", offsetIDs, wantIDs)
+	}
+
+	// Page bodies also carry identical items page for page: page 2 by
+	// cursor equals page 2 by offset, byte for byte.
+	first := apiGet(t, h, "/api/v1/sources?fields=scores&limit=7", nil)
+	var env apiserve.Envelope
+	if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.NextCursor == "" {
+		t.Fatal("windowed page must carry next_cursor")
+	}
+	byCursor := apiGet(t, h, "/api/v1/sources?fields=scores&limit=7&cursor="+env.NextCursor, nil)
+	byOffset := apiGet(t, h, "/api/v1/sources?fields=scores&limit=7&offset=7", nil)
+	if byCursor.Body.String() != byOffset.Body.String() {
+		t.Fatalf("page 2 diverges between cursor and offset:\n cursor: %s\n offset: %s",
+			byCursor.Body.String(), byOffset.Body.String())
+	}
+	// The final page closes the walk: no next_cursor past the end.
+	last := apiGet(t, h, "/api/v1/sources?fields=scores&limit=7&offset=42", nil)
+	var lastEnv apiserve.Envelope
+	if err := json.Unmarshal(last.Body.Bytes(), &lastEnv); err != nil {
+		t.Fatal(err)
+	}
+	if lastEnv.NextCursor != "" {
+		t.Fatal("exhausted walk must not carry next_cursor")
+	}
+
+	// cursor and offset together are rejected.
+	if rec := apiGet(t, h, "/api/v1/sources?cursor=AAAA&offset=3", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("cursor+offset: status %d, want 400", rec.Code)
+	}
+}
+
+// TestAPIWatchEndToEnd drives /api/v1/watch over a real corpus: the delta
+// between two assessment rounds must reproduce DiffWindows of the two
+// in-process windows exactly; an unmoved round answers an empty delta
+// after the wait; an aged since-token answers 410.
+func TestAPIWatchEndToEnd(t *testing.T) {
+	c := New(Config{Seed: 183, NumSources: 40, NumUsers: 100, CommentText: true})
+	h := c.APIHandler()
+
+	// Register round 1 in the retention ring and archive its window.
+	apiGet(t, h, "/api/v1/sources?limit=1", nil)
+	win1, err := c.QuerySources(NewQuery().TopK(10).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No newer round: the long-poll drains its wait and answers empty.
+	rec := apiGet(t, h, "/api/v1/watch?since=1&k=10&wait=30ms", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("idle watch: status %d", rec.Code)
+	}
+	var idle apiserve.WatchEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &idle); err != nil {
+		t.Fatal(err)
+	}
+	if idle.Since != 1 || idle.Snapshot != 1 || idle.Count != 0 {
+		t.Fatalf("idle envelope %+v", idle)
+	}
+
+	c.Advance(30, 1830)
+	win2, err := c.QuerySources(NewQuery().TopK(10).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec = apiGet(t, h, "/api/v1/watch?since=1&k=10", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("watch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var env apiserve.WatchEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Since != 1 || env.Snapshot != 2 {
+		t.Fatalf("envelope %+v", env)
+	}
+	want := apiserve.ChangeItems(DiffWindows(win1.Items, win2.Items))
+	if !reflect.DeepEqual(env.Changes, want) {
+		t.Fatalf("watch delta diverges from DiffWindows:\n got  %+v\n want %+v", env.Changes, want)
+	}
+
+	// A long-poll parked on round 2 wakes when Advance publishes round 3.
+	done := make(chan apiserve.WatchEnvelope, 1)
+	go func() {
+		rec := apiGet(t, h, "/api/v1/watch?since=2&k=10&wait=10s", nil)
+		var env apiserve.WatchEnvelope
+		json.Unmarshal(rec.Body.Bytes(), &env)
+		done <- env
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Advance(15, 1831)
+	select {
+	case env := <-done:
+		if env.Snapshot != 3 {
+			t.Fatalf("woken watch answered round %d, want 3", env.Snapshot)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("watch long-poll never woke on Advance")
+	}
+
+	// Age round 1 out of the ring: its since-token turns 410.
+	for i := 0; i < 10; i++ {
+		c.Advance(1, int64(1840+i))
+		apiGet(t, h, "/api/v1/sources?limit=1", nil)
+	}
+	if rec := apiGet(t, h, "/api/v1/watch?since=1&k=10", nil); rec.Code != http.StatusGone {
+		t.Fatalf("aged since: status %d, want 410", rec.Code)
+	}
+}
+
+// fetchWindow reads one pinned top-k window over the wire and rebuilds the
+// minimal assessments a DiffWindows needs. ok is false when the pin has
+// aged out.
+func fetchWindow(t *testing.T, h http.Handler, k int, snapshot int64) ([]*Assessment, bool) {
+	t.Helper()
+	rec := apiGet(t, h, fmt.Sprintf("/api/v1/sources?fields=scores&k=%d&snapshot=%d", k, snapshot), nil)
+	if rec.Code == http.StatusGone {
+		return nil, false
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("window fetch: status %d", rec.Code)
+	}
+	var env struct {
+		Items []struct {
+			ID    int     `json:"id"`
+			Name  string  `json:"name"`
+			Score float64 `json:"score"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	items := make([]*Assessment, len(env.Items))
+	for i, it := range env.Items {
+		items[i] = &Assessment{ID: it.ID, Name: it.Name, Score: it.Score}
+	}
+	return items, true
+}
+
+// TestAPIConcurrentCursorWalksAndWatchDuringAdvance extends the -race
+// serving contract to the scale-out read paths: concurrent chained-cursor
+// walks (no duplicates, no gaps, ranked order) and watch long-polls
+// (every delta exactly reproducible from the two rounds' pinned windows)
+// while a writer ticks the corpus.
+func TestAPIConcurrentCursorWalksAndWatchDuringAdvance(t *testing.T) {
+	c := New(Config{Seed: 185, NumSources: 30, NumUsers: 90, CommentText: true})
+	h := c.APIHandler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	cursorWalker := func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids, scores, _ := apiCursorWalk(t, h, 7)
+			seen := map[int]bool{}
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate id %d in cursor walk", id)
+					return
+				}
+				seen[id] = true
+			}
+			if len(ids) != 30 {
+				t.Errorf("cursor walk returned %d sources, want 30 (gap or overrun)", len(ids))
+				return
+			}
+			for i := 1; i < len(scores); i++ {
+				if scores[i] > scores[i-1] {
+					t.Errorf("cursor walk scores not ranked at %d", i)
+					return
+				}
+			}
+		}
+	}
+	watcher := func() {
+		defer wg.Done()
+		// Sync to the current round.
+		rec := apiGet(t, h, "/api/v1/sources?limit=1", nil)
+		var sync0 struct {
+			Snapshot int64 `json:"snapshot"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &sync0); err != nil {
+			t.Error(err)
+			return
+		}
+		since := sync0.Snapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := apiGet(t, h, fmt.Sprintf("/api/v1/watch?since=%d&k=10&wait=150ms", since), nil)
+			if rec.Code == http.StatusGone {
+				// Fell too far behind the ring: re-sync.
+				rec = apiGet(t, h, "/api/v1/sources?limit=1", nil)
+				if err := json.Unmarshal(rec.Body.Bytes(), &sync0); err != nil {
+					t.Error(err)
+					return
+				}
+				since = sync0.Snapshot
+				continue
+			}
+			if rec.Code != http.StatusOK {
+				t.Errorf("watch: status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			var env apiserve.WatchEnvelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Error(err)
+				return
+			}
+			if env.Snapshot > env.Since {
+				// The delta must sum to the snapshot diff: recompute it
+				// from the two rounds' pinned windows (skip when either
+				// pin has already aged out).
+				oldWin, ok1 := fetchWindow(t, h, 10, env.Since)
+				newWin, ok2 := fetchWindow(t, h, 10, env.Snapshot)
+				if ok1 && ok2 {
+					want := apiserve.ChangeItems(DiffWindows(oldWin, newWin))
+					if !reflect.DeepEqual(env.Changes, want) {
+						t.Errorf("watch delta does not sum to the snapshot diff (%d -> %d):\n got  %+v\n want %+v",
+							env.Since, env.Snapshot, env.Changes, want)
+						return
+					}
+				}
+			}
+			since = env.Snapshot
+		}
+	}
+	wg.Add(4)
+	go cursorWalker()
+	go cursorWalker()
+	go watcher()
+	go watcher()
+
+	for i := 0; i < 5; i++ {
+		time.Sleep(30 * time.Millisecond)
+		c.Advance(2, int64(1850+i))
 	}
 	close(stop)
 	wg.Wait()

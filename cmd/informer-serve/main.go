@@ -3,18 +3,24 @@
 // feeds and a sitemap — plus the analytics panel as a JSON API, so the
 // crawler (or informer-rank -crawl) can walk it like the live Web, and the
 // versioned quality-query API under /api/v1 (sources, contributors,
-// influencers, sentiment, trending, search) for remote observers:
+// influencers, sentiment, trending, search, watch) for remote observers:
 //
 //	informer-serve -addr 127.0.0.1:8080 -sources 60
 //	informer-rank  -crawl http://127.0.0.1:8080
 //	curl 'http://127.0.0.1:8080/api/v1/sources?min_score=0.6&k=10'
+//	curl 'http://127.0.0.1:8080/api/v1/sources?limit=20&cursor=<next_cursor>'
 //
 // With -tick-days > 0 the corpus advances on a timer (the monitoring
-// scenario): /api/v1 responses then carry moving snapshot tokens, and
-// clients pinning ?snapshot=N keep reading one coherent assessment round.
+// scenario): /api/v1 responses then carry moving snapshot tokens, clients
+// pinning ?snapshot=N keep reading one coherent assessment round, and
+// /api/v1/watch long-polls deliver each tick's rank movement. -watch runs
+// a built-in observer against the served endpoint and prints the deltas:
+//
+//	informer-serve -tick-days 7 -tick-every 5s -watch 'min_score=0.5&k=10'
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -31,6 +37,7 @@ func main() {
 		sources  = flag.Int("sources", 60, "number of sources")
 		tickDays = flag.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
 		tickWait = flag.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
+		watchQ   = flag.String("watch", "", "demo observer: long-poll /api/v1/watch with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
 	)
 	flag.Parse()
 
@@ -50,12 +57,88 @@ func main() {
 			}
 		}()
 	}
+	if *watchQ != "" {
+		go watchLoop("http://"+*addr, *watchQ)
+	}
 
 	fmt.Printf("serving %d sources on http://%s\n", *sources, *addr)
 	fmt.Printf("  crawlable world: /sitemap.txt   panel: /panel/metrics?host=...\n")
 	fmt.Printf("  quality API:     /api/v1/sources?min_score=0.6&k=10 (snapshot %d)\n", c.SnapshotVersion())
+	fmt.Printf("  watch feed:      /api/v1/watch?since=%d&k=10\n", c.SnapshotVersion())
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "informer-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// watchLoop is the built-in demo observer: it long-polls the served
+// /api/v1/watch endpoint over real HTTP (exactly like a remote client)
+// and prints the window's rank movement whenever a tick lands. On a 410 —
+// its since-token aged out of the snapshot ring — it re-syncs from the
+// current round, the same recovery a remote observer performs.
+func watchLoop(base, query string) {
+	since, err := syncSnapshot(base)
+	for err != nil {
+		time.Sleep(200 * time.Millisecond) // server still starting up
+		since, err = syncSnapshot(base)
+	}
+	fmt.Printf("watch: observing %q from snapshot %d\n", query, since)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/api/v1/watch?since=%d&wait=30s&%s", base, since, query))
+		if err != nil {
+			time.Sleep(time.Second)
+			continue
+		}
+		if resp.StatusCode == http.StatusGone {
+			resp.Body.Close()
+			if s, err := syncSnapshot(base); err == nil {
+				fmt.Printf("watch: snapshot %d aged out, re-synced to %d\n", since, s)
+				since = s
+			}
+			continue
+		}
+		var env struct {
+			Snapshot int64 `json:"snapshot"`
+			Changes  []struct {
+				Name    string  `json:"name"`
+				Event   string  `json:"event"`
+				OldRank int     `json:"old_rank"`
+				NewRank int     `json:"new_rank"`
+				Score   float64 `json:"score"`
+			} `json:"changes"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			time.Sleep(time.Second)
+			continue
+		}
+		for _, ch := range env.Changes {
+			switch ch.Event {
+			case "entered":
+				fmt.Printf("watch: + %-24s entered at #%d (%.3f)\n", ch.Name, ch.NewRank, ch.Score)
+			case "left":
+				fmt.Printf("watch: - %-24s left (was #%d)\n", ch.Name, ch.OldRank)
+			default:
+				fmt.Printf("watch: ~ %-24s #%d -> #%d (%.3f)\n", ch.Name, ch.OldRank, ch.NewRank, ch.Score)
+			}
+		}
+		since = env.Snapshot
+	}
+}
+
+// syncSnapshot reads the current snapshot token from a cheap one-row read.
+func syncSnapshot(base string) (int64, error) {
+	resp, err := http.Get(base + "/api/v1/sources?limit=1&fields=scores")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Snapshot int64 `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return 0, err
+	}
+	return env.Snapshot, nil
 }

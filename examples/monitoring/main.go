@@ -1,8 +1,11 @@
 // Monitoring: the paper's motivating scenario — continuous market
 // monitoring over evolving Web 2.0 sources. Assess a corpus, archive the
 // ranking as a JSON report, let a month of activity arrive, re-assess,
-// and diff the two rankings; finally extract the buzz words of a category
-// (the Section 5 "buzz word identification" analysis service).
+// and diff the two rankings; then watch a standing quality-filtered
+// window the way /api/v1/watch serves it — only the rows that entered,
+// left or moved, not the full re-ranking; finally extract the buzz words
+// of a category (the Section 5 "buzz word identification" analysis
+// service).
 //
 //	go run ./examples/monitoring
 package main
@@ -21,6 +24,15 @@ func main() {
 	fmt.Printf("assessment round 1 (%s): %d sources, leader %q (%.3f)\n",
 		before.GeneratedAt.Format("2006-01-02"),
 		len(before.Entries), before.Entries[0].Name, before.Entries[0].Score)
+
+	// A standing observer query: the top-10 sources clearing a quality
+	// bar. Its round-1 window is what a /api/v1/watch client would have
+	// last consumed (?since=1).
+	watchQuery := informer.NewQuery().MinScore(0.4).TopK(10).ScoresOnly().Build()
+	win1, err := c.QuerySources(watchQuery)
+	if err != nil {
+		panic(err)
+	}
 
 	// A month of fresh discussions and comments arrives; re-assessment is
 	// incremental — only the sources the month touched are re-evaluated —
@@ -66,6 +78,27 @@ func main() {
 			break
 		}
 		fmt.Printf("  %-30s %+d\n", m.name, m.d)
+	}
+
+	// The watch view of the same tick: diff the standing query's window
+	// across the two rounds — exactly the delta /api/v1/watch?since=1
+	// would push, driven by the tick's LastDelta instead of a re-read of
+	// everything.
+	win2, err := c.QuerySources(watchQuery)
+	if err != nil {
+		panic(err)
+	}
+	changes := informer.DiffWindows(win1.Items, win2.Items)
+	fmt.Printf("\nwatch delta of the standing top-10 window (%d changes):\n", len(changes))
+	for _, ch := range changes {
+		switch ch.Event() {
+		case "entered":
+			fmt.Printf("  + %-28s entered at #%d (%.3f)\n", ch.Name, ch.NewRank, ch.Score)
+		case "left":
+			fmt.Printf("  - %-28s left (was #%d)\n", ch.Name, ch.OldRank)
+		default:
+			fmt.Printf("  ~ %-28s #%d -> #%d (%.3f)\n", ch.Name, ch.OldRank, ch.NewRank, ch.Score)
+		}
 	}
 
 	// Buzz words of the 'prerequisites' category (hotels, transport...)

@@ -176,6 +176,12 @@ type Corpus struct {
 
 	state     atomic.Pointer[assessState]
 	advanceMu sync.Mutex // serialises writers (Advance)
+
+	// tickMu guards tickCh, the change-notification channel behind
+	// Changed(): Advance rotates (closes and replaces) it after swapping
+	// the snapshot, waking long-poll watchers without any polling.
+	tickMu sync.Mutex
+	tickCh chan struct{}
 }
 
 // assessState is one immutable assessment snapshot: the world as of a
@@ -213,6 +219,14 @@ type assessState struct {
 	scan      *commentScan
 	scanBase  *commentScan
 	scanStale map[int]bool // source row -> stale in scanBase
+
+	// queryMu guards the per-snapshot query result cache (querycache.go):
+	// ranked spines per standing filter and materialized windows per full
+	// canonical query. Both die with the snapshot, so an Advance
+	// invalidates every cached read atomically and for free.
+	queryMu sync.Mutex
+	spines  map[string]*spineEntry
+	windows map[string]*windowEntry
 }
 
 // searchEngine lazily builds the snapshot's search baseline.
@@ -290,16 +304,22 @@ func (c *Corpus) AssessSource(id int) (*Assessment, bool) {
 // and a top-k bound selects winners through a bounded heap over the cached
 // measure matrix instead of materializing and sorting every assessment.
 // Build queries with NewQuery; the zero Query ranks everything.
+//
+// Results are cached on the snapshot per canonical query (querycache.go):
+// repeated identical reads within one assessment round are map hits, every
+// pagination window of one query — offset pages and cursor pages alike —
+// slices a shared ranked spine, and Advance invalidates the whole cache by
+// swapping the snapshot. Treat the returned result as read-only; identical
+// queries may share it.
 func (c *Corpus) QuerySources(q Query) (*QueryResult, error) {
-	st := c.state.Load()
-	return st.env.Sources.Query(st.env.SourceRecords, q)
+	return c.state.Load().querySources(q)
 }
 
 // QueryContributors executes a quality query over the contributors; in
-// addition to the source predicates it understands SpamResistant.
+// addition to the source predicates it understands SpamResistant. Results
+// are cached per snapshot exactly like QuerySources.
 func (c *Corpus) QueryContributors(q Query) (*QueryResult, error) {
-	st := c.state.Load()
-	return st.env.Contributors.Query(st.env.ContributorRecords, q)
+	return c.state.Load().queryContributors(q)
 }
 
 // RankSources assesses and ranks every source, best first.
@@ -403,14 +423,17 @@ func (c *Corpus) PanelHandler() http.Handler {
 }
 
 // APIHandler serves the corpus' quality assessments as the versioned JSON
-// HTTP API of DESIGN.md section 7 — /api/v1/sources, /api/v1/contributors,
-// /api/v1/influencers, /api/v1/sentiment, /api/v1/trending and
-// /api/v1/search — with query-string-bound Query execution, pagination
-// envelopes and snapshot-consistent ETags. Every request is answered from
-// one immutable assessment snapshot; clients echoing the envelope's
-// snapshot token (?snapshot=N) pin a paginated walk to that round even
-// while Advance ticks the corpus underneath, so a walk never mixes two
-// assessment rounds.
+// HTTP API of DESIGN.md sections 7 and 8 — /api/v1/sources,
+// /api/v1/contributors, /api/v1/influencers, /api/v1/sentiment,
+// /api/v1/trending, /api/v1/search and the /api/v1/watch long-poll — with
+// query-string-bound Query execution, pagination envelopes and
+// snapshot-consistent ETags. Every request is answered from one immutable
+// assessment snapshot; clients echoing the envelope's snapshot token
+// (?snapshot=N) pin a paginated walk to that round even while Advance
+// ticks the corpus underneath, so a walk never mixes two assessment
+// rounds. Windowed responses carry an opaque next_cursor token (keyset
+// pagination: echo it as ?cursor= to resume at single-page cost), and
+// watch long-polls wake on the Advance swap itself via Changed.
 func (c *Corpus) APIHandler() http.Handler {
 	return apiserve.New(apiProvider{c})
 }
@@ -422,17 +445,21 @@ func (p apiProvider) Snapshot() apiserve.Snapshot {
 	return apiSnapshot{p.c.state.Load()}
 }
 
+// Changed implements apiserve.ChangeNotifier: watch long-polls wake on the
+// corpus' snapshot swaps instead of polling.
+func (p apiProvider) Changed() <-chan struct{} { return p.c.Changed() }
+
 // apiSnapshot exposes one immutable assessment round to the serving layer.
 type apiSnapshot struct{ st *assessState }
 
 func (s apiSnapshot) Version() int64 { return s.st.version }
 
 func (s apiSnapshot) QuerySources(q Query) (*QueryResult, error) {
-	return s.st.env.Sources.Query(s.st.env.SourceRecords, q)
+	return s.st.querySources(q)
 }
 
 func (s apiSnapshot) QueryContributors(q Query) (*QueryResult, error) {
-	return s.st.env.Contributors.Query(s.st.env.ContributorRecords, q)
+	return s.st.queryContributors(q)
 }
 
 func (s apiSnapshot) Influencers(opts InfluencerOptions) []Influencer {
@@ -553,7 +580,34 @@ func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta}
 	next.inheritScan(cur, delta)
 	c.state.Store(next)
+	c.notifyAdvance()
 	return c
+}
+
+// Changed returns a channel that is closed when a snapshot newer than the
+// current one is published — the delta-driven wake-up behind the /api/v1
+// watch long-poll: watchers block on it instead of polling the version.
+// Grab the channel, then read the state; a swap between the two closes the
+// grabbed channel, so no publication can be missed.
+func (c *Corpus) Changed() <-chan struct{} {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+	if c.tickCh == nil {
+		c.tickCh = make(chan struct{})
+	}
+	return c.tickCh
+}
+
+// notifyAdvance rotates the change channel after a snapshot swap, waking
+// every watcher blocked on the previous one.
+func (c *Corpus) notifyAdvance() {
+	c.tickMu.Lock()
+	ch := c.tickCh
+	c.tickCh = make(chan struct{})
+	c.tickMu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 }
 
 // LastDelta returns the Delta of the tick that produced the current

@@ -5,14 +5,23 @@
 //
 //	GET /api/v1/sources?category=place&min_score=0.6&sort=dim.time&k=10
 //	GET /api/v1/contributors?spam_resistance=0.3&k=25&fields=scores
+//	GET /api/v1/sources?limit=20&cursor=<next_cursor of the previous page>
 //	GET /api/v1/influencers?strategy=combined&k=10
 //	GET /api/v1/sentiment            GET /api/v1/trending?category=place
 //	GET /api/v1/search?q=hotel+milan
+//	GET /api/v1/watch?since=3&min_score=0.6&k=10&wait=30s
 //
 // Filters are pushed down: the query string binds to a quality.Query and
 // executes below the ranking inside the assessor (bounded top-k selection
 // over the cached measure matrix), so the handler never materializes more
 // assessments than one response page.
+//
+// Pagination is keyset-first: every windowed response carries an opaque
+// "next_cursor" token (the (sort key, ID) position of the last row, see
+// cursor.go) and echoing it as ?cursor= resumes the walk at single-page
+// cost. ?offset= remains as a deprecated shim and is served from the same
+// per-snapshot ranked spine the cursor path slices, so deep offset pages
+// no longer re-select their prefix.
 //
 // Consistency model: every response is computed from ONE immutable
 // assessment snapshot and carries its monotonic version both in the
@@ -23,6 +32,14 @@
 // while Advance publishes new ones, so a paginated walk never mixes two
 // assessment rounds. A pin that has aged out of the ring answers 410 Gone
 // — the client restarts the walk on the current round.
+//
+// /api/v1/watch is the standing-query endpoint (DESIGN.md section 8): a
+// long-poll that diffs one query's ranked window between the snapshot the
+// observer last saw (?since=N) and the current round, answering only the
+// rows that entered, left or moved — with old and new ranks — instead of
+// the full re-ranking. While the rounds are equal it blocks until the next
+// Advance (woken by the provider's change notification) or the ?wait=
+// deadline; a since-token that aged out of the ring answers 410 Gone.
 package apiserve
 
 import (
@@ -35,6 +52,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/informing-observers/informer/internal/buzz"
 	"github.com/informing-observers/informer/internal/etag"
@@ -64,6 +82,14 @@ type Provider interface {
 	Snapshot() Snapshot
 }
 
+// ChangeNotifier is the optional delta-driven wake-up a Provider can
+// offer: Changed returns a channel that is closed when a snapshot newer
+// than the current one is published. Watch long-polls block on it; without
+// it they fall back to polling the provider at watchPollInterval.
+type ChangeNotifier interface {
+	Changed() <-chan struct{}
+}
+
 // retainedSnapshots bounds the pin ring: how many assessment rounds stay
 // addressable by ?snapshot=N after newer rounds are published. Snapshots
 // are immutable and share unchanged state copy-on-write, so retention is
@@ -73,6 +99,7 @@ const retainedSnapshots = 8
 // Server is the /api/v1 handler.
 type Server struct {
 	provider Provider
+	notify   func() <-chan struct{} // nil without a ChangeNotifier
 	mux      *http.ServeMux
 
 	mu     sync.Mutex
@@ -81,9 +108,13 @@ type Server struct {
 }
 
 // New builds the API server over a snapshot provider. Mount it at the host
-// mux root (it routes full /api/v1/... paths).
+// mux root (it routes full /api/v1/... paths). Providers that also
+// implement ChangeNotifier give watch long-polls event-driven wake-ups.
 func New(p Provider) *Server {
 	s := &Server{provider: p, recent: map[int64]Snapshot{}}
+	if n, ok := p.(ChangeNotifier); ok {
+		s.notify = n.Changed
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/api/v1/sources", s.endpoint(handleSources))
 	s.mux.HandleFunc("/api/v1/contributors", s.endpoint(handleContributors))
@@ -91,6 +122,7 @@ func New(p Provider) *Server {
 	s.mux.HandleFunc("/api/v1/sentiment", s.endpoint(handleSentiment))
 	s.mux.HandleFunc("/api/v1/trending", s.endpoint(handleTrending))
 	s.mux.HandleFunc("/api/v1/search", s.endpoint(handleSearch))
+	s.mux.HandleFunc("/api/v1/watch", s.handleWatch)
 	return s
 }
 
@@ -99,10 +131,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// handlerFunc answers one endpoint from a pinned snapshot: items, the
-// pre-pagination total and the window offset, or a binding/validation
-// error (answered as 400).
-type handlerFunc func(st Snapshot, v url.Values) (items any, total, offset int, err error)
+// page is one endpoint's answer from a pinned snapshot: the items, the
+// pre-pagination total, the window's rank offset and — for windowed
+// endpoints — the opaque resume cursor of the next page.
+type page struct {
+	items  any
+	total  int
+	offset int
+	next   string
+}
+
+// handlerFunc answers one endpoint from a pinned snapshot, or a
+// binding/validation error (answered as 400).
+type handlerFunc func(st Snapshot, v url.Values) (page, error)
 
 // endpoint wraps a handler with the shared serving machinery: method
 // check, snapshot resolution/pinning, envelope, ETag and 304.
@@ -118,12 +159,12 @@ func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 			writeError(w, status, err.Error())
 			return
 		}
-		items, total, offset, err := fn(st, v)
+		pg, err := fn(st, v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		body, err := json.Marshal(NewEnvelope(st.Version(), total, offset, items))
+		body, err := json.Marshal(NewEnvelope(st.Version(), pg.total, pg.offset, pg.next, pg.items))
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -141,12 +182,10 @@ func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 	}
 }
 
-// resolveSnapshot returns the snapshot a request is served from: the pinned
-// round when ?snapshot=N names a retained version, the current round
-// otherwise. The current round is remembered in the ring on every request,
-// so any version a client has ever seen in an envelope was retained at
-// that moment.
-func (s *Server) resolveSnapshot(param string) (Snapshot, int, error) {
+// observe reads the provider's current snapshot and remembers it in the
+// retention ring, so any version a client has ever seen in an envelope was
+// retained at that moment.
+func (s *Server) observe() Snapshot {
 	cur := s.provider.Snapshot()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -158,6 +197,22 @@ func (s *Server) resolveSnapshot(param string) (Snapshot, int, error) {
 			s.order = s.order[1:]
 		}
 	}
+	return cur
+}
+
+// retained looks a version up in the retention ring.
+func (s *Server) retained(v int64) (Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.recent[v]
+	return st, ok
+}
+
+// resolveSnapshot returns the snapshot a request is served from: the pinned
+// round when ?snapshot=N names a retained version, the current round
+// otherwise.
+func (s *Server) resolveSnapshot(param string) (Snapshot, int, error) {
+	cur := s.observe()
 	if param == "" {
 		return cur, 0, nil
 	}
@@ -165,7 +220,10 @@ func (s *Server) resolveSnapshot(param string) (Snapshot, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("bad snapshot token %q", param)
 	}
-	if pinned, ok := s.recent[want]; ok {
+	if want == cur.Version() {
+		return cur, 0, nil
+	}
+	if pinned, ok := s.retained(want); ok {
 		return pinned, 0, nil
 	}
 	return nil, http.StatusGone, fmt.Errorf("snapshot %d is no longer retained; restart from the current round", want)
@@ -184,20 +242,36 @@ type Envelope struct {
 	Total  int `json:"total"`
 	Offset int `json:"offset"`
 	Count  int `json:"count"`
-	Items  any `json:"items"`
+	// NextCursor resumes the walk on the following page when echoed as
+	// ?cursor= (keyset pagination: a resumed page costs one lean pass,
+	// however deep the walk is). Empty when the walk is exhausted; only
+	// the windowed endpoints (sources, contributors) ever set it. Pair it
+	// with ?snapshot= to keep a walk on one assessment round.
+	NextCursor string `json:"next_cursor,omitempty"`
+	Items      any    `json:"items"`
 }
 
 // NewEnvelope wraps one response page. It is exported (with the item
 // constructors below) so tests and in-process consumers can reproduce a
 // response byte for byte.
-func NewEnvelope(snapshot int64, total, offset int, items any) Envelope {
+func NewEnvelope(snapshot int64, total, offset int, nextCursor string, items any) Envelope {
 	count := 0
 	if items != nil {
 		if v := reflect.ValueOf(items); v.Kind() == reflect.Slice {
 			count = v.Len()
 		}
 	}
-	return Envelope{APIVersion: "v1", Snapshot: snapshot, Total: total, Offset: offset, Count: count, Items: items}
+	return Envelope{APIVersion: "v1", Snapshot: snapshot, Total: total, Offset: offset, Count: count, NextCursor: nextCursor, Items: items}
+}
+
+// NextCursorOf renders a query result's resume cursor in its wire form —
+// the next_cursor value of the page's envelope ("" when the walk is
+// done).
+func NextCursorOf(res *quality.QueryResult) string {
+	if res.Next == nil {
+		return ""
+	}
+	return EncodeCursor(*res.Next)
 }
 
 // Item is the wire form of one Assessment. Raw and Normalized appear only
@@ -323,31 +397,31 @@ func SearchItems(results []search.Result) []SearchItem {
 	return items
 }
 
-func handleSources(st Snapshot, v url.Values) (any, int, int, error) {
+func handleSources(st Snapshot, v url.Values) (page, error) {
 	q, err := BindQuery(v)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	res, err := st.QuerySources(q)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
-	return AssessmentItems(res.Items), res.Total, q.Offset, nil
+	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res)}, nil
 }
 
-func handleContributors(st Snapshot, v url.Values) (any, int, int, error) {
+func handleContributors(st Snapshot, v url.Values) (page, error) {
 	q, err := BindQuery(v)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	res, err := st.QueryContributors(q)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
-	return AssessmentItems(res.Items), res.Total, q.Offset, nil
+	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res)}, nil
 }
 
-func handleInfluencers(st Snapshot, v url.Values) (any, int, int, error) {
+func handleInfluencers(st Snapshot, v url.Values) (page, error) {
 	opts := quality.InfluencerOptions{Strategy: quality.Combined}
 	switch strat := v.Get("strategy"); strat {
 	case "", "combined":
@@ -356,14 +430,14 @@ func handleInfluencers(st Snapshot, v url.Values) (any, int, int, error) {
 	case "by-relative":
 		opts.Strategy = quality.ByRelative
 	default:
-		return nil, 0, 0, fmt.Errorf("unknown strategy %q", strat)
+		return page{}, fmt.Errorf("unknown strategy %q", strat)
 	}
 	k, err := intParam(v, "k", 10)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	if opts.MinInteractions, err = intParam(v, "min_interactions", 0); err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	// Rank unbounded and truncate here, so Total keeps its envelope
 	// meaning: qualifying influencers before top-k selection.
@@ -372,38 +446,38 @@ func handleInfluencers(st Snapshot, v url.Values) (any, int, int, error) {
 	if k > 0 && len(ranked) > k {
 		ranked = ranked[:k]
 	}
-	return InfluencerItems(ranked), total, 0, nil
+	return page{items: InfluencerItems(ranked), total: total}, nil
 }
 
-func handleSentiment(st Snapshot, v url.Values) (any, int, int, error) {
+func handleSentiment(st Snapshot, v url.Values) (page, error) {
 	items := SentimentItems(st.SentimentByCategory(), multiParam(v, "category"))
-	return items, len(items), 0, nil
+	return page{items: items, total: len(items)}, nil
 }
 
-func handleTrending(st Snapshot, v url.Values) (any, int, int, error) {
+func handleTrending(st Snapshot, v url.Values) (page, error) {
 	category := v.Get("category")
 	if category == "" {
-		return nil, 0, 0, fmt.Errorf("missing required parameter category")
+		return page{}, fmt.Errorf("missing required parameter category")
 	}
 	k, err := intParam(v, "k", 10)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	items := TermItems(st.TrendingTerms(category, k))
-	return items, len(items), 0, nil
+	return page{items: items, total: len(items)}, nil
 }
 
-func handleSearch(st Snapshot, v url.Values) (any, int, int, error) {
+func handleSearch(st Snapshot, v url.Values) (page, error) {
 	query := v.Get("q")
 	if query == "" {
-		return nil, 0, 0, fmt.Errorf("missing required parameter q")
+		return page{}, fmt.Errorf("missing required parameter q")
 	}
 	k, err := intParam(v, "k", 10)
 	if err != nil {
-		return nil, 0, 0, err
+		return page{}, err
 	}
 	items := SearchItems(st.Search(query, k))
-	return items, len(items), 0, nil
+	return page{items: items, total: len(items)}, nil
 }
 
 // BindQuery binds a URL query string to a quality.Query:
@@ -417,6 +491,7 @@ func handleSearch(st Snapshot, v url.Values) (any, int, int, error) {
 //	spam_resistance=0.25              contributor spam-resistance predicate
 //	sort=score | dim.<name> | att.<name>
 //	k=10&offset=0&limit=20            top-k bound and pagination window
+//	cursor=<next_cursor>              keyset resume (excludes offset)
 //	fields=scores | full              projection (default full)
 //
 // Exported so tests and other mounts can reuse the binding.
@@ -513,6 +588,16 @@ func BindQuery(v url.Values) (quality.Query, error) {
 	if q.Limit, err = intParam(v, "limit", 0); err != nil {
 		return q, err
 	}
+	if tok := v.Get("cursor"); tok != "" {
+		if q.Offset != 0 {
+			return q, fmt.Errorf("cursor and offset are mutually exclusive")
+		}
+		c, err := DecodeCursor(tok)
+		if err != nil {
+			return q, err
+		}
+		q.After = &c
+	}
 	switch f := v.Get("fields"); f {
 	case "", "full":
 		q.Fields = quality.ProjectFull
@@ -522,6 +607,126 @@ func BindQuery(v url.Values) (quality.Query, error) {
 		return q, fmt.Errorf("unknown fields %q (use full or scores)", f)
 	}
 	return q, nil
+}
+
+// EncodeQuery renders a bound query back into its canonical URL form: the
+// exact inverse of BindQuery up to set order and number spelling. For any
+// query BindQuery accepts, BindQuery(EncodeQuery(q)) succeeds and yields a
+// query with the same CanonicalKey — the round-trip FuzzBindQuery pins.
+// Default values are omitted, sets are sorted and deduplicated, and floats
+// are spelled in their shortest exact form.
+func EncodeQuery(q quality.Query) url.Values {
+	v := url.Values{}
+	for _, id := range sortedDedupInts(q.IDs) {
+		v.Add("id", strconv.Itoa(id))
+	}
+	for _, cat := range sortedDedupStrings(q.Categories) {
+		v.Add("category", cat)
+	}
+	for _, kind := range sortedDedupStrings(q.Kinds) {
+		v.Add("kind", kind)
+	}
+	if q.MinScore != 0 {
+		v.Set("min_score", formatFloat(q.MinScore))
+	}
+	if q.MinSpamResistance != 0 {
+		v.Set("spam_resistance", formatFloat(q.MinSpamResistance))
+	}
+	for _, d := range sortedDimensions(q.MinDimension) {
+		v.Set("min_dim."+d.String(), formatFloat(q.MinDimension[d]))
+	}
+	for _, at := range sortedAttributes(q.MinAttribute) {
+		v.Set("min_att."+at.String(), formatFloat(q.MinAttribute[at]))
+	}
+	for _, id := range sortedDedupStrings(measureIDs(q.MinMeasure)) {
+		v.Set("min_measure."+id, formatFloat(q.MinMeasure[id]))
+	}
+	switch q.Sort.By {
+	case quality.SortByDimension:
+		v.Set("sort", "dim."+q.Sort.Dimension.String())
+	case quality.SortByAttribute:
+		v.Set("sort", "att."+q.Sort.Attribute.String())
+	}
+	if q.TopK != 0 {
+		v.Set("k", strconv.Itoa(q.TopK))
+	}
+	if q.Offset != 0 {
+		v.Set("offset", strconv.Itoa(q.Offset))
+	}
+	if q.Limit != 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.After != nil {
+		v.Set("cursor", EncodeCursor(*q.After))
+	}
+	if q.Fields == quality.ProjectScores {
+		v.Set("fields", "scores")
+	}
+	return v
+}
+
+// formatFloat spells a float in the shortest form that parses back to the
+// identical bit pattern.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func sortedDedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func sortedDedupStrings(xs []string) []string {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func sortedDimensions(m map[quality.Dimension]float64) []quality.Dimension {
+	out := make([]quality.Dimension, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedAttributes(m map[quality.Attribute]float64) []quality.Attribute {
+	out := make([]quality.Attribute, 0, len(m))
+	for at := range m {
+		out = append(out, at)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func measureIDs(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
 }
 
 // multiParam collects a repeatable parameter, also splitting on commas.
@@ -566,4 +771,183 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Watch long-poll tuning. The default wait keeps one request per ~25s per
+// idle watcher; the cap bounds how long a handler can pin its goroutine;
+// the poll interval is the fallback cadence when the provider offers no
+// change notification.
+const (
+	defaultWatchWait  = 25 * time.Second
+	maxWatchWait      = 55 * time.Second
+	watchPollInterval = 50 * time.Millisecond
+)
+
+// WatchEnvelope is the /api/v1/watch response: the rank movement of one
+// standing query's window between the observer's last-seen assessment
+// round ("since") and the answered one ("snapshot"). An empty Changes
+// with snapshot == since means the wait deadline passed without a newer
+// round — re-issue the request to keep watching.
+type WatchEnvelope struct {
+	APIVersion string       `json:"api_version"`
+	Since      int64        `json:"since"`
+	Snapshot   int64        `json:"snapshot"`
+	Count      int          `json:"count"`
+	Changes    []ChangeItem `json:"changes"`
+}
+
+// NewWatchEnvelope wraps one watch delta; exported so tests can reproduce
+// a response byte for byte.
+func NewWatchEnvelope(since, snapshot int64, changes []ChangeItem) WatchEnvelope {
+	if changes == nil {
+		changes = []ChangeItem{}
+	}
+	return WatchEnvelope{APIVersion: "v1", Since: since, Snapshot: snapshot, Count: len(changes), Changes: changes}
+}
+
+// ChangeItem is the wire form of one window movement: a row that entered,
+// left, or moved within the watched window. Ranks are 1-based window
+// positions; a zero (omitted) rank means the row was not in that round's
+// window.
+type ChangeItem struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	Event   string  `json:"event"` // "entered" | "left" | "moved"
+	OldRank int     `json:"old_rank,omitempty"`
+	NewRank int     `json:"new_rank,omitempty"`
+	Score   float64 `json:"score"`
+}
+
+// ChangeItems converts window changes to their wire form.
+func ChangeItems(changes []quality.WindowChange) []ChangeItem {
+	items := make([]ChangeItem, len(changes))
+	for i, c := range changes {
+		items[i] = ChangeItem{
+			ID:      c.ID,
+			Name:    c.Name,
+			Event:   c.Event(),
+			OldRank: c.OldRank,
+			NewRank: c.NewRank,
+			Score:   c.Score,
+		}
+	}
+	return items
+}
+
+// handleWatch serves GET /api/v1/watch?since=N[&wait=30s]&<query...>: the
+// long-poll delta feed of one standing query's window. The query binds
+// exactly like /api/v1/sources (bound it with k= or limit=); since names
+// the last assessment round the observer has consumed. While the current
+// round equals since the handler blocks — woken by the provider's change
+// notification, or polling as a fallback — until the wait deadline, then
+// answers an empty delta. Once a newer round exists it answers the
+// entered/left/moved rows between the retained since-round's window and
+// the current one; a since that has aged out of the retention ring is 410
+// Gone (the observer re-syncs from a full read of the current round).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	v := r.URL.Query()
+	sinceStr := v.Get("since")
+	if sinceStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter since (the last snapshot consumed)")
+		return
+	}
+	since, err := strconv.ParseInt(sinceStr, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad since %q", sinceStr))
+		return
+	}
+	wait := defaultWatchWait
+	if ws := v.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait %q", ws))
+			return
+		}
+		if d < 0 {
+			d = 0
+		}
+		if d > maxWatchWait {
+			d = maxWatchWait
+		}
+		wait = d
+	}
+	q, err := BindQuery(v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if q.After != nil || q.Offset != 0 {
+		writeError(w, http.StatusBadRequest, "watch windows do not paginate; bound them with k or limit")
+		return
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the notification channel BEFORE reading the version: a swap
+		// between the two closes the grabbed channel, so it cannot be
+		// missed.
+		var changed <-chan struct{}
+		if s.notify != nil {
+			changed = s.notify()
+		}
+		cur := s.observe()
+		if cur.Version() < since {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("snapshot %d has not been published (current is %d)", since, cur.Version()))
+			return
+		}
+		if cur.Version() > since {
+			old, ok := s.retained(since)
+			if !ok {
+				writeError(w, http.StatusGone, fmt.Sprintf("snapshot %d is no longer retained; re-sync from the current round", since))
+				return
+			}
+			oldRes, err := old.QuerySources(q)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			newRes, err := cur.QuerySources(q)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			writeWatch(w, NewWatchEnvelope(since, cur.Version(), ChangeItems(quality.DiffWindows(oldRes.Items, newRes.Items))))
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// Deadline with no newer round: empty delta, same token.
+			writeWatch(w, NewWatchEnvelope(since, cur.Version(), nil))
+			return
+		}
+		if changed == nil && remaining > watchPollInterval {
+			remaining = watchPollInterval
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// writeWatch answers one watch envelope.
+func writeWatch(w http.ResponseWriter, env WatchEnvelope) {
+	body, err := json.Marshal(env)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("X-Informer-Snapshot", strconv.FormatInt(env.Snapshot, 10))
+	w.Write(body)
 }

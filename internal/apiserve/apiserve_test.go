@@ -32,7 +32,11 @@ func (s *stubSnapshot) Version() int64 { return s.version }
 func (s *stubSnapshot) QuerySources(q quality.Query) (*quality.QueryResult, error) {
 	*s.lastQ = q
 	as := &quality.Assessment{ID: int(s.version), Name: "src", Score: 0.5}
-	return &quality.QueryResult{Items: []*quality.Assessment{as}, Total: 7}, nil
+	start := q.Offset
+	if start < 0 {
+		start = 0
+	}
+	return &quality.QueryResult{Items: []*quality.Assessment{as}, Total: 7, Start: start}, nil
 }
 
 func (s *stubSnapshot) QueryContributors(q quality.Query) (*quality.QueryResult, error) {

@@ -1,0 +1,78 @@
+package apiserve
+
+// Native Go fuzz targets hardening the two parsing surfaces a remote
+// client controls: the query-string binding and the opaque cursor token.
+// CI runs each for ~10s (-fuzz) on top of the checked-in seed corpus
+// (testdata/fuzz/...), and the seeds run as plain unit cases in every
+// ordinary `go test` invocation, so the harness cannot rot.
+
+import (
+	"math"
+	"net/url"
+	"strings"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/quality"
+)
+
+// FuzzBindQuery pins two properties for arbitrary query strings: binding
+// never panics, and every successfully bound query survives the
+// bind → canonicalize → re-bind round-trip — EncodeQuery emits a canonical
+// form that BindQuery accepts and that canonicalizes to the same key, so
+// the per-snapshot cache can never split or alias a query by spelling.
+func FuzzBindQuery(f *testing.F) {
+	f.Add("min_score=0.55&k=10")
+	f.Add("category=place,pulse&kind=blog&sort=dim.time&fields=scores&limit=7")
+	f.Add("id=5&id=3&id=5&min_dim.time=0.5&min_att.relevance=0.4&offset=3&limit=4")
+	f.Add("min_measure.src.time.liveliness=0.25&spam_resistance=0.3&sort=att.traffic")
+	f.Add("cursor=" + EncodeCursor(quality.Cursor{Key: 0.731, ID: 42, Pos: 11}) + "&limit=5&k=20")
+	f.Add("cursor=AAAA&limit=5")
+	f.Add("min_score=NaN&k=-3&offset=-1")
+	f.Add("min_score=0x1p-2&min_dim.time=Inf")
+	f.Add("%zz=&&&=;;;")
+	f.Add("sort=dim.&min_dim.=1&min_measure.=0.1")
+	f.Fuzz(func(t *testing.T, raw string) {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := BindQuery(v)
+		if err != nil {
+			return // cleanly rejected input
+		}
+		enc := EncodeQuery(q)
+		q2, err := BindQuery(enc)
+		if err != nil {
+			t.Fatalf("canonical form of %q failed to re-bind: %v (encoded %q)", raw, err, enc.Encode())
+		}
+		if k1, k2 := q.CanonicalKey(), q2.CanonicalKey(); k1 != k2 {
+			t.Fatalf("round-trip changed the canonical key for %q:\n first  %s\n second %s", raw, k1, k2)
+		}
+	})
+}
+
+// FuzzCursor pins the cursor token contract for arbitrary strings: decode
+// never panics, rejections are clean errors, and every accepted token is
+// the canonical encoding of an in-domain cursor (decode → encode is the
+// identity on the accepted set).
+func FuzzCursor(f *testing.F) {
+	f.Add(EncodeCursor(quality.Cursor{}))
+	f.Add(EncodeCursor(quality.Cursor{Key: 0.7313, ID: 42, Pos: 11}))
+	f.Add(EncodeCursor(quality.Cursor{Key: math.Inf(-1), ID: 1 << 40, Pos: 999999}))
+	f.Add("")
+	f.Add("not-a-cursor")
+	f.Add(strings.Repeat("A", 200))
+	f.Add("AQAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := DecodeCursor(s)
+		if err != nil {
+			return // cleanly rejected token
+		}
+		if math.IsNaN(c.Key) || c.ID < 0 || c.Pos < 0 {
+			t.Fatalf("accepted cursor out of domain: %+v (from %q)", c, s)
+		}
+		if s2 := EncodeCursor(c); s2 != s {
+			t.Fatalf("accepted token is not canonical: %q decodes to %+v which encodes to %q", s, c, s2)
+		}
+	})
+}

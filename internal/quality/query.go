@@ -9,13 +9,21 @@ package quality
 // it below ranking (bounded top-k selection over the cached measure matrix
 // instead of sorting all N assessments), the mashup data services compile
 // their parameters to it, and internal/apiserve binds it from HTTP query
-// strings (DESIGN.md section 7).
+// strings (DESIGN.md sections 7 and 8).
 //
 // The zero Query matches every record, ranks by overall score and returns
 // everything — exactly the historical Rank behaviour.
+//
+// Pagination comes in two forms. Offset/Limit is the deprecated shim: each
+// page re-selects the offset+limit best matches. Keyset pagination
+// (Query.After, a Cursor naming the last row already consumed) is the
+// scale-out path: page N+1 costs the same lean pass as page 1 because the
+// scan skips — never ranks — everything at or before the cursor. Executed
+// results report the resume cursor of the next page in QueryResult.Next.
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -52,6 +60,23 @@ type SortKey struct {
 	By        SortBy
 	Dimension Dimension // read when By == SortByDimension
 	Attribute Attribute // read when By == SortByAttribute
+}
+
+// Cursor is a keyset-pagination bound: the ranked position of the last row
+// a walk has consumed. Key is that row's sort-axis value and ID its record
+// ID — together they name one position in the strict (key desc, ID asc)
+// ranking order, so "everything after the cursor" is well defined even if
+// rows enter or leave the ranking between pages. Pos is the number of rows
+// consumed before the resumed page; it budgets TopK across pages and is
+// advisory (resume correctness comes from Key and ID alone).
+//
+// Cursors are produced by query execution (QueryResult.Next) and consumed
+// via Query.After; the HTTP layer transports them as opaque strings
+// (internal/apiserve, DESIGN.md section 8).
+type Cursor struct {
+	Key float64
+	ID  int
+	Pos int
 }
 
 // Query is a composable read request over an assessed corpus. Fields
@@ -94,6 +119,9 @@ type Query struct {
 	TopK int
 	// Offset and Limit window the ranked matches for pagination.
 	Offset, Limit int
+	// After resumes a keyset-paginated walk strictly after the cursor's
+	// ranked position (see Cursor). Mutually exclusive with Offset.
+	After *Cursor
 	// Fields selects the materialization (ProjectFull or ProjectScores).
 	Fields Projection
 }
@@ -104,7 +132,16 @@ type QueryResult struct {
 	Items []*Assessment
 	// Total counts every record matching the scope and predicates, before
 	// top-k selection and pagination — the pagination envelope's total.
+	// The cursor never narrows it: every page of one walk reports the same
+	// Total.
 	Total int
+	// Start is the rank index of the window's first item: the clamped
+	// Offset, or the cursor's Pos on a resumed page.
+	Start int
+	// Next resumes the walk on the following page (set it as the next
+	// Query's After). Nil when the walk is exhausted — the window reached
+	// Total, the TopK bound, or came back empty.
+	Next *Cursor
 }
 
 // Query executes q over the records: scope and predicates filter below the
@@ -118,6 +155,28 @@ func (a *SourceAssessor) Query(records []*SourceRecord, q Query) (*QueryResult, 
 		return nil, fmt.Errorf("quality: MinSpamResistance applies to contributor queries only")
 	}
 	return a.engine.rankTopK(records, q, sourceKeep(q), nil)
+}
+
+// Spine evaluates q's scope, predicates and sort over every record and
+// returns the full ranked candidate list — the standing-filter evaluation
+// of the filter-placement idea: rank once per assessment round, then fan
+// any number of windows (offset pages, cursor pages, watch diffs) out of
+// it via Window at O(window) cost each. TopK, Offset, Limit, After and
+// Fields are ignored here; they apply at Window time.
+func (a *SourceAssessor) Spine(records []*SourceRecord, q Query) (*Spine, error) {
+	if q.MinSpamResistance > 0 {
+		return nil, fmt.Errorf("quality: MinSpamResistance applies to contributor queries only")
+	}
+	return a.engine.spine(records, q, sourceKeep(q), nil)
+}
+
+// Window slices one page out of a previously built Spine and materializes
+// it under q's TopK/Offset/Limit/After/Fields. The spine must have been
+// built by this assessor over the same records with the same scope,
+// predicates and sort; the result is then bit-identical to Query(records,
+// q) at a fraction of the cost.
+func (a *SourceAssessor) Window(records []*SourceRecord, sp *Spine, q Query) (*QueryResult, error) {
+	return a.engine.window(records, sp, q)
 }
 
 // RankTopK returns the k best records, best first — shorthand for a Query
@@ -137,15 +196,37 @@ func (a *ContributorAssessor) Query(records []*ContributorRecord, q Query) (*Que
 	if len(q.Kinds) > 0 {
 		return nil, fmt.Errorf("quality: Kinds applies to source queries only")
 	}
-	var spamIdx []int
-	if q.MinSpamResistance > 0 {
-		for _, id := range relativeReactionMeasures {
-			if m := a.engine.measurePos(id); m >= 0 {
-				spamIdx = append(spamIdx, m)
-			}
+	return a.engine.rankTopK(records, q, contributorKeep(q), a.spamIdx(q))
+}
+
+// Spine ranks every contributor matching q's scope and predicates; see
+// SourceAssessor.Spine.
+func (a *ContributorAssessor) Spine(records []*ContributorRecord, q Query) (*Spine, error) {
+	if len(q.Kinds) > 0 {
+		return nil, fmt.Errorf("quality: Kinds applies to source queries only")
+	}
+	return a.engine.spine(records, q, contributorKeep(q), a.spamIdx(q))
+}
+
+// Window slices one page out of a contributor Spine; see
+// SourceAssessor.Window.
+func (a *ContributorAssessor) Window(records []*ContributorRecord, sp *Spine, q Query) (*QueryResult, error) {
+	return a.engine.window(records, sp, q)
+}
+
+// spamIdx resolves the relative-reaction measure positions backing the
+// MinSpamResistance predicate, or nil when the predicate is unset.
+func (a *ContributorAssessor) spamIdx(q Query) []int {
+	if q.MinSpamResistance <= 0 {
+		return nil
+	}
+	var idx []int
+	for _, id := range relativeReactionMeasures {
+		if m := a.engine.measurePos(id); m >= 0 {
+			idx = append(idx, m)
 		}
 	}
-	return a.engine.rankTopK(records, q, contributorKeep(q), spamIdx)
+	return idx
 }
 
 // RankTopK returns the k best contributors, best first.
@@ -333,18 +414,27 @@ type axisThreshold struct {
 	v   float64
 }
 
-// rankTopK executes a query over the engine: one lean pass evaluates
-// scope, predicates and sort key per record straight from the cached
-// matrix (no maps, no Assessment structs), a bounded heap keeps the best
-// candidates when the query carries a selection bound, and only the final
-// window is materialized — in parallel, with the requested projection.
-func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*QueryResult, error) {
-	// Resolve predicate and sort targets against the catalogue up front.
-	type measureThreshold struct {
-		m int
-		v float64
-	}
-	var minMeasure []measureThreshold
+// measureThreshold is a resolved per-measure predicate (catalogue position
+// + bar).
+type measureThreshold struct {
+	m int
+	v float64
+}
+
+// resolvedQuery holds a Query's predicate and sort targets resolved against
+// the engine's catalogue — the once-per-execution part of the lean scan.
+type resolvedQuery struct {
+	minMeasure       []measureThreshold
+	minDim, minAtt   []axisThreshold
+	sortDim, sortAtt int
+	// unmatchable flags a per-axis predicate on an axis absent from the
+	// catalogue: no record can ever clear it.
+	unmatchable bool
+}
+
+// resolveQuery resolves predicate and sort targets against the catalogue.
+func (e *matrixEngine[R]) resolveQuery(q Query) (*resolvedQuery, error) {
+	rq := &resolvedQuery{sortDim: -1, sortAtt: -1}
 	if len(q.MinMeasure) > 0 {
 		ids := make([]string, 0, len(q.MinMeasure))
 		for id := range q.MinMeasure {
@@ -356,68 +446,63 @@ func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, sp
 			if m < 0 {
 				return nil, fmt.Errorf("quality: unknown measure %q in query", id)
 			}
-			minMeasure = append(minMeasure, measureThreshold{m, q.MinMeasure[id]})
+			rq.minMeasure = append(rq.minMeasure, measureThreshold{m, q.MinMeasure[id]})
 		}
 	}
-	var minDim, minAtt []axisThreshold
-	unmatchable := false
 	for d, v := range q.MinDimension {
 		idx := int(d) + e.dimOff
 		if idx < 0 || idx >= e.nDims {
-			unmatchable = true // dimension absent from the catalogue
+			rq.unmatchable = true // dimension absent from the catalogue
 			continue
 		}
-		minDim = append(minDim, axisThreshold{idx, v})
+		rq.minDim = append(rq.minDim, axisThreshold{idx, v})
 	}
 	for at, v := range q.MinAttribute {
 		idx := int(at) + e.attOff
 		if idx < 0 || idx >= e.nAtts {
-			unmatchable = true
+			rq.unmatchable = true
 			continue
 		}
-		minAtt = append(minAtt, axisThreshold{idx, v})
+		rq.minAtt = append(rq.minAtt, axisThreshold{idx, v})
 	}
-	sortDim, sortAtt := -1, -1
 	switch q.Sort.By {
 	case SortByScore:
 	case SortByDimension:
-		sortDim = int(q.Sort.Dimension) + e.dimOff
-		if sortDim < 0 || sortDim >= e.nDims {
+		rq.sortDim = int(q.Sort.Dimension) + e.dimOff
+		if rq.sortDim < 0 || rq.sortDim >= e.nDims {
 			return nil, fmt.Errorf("quality: sort dimension %s not in catalogue", q.Sort.Dimension)
 		}
 	case SortByAttribute:
-		sortAtt = int(q.Sort.Attribute) + e.attOff
-		if sortAtt < 0 || sortAtt >= e.nAtts {
+		rq.sortAtt = int(q.Sort.Attribute) + e.attOff
+		if rq.sortAtt < 0 || rq.sortAtt >= e.nAtts {
 			return nil, fmt.Errorf("quality: sort attribute %s not in catalogue", q.Sort.Attribute)
 		}
 	default:
 		return nil, fmt.Errorf("quality: unknown sort key %d", q.Sort.By)
 	}
-	if unmatchable {
-		return &QueryResult{Items: []*Assessment{}}, nil
+	if q.After != nil && (math.IsNaN(q.After.Key) || q.After.ID < 0) {
+		return nil, fmt.Errorf("quality: invalid resume cursor")
 	}
+	if q.After != nil && q.Offset > 0 {
+		return nil, fmt.Errorf("quality: cursor and offset pagination are mutually exclusive")
+	}
+	return rq, nil
+}
 
-	offset := q.Offset
-	if offset < 0 {
-		offset = 0
-	}
-	// bound is how many ranked candidates the window can possibly need:
-	// min(TopK, Offset+Limit) of the set values; 0 keeps every match.
-	bound := 0
-	if q.TopK > 0 {
-		bound = q.TopK
-	}
-	if q.Limit > 0 {
-		if w := offset + q.Limit; bound == 0 || w < bound {
-			bound = w
-		}
-	}
-
-	// Lean scan: predicates and sort keys straight off the matrix.
+// scanMatches is the lean pass shared by rankTopK and spine: predicates
+// and sort keys straight off the cached matrix, no maps, no Assessment
+// structs. Every match counts toward total; when collect is set, the
+// candidates ranking strictly after the after-bound are kept — all of
+// them when bound == 0, the best `bound` through a min-heap otherwise.
+func (e *matrixEngine[R]) scanMatches(records []*R, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int, after *leanCand, bound int, collect bool) ([]leanCand, int) {
 	buf := e.newLeanBuf()
 	var cands []leanCand
-	if bound > 0 {
-		cands = make([]leanCand, 0, bound)
+	if collect && bound > 0 {
+		capHint := bound
+		if capHint > len(records) {
+			capHint = len(records) // never keep more candidates than records
+		}
+		cands = make([]leanCand, 0, capHint)
 	}
 	total := 0
 scan:
@@ -429,17 +514,17 @@ scan:
 		if buf.score < q.MinScore {
 			continue
 		}
-		for _, th := range minDim {
+		for _, th := range rq.minDim {
 			if buf.dimCnt[th.idx] == 0 || buf.dimSum[th.idx]/buf.dimCnt[th.idx] < th.v {
 				continue scan
 			}
 		}
-		for _, th := range minAtt {
+		for _, th := range rq.minAtt {
 			if buf.attCnt[th.idx] == 0 || buf.attSum[th.idx]/buf.attCnt[th.idx] < th.v {
 				continue scan
 			}
 		}
-		for _, th := range minMeasure {
+		for _, th := range rq.minMeasure {
 			if !buf.def[th.m] || buf.norm[th.m] < th.v {
 				continue scan
 			}
@@ -458,21 +543,29 @@ scan:
 			}
 		}
 		total++
+		if !collect {
+			continue
+		}
 		key := buf.score
 		switch {
-		case sortDim >= 0:
+		case rq.sortDim >= 0:
 			key = 0
-			if buf.dimCnt[sortDim] > 0 {
-				key = buf.dimSum[sortDim] / buf.dimCnt[sortDim]
+			if buf.dimCnt[rq.sortDim] > 0 {
+				key = buf.dimSum[rq.sortDim] / buf.dimCnt[rq.sortDim]
 			}
-		case sortAtt >= 0:
+		case rq.sortAtt >= 0:
 			key = 0
-			if buf.attCnt[sortAtt] > 0 {
-				key = buf.attSum[sortAtt] / buf.attCnt[sortAtt]
+			if buf.attCnt[rq.sortAtt] > 0 {
+				key = buf.attSum[rq.sortAtt] / buf.attCnt[rq.sortAtt]
 			}
 		}
 		id, _ := e.ident(r)
 		c := leanCand{key: key, id: id, row: i}
+		if after != nil && !candWorse(c, *after) {
+			// At or before the resume cursor: already consumed by an
+			// earlier page. Counted in total, never ranked.
+			continue
+		}
 		if bound == 0 {
 			cands = append(cands, c)
 			continue
@@ -487,28 +580,187 @@ scan:
 			siftDown(cands, 0)
 		}
 	}
+	return cands, total
+}
+
+// rankTopK executes a query over the engine: one lean pass evaluates
+// scope, predicates and sort key per record straight from the cached
+// matrix, a bounded heap keeps the best candidates when the query carries
+// a selection bound, and only the final window is materialized — in
+// parallel, with the requested projection. A resume cursor (q.After) makes
+// the pass skip everything at or before the cursor's ranked position, so a
+// keyset-paginated page N+1 costs exactly one lean pass plus one page of
+// materializations, never the prefix.
+func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*QueryResult, error) {
+	rq, err := e.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if rq.unmatchable {
+		return &QueryResult{Items: []*Assessment{}}, nil
+	}
+
+	offset := q.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	// start is the rank index of the window's first item; budget the
+	// remaining TopK allowance (-1 = unbounded); after the cursor bound.
+	start := offset
+	budget := -1
+	var after *leanCand
+	if q.After != nil {
+		if start = q.After.Pos; start < 0 {
+			start = 0
+		}
+		after = &leanCand{key: q.After.Key, id: q.After.ID}
+	}
+	if q.TopK > 0 {
+		if budget = q.TopK - start; budget < 0 {
+			budget = 0
+		}
+		if q.After == nil {
+			budget = q.TopK // the offset path slices the prefix off below
+		}
+	}
+
+	// bound is how many ranked candidates the window can possibly need.
+	bound := 0
+	if budget > 0 {
+		bound = budget
+	}
+	if q.Limit > 0 {
+		w := q.Limit
+		if q.After == nil {
+			if w > math.MaxInt-offset {
+				w = math.MaxInt // offset+limit would overflow: effectively unbounded
+			} else {
+				w += offset
+			}
+		}
+		if bound == 0 || w < bound {
+			bound = w
+		}
+	}
+	cands, total := e.scanMatches(records, q, rq, keep, spamIdx, after, bound, budget != 0)
 
 	// Rank the survivors best-first (k log k — tiny in the bounded case).
 	sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
 
-	// Pagination window.
-	if offset >= len(cands) {
-		cands = cands[:0]
-	} else {
-		cands = cands[offset:]
+	// Pagination window: the cursor already cut the prefix during the
+	// scan; the offset path slices it here.
+	if q.After == nil {
+		if offset >= len(cands) {
+			cands = cands[:0]
+		} else {
+			cands = cands[offset:]
+		}
 	}
 	if q.Limit > 0 && len(cands) > q.Limit {
 		cands = cands[:q.Limit]
 	}
+	return e.finishWindow(records, cands, start, total, q), nil
+}
 
-	// Materialize only the window, in parallel, with the projection.
+// Spine is the fully ranked candidate list of one (scope, predicates,
+// sort) evaluation over a record set: every match, best first, before any
+// TopK/pagination windowing. Build it once per assessment round per
+// standing query and slice windows out of it with Window.
+type Spine struct {
+	cands []leanCand
+	total int
+}
+
+// Total counts the matches in the spine.
+func (sp *Spine) Total() int { return sp.total }
+
+// spine runs the lean pass unbounded and fully ranks the matches.
+func (e *matrixEngine[R]) spine(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*Spine, error) {
+	rq, err := e.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if rq.unmatchable {
+		return &Spine{}, nil
+	}
+	cands, total := e.scanMatches(records, q, rq, keep, spamIdx, nil, 0, true)
+	sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
+	return &Spine{cands: cands, total: total}, nil
+}
+
+// window slices q's page out of a ranked spine: offset indexes directly,
+// a cursor binary-searches its strict ranked position, and only the page
+// is materialized. Results are bit-identical to rankTopK over the same
+// records and query.
+func (e *matrixEngine[R]) window(records []*R, sp *Spine, q Query) (*QueryResult, error) {
+	if q.After != nil && (math.IsNaN(q.After.Key) || q.After.ID < 0) {
+		return nil, fmt.Errorf("quality: invalid resume cursor")
+	}
+	if q.After != nil && q.Offset > 0 {
+		return nil, fmt.Errorf("quality: cursor and offset pagination are mutually exclusive")
+	}
+	n := len(sp.cands)
+	var start, idx int
+	if q.After != nil {
+		a := leanCand{key: q.After.Key, id: q.After.ID}
+		idx = sort.Search(n, func(i int) bool { return candWorse(sp.cands[i], a) })
+		if start = q.After.Pos; start < 0 {
+			start = 0
+		}
+	} else {
+		if start = q.Offset; start < 0 {
+			start = 0
+		}
+		if idx = start; idx > n {
+			idx = n
+		}
+	}
+	// Bound the page end by the TopK budget and the Limit, comparing page
+	// widths (end-idx, at most n) rather than absolute indices so huge
+	// TopK/Limit values cannot overflow idx+width.
+	end := n
+	if q.TopK > 0 {
+		budget := q.TopK - start
+		if budget < 0 {
+			budget = 0
+		}
+		if budget < end-idx {
+			end = idx + budget
+		}
+	}
+	if q.Limit > 0 && q.Limit < end-idx {
+		end = idx + q.Limit
+	}
+	if idx > end {
+		idx = end
+	}
+	return e.finishWindow(records, sp.cands[idx:end], start, sp.total, q), nil
+}
+
+// finishWindow materializes the windowed candidates — in parallel, with
+// the requested projection — and derives the resume cursor of the next
+// page.
+func (e *matrixEngine[R]) finishWindow(records []*R, cands []leanCand, start, total int, q Query) *QueryResult {
 	items := make([]*Assessment, len(cands))
 	e.forEachChunk(len(cands), func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			items[j] = e.assessProject(records[cands[j].row], q.Fields)
 		}
 	})
-	return &QueryResult{Items: items, Total: total}, nil
+	effTotal := total
+	if q.TopK > 0 && q.TopK < effTotal {
+		effTotal = q.TopK
+	}
+	consumed := start + len(items)
+	if consumed < start {
+		consumed = math.MaxInt // absurd cursor Pos: saturate instead of wrapping
+	}
+	var next *Cursor
+	if len(items) > 0 && consumed < effTotal {
+		last := cands[len(cands)-1]
+		next = &Cursor{Key: last.key, ID: last.id, Pos: consumed}
+	}
+	return &QueryResult{Items: items, Total: total, Start: start, Next: next}
 }
 
 // siftUp restores the min-heap property (candWorse order) after an append.

@@ -7,6 +7,9 @@ package quality
 // with that reference for any k.
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -293,5 +296,397 @@ func TestParseDimensionAttribute(t *testing.T) {
 	}
 	if _, ok := ParseAttribute("nope"); ok {
 		t.Error("bad attribute name must not parse")
+	}
+}
+
+// --- Keyset pagination, spine/window and randomized equivalence ---------
+
+// sourceCategories and sourceKinds are the scope vocabularies of the
+// generated worlds, used by the randomized query generator.
+var (
+	randQueryCategories = []string{"presence", "place", "potential", "pulse", "people", "prerequisites"}
+	randQueryKinds      = []string{"blog", "forum", "review-site", "social-network"}
+)
+
+// randomQuery draws one query: scopes, per-axis predicates, sort, k,
+// window and projection all randomized. Cursor-free — walks derive their
+// cursors from execution.
+func randomQuery(rng *rand.Rand) Query {
+	var q Query
+	if rng.Intn(4) == 0 {
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			q.IDs = append(q.IDs, rng.Intn(160))
+		}
+	}
+	if rng.Intn(4) == 0 {
+		q.Categories = append(q.Categories, randQueryCategories[rng.Intn(len(randQueryCategories))])
+		if rng.Intn(2) == 0 {
+			q.Categories = append(q.Categories, randQueryCategories[rng.Intn(len(randQueryCategories))])
+		}
+	}
+	if rng.Intn(4) == 0 {
+		q.Kinds = append(q.Kinds, randQueryKinds[rng.Intn(len(randQueryKinds))])
+		if rng.Intn(2) == 0 {
+			q.Kinds = append(q.Kinds, randQueryKinds[rng.Intn(len(randQueryKinds))])
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q.MinScore = rng.Float64() * 0.7
+	}
+	if rng.Intn(4) == 0 {
+		dims := Dimensions()
+		q.MinDimension = map[Dimension]float64{dims[rng.Intn(len(dims))]: rng.Float64() * 0.6}
+	}
+	if rng.Intn(4) == 0 {
+		atts := []Attribute{Relevance, Breadth, Traffic, Liveliness}
+		q.MinAttribute = map[Attribute]float64{atts[rng.Intn(len(atts))]: rng.Float64() * 0.6}
+	}
+	if rng.Intn(5) == 0 {
+		q.MinMeasure = map[string]float64{"src.time.liveliness": rng.Float64() * 0.5}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		dims := Dimensions()
+		q.Sort = SortKey{By: SortByDimension, Dimension: dims[rng.Intn(len(dims))]}
+	case 1:
+		atts := []Attribute{Relevance, Breadth, Traffic, Liveliness}
+		q.Sort = SortKey{By: SortByAttribute, Attribute: atts[rng.Intn(len(atts))]}
+	}
+	if rng.Intn(2) == 0 {
+		q.TopK = 1 + rng.Intn(60)
+	}
+	if rng.Intn(2) == 0 {
+		q.Offset = rng.Intn(25)
+	}
+	if rng.Intn(2) == 0 {
+		q.Limit = 1 + rng.Intn(20)
+	}
+	if rng.Intn(3) == 0 {
+		q.Fields = ProjectScores
+	}
+	return q
+}
+
+// TestQueryRandomizedEquivalence pins ~200 seeded-random queries
+// bit-identical across all three execution plans: the lean rankTopK pass,
+// the naive reference plan (full Rank, post-filter, re-sort, slice), and
+// the spine+window path the facade cache serves from.
+func TestQueryRandomizedEquivalence(t *testing.T) {
+	records := worldRecords(t, 160, 47)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	rng := rand.New(rand.NewSource(4711))
+	for i := 0; i < 200; i++ {
+		q := randomQuery(rng)
+		got, err := a.Query(records, q)
+		if err != nil {
+			t.Fatalf("query %d (%+v): %v", i, q, err)
+		}
+		// Reference plan (always materializes full assessments).
+		qFull := q
+		qFull.Fields = ProjectFull
+		gotFull, err := a.Query(records, qFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceQuery(a, records, qFull)
+		if gotFull.Total != want.Total {
+			t.Fatalf("query %d (%+v): total %d, want %d", i, q, gotFull.Total, want.Total)
+		}
+		if !reflect.DeepEqual(gotFull.Items, want.Items) {
+			t.Fatalf("query %d (%+v): engine diverges from reference plan", i, q)
+		}
+		// Spine + window plan must reproduce the engine result exactly,
+		// including Start and the resume cursor.
+		sp, err := a.Spine(records, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Total() != got.Total {
+			t.Fatalf("query %d: spine total %d, want %d", i, sp.Total(), got.Total)
+		}
+		wres, err := a.Window(records, sp, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wres, got) {
+			t.Fatalf("query %d (%+v): spine window diverges from rankTopK\n spine: %+v\n rank:  %+v",
+				i, q, wres, got)
+		}
+	}
+}
+
+// walkOffsets pages through q with the deprecated offset shim.
+func walkOffsets(t *testing.T, a *SourceAssessor, records []*SourceRecord, q Query, limit int) []*Assessment {
+	t.Helper()
+	items := []*Assessment{}
+	for off := 0; off < 100000; off += limit {
+		qq := q
+		qq.Offset, qq.Limit, qq.After = off, limit, nil
+		res, err := a.Query(records, qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, res.Items...)
+		if len(res.Items) < limit {
+			break
+		}
+	}
+	return items
+}
+
+// walkCursor pages through q by chaining each page's resume cursor,
+// executing either through rankTopK or through a shared spine.
+func walkCursor(t *testing.T, a *SourceAssessor, records []*SourceRecord, q Query, limit int, viaSpine bool) []*Assessment {
+	t.Helper()
+	var sp *Spine
+	if viaSpine {
+		var err error
+		if sp, err = a.Spine(records, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items := []*Assessment{}
+	var cur *Cursor
+	for pages := 0; pages < 100000; pages++ {
+		qq := q
+		qq.Offset, qq.Limit, qq.After = 0, limit, cur
+		var res *QueryResult
+		var err error
+		if viaSpine {
+			res, err = a.Window(records, sp, qq)
+		} else {
+			res, err = a.Query(records, qq)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, res.Items...)
+		if res.Next == nil {
+			return items
+		}
+		if len(res.Items) == 0 {
+			t.Fatal("empty page with a resume cursor")
+		}
+		cur = res.Next
+	}
+	t.Fatal("cursor walk did not terminate")
+	return nil
+}
+
+// TestQueryCursorWalkEquivalence is the keyset-pagination acceptance
+// contract at the engine level: for randomized queries, a chained-cursor
+// walk (through both execution plans) is bit-identical to a full-offset
+// walk and to the unwindowed ranking.
+func TestQueryCursorWalkEquivalence(t *testing.T) {
+	records := worldRecords(t, 140, 49)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+	rng := rand.New(rand.NewSource(1337))
+	for i := 0; i < 60; i++ {
+		q := randomQuery(rng)
+		q.Offset, q.Limit = 0, 0
+		limit := 1 + rng.Intn(13)
+
+		full, err := a.Query(records, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsetWalk := walkOffsets(t, a, records, q, limit)
+		cursorWalk := walkCursor(t, a, records, q, limit, false)
+		spineWalk := walkCursor(t, a, records, q, limit, true)
+		if !reflect.DeepEqual(offsetWalk, full.Items) {
+			t.Fatalf("query %d (%+v, limit %d): offset walk diverges from the full ranking", i, q, limit)
+		}
+		if !reflect.DeepEqual(cursorWalk, full.Items) {
+			t.Fatalf("query %d (%+v, limit %d): cursor walk diverges from the full ranking", i, q, limit)
+		}
+		if !reflect.DeepEqual(spineWalk, full.Items) {
+			t.Fatalf("query %d (%+v, limit %d): spine cursor walk diverges from the full ranking", i, q, limit)
+		}
+	}
+}
+
+// TestQueryCursorSemantics pins the cursor edge cases: budget exhaustion
+// under TopK, the offset exclusivity error, invalid cursors, and Total
+// stability across a walk.
+func TestQueryCursorSemantics(t *testing.T) {
+	records := worldRecords(t, 80, 51)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+
+	res, err := a.Query(records, Query{TopK: 10, Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 4 || res.Next == nil || res.Next.Pos != 4 {
+		t.Fatalf("first page: %d items, next %+v", len(res.Items), res.Next)
+	}
+	// Every page of one walk reports the same pre-pagination Total.
+	page2, err := a.Query(records, Query{TopK: 10, Limit: 4, After: res.Next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page2.Total != res.Total || page2.Start != 4 {
+		t.Fatalf("page 2: total %d (want %d), start %d", page2.Total, res.Total, page2.Start)
+	}
+	// TopK budget: the walk stops at k across pages, not k per page.
+	page3, err := a.Query(records, Query{TopK: 10, Limit: 4, After: page2.Next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page3.Items) != 2 || page3.Next != nil {
+		t.Fatalf("page 3 must close the k=10 walk: %d items, next %+v", len(page3.Items), page3.Next)
+	}
+	// A cursor whose Pos already consumed the budget yields an empty page.
+	spent, err := a.Query(records, Query{TopK: 10, Limit: 4, After: &Cursor{Key: 0.1, ID: 3, Pos: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spent.Items) != 0 || spent.Next != nil {
+		t.Fatal("exhausted budget must yield an empty final page")
+	}
+
+	if _, err := a.Query(records, Query{Offset: 3, After: &Cursor{}}); err == nil {
+		t.Error("cursor plus offset must error")
+	}
+	if _, err := a.Query(records, Query{After: &Cursor{Key: math.NaN()}}); err == nil {
+		t.Error("NaN cursor key must error")
+	}
+	if _, err := a.Query(records, Query{After: &Cursor{ID: -1}}); err == nil {
+		t.Error("negative cursor ID must error")
+	}
+	sp, err := a.Spine(records, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Window(records, sp, Query{Offset: 3, After: &Cursor{}}); err == nil {
+		t.Error("window with cursor plus offset must error")
+	}
+}
+
+// TestQueryCanonicalKey pins the cache-key contract: representation
+// differences (set order, duplicates) canonicalize identically, while
+// semantic differences never collide.
+func TestQueryCanonicalKey(t *testing.T) {
+	a := Query{IDs: []int{5, 3, 5}, Categories: []string{"pulse", "place"}, MinScore: 0.5, TopK: 10}
+	b := Query{IDs: []int{3, 5}, Categories: []string{"place", "pulse", "place"}, MinScore: 0.5, TopK: 10}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatal("set order and duplicates must not change the canonical key")
+	}
+	distinct := []Query{
+		{},
+		{MinScore: 0.5},
+		{MinScore: 0.5000000001},
+		{TopK: 10},
+		{Limit: 10},
+		{Offset: 10},
+		{Fields: ProjectScores},
+		{Categories: []string{"place"}},
+		{Kinds: []string{"place"}},
+		{IDs: []int{1}},
+		{MinDimension: map[Dimension]float64{Time: 0.5}},
+		{MinAttribute: map[Attribute]float64{Traffic: 0.5}},
+		{MinMeasure: map[string]float64{"src.time.liveliness": 0.5}},
+		{MinSpamResistance: 0.5},
+		{Sort: SortKey{By: SortByDimension, Dimension: Time}},
+		{After: &Cursor{Key: 0.5, ID: 1, Pos: 3}},
+		{After: &Cursor{Key: 0.5, ID: 1, Pos: 4}},
+	}
+	seen := map[string]int{}
+	for i, q := range distinct {
+		key := q.CanonicalKey()
+		if j, dup := seen[key]; dup {
+			t.Fatalf("queries %d and %d collide on %q", i, j, key)
+		}
+		seen[key] = i
+	}
+	// Windowless strips exactly the pagination and projection fields.
+	wq := Query{MinScore: 0.3, TopK: 5, Offset: 2, Limit: 3, After: &Cursor{Pos: 2}, Fields: ProjectScores}
+	if wq.Windowless().CanonicalKey() != (Query{MinScore: 0.3}).CanonicalKey() {
+		t.Fatal("Windowless must strip the window and projection only")
+	}
+}
+
+// TestDiffWindows pins the watch delta semantics on a crafted pair.
+func TestDiffWindows(t *testing.T) {
+	as := func(id int, score float64) *Assessment {
+		return &Assessment{ID: id, Name: fmt.Sprintf("s%d", id), Score: score}
+	}
+	old := []*Assessment{as(1, 0.9), as(2, 0.8), as(3, 0.7), as(4, 0.6)}
+	new := []*Assessment{as(1, 0.9), as(3, 0.85), as(5, 0.75), as(2, 0.65)}
+	got := DiffWindows(old, new)
+	want := []WindowChange{
+		{ID: 3, Name: "s3", OldRank: 3, NewRank: 2, Score: 0.85},
+		{ID: 5, Name: "s5", OldRank: 0, NewRank: 3, Score: 0.75},
+		{ID: 2, Name: "s2", OldRank: 2, NewRank: 4, Score: 0.65},
+		{ID: 4, Name: "s4", OldRank: 4, NewRank: 0, Score: 0.6},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diff:\n got  %+v\n want %+v", got, want)
+	}
+	for i, ev := range []string{"moved", "entered", "moved", "left"} {
+		if got[i].Event() != ev {
+			t.Errorf("change %d: event %q, want %q", i, got[i].Event(), ev)
+		}
+	}
+	if d := DiffWindows(old, old); len(d) != 0 {
+		t.Fatalf("identical windows must diff empty, got %+v", d)
+	}
+}
+
+// TestQueryExtremeWindowValuesDoNotPanic pins the overflow guards: a
+// forged cursor plus a huge TopK, or an offset+limit sum past MaxInt,
+// must degrade to sane windows (empty or clamped), never to a negative
+// slice bound or heap index panic — both were reachable over HTTP.
+func TestQueryExtremeWindowValuesDoNotPanic(t *testing.T) {
+	records := worldRecords(t, 30, 53)
+	a := NewSourceAssessor(records, defaultDI(), nil)
+
+	// Huge TopK with a cursor that sorts after everything: the window is
+	// empty, on both execution plans.
+	forged := &Cursor{Key: math.Inf(-1), ID: 0, Pos: 0}
+	res, err := a.Query(records, Query{TopK: math.MaxInt, After: forged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 || res.Next != nil {
+		t.Fatalf("forged trailing cursor must close the walk: %d items", len(res.Items))
+	}
+	sp, err := a.Spine(records, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := a.Window(records, sp, Query{TopK: math.MaxInt, After: forged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres.Items) != 0 || wres.Next != nil {
+		t.Fatalf("window plan: forged trailing cursor must close the walk: %d items", len(wres.Items))
+	}
+
+	// offset+limit past MaxInt must not wrap the heap bound negative.
+	res, err = a.Query(records, Query{Offset: math.MaxInt - 5, Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("absurd offset must return an empty page, got %d items", len(res.Items))
+	}
+	wres, err = a.Window(records, sp, Query{Offset: math.MaxInt - 5, Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres.Items) != 0 {
+		t.Fatalf("window plan: absurd offset must return an empty page, got %d items", len(wres.Items))
+	}
+
+	// A cursor Pos near MaxInt without TopK: the page serves, and the
+	// saturated consumed count closes the walk instead of wrapping into a
+	// bogus resume cursor.
+	res, err = a.Query(records, Query{After: &Cursor{Key: math.Inf(1), ID: 0, Pos: math.MaxInt - 1}, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Next != nil {
+		t.Fatal("saturated walk position must not emit a resume cursor")
 	}
 }

@@ -1,0 +1,66 @@
+package quality
+
+// Window diffing backs the /api/v1/watch endpoint and the monitoring
+// demos: observers tracking a standing quality-filtered feed want the rank
+// movement of their window across assessment rounds — who entered, who
+// left, who moved — not the full re-ranking (Lerman's social-browsing
+// observation; DESIGN.md section 8).
+
+// WindowChange is one row's movement between two ranked windows of the
+// same query. Ranks are 1-based window positions; a zero rank means the
+// row was absent from that window.
+type WindowChange struct {
+	ID   int
+	Name string
+	// OldRank is the row's position in the older window (0 = entered).
+	OldRank int
+	// NewRank is the row's position in the newer window (0 = left).
+	NewRank int
+	// Score is the row's overall quality score in the newer window, or in
+	// the older one for rows that left.
+	Score float64
+}
+
+// Event classifies the change: "entered", "left" or "moved".
+func (c WindowChange) Event() string {
+	switch {
+	case c.OldRank == 0:
+		return "entered"
+	case c.NewRank == 0:
+		return "left"
+	default:
+		return "moved"
+	}
+}
+
+// DiffWindows diffs two ranked windows of one query evaluated on two
+// assessment rounds and returns only the rows whose window membership or
+// rank changed: rows present in new but not old ("entered"), present in
+// both at different positions ("moved"), and present only in old
+// ("left"). Rows holding their exact rank are omitted — the delta is
+// empty when the window did not move. Changes are ordered by new rank,
+// with departed rows last in old-rank order, so the delta is
+// deterministic for any input pair.
+func DiffWindows(old, new []*Assessment) []WindowChange {
+	oldRank := make(map[int]int, len(old))
+	for i, a := range old {
+		oldRank[a.ID] = i + 1
+	}
+	changes := make([]WindowChange, 0, len(old)+len(new))
+	inNew := make(map[int]bool, len(new))
+	for i, a := range new {
+		inNew[a.ID] = true
+		nr := i + 1
+		or := oldRank[a.ID]
+		if or == nr {
+			continue
+		}
+		changes = append(changes, WindowChange{ID: a.ID, Name: a.Name, OldRank: or, NewRank: nr, Score: a.Score})
+	}
+	for i, a := range old {
+		if !inNew[a.ID] {
+			changes = append(changes, WindowChange{ID: a.ID, Name: a.Name, OldRank: i + 1, Score: a.Score})
+		}
+	}
+	return changes
+}
