@@ -445,6 +445,57 @@ func BenchmarkAdvanceIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkWatchFanout measures the standing-query subscription fan-out
+// at web scale: one daily ~1% churn tick over 2000 sources with 1 vs 64
+// subscribers of the same canonical query. The acceptance bar of the
+// subscription PR is that per-tick standing-query evaluations do NOT
+// scale with subscriber count — the registry evaluates each distinct
+// query once per tick and fans the shared delta out — so the reported
+// evals/tick metric must stay 1.0 for both sub-benchmarks and ns/op must
+// stay in the AdvanceIncremental regime (fan-out is channel sends, not
+// re-evaluation).
+func BenchmarkWatchFanout(b *testing.B) {
+	for _, n := range []int{1, 64} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			world := webgen.Generate(webgen.Config{Seed: 91, NumSources: 2000, ChurnScale: 0.27})
+			c := FromWorld(world, quality.DomainOfInterest{}, 91)
+			q := NewQuery().MinScore(0.5).TopK(10).Build()
+			subs := make([]*Subscription, n)
+			for i := range subs {
+				s, err := c.Subscribe(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				subs[i] = s
+				defer s.Close()
+			}
+			start := c.subs.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Advance(1, int64(9300+i))
+				for _, s := range subs {
+					select {
+					case <-s.Events():
+					default:
+						b.Fatal("tick delivered no event")
+					}
+				}
+			}
+			b.StopTimer()
+			st := c.subs.Stats()
+			if st.Overflows != 0 {
+				b.Fatalf("%d subscribers overflowed", st.Overflows)
+			}
+			evalsPerTick := float64(st.Evaluations-start.Evaluations) / float64(b.N)
+			b.ReportMetric(evalsPerTick, "evals/tick")
+			if evalsPerTick != 1 {
+				b.Fatalf("per-tick evaluations = %.2f with %d subscribers, want 1 (fan-out must not re-evaluate)", evalsPerTick, n)
+			}
+		})
+	}
+}
+
 // BenchmarkAdvanceRebuild is the non-incremental baseline for
 // BenchmarkAdvanceIncremental: identical world and churn, but each tick
 // re-assesses the corpus from scratch via FromWorld (the pre-incremental

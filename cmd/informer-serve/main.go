@@ -3,28 +3,35 @@
 // feeds and a sitemap — plus the analytics panel as a JSON API, so the
 // crawler (or informer-rank -crawl) can walk it like the live Web, and the
 // versioned quality-query API under /api/v1 (sources, contributors,
-// influencers, sentiment, trending, search, watch) for remote observers:
+// influencers, sentiment, trending, search, watch, stream) for remote
+// observers:
 //
 //	informer-serve -addr 127.0.0.1:8080 -sources 60
 //	informer-rank  -crawl http://127.0.0.1:8080
 //	curl 'http://127.0.0.1:8080/api/v1/sources?min_score=0.6&k=10'
 //	curl 'http://127.0.0.1:8080/api/v1/sources?limit=20&cursor=<next_cursor>'
+//	curl -N 'http://127.0.0.1:8080/api/v1/stream?since=1&min_score=0.5&k=10'
 //
 // With -tick-days > 0 the corpus advances on a timer (the monitoring
 // scenario): /api/v1 responses then carry moving snapshot tokens, clients
-// pinning ?snapshot=N keep reading one coherent assessment round, and
-// /api/v1/watch long-polls deliver each tick's rank movement. -watch runs
-// a built-in observer against the served endpoint and prints the deltas:
+// pinning ?snapshot=N keep reading one coherent assessment round, and the
+// standing-query transports deliver each tick's rank movement — one
+// /api/v1/watch long-poll per tick, or every tick over one /api/v1/stream
+// SSE connection. -watch runs a built-in observer against the served
+// stream endpoint and prints the deltas:
 //
 //	informer-serve -tick-days 7 -tick-every 5s -watch 'min_score=0.5&k=10'
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	informer "github.com/informing-observers/informer"
@@ -37,7 +44,7 @@ func main() {
 		sources  = flag.Int("sources", 60, "number of sources")
 		tickDays = flag.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
 		tickWait = flag.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
-		watchQ   = flag.String("watch", "", "demo observer: long-poll /api/v1/watch with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
+		watchQ   = flag.String("watch", "", "demo observer: consume /api/v1/stream with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
 	)
 	flag.Parse()
 
@@ -65,80 +72,117 @@ func main() {
 	fmt.Printf("  crawlable world: /sitemap.txt   panel: /panel/metrics?host=...\n")
 	fmt.Printf("  quality API:     /api/v1/sources?min_score=0.6&k=10 (snapshot %d)\n", c.SnapshotVersion())
 	fmt.Printf("  watch feed:      /api/v1/watch?since=%d&k=10\n", c.SnapshotVersion())
+	fmt.Printf("  SSE stream:      /api/v1/stream?since=%d&k=10\n", c.SnapshotVersion())
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "informer-serve:", err)
 		os.Exit(1)
 	}
 }
 
-// watchLoop is the built-in demo observer: it long-polls the served
-// /api/v1/watch endpoint over real HTTP (exactly like a remote client)
-// and prints the window's rank movement whenever a tick lands. On a 410 —
-// its since-token aged out of the snapshot ring — it re-syncs from the
-// current round, the same recovery a remote observer performs.
+// watchLoop is the built-in demo observer, now a Server-Sent Events
+// client: it holds one /api/v1/stream connection over real HTTP (exactly
+// like a remote EventSource) and prints the window's rank movement frame
+// by frame as ticks land — no re-polling. On a disconnect it resumes with
+// its last consumed frame id as the since token; on a 410 — the token
+// aged out of the snapshot ring — it re-syncs from the current round, the
+// same recovery a remote observer performs. A terminal "resync" frame
+// (the in-stream 410 for slow consumers) clears the token the same way.
 func watchLoop(base, query string) {
-	since, err := syncSnapshot(base)
-	for err != nil {
-		time.Sleep(200 * time.Millisecond) // server still starting up
-		since, err = syncSnapshot(base)
-	}
-	fmt.Printf("watch: observing %q from snapshot %d\n", query, since)
+	var since int64 // 0 = start at the current round
+	announced := false
 	for {
-		resp, err := http.Get(fmt.Sprintf("%s/api/v1/watch?since=%d&wait=30s&%s", base, since, query))
+		target := base + "/api/v1/stream?" + query
+		if since > 0 {
+			target += "&since=" + strconv.FormatInt(since, 10)
+		}
+		resp, err := http.Get(target)
 		if err != nil {
-			time.Sleep(time.Second)
+			time.Sleep(200 * time.Millisecond) // server still starting up
 			continue
 		}
 		if resp.StatusCode == http.StatusGone {
 			resp.Body.Close()
-			if s, err := syncSnapshot(base); err == nil {
-				fmt.Printf("watch: snapshot %d aged out, re-synced to %d\n", since, s)
-				since = s
-			}
+			fmt.Printf("watch: snapshot %d aged out, re-syncing from the current round\n", since)
+			since = 0
 			continue
 		}
-		var env struct {
-			Snapshot int64 `json:"snapshot"`
-			Changes  []struct {
-				Name    string  `json:"name"`
-				Event   string  `json:"event"`
-				OldRank int     `json:"old_rank"`
-				NewRank int     `json:"new_rank"`
-				Score   float64 `json:"score"`
-			} `json:"changes"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&env)
-		resp.Body.Close()
-		if err != nil || resp.StatusCode != http.StatusOK {
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
 			time.Sleep(time.Second)
 			continue
 		}
-		for _, ch := range env.Changes {
-			switch ch.Event {
-			case "entered":
-				fmt.Printf("watch: + %-24s entered at #%d (%.3f)\n", ch.Name, ch.NewRank, ch.Score)
-			case "left":
-				fmt.Printf("watch: - %-24s left (was #%d)\n", ch.Name, ch.OldRank)
-			default:
-				fmt.Printf("watch: ~ %-24s #%d -> #%d (%.3f)\n", ch.Name, ch.OldRank, ch.NewRank, ch.Score)
-			}
-		}
-		since = env.Snapshot
+		since = consumeStream(resp, query, since, &announced)
 	}
 }
 
-// syncSnapshot reads the current snapshot token from a cheap one-row read.
-func syncSnapshot(base string) (int64, error) {
-	resp, err := http.Get(base + "/api/v1/sources?limit=1&fields=scores")
-	if err != nil {
-		return 0, err
-	}
+// consumeStream reads SSE frames until the connection drops and returns
+// the since token to resume from.
+func consumeStream(resp *http.Response, query string, since int64, announced *bool) int64 {
 	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	var event, data string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return since // reconnect and resume from the last consumed frame
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "": // frame boundary: dispatch
+			switch event {
+			case "sync":
+				var sync struct {
+					Snapshot int64 `json:"snapshot"`
+				}
+				if json.Unmarshal([]byte(data), &sync) == nil {
+					since = sync.Snapshot
+					if !*announced {
+						fmt.Printf("watch: observing %q from snapshot %d\n", query, since)
+						*announced = true
+					}
+				}
+			case "resync":
+				fmt.Println("watch: fell behind the tick rate, re-syncing from the current round")
+				return 0
+			case "": // delta frame
+				since = printDelta(data, since)
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"): // heartbeat
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// printDelta renders one delta frame's envelope (byte-identical to a
+// /api/v1/watch response body) and returns the new since token.
+func printDelta(data string, since int64) int64 {
 	var env struct {
 		Snapshot int64 `json:"snapshot"`
+		Changes  []struct {
+			Name    string  `json:"name"`
+			Event   string  `json:"event"`
+			OldRank int     `json:"old_rank"`
+			NewRank int     `json:"new_rank"`
+			Score   float64 `json:"score"`
+		} `json:"changes"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return 0, err
+	if json.Unmarshal([]byte(data), &env) != nil {
+		return since
 	}
-	return env.Snapshot, nil
+	for _, ch := range env.Changes {
+		switch ch.Event {
+		case "entered":
+			fmt.Printf("watch: + %-24s entered at #%d (%.3f)\n", ch.Name, ch.NewRank, ch.Score)
+		case "left":
+			fmt.Printf("watch: - %-24s left (was #%d)\n", ch.Name, ch.OldRank)
+		default:
+			fmt.Printf("watch: ~ %-24s #%d -> #%d (%.3f)\n", ch.Name, ch.OldRank, ch.NewRank, ch.Score)
+		}
+	}
+	return env.Snapshot
 }

@@ -1,11 +1,12 @@
 // Monitoring: the paper's motivating scenario — continuous market
 // monitoring over evolving Web 2.0 sources. Assess a corpus, archive the
-// ranking as a JSON report, let a month of activity arrive, re-assess,
-// and diff the two rankings; then watch a standing quality-filtered
-// window the way /api/v1/watch serves it — only the rows that entered,
-// left or moved, not the full re-ranking; finally extract the buzz words
-// of a category (the Section 5 "buzz word identification" analysis
-// service).
+// ranking as a JSON report, subscribe a standing quality-filtered window
+// (the in-process form of the /api/v1/watch and /api/v1/stream
+// observers), let a month of activity arrive, and receive the tick's
+// delta — only the rows that entered, left or moved, evaluated once
+// however many observers share the query — alongside the full
+// ranking diff; finally extract the buzz words of a category (the
+// Section 5 "buzz word identification" analysis service).
 //
 //	go run ./examples/monitoring
 package main
@@ -26,13 +27,19 @@ func main() {
 		len(before.Entries), before.Entries[0].Name, before.Entries[0].Score)
 
 	// A standing observer query: the top-10 sources clearing a quality
-	// bar. Its round-1 window is what a /api/v1/watch client would have
-	// last consumed (?since=1).
+	// bar. Subscribing registers it with the corpus' subscription
+	// registry — the same registry the /api/v1/watch and /api/v1/stream
+	// transports fan out of — so the next Advance will deliver this
+	// window's delta, evaluated once per tick no matter how many
+	// observers share the query.
 	watchQuery := informer.NewQuery().MinScore(0.4).TopK(10).ScoresOnly().Build()
-	win1, err := c.QuerySources(watchQuery)
+	sub, err := c.Subscribe(watchQuery)
 	if err != nil {
 		panic(err)
 	}
+	defer sub.Close()
+	fmt.Printf("subscribed to the standing top-10 window at snapshot %d (%d rows)\n",
+		sub.Since(), len(sub.Window()))
 
 	// A month of fresh discussions and comments arrives; re-assessment is
 	// incremental — only the sources the month touched are re-evaluated —
@@ -80,17 +87,14 @@ func main() {
 		fmt.Printf("  %-30s %+d\n", m.name, m.d)
 	}
 
-	// The watch view of the same tick: diff the standing query's window
-	// across the two rounds — exactly the delta /api/v1/watch?since=1
-	// would push, driven by the tick's LastDelta instead of a re-read of
-	// everything.
-	win2, err := c.QuerySources(watchQuery)
-	if err != nil {
-		panic(err)
-	}
-	changes := informer.DiffWindows(win1.Items, win2.Items)
-	fmt.Printf("\nwatch delta of the standing top-10 window (%d changes):\n", len(changes))
-	for _, ch := range changes {
+	// The subscription already holds the tick's delta: Advance evaluated
+	// the standing query once, diffed the two rounds' windows and fanned
+	// the event out before returning — exactly the envelope
+	// /api/v1/watch?since=1 or an /api/v1/stream frame would carry.
+	ev := <-sub.Events()
+	fmt.Printf("\nwatch delta of the standing top-10 window, rounds %d -> %d (%d changes):\n",
+		ev.Since, ev.Snapshot, len(ev.Changes))
+	for _, ch := range ev.Changes {
 		switch ch.Event() {
 		case "entered":
 			fmt.Printf("  + %-28s entered at #%d (%.3f)\n", ch.Name, ch.NewRank, ch.Score)

@@ -63,6 +63,7 @@ import (
 	"github.com/informing-observers/informer/internal/sentiment"
 	"github.com/informing-observers/informer/internal/services"
 	"github.com/informing-observers/informer/internal/social"
+	"github.com/informing-observers/informer/internal/subscribe"
 	"github.com/informing-observers/informer/internal/webgen"
 	"github.com/informing-observers/informer/internal/webserve"
 )
@@ -177,11 +178,14 @@ type Corpus struct {
 	state     atomic.Pointer[assessState]
 	advanceMu sync.Mutex // serialises writers (Advance)
 
-	// tickMu guards tickCh, the change-notification channel behind
-	// Changed(): Advance rotates (closes and replaces) it after swapping
-	// the snapshot, waking long-poll watchers without any polling.
-	tickMu sync.Mutex
-	tickCh chan struct{}
+	// subs is the corpus' standing-query subscription registry
+	// (internal/subscribe): Advance publishes every new snapshot into it,
+	// each distinct standing query is evaluated once per tick, and the
+	// window delta fans out to every subscriber — in-process consumers
+	// (Subscribe) and the HTTP transports (watch long-polls, SSE streams)
+	// alike. It also carries the rotating change-notification channel
+	// behind Changed.
+	subs *subscribe.Registry
 }
 
 // assessState is one immutable assessment snapshot: the world as of a
@@ -269,6 +273,7 @@ func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
 	env := services.NewEnv(world, panel, di)
 	c := &Corpus{DI: di, seed: seed}
 	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed, version: 1})
+	c.subs = subscribe.New(func() subscribe.Snapshot { return apiSnapshot{c.state.Load()} }, subscribe.Options{})
 	return c
 }
 
@@ -423,17 +428,20 @@ func (c *Corpus) PanelHandler() http.Handler {
 }
 
 // APIHandler serves the corpus' quality assessments as the versioned JSON
-// HTTP API of DESIGN.md sections 7 and 8 — /api/v1/sources,
+// HTTP API of DESIGN.md sections 7 to 9 — /api/v1/sources,
 // /api/v1/contributors, /api/v1/influencers, /api/v1/sentiment,
-// /api/v1/trending, /api/v1/search and the /api/v1/watch long-poll — with
-// query-string-bound Query execution, pagination envelopes and
-// snapshot-consistent ETags. Every request is answered from one immutable
-// assessment snapshot; clients echoing the envelope's snapshot token
-// (?snapshot=N) pin a paginated walk to that round even while Advance
-// ticks the corpus underneath, so a walk never mixes two assessment
-// rounds. Windowed responses carry an opaque next_cursor token (keyset
-// pagination: echo it as ?cursor= to resume at single-page cost), and
-// watch long-polls wake on the Advance swap itself via Changed.
+// /api/v1/trending, /api/v1/search, the /api/v1/watch long-poll and the
+// /api/v1/stream SSE feed — with query-string-bound Query execution,
+// pagination envelopes, snapshot-consistent ETags, gzip and tick-derived
+// Last-Modified. Every request is answered from one immutable assessment
+// snapshot; clients echoing the envelope's snapshot token (?snapshot=N)
+// pin a paginated walk to that round even while Advance ticks the corpus
+// underneath, so a walk never mixes two assessment rounds. Windowed
+// responses carry an opaque next_cursor token (keyset pagination: echo it
+// as ?cursor= to resume at single-page cost). Standing-query observers —
+// watch long-polls and SSE streams — fan out of the corpus' subscription
+// registry: each distinct canonical query is evaluated once per Advance
+// tick, shared with in-process Subscribe consumers.
 func (c *Corpus) APIHandler() http.Handler {
 	return apiserve.New(apiProvider{c})
 }
@@ -445,9 +453,11 @@ func (p apiProvider) Snapshot() apiserve.Snapshot {
 	return apiSnapshot{p.c.state.Load()}
 }
 
-// Changed implements apiserve.ChangeNotifier: watch long-polls wake on the
-// corpus' snapshot swaps instead of polling.
-func (p apiProvider) Changed() <-chan struct{} { return p.c.Changed() }
+// Subscriptions implements apiserve.SubscriptionProvider: HTTP watchers
+// and streams subscribe into the corpus' own registry — fed synchronously
+// by Advance — so remote and in-process observers of one canonical query
+// share a single evaluation and delta computation per tick.
+func (p apiProvider) Subscriptions() *subscribe.Registry { return p.c.subs }
 
 // apiSnapshot exposes one immutable assessment round to the serving layer.
 type apiSnapshot struct{ st *assessState }
@@ -580,35 +590,58 @@ func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta}
 	next.inheritScan(cur, delta)
 	c.state.Store(next)
-	c.notifyAdvance()
+	// Publish the round to the subscription registry: every distinct
+	// standing query is evaluated once against the new snapshot (off its
+	// per-round query cache) and the window delta fans out to all of the
+	// query's subscribers before Advance returns.
+	c.subs.Publish(apiSnapshot{next})
 	return c
 }
 
-// Changed returns a channel that is closed when a snapshot newer than the
-// current one is published — the delta-driven wake-up behind the /api/v1
-// watch long-poll: watchers block on it instead of polling the version.
-// Grab the channel, then read the state; a swap between the two closes the
-// grabbed channel, so no publication can be missed.
-func (c *Corpus) Changed() <-chan struct{} {
-	c.tickMu.Lock()
-	defer c.tickMu.Unlock()
-	if c.tickCh == nil {
-		c.tickCh = make(chan struct{})
-	}
-	return c.tickCh
+// Subscription is a standing-query subscription: the baseline window at
+// the attach round plus a buffered stream of per-tick window deltas; see
+// Corpus.Subscribe.
+type Subscription = subscribe.Subscription
+
+// SubscriptionEvent is one tick's delta on a subscription: the rank
+// movement of the standing window between the Since and Snapshot rounds.
+type SubscriptionEvent = subscribe.Event
+
+// ErrSlowConsumer is reported by Subscription.Err after a subscriber
+// overflowed its event buffer and was dropped: it must re-sync from a
+// full read of the current round (the in-process equivalent of the HTTP
+// transports' 410 Gone).
+var ErrSlowConsumer = subscribe.ErrSlowConsumer
+
+// Subscribe attaches a standing-query observer to the corpus: the
+// returned subscription carries the query's ranked window at the current
+// assessment round (Window, Since) and, from then on, one event per
+// Advance tick with the rows that entered, left or moved (empty when the
+// window held — the since-token still advances). Subscribers of the same
+// canonical query share one evaluation and one delta computation per tick
+// however many they are; the /api/v1/watch and /api/v1/stream transports
+// fan out of the same registry. A subscriber that stops draining its
+// buffer is dropped with ErrSlowConsumer and re-syncs from a fresh
+// QuerySources read. Close the subscription when done.
+//
+// The query binds like QuerySources but must not carry a pagination
+// position (Offset, Resume): bound the standing window with TopK or
+// Limit.
+func (c *Corpus) Subscribe(q Query) (*Subscription, error) {
+	return c.subs.Subscribe(q)
 }
 
-// notifyAdvance rotates the change channel after a snapshot swap, waking
-// every watcher blocked on the previous one.
-func (c *Corpus) notifyAdvance() {
-	c.tickMu.Lock()
-	ch := c.tickCh
-	c.tickCh = make(chan struct{})
-	c.tickMu.Unlock()
-	if ch != nil {
-		close(ch)
-	}
-}
+// Changed returns a channel that is closed when a snapshot newer than the
+// current one is published. Grab the channel, then read the state; a swap
+// between the two closes the grabbed channel, so no publication can be
+// missed.
+//
+// Deprecated: Changed is the low-level wake-up primitive retained for
+// poll-style callers; it tells an observer that something changed but not
+// what. Use Subscribe, which delivers the actual window delta of a
+// standing query, evaluated once per tick however many subscribers share
+// it.
+func (c *Corpus) Changed() <-chan struct{} { return c.subs.Changed() }
 
 // LastDelta returns the Delta of the tick that produced the current
 // snapshot — which sources and contributors changed, and how much content

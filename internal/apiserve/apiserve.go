@@ -10,6 +10,7 @@
 //	GET /api/v1/sentiment            GET /api/v1/trending?category=place
 //	GET /api/v1/search?q=hotel+milan
 //	GET /api/v1/watch?since=3&min_score=0.6&k=10&wait=30s
+//	GET /api/v1/stream?since=3&min_score=0.6&k=10        (Server-Sent Events)
 //
 // Filters are pushed down: the query string binds to a quality.Query and
 // executes below the ranking inside the assessor (bounded top-k selection
@@ -26,23 +27,34 @@
 // Consistency model: every response is computed from ONE immutable
 // assessment snapshot and carries its monotonic version both in the
 // envelope ("snapshot") and in the X-Informer-Snapshot header, plus a
-// strong content ETag honouring If-None-Match with 304. A client walking
-// pages echoes the first page's token (?snapshot=N); the server retains a
-// small ring of recent snapshots and keeps serving the pinned round even
-// while Advance publishes new ones, so a paginated walk never mixes two
-// assessment rounds. A pin that has aged out of the ring answers 410 Gone
-// — the client restarts the walk on the current round.
+// strong content ETag honouring If-None-Match with 304 and a
+// Last-Modified stamp derived from the snapshot tick timeline (the moment
+// the served round was first observed), honouring If-Modified-Since.
+// Envelopes are gzip-compressed when the client accepts it. A client
+// walking pages echoes the first page's token (?snapshot=N); the server
+// retains a small ring of recent snapshots and keeps serving the pinned
+// round even while Advance publishes new ones, so a paginated walk never
+// mixes two assessment rounds. A pin that has aged out of the ring
+// answers 410 Gone — the client restarts the walk on the current round.
 //
-// /api/v1/watch is the standing-query endpoint (DESIGN.md section 8): a
-// long-poll that diffs one query's ranked window between the snapshot the
-// observer last saw (?since=N) and the current round, answering only the
-// rows that entered, left or moved — with old and new ranks — instead of
-// the full re-ranking. While the rounds are equal it blocks until the next
-// Advance (woken by the provider's change notification) or the ?wait=
-// deadline; a since-token that aged out of the ring answers 410 Gone.
+// Standing queries are served by the subscription registry
+// (internal/subscribe, DESIGN.md section 9): each distinct canonical
+// query is evaluated once per published round and its window delta fans
+// out to every subscriber. Two transports consume it. /api/v1/watch is
+// the long-poll: it diffs one query's ranked window between the round the
+// observer last saw (?since=N) and the current one, answering only the
+// rows that entered, left or moved — with old and new ranks — and while
+// the rounds are equal it parks on the registry until the next round or
+// the ?wait= deadline. /api/v1/stream is the SSE feed: one connection
+// carries the same delta envelopes tick after tick, with Last-Event-ID
+// resume and heartbeats (stream.go). Both answer 410 Gone for a
+// since-token that aged out of the ring, and both deliver byte-identical
+// delta envelopes for the same since-token walk.
 package apiserve
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -59,6 +71,7 @@ import (
 	"github.com/informing-observers/informer/internal/quality"
 	"github.com/informing-observers/informer/internal/search"
 	"github.com/informing-observers/informer/internal/sentiment"
+	"github.com/informing-observers/informer/internal/subscribe"
 )
 
 // Snapshot is one immutable assessment round: everything a request needs,
@@ -84,10 +97,22 @@ type Provider interface {
 
 // ChangeNotifier is the optional delta-driven wake-up a Provider can
 // offer: Changed returns a channel that is closed when a snapshot newer
-// than the current one is published. Watch long-polls block on it; without
-// it they fall back to polling the provider at watchPollInterval.
+// than the current one is published. The server's subscription registry
+// pumps on it; providers offering neither a notifier nor their own
+// registry are observed by one registry-wide poll loop instead (the
+// historical per-request poll fallback is gone).
 type ChangeNotifier interface {
 	Changed() <-chan struct{}
+}
+
+// SubscriptionProvider is the optional richest wiring: a provider that
+// owns a standing-query subscription registry — the informer facade feeds
+// its registry synchronously from Advance — hands it to the server, so
+// HTTP watchers and in-process Corpus.Subscribe consumers fan out of the
+// same one-evaluation-per-tick groups, and the server needs no pump at
+// all.
+type SubscriptionProvider interface {
+	Subscriptions() *subscribe.Registry
 }
 
 // retainedSnapshots bounds the pin ring: how many assessment rounds stay
@@ -96,24 +121,48 @@ type ChangeNotifier interface {
 // cheap; the bound exists only to cap worst-case memory on fast tickers.
 const retainedSnapshots = 8
 
+// retained is one ring slot: the round plus the wall-clock instant the
+// server first observed it — the snapshot tick timeline Last-Modified is
+// derived from.
+type retained struct {
+	snap Snapshot
+	at   time.Time
+}
+
 // Server is the /api/v1 handler.
 type Server struct {
 	provider Provider
-	notify   func() <-chan struct{} // nil without a ChangeNotifier
+	subs     *subscribe.Registry
+	ownSubs  bool // the server built (and must Close) the registry
 	mux      *http.ServeMux
 
+	// StreamHeartbeat is the SSE comment-frame cadence keeping idle
+	// /api/v1/stream connections alive through proxies. Tune it before
+	// serving; the default is defaultStreamHeartbeat.
+	StreamHeartbeat time.Duration
+
 	mu     sync.Mutex
-	recent map[int64]Snapshot
+	recent map[int64]retained
 	order  []int64 // retained versions, oldest first (versions are monotonic)
 }
 
 // New builds the API server over a snapshot provider. Mount it at the host
-// mux root (it routes full /api/v1/... paths). Providers that also
-// implement ChangeNotifier give watch long-polls event-driven wake-ups.
+// mux root (it routes full /api/v1/... paths). Providers implementing
+// SubscriptionProvider share their registry with the server; otherwise the
+// server builds its own, pumped by the provider's ChangeNotifier or — for
+// bare providers — by one registry-wide poll loop. Call Close when
+// discarding a server over a bare/notifier provider to stop that pump.
 func New(p Provider) *Server {
-	s := &Server{provider: p, recent: map[int64]Snapshot{}}
-	if n, ok := p.(ChangeNotifier); ok {
-		s.notify = n.Changed
+	s := &Server{provider: p, recent: map[int64]retained{}, StreamHeartbeat: defaultStreamHeartbeat}
+	if sp, ok := p.(SubscriptionProvider); ok {
+		s.subs = sp.Subscriptions()
+	} else {
+		opts := subscribe.Options{PollInterval: registryPollInterval}
+		if n, ok := p.(ChangeNotifier); ok {
+			opts.Wake, opts.PollInterval = n.Changed, 0
+		}
+		s.subs = subscribe.New(func() subscribe.Snapshot { return p.Snapshot() }, opts)
+		s.ownSubs = true
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/api/v1/sources", s.endpoint(handleSources))
@@ -123,12 +172,22 @@ func New(p Provider) *Server {
 	s.mux.HandleFunc("/api/v1/trending", s.endpoint(handleTrending))
 	s.mux.HandleFunc("/api/v1/search", s.endpoint(handleSearch))
 	s.mux.HandleFunc("/api/v1/watch", s.handleWatch)
+	s.mux.HandleFunc("/api/v1/stream", s.handleStream)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the server's background resources: the subscription
+// registry and its pump, when the server owns them (a registry handed in
+// by a SubscriptionProvider belongs to the provider and is left alone).
+func (s *Server) Close() {
+	if s.ownSubs {
+		s.subs.Close()
+	}
 }
 
 // page is one endpoint's answer from a pinned snapshot: the items, the
@@ -145,8 +204,13 @@ type page struct {
 // binding/validation error (answered as 400).
 type handlerFunc func(st Snapshot, v url.Values) (page, error)
 
+// gzipMinSize is the smallest envelope worth compressing: below it the
+// gzip framing costs more than it saves.
+const gzipMinSize = 512
+
 // endpoint wraps a handler with the shared serving machinery: method
-// check, snapshot resolution/pinning, envelope, ETag and 304.
+// check, snapshot resolution/pinning, envelope, conditional serving
+// (ETag/If-None-Match and Last-Modified/If-Modified-Since) and gzip.
 func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -169,17 +233,71 @@ func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		tag := `"` + etag.Hash(body) + `"`
+		gz := acceptsGzip(r) && len(body) >= gzipMinSize
+		// The ETag is strong and representation-specific: the gzip variant
+		// carries a distinct tag (nginx-style suffix), so a cache can
+		// never serve compressed bytes against an identity validator.
+		tag := `"` + etag.Hash(body)
+		if gz {
+			tag += "-gzip"
+		}
+		tag += `"`
 		h := w.Header()
 		h.Set("Content-Type", "application/json; charset=utf-8")
+		h.Set("Vary", "Accept-Encoding")
 		h.Set("ETag", tag)
 		h.Set("X-Informer-Snapshot", strconv.FormatInt(st.Version(), 10))
-		if r.Header.Get("If-None-Match") == tag {
-			w.WriteHeader(http.StatusNotModified)
-			return
+		modTime, haveMod := s.modTime(st.Version())
+		if haveMod {
+			h.Set("Last-Modified", modTime.UTC().Format(http.TimeFormat))
+		}
+		// Conditional serving: If-None-Match wins when present (RFC 9110);
+		// If-Modified-Since compares against the round's tick instant.
+		if inm := r.Header.Get("If-None-Match"); inm != "" {
+			if inm == tag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		} else if ims := r.Header.Get("If-Modified-Since"); ims != "" && haveMod {
+			if t, err := http.ParseTime(ims); err == nil && !modTime.Truncate(time.Second).After(t) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		if gz {
+			h.Set("Content-Encoding", "gzip")
+			body = gzipBytes(body)
 		}
 		w.Write(body)
 	}
+}
+
+// acceptsGzip reports whether the request allows a gzip response body: the
+// coding is listed and not refused by a zero qvalue (RFC 9110 allows up to
+// three decimals, so q=0, q=0.0 and q=0.000 all opt out).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" {
+			continue
+		}
+		if !hasQ {
+			return true
+		}
+		qs := strings.TrimPrefix(strings.TrimSpace(params), "q=")
+		q, err := strconv.ParseFloat(qs, 64)
+		return err != nil || q > 0 // malformed qvalues read as acceptance
+	}
+	return false
+}
+
+// gzipBytes compresses one response body.
+func gzipBytes(body []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(body)
+	zw.Close()
+	return buf.Bytes()
 }
 
 // observe reads the provider's current snapshot and remembers it in the
@@ -187,25 +305,43 @@ func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 // retained at that moment.
 func (s *Server) observe() Snapshot {
 	cur := s.provider.Snapshot()
+	s.remember(cur)
+	return cur
+}
+
+// remember records a round in the retention ring (first observation wins,
+// stamping the round's Last-Modified instant).
+func (s *Server) remember(st Snapshot) {
+	if st == nil {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, seen := s.recent[cur.Version()]; !seen {
-		s.recent[cur.Version()] = cur
-		s.order = append(s.order, cur.Version())
+	if _, seen := s.recent[st.Version()]; !seen {
+		s.recent[st.Version()] = retained{snap: st, at: time.Now()}
+		s.order = append(s.order, st.Version())
 		for len(s.order) > retainedSnapshots {
 			delete(s.recent, s.order[0])
 			s.order = s.order[1:]
 		}
 	}
-	return cur
 }
 
 // retained looks a version up in the retention ring.
 func (s *Server) retained(v int64) (Snapshot, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st, ok := s.recent[v]
-	return st, ok
+	rt, ok := s.recent[v]
+	return rt.snap, ok
+}
+
+// modTime returns the instant a version was first observed — the round's
+// position on the snapshot tick timeline.
+func (s *Server) modTime(v int64) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, ok := s.recent[v]
+	return rt.at, ok
 }
 
 // resolveSnapshot returns the snapshot a request is served from: the pinned
@@ -775,12 +911,12 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // Watch long-poll tuning. The default wait keeps one request per ~25s per
 // idle watcher; the cap bounds how long a handler can pin its goroutine;
-// the poll interval is the fallback cadence when the provider offers no
-// change notification.
+// the registry poll interval is the subscription pump's cadence over bare
+// providers (one registry-wide loop — handlers themselves never poll).
 const (
-	defaultWatchWait  = 25 * time.Second
-	maxWatchWait      = 55 * time.Second
-	watchPollInterval = 50 * time.Millisecond
+	defaultWatchWait     = 25 * time.Second
+	maxWatchWait         = 55 * time.Second
+	registryPollInterval = 50 * time.Millisecond
 )
 
 // WatchEnvelope is the /api/v1/watch response: the rank movement of one
@@ -834,38 +970,26 @@ func ChangeItems(changes []quality.WindowChange) []ChangeItem {
 	return items
 }
 
-// handleWatch serves GET /api/v1/watch?since=N[&wait=30s]&<query...>: the
-// long-poll delta feed of one standing query's window. The query binds
-// exactly like /api/v1/sources (bound it with k= or limit=); since names
-// the last assessment round the observer has consumed. While the current
-// round equals since the handler blocks — woken by the provider's change
-// notification, or polling as a fallback — until the wait deadline, then
-// answers an empty delta. Once a newer round exists it answers the
-// entered/left/moved rows between the retained since-round's window and
-// the current one; a since that has aged out of the retention ring is 410
-// Gone (the observer re-syncs from a full read of the current round).
-func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	v := r.URL.Query()
+// bindWatchQuery parses the shared validation of the standing-query
+// transports: the since token (required unless optional), the wait bound
+// and the query itself (bound exactly like /api/v1/sources; pagination
+// positions are rejected — bound standing windows with k= or limit=).
+func bindWatchQuery(v url.Values, sinceRequired bool) (since int64, wait time.Duration, q quality.Query, err error) {
 	sinceStr := v.Get("since")
 	if sinceStr == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter since (the last snapshot consumed)")
-		return
+		if sinceRequired {
+			return 0, 0, q, fmt.Errorf("missing required parameter since (the last snapshot consumed)")
+		}
+	} else {
+		if since, err = strconv.ParseInt(sinceStr, 10, 64); err != nil {
+			return 0, 0, q, fmt.Errorf("bad since %q", sinceStr)
+		}
 	}
-	since, err := strconv.ParseInt(sinceStr, 10, 64)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad since %q", sinceStr))
-		return
-	}
-	wait := defaultWatchWait
+	wait = defaultWatchWait
 	if ws := v.Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad wait %q", ws))
-			return
+			return 0, 0, q, fmt.Errorf("bad wait %q", ws)
 		}
 		if d < 0 {
 			d = 0
@@ -875,72 +999,110 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		}
 		wait = d
 	}
-	q, err := BindQuery(v)
+	if q, err = BindQuery(v); err != nil {
+		return 0, 0, q, err
+	}
+	if q.After != nil || q.Offset != 0 {
+		return 0, 0, q, fmt.Errorf("standing windows do not paginate; bound them with k or limit")
+	}
+	return since, wait, q, nil
+}
+
+// handleWatch serves GET /api/v1/watch?since=N[&wait=30s]&<query...>: the
+// long-poll transport of the standing-query subsystem. since names the
+// last assessment round the observer has consumed. An observer behind the
+// current round is answered immediately with the entered/left/moved rows
+// between the retained since-round's window and the current one (410 Gone
+// when since aged out of the ring — re-sync from a full read). An
+// up-to-date observer parks as a registry subscriber: the next tick's
+// delta — evaluated once per distinct query, however many watchers share
+// it — answers the poll, or the wait deadline answers an empty delta.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	since, wait, q, err := bindWatchQuery(r.URL.Query(), true)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if q.After != nil || q.Offset != 0 {
-		writeError(w, http.StatusBadRequest, "watch windows do not paginate; bound them with k or limit")
-		return
-	}
-
-	deadline := time.Now().Add(wait)
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
 	for {
-		// Grab the notification channel BEFORE reading the version: a swap
-		// between the two closes the grabbed channel, so it cannot be
-		// missed.
-		var changed <-chan struct{}
-		if s.notify != nil {
-			changed = s.notify()
-		}
 		cur := s.observe()
 		if cur.Version() < since {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("snapshot %d has not been published (current is %d)", since, cur.Version()))
 			return
 		}
 		if cur.Version() > since {
-			old, ok := s.retained(since)
-			if !ok {
-				writeError(w, http.StatusGone, fmt.Sprintf("snapshot %d is no longer retained; re-sync from the current round", since))
-				return
-			}
-			oldRes, err := old.QuerySources(q)
+			env, status, err := s.catchUp(since, cur, q)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
+				writeError(w, status, err.Error())
 				return
 			}
-			newRes, err := cur.QuerySources(q)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			writeWatch(w, NewWatchEnvelope(since, cur.Version(), ChangeItems(quality.DiffWindows(oldRes.Items, newRes.Items))))
+			writeWatch(w, r, env)
 			return
 		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			// Deadline with no newer round: empty delta, same token.
-			writeWatch(w, NewWatchEnvelope(since, cur.Version(), nil))
+		// Up to date: park on the shared subscription. Subscribe syncs the
+		// registry to the provider's current round first, so the baseline
+		// can never trail what we just observed.
+		sub, err := s.subs.Subscribe(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if changed == nil && remaining > watchPollInterval {
-			remaining = watchPollInterval
+		if sub.Since() != since {
+			// A tick landed between observe and Subscribe: serve the gap
+			// from the ring (the since round was registered just above).
+			sub.Close()
+			continue
 		}
-		timer := time.NewTimer(remaining)
 		select {
-		case <-changed:
-		case <-timer.C:
+		case ev, ok := <-sub.Events():
+			sub.Close()
+			if !ok {
+				continue // dropped before delivery; re-resolve via the ring
+			}
+			if snap, isAPI := ev.Snap.(Snapshot); isAPI {
+				s.remember(snap) // keep event-delivered rounds addressable for catch-up
+			}
+			writeWatch(w, r, NewWatchEnvelope(ev.Since, ev.Snapshot, ChangeItems(ev.Changes)))
+			return
+		case <-deadline.C:
+			sub.Close()
+			// Deadline with no newer round: empty delta, same token.
+			writeWatch(w, r, NewWatchEnvelope(since, since, nil))
+			return
 		case <-r.Context().Done():
-			timer.Stop()
+			sub.Close()
 			return
 		}
-		timer.Stop()
 	}
 }
 
-// writeWatch answers one watch envelope.
-func writeWatch(w http.ResponseWriter, env WatchEnvelope) {
+// catchUp answers the delta between a retained past round and the current
+// one — the shared re-sync path of both standing-query transports, so
+// watch and stream agree on 410 semantics by construction.
+func (s *Server) catchUp(since int64, cur Snapshot, q quality.Query) (WatchEnvelope, int, error) {
+	old, ok := s.retained(since)
+	if !ok {
+		return WatchEnvelope{}, http.StatusGone, fmt.Errorf("snapshot %d is no longer retained; re-sync from the current round", since)
+	}
+	oldRes, err := old.QuerySources(q)
+	if err != nil {
+		return WatchEnvelope{}, http.StatusBadRequest, err
+	}
+	newRes, err := cur.QuerySources(q)
+	if err != nil {
+		return WatchEnvelope{}, http.StatusBadRequest, err
+	}
+	return NewWatchEnvelope(since, cur.Version(), ChangeItems(quality.DiffWindows(oldRes.Items, newRes.Items))), 0, nil
+}
+
+// writeWatch answers one watch envelope (gzip-compressed when the client
+// accepts it and the delta is large enough to benefit).
+func writeWatch(w http.ResponseWriter, r *http.Request, env WatchEnvelope) {
 	body, err := json.Marshal(env)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -948,6 +1110,11 @@ func writeWatch(w http.ResponseWriter, env WatchEnvelope) {
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Vary", "Accept-Encoding")
 	h.Set("X-Informer-Snapshot", strconv.FormatInt(env.Snapshot, 10))
+	if acceptsGzip(r) && len(body) >= gzipMinSize {
+		h.Set("Content-Encoding", "gzip")
+		body = gzipBytes(body)
+	}
 	w.Write(body)
 }

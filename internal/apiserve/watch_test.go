@@ -156,6 +156,7 @@ func TestWatchDiffAcrossRounds(t *testing.T) {
 	old := watchWindow(1, 1, 2, 3, 4)
 	p := newWatchProvider(old)
 	s := New(p)
+	defer s.Close()
 
 	// Register round 1 in the ring, then publish round 2.
 	get(t, s, "/api/v1/sources", nil)
@@ -191,6 +192,7 @@ func TestWatchDiffAcrossRounds(t *testing.T) {
 func TestWatchTimeoutAndErrors(t *testing.T) {
 	p := newWatchProvider(watchWindow(5, 1, 2))
 	s := New(p)
+	defer s.Close()
 	get(t, s, "/api/v1/sources", nil)
 
 	// Same round within the wait: empty delta, same token.
@@ -230,6 +232,7 @@ func TestWatchWakesOnNotification(t *testing.T) {
 	old := watchWindow(7, 1, 2, 3)
 	p := newWatchProvider(old)
 	s := New(p)
+	defer s.Close()
 	get(t, s, "/api/v1/sources", nil)
 
 	go func() {
@@ -247,5 +250,45 @@ func TestWatchWakesOnNotification(t *testing.T) {
 	env := decodeWatch(t, rec.Body.Bytes())
 	if env.Snapshot != 8 || env.Count == 0 {
 		t.Fatalf("woken envelope %+v", env)
+	}
+}
+
+// bareProvider offers neither a ChangeNotifier nor a registry: the server
+// observes it through the subscription registry's single poll loop (the
+// historical per-request poll fallback is gone).
+type bareProvider struct {
+	mu  sync.Mutex
+	cur Snapshot
+}
+
+func (p *bareProvider) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur
+}
+
+func (p *bareProvider) set(next Snapshot) {
+	p.mu.Lock()
+	p.cur = next
+	p.mu.Unlock()
+}
+
+func TestWatchBareProviderRegistryPoll(t *testing.T) {
+	p := &bareProvider{cur: watchWindow(3, 1, 2)}
+	s := New(p)
+	defer s.Close()
+	get(t, s, "/api/v1/sources", nil)
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		p.set(watchWindow(4, 2, 1))
+	}()
+	rec := get(t, s, "/api/v1/watch?since=3&wait=10s&k=10", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	env := decodeWatch(t, rec.Body.Bytes())
+	if env.Since != 3 || env.Snapshot != 4 || env.Count != 2 {
+		t.Fatalf("polled envelope %+v", env)
 	}
 }

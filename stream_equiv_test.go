@@ -1,0 +1,150 @@
+package informer
+
+// The PR's transport-equivalence acceptance pin: for the same since-token
+// walk, the /api/v1/stream SSE feed and a sequential /api/v1/watch
+// long-poll deliver byte-identical delta envelopes — one connection
+// carrying many ticks versus one request per tick, same bytes either way.
+// Covered both on a small corpus (catch-up frame plus live frames) and on
+// the 2000-source ~1% daily churn corpus of the watch acceptance test.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// sseFrame is one parsed SSE frame (comment heartbeats are skipped).
+type sseFrame struct {
+	event, id, data string
+}
+
+func readSSEFrame(t *testing.T, br *bufio.Reader) sseFrame {
+	t.Helper()
+	var f sseFrame
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return f
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			f.event, seen = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "id: "):
+			f.id, seen = strings.TrimPrefix(line, "id: "), true
+		case strings.HasPrefix(line, "data: "):
+			f.data, seen = strings.TrimPrefix(line, "data: "), true
+		default:
+			t.Fatalf("unexpected stream line %q", line)
+		}
+	}
+}
+
+// longPollBody answers one watch step over the wire and returns the raw
+// envelope bytes.
+func longPollBody(t *testing.T, base string, since int64, query string) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/watch?since=%d&wait=5s&%s", base, since, query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch since=%d: status %d", since, resp.StatusCode)
+	}
+	var sb strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// streamEquivalenceWalk runs the shared scenario: register round 1, tick
+// once, open the stream behind the current round (so the first delta is a
+// catch-up frame), keep ticking, and require every frame — catch-up and
+// live alike — to be byte-identical to the sequential long-poll walk of
+// the same since-tokens.
+func streamEquivalenceWalk(t *testing.T, c *Corpus, query string, ticks int, tickDays int, seed int64) {
+	t.Helper()
+	srv := httptest.NewServer(c.APIHandler())
+	defer srv.Close()
+
+	// Register round 1 in the retention ring, then let the first tick land
+	// before the stream connects: the stream opens one round behind.
+	if resp, err := http.Get(srv.URL + "/api/v1/sources?limit=1&fields=scores"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	c.Advance(tickDays, seed)
+	if c.SnapshotVersion() != 2 {
+		t.Fatal("the first tick changed nothing; pick another seed")
+	}
+	wantBodies := []string{longPollBody(t, srv.URL, 1, query)}
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/api/v1/stream?since=1&"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "identity")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream handshake: status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	if f := readSSEFrame(t, br); f.event != "sync" || f.id != "1" {
+		t.Fatalf("sync frame %+v", f)
+	}
+
+	// Remaining ticks: tick, then long-poll the step each tick produced.
+	// The long-poll goes through the retention-ring catch-up path while
+	// the stream consumed the registry fan-out — the equivalence below is
+	// therefore across the two computation paths, not one path twice.
+	for i := 1; i < ticks; i++ {
+		c.Advance(tickDays, seed+int64(i))
+		wantBodies = append(wantBodies, longPollBody(t, srv.URL, int64(i+1), query))
+	}
+	for i, want := range wantBodies {
+		f := readSSEFrame(t, br)
+		if f.event != "" {
+			t.Fatalf("frame %d is %q, want a delta frame", i, f.event)
+		}
+		if f.id != strconv.Itoa(i+2) {
+			t.Fatalf("frame %d id %s, want %d", i, f.id, i+2)
+		}
+		if f.data != want {
+			t.Fatalf("frame %d diverges from the long-poll envelope:\n sse  %s\n poll %s", i, f.data, want)
+		}
+	}
+}
+
+func TestStreamMatchesSequentialLongPoll(t *testing.T) {
+	c := New(Config{Seed: 201, NumSources: 40, NumUsers: 100})
+	streamEquivalenceWalk(t, c, "min_score=0.3&k=10", 4, 15, 2010)
+}
+
+// TestStreamMatchesLongPollLargeChurnCorpus is the at-scale variant: the
+// 2000-source ~1% measured daily churn corpus of
+// TestWatchDeltaMatchesWindowSetDifference, streamed across three daily
+// ticks.
+func TestStreamMatchesLongPollLargeChurnCorpus(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 91, NumSources: 2000, ChurnScale: 0.27})
+	c := FromWorld(world, DomainOfInterest{}, 91)
+	streamEquivalenceWalk(t, c, "min_score=0.5&k=50&fields=scores", 3, 1, 9400)
+}
