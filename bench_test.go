@@ -7,12 +7,23 @@ package informer
 // `go test -bench` doubles as the ablation report.
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/deliver"
 	"github.com/informing-observers/informer/internal/experiments"
 	"github.com/informing-observers/informer/internal/mashup"
 	"github.com/informing-observers/informer/internal/quality"
@@ -654,4 +665,225 @@ func BenchmarkQueryCursorPage(b *testing.B) {
 			b.Fatalf("page returned %d items", len(res.Items))
 		}
 	}
+}
+
+// countSink is an in-memory deliver.Sink counting successful pushes.
+type countSink struct{ n atomic.Int64 }
+
+func (s *countSink) Deliver(ctx context.Context, d *deliver.Delivery) error {
+	s.n.Add(1)
+	return nil
+}
+
+// BenchmarkDeliverFanout measures the push-delivery engine end to end:
+// one daily ~1% churn tick over 2000 sources fanned out to 1 vs 16
+// attached sinks, timed until every sink has settled the tick (delivered
+// its delta, or consumed it for zero bytes when the window did not move).
+// Like BenchmarkWatchFanout, the engine rides the one-evaluation-per-tick
+// registry, so evals/tick must stay 1.0 regardless of sink count.
+func BenchmarkDeliverFanout(b *testing.B) {
+	for _, n := range []int{1, 16} {
+		b.Run(fmt.Sprintf("sinks=%d", n), func(b *testing.B) {
+			world := webgen.Generate(webgen.Config{Seed: 91, NumSources: 2000, ChurnScale: 0.27})
+			c := FromWorld(world, quality.DomainOfInterest{}, 91)
+			q := NewQuery().MinScore(0.5).TopK(10).Build()
+			m := c.Sinks()
+			sinks := make([]*countSink, n)
+			ids := make([]string, n)
+			for i := range sinks {
+				sinks[i] = &countSink{}
+				id, err := m.Register(SinkConfig{Name: fmt.Sprintf("bench-%d", i), Sink: sinks[i], Query: q})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = id
+			}
+			settled := func(v int64, deadline time.Time) {
+				for _, id := range ids {
+					for {
+						st, ok := m.Get(id)
+						if !ok {
+							b.Fatalf("sink %s vanished", id)
+						}
+						if st.State != deliver.StateHealthy {
+							b.Fatalf("sink %s degraded to %s: %s", id, st.State, st.LastError)
+						}
+						if st.LastDelivered >= v {
+							break
+						}
+						if time.Now().After(deadline) {
+							b.Fatalf("sink %s stuck at %d, want %d", id, st.LastDelivered, v)
+						}
+						time.Sleep(20 * time.Microsecond)
+					}
+				}
+			}
+			settled(c.SnapshotVersion(), time.Now().Add(10*time.Second)) // baseline syncs
+			start := c.subs.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Advance(1, int64(9600+i))
+				settled(c.SnapshotVersion(), time.Now().Add(10*time.Second))
+			}
+			b.StopTimer()
+			st := c.subs.Stats()
+			evalsPerTick := float64(st.Evaluations-start.Evaluations) / float64(b.N)
+			b.ReportMetric(evalsPerTick, "evals/tick")
+			if evalsPerTick != 1 {
+				b.Fatalf("per-tick evaluations = %.2f with %d sinks, want 1 (sinks must share the registry fan-out)", evalsPerTick, n)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := m.Close(ctx); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkServeLoad drives the whole serving stack over real HTTP during
+// live ticks: 256 concurrent SSE streams, 16 webhook push sinks and 8
+// keyset-paginating readers against one httptest server, timing each tick
+// until every stream has read the tick's frame and every sink has settled
+// its delta. This is the scale-out acceptance load of the delivery PR: a
+// tick's fan-out cost is channel sends and HTTP writes, never
+// re-evaluation, and no consumer class starves another.
+func BenchmarkServeLoad(b *testing.B) {
+	const (
+		nStreams = 256
+		nSinks   = 16
+		nReaders = 8
+	)
+	c := New(Config{Seed: 77, NumSources: 400, CommentText: true})
+	srv := httptest.NewServer(c.APIHandler())
+	defer srv.Close()
+	client := srv.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = nStreams
+
+	// Webhook receiver: accepts every envelope (the sink settle condition
+	// below reads the manager's LastDelivered, which also advances on
+	// zero-byte filtered ticks).
+	recv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer recv.Close()
+	sinkIDs := make([]string, 0, nSinks)
+	for i := 0; i < nSinks; i++ {
+		body := fmt.Sprintf(`{"name":"load-%d","url":"%s/hook/%d","query":"min_score=0.5&k=10"}`, i, recv.URL, i)
+		resp, err := client.Post(srv.URL+"/api/v1/sinks", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var env struct {
+			Sink SinkStats `json:"sink"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || resp.StatusCode != http.StatusCreated {
+			b.Fatalf("sink create: status %d err %v", resp.StatusCode, err)
+		}
+		resp.Body.Close()
+		sinkIDs = append(sinkIDs, env.Sink.ID)
+	}
+
+	// SSE consumers: each publishes the id of the last frame it read.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamAck := make([]atomic.Int64, nStreams)
+	var wg sync.WaitGroup
+	for i := 0; i < nStreams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/api/v1/stream?min_score=0.5&k=10", nil)
+			resp, err := client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, "id: ") {
+					if v, err := strconv.ParseInt(line[len("id: "):], 10, 64); err == nil {
+						streamAck[i].Store(v)
+					}
+				}
+				if strings.HasPrefix(line, "event: resync") {
+					b.Error("stream dropped as slow consumer under load")
+					return
+				}
+			}
+		}(i)
+	}
+	// Paginated readers: continuous keyset walks through the ranking.
+	for i := 0; i < nReaders; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cursor := ""
+			for ctx.Err() == nil {
+				target := srv.URL + "/api/v1/sources?limit=50"
+				if cursor != "" {
+					target += "&cursor=" + cursor
+				}
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+				resp, err := client.Do(req)
+				if err != nil {
+					return
+				}
+				var env struct {
+					NextCursor string `json:"next_cursor"`
+				}
+				json.NewDecoder(resp.Body).Decode(&env)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					cursor = "" // cursor aged across a tick boundary: restart the walk
+					continue
+				}
+				cursor = env.NextCursor
+			}
+		}()
+	}
+
+	m := c.Sinks()
+	settled := func(v int64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for i := range streamAck {
+			for streamAck[i].Load() < v {
+				if time.Now().After(deadline) {
+					b.Fatalf("stream %d stuck at %d, want %d", i, streamAck[i].Load(), v)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		for _, id := range sinkIDs {
+			for {
+				st, ok := m.Get(id)
+				if !ok || st.State != deliver.StateHealthy {
+					b.Fatalf("sink %s degraded: %+v", id, st)
+				}
+				if st.LastDelivered >= v {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatalf("sink %s stuck at %d, want %d", id, st.LastDelivered, v)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	settled(c.SnapshotVersion()) // all streams synced, all sinks baselined
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(1, int64(7700+i))
+		settled(c.SnapshotVersion())
+	}
+	b.StopTimer()
+	b.ReportMetric(nStreams, "streams")
+	b.ReportMetric(nSinks, "sinks")
+	cancel()
+	wg.Wait()
 }

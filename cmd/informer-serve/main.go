@@ -3,8 +3,8 @@
 // feeds and a sitemap — plus the analytics panel as a JSON API, so the
 // crawler (or informer-rank -crawl) can walk it like the live Web, and the
 // versioned quality-query API under /api/v1 (sources, contributors,
-// influencers, sentiment, trending, search, watch, stream) for remote
-// observers:
+// influencers, sentiment, trending, search, watch, stream, sinks) for
+// remote observers:
 //
 //	informer-serve -addr 127.0.0.1:8080 -sources 60
 //	informer-rank  -crawl http://127.0.0.1:8080
@@ -21,32 +21,69 @@
 // stream endpoint and prints the deltas:
 //
 //	informer-serve -tick-days 7 -tick-every 5s -watch 'min_score=0.5&k=10'
+//
+// -sink attaches a push sink at startup: each tick's delta is POSTed to
+// the webhook through the delivery engine (bounded queue with coalescing,
+// retries with backoff, circuit breaker, eviction); more sinks can be
+// managed live over POST /api/v1/sinks:
+//
+//	informer-serve -tick-days 7 -sink http://127.0.0.1:9000/hook -sink-query 'k=10&changes=entered'
+//
+// The server itself is production-shaped: header/read/idle timeouts, a
+// write timeout the streaming handlers exempt themselves from, and
+// graceful degradation on SIGINT/SIGTERM — pending sink deliveries flush
+// within -drain, open SSE streams receive a terminal resync frame, and
+// in-flight requests complete before the listener closes.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	informer "github.com/informing-observers/informer"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "informer-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole server lifecycle, factored out of main so the e2e test
+// can boot and stop a real instance in-process. It returns once the
+// context is cancelled (signal) and the server has degraded gracefully.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("informer-serve", flag.ContinueOnError)
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-		seed     = flag.Int64("seed", 1, "corpus seed")
-		sources  = flag.Int("sources", 60, "number of sources")
-		tickDays = flag.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
-		tickWait = flag.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
-		watchQ   = flag.String("watch", "", "demo observer: consume /api/v1/stream with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+		seed      = fs.Int64("seed", 1, "corpus seed")
+		sources   = fs.Int("sources", 60, "number of sources")
+		tickDays  = fs.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
+		tickWait  = fs.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
+		watchQ    = fs.String("watch", "", "demo observer: consume /api/v1/stream with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
+		sinkURL   = fs.String("sink", "", "attach a webhook push sink: POST each tick's delta envelope to this URL")
+		sinkQuery = fs.String("sink-query", "k=10", "standing query of the -sink webhook, in /api/v1/watch query-string form (delta filters included)")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown budget for flushing pending sink deliveries")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	c := informer.New(informer.Config{Seed: *seed, NumSources: *sources, CommentText: true})
 	mux := http.NewServeMux()
@@ -54,29 +91,117 @@ func main() {
 	mux.Handle("/panel/", http.StripPrefix("/panel", c.PanelHandler()))
 	mux.Handle("/api/v1/", c.APIHandler())
 
+	if *sinkURL != "" {
+		id, err := registerSink(c, *sinkURL, *sinkQuery)
+		if err != nil {
+			return fmt.Errorf("-sink: %w", err)
+		}
+		fmt.Fprintf(out, "push sink %s -> %s (%q)\n", id, *sinkURL, *sinkQuery)
+	}
+
 	if *tickDays > 0 {
 		go func() {
+			ticker := time.NewTicker(*tickWait)
+			defer ticker.Stop()
 			for tick := int64(1); ; tick++ {
-				time.Sleep(*tickWait)
+				select {
+				case <-ticker.C:
+				case <-ctx.Done():
+					return
+				}
 				c.Advance(*tickDays, *seed+tick)
-				fmt.Printf("tick: +%dd, snapshot %d, %d dirty sources\n",
+				fmt.Fprintf(out, "tick: +%dd, snapshot %d, %d dirty sources\n",
 					*tickDays, c.SnapshotVersion(), len(c.LastDelta().DirtySourceIDs()))
 			}
 		}()
 	}
+
+	// Bind before announcing, so ephemeral ports (-addr 127.0.0.1:0) print
+	// the resolved address a client can actually reach.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	real := ln.Addr().String()
 	if *watchQ != "" {
-		go watchLoop("http://"+*addr, *watchQ)
+		go watchLoop("http://"+real, *watchQ)
 	}
 
-	fmt.Printf("serving %d sources on http://%s\n", *sources, *addr)
-	fmt.Printf("  crawlable world: /sitemap.txt   panel: /panel/metrics?host=...\n")
-	fmt.Printf("  quality API:     /api/v1/sources?min_score=0.6&k=10 (snapshot %d)\n", c.SnapshotVersion())
-	fmt.Printf("  watch feed:      /api/v1/watch?since=%d&k=10\n", c.SnapshotVersion())
-	fmt.Printf("  SSE stream:      /api/v1/stream?since=%d&k=10\n", c.SnapshotVersion())
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "informer-serve:", err)
-		os.Exit(1)
+	fmt.Fprintf(out, "serving %d sources on http://%s\n", *sources, real)
+	fmt.Fprintf(out, "  crawlable world: /sitemap.txt   panel: /panel/metrics?host=...\n")
+	fmt.Fprintf(out, "  quality API:     /api/v1/sources?min_score=0.6&k=10 (snapshot %d)\n", c.SnapshotVersion())
+	fmt.Fprintf(out, "  watch feed:      /api/v1/watch?since=%d&k=10\n", c.SnapshotVersion())
+	fmt.Fprintf(out, "  SSE stream:      /api/v1/stream?since=%d&k=10\n", c.SnapshotVersion())
+	fmt.Fprintf(out, "  push sinks:      POST /api/v1/sinks {\"url\":..., \"query\":...}\n")
+
+	// Production-shaped timeouts. WriteTimeout would sever streams and
+	// parked long-polls, so those handlers push their own per-connection
+	// write deadlines (http.NewResponseController) past it; everything
+	// else gets the bound.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err // listener failed outright
+	case <-ctx.Done():
+	}
+
+	// Graceful degradation, in dependency order: flush pending sink
+	// deliveries within the drain budget and close the standing-query
+	// fan-out (open SSE streams get their terminal resync frame, parked
+	// long-polls return), then drain in-flight requests off the listener.
+	fmt.Fprintf(out, "shutting down: flushing sinks (budget %s), closing streams\n", *drain)
+	flushCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := c.Shutdown(flushCtx); err != nil {
+		fmt.Fprintf(out, "shutdown: sink flush cut short: %v\n", err)
+	}
+	stopCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(stopCtx); err != nil {
+		return err
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(out, "shutdown: done")
+	return nil
+}
+
+// registerSink attaches the -sink webhook through the same binding as
+// POST /api/v1/sinks (scope, predicates, k/limit, delta filters).
+func registerSink(c *informer.Corpus, rawURL, query string) (string, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("bad sink url %q: need an absolute http(s) URL", rawURL)
+	}
+	v, err := url.ParseQuery(query)
+	if err != nil {
+		return "", fmt.Errorf("bad query %q: %w", query, err)
+	}
+	q, err := informer.BindQuery(v)
+	if err != nil {
+		return "", err
+	}
+	if q.After != nil || q.Offset != 0 {
+		return "", fmt.Errorf("standing windows do not paginate; bound %q with k or limit", query)
+	}
+	f, err := informer.BindDeltaFilter(v)
+	if err != nil {
+		return "", err
+	}
+	return c.Sinks().Register(informer.SinkConfig{
+		Name:   "flag:-sink",
+		Sink:   &informer.WebhookSink{URL: rawURL},
+		Query:  q,
+		Filter: f,
+	})
 }
 
 // watchLoop is the built-in demo observer, now a Server-Sent Events

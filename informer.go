@@ -49,6 +49,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,7 @@ import (
 	"github.com/informing-observers/informer/internal/apiserve"
 	"github.com/informing-observers/informer/internal/buzz"
 	"github.com/informing-observers/informer/internal/crawler"
+	"github.com/informing-observers/informer/internal/deliver"
 	"github.com/informing-observers/informer/internal/mashup"
 	"github.com/informing-observers/informer/internal/quality"
 	"github.com/informing-observers/informer/internal/search"
@@ -186,6 +188,11 @@ type Corpus struct {
 	// alike. It also carries the rotating change-notification channel
 	// behind Changed.
 	subs *subscribe.Registry
+
+	// sinks is the lazily built push-delivery manager (internal/deliver)
+	// attaching remote webhook sinks to subs; see Sinks.
+	sinksOnce sync.Once
+	sinks     *deliver.Manager
 }
 
 // assessState is one immutable assessment snapshot: the world as of a
@@ -459,6 +466,10 @@ func (p apiProvider) Snapshot() apiserve.Snapshot {
 // share a single evaluation and delta computation per tick.
 func (p apiProvider) Subscriptions() *subscribe.Registry { return p.c.subs }
 
+// Sinks implements apiserve.SinkProvider: the API server mounts the
+// /api/v1/sinks management endpoints over the corpus' delivery manager.
+func (p apiProvider) Sinks() *deliver.Manager { return p.c.Sinks() }
+
 // apiSnapshot exposes one immutable assessment round to the serving layer.
 type apiSnapshot struct{ st *assessState }
 
@@ -629,6 +640,76 @@ var ErrSlowConsumer = subscribe.ErrSlowConsumer
 // Limit.
 func (c *Corpus) Subscribe(q Query) (*Subscription, error) {
 	return c.subs.Subscribe(q)
+}
+
+// DeltaFilter narrows which window movements a standing-query consumer is
+// told about: only rows entering the window, only rank jumps of at least
+// MinRankJump, only score moves of at least MinScoreDelta (entries and
+// departures always pass the numeric thresholds). The zero filter passes
+// everything. Filtered subscribers of one canonical query still share the
+// query's single per-tick evaluation — and subscribers sharing a filter
+// share its filtered view too.
+type DeltaFilter = subscribe.Filter
+
+// SubscribeFiltered is Subscribe with a delta filter: ticks whose
+// filtered delta is empty still deliver an event (the since-token keeps
+// advancing) but carry no changes — and cost push sinks and SSE streams
+// of the same filter zero bytes.
+func (c *Corpus) SubscribeFiltered(q Query, f DeltaFilter) (*Subscription, error) {
+	return c.subs.SubscribeWith(q, f)
+}
+
+// SinkStats is one push sink's observable delivery state; see Sinks.
+type SinkStats = deliver.SinkStats
+
+// WebhookSink pushes delta envelopes to a remote URL; register it with
+// Sinks().Register or over POST /api/v1/sinks.
+type WebhookSink = deliver.WebhookSink
+
+// SinkConfig describes one push sink for Sinks().Register: the transport,
+// its standing query and an optional delta filter.
+type SinkConfig = deliver.SinkConfig
+
+// BindQuery binds an /api/v1-style URL query string (min_score=0.6&k=10,
+// scope, predicates, ranking axis) to a Query — the same binding the HTTP
+// API applies, exported so flag- and config-driven callers accept the
+// exact watch query-string form.
+func BindQuery(v url.Values) (Query, error) { return apiserve.BindQuery(v) }
+
+// BindDeltaFilter binds the delta-filter parameters shared by watch,
+// stream and sinks (changes=entered|all, min_rank_jump=N,
+// min_score_delta=x) to a DeltaFilter.
+func BindDeltaFilter(v url.Values) (DeltaFilter, error) { return apiserve.BindFilter(v) }
+
+// Sinks returns the corpus' push-delivery manager: remote sinks (webhook
+// POST, or any deliver.Sink) attached to the same standing-query registry
+// the in-process and HTTP observers fan out of, each with a bounded
+// coalescing queue, bounded retries with backoff, a circuit breaker and
+// eviction-with-resync (DESIGN.md section 10). The manager is built on
+// first use; APIHandler mounts its management endpoints at /api/v1/sinks.
+// Shutdown flushes and closes it.
+func (c *Corpus) Sinks() *deliver.Manager {
+	c.sinksOnce.Do(func() {
+		c.sinks = deliver.NewManager(c.subs, deliver.Options{})
+	})
+	return c.sinks
+}
+
+// Shutdown degrades the corpus' serving side gracefully: pending push
+// deliveries are flushed within the context's deadline, then the
+// subscription registry closes — in-process subscribers' event channels
+// end and open SSE streams receive their terminal resync frame. Reads
+// (QuerySources, APIHandler's snapshot endpoints) keep working; only the
+// standing-query fan-out ends. Returns the context's error when the sink
+// flush was cut short. Safe to call more than once.
+func (c *Corpus) Shutdown(ctx context.Context) error {
+	var err error
+	c.sinksOnce.Do(func() {}) // a never-built manager needs no flush
+	if c.sinks != nil {
+		err = c.sinks.Close(ctx)
+	}
+	c.subs.Close()
+	return err
 }
 
 // Changed returns a channel that is closed when a snapshot newer than the

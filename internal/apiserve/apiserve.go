@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/deliver"
 	"github.com/informing-observers/informer/internal/etag"
 	"github.com/informing-observers/informer/internal/quality"
 	"github.com/informing-observers/informer/internal/search"
@@ -134,6 +135,7 @@ type Server struct {
 	provider Provider
 	subs     *subscribe.Registry
 	ownSubs  bool // the server built (and must Close) the registry
+	sinks    *deliver.Manager
 	mux      *http.ServeMux
 
 	// StreamHeartbeat is the SSE comment-frame cadence keeping idle
@@ -173,6 +175,14 @@ func New(p Provider) *Server {
 	s.mux.HandleFunc("/api/v1/search", s.endpoint(handleSearch))
 	s.mux.HandleFunc("/api/v1/watch", s.handleWatch)
 	s.mux.HandleFunc("/api/v1/stream", s.handleStream)
+	// Push-sink management exists only over providers that own a delivery
+	// manager; everyone else keeps 404 semantics for the paths.
+	if dp, ok := p.(SinkProvider); ok {
+		if s.sinks = dp.Sinks(); s.sinks != nil {
+			s.mux.HandleFunc("/api/v1/sinks", s.handleSinks)
+			s.mux.HandleFunc("/api/v1/sinks/", s.handleSink)
+		}
+	}
 	return s
 }
 
@@ -970,26 +980,65 @@ func ChangeItems(changes []quality.WindowChange) []ChangeItem {
 	return items
 }
 
+// BindFilter binds the delta-filter parameters shared by every
+// standing-query consumer (watch, stream and push sinks):
+//
+//	changes=entered           only rows entering the window
+//	min_rank_jump=3           moved rows must jump at least 3 positions
+//	min_score_delta=0.05      moved rows must change score by at least 0.05
+//
+// Entries and departures always pass the numeric thresholds; see
+// subscribe.Filter. The zero filter passes everything.
+func BindFilter(v url.Values) (subscribe.Filter, error) {
+	var f subscribe.Filter
+	switch ch := v.Get("changes"); ch {
+	case "", "all":
+	case "entered":
+		f.EnteredOnly = true
+	default:
+		return f, fmt.Errorf("unknown changes %q (use entered or all)", ch)
+	}
+	var err error
+	jump, err := intParam(v, "min_rank_jump", 0)
+	if err != nil {
+		return f, err
+	}
+	if jump < 0 {
+		return f, fmt.Errorf("bad min_rank_jump: must not be negative")
+	}
+	f.MinRankJump = jump
+	delta, err := floatParam(v, "min_score_delta", 0)
+	if err != nil {
+		return f, err
+	}
+	if delta < 0 {
+		return f, fmt.Errorf("bad min_score_delta: must not be negative")
+	}
+	f.MinScoreDelta = delta
+	return f, nil
+}
+
 // bindWatchQuery parses the shared validation of the standing-query
-// transports: the since token (required unless optional), the wait bound
-// and the query itself (bound exactly like /api/v1/sources; pagination
-// positions are rejected — bound standing windows with k= or limit=).
-func bindWatchQuery(v url.Values, sinceRequired bool) (since int64, wait time.Duration, q quality.Query, err error) {
+// transports: the since token (required unless optional), the wait bound,
+// the query itself (bound exactly like /api/v1/sources; pagination
+// positions are rejected — bound standing windows with k= or limit=) and
+// the optional delta filter.
+func bindWatchQuery(v url.Values, sinceRequired bool) (since int64, wait time.Duration, q quality.Query, f subscribe.Filter, err error) {
 	sinceStr := v.Get("since")
 	if sinceStr == "" {
 		if sinceRequired {
-			return 0, 0, q, fmt.Errorf("missing required parameter since (the last snapshot consumed)")
+			return 0, 0, q, f, fmt.Errorf("missing required parameter since (the last snapshot consumed)")
 		}
 	} else {
 		if since, err = strconv.ParseInt(sinceStr, 10, 64); err != nil {
-			return 0, 0, q, fmt.Errorf("bad since %q", sinceStr)
+			return 0, 0, q, f, fmt.Errorf("bad since %q", sinceStr)
 		}
 	}
 	wait = defaultWatchWait
 	if ws := v.Get("wait"); ws != "" {
 		d, err := time.ParseDuration(ws)
 		if err != nil {
-			return 0, 0, q, fmt.Errorf("bad wait %q", ws)
+			return 0, 0, q, f, fmt.Errorf("bad wait %q", ws)
 		}
 		if d < 0 {
 			d = 0
@@ -1000,12 +1049,15 @@ func bindWatchQuery(v url.Values, sinceRequired bool) (since int64, wait time.Du
 		wait = d
 	}
 	if q, err = BindQuery(v); err != nil {
-		return 0, 0, q, err
+		return 0, 0, q, f, err
 	}
 	if q.After != nil || q.Offset != 0 {
-		return 0, 0, q, fmt.Errorf("standing windows do not paginate; bound them with k or limit")
+		return 0, 0, q, f, fmt.Errorf("standing windows do not paginate; bound them with k or limit")
 	}
-	return since, wait, q, nil
+	if f, err = BindFilter(v); err != nil {
+		return 0, 0, q, f, err
+	}
+	return since, wait, q, f, nil
 }
 
 // handleWatch serves GET /api/v1/watch?since=N[&wait=30s]&<query...>: the
@@ -1017,16 +1069,22 @@ func bindWatchQuery(v url.Values, sinceRequired bool) (since int64, wait time.Du
 // up-to-date observer parks as a registry subscriber: the next tick's
 // delta — evaluated once per distinct query, however many watchers share
 // it — answers the poll, or the wait deadline answers an empty delta.
+// With a delta filter bound, ticks whose filtered delta is empty keep the
+// poll parked (the eventual answer's since reflects the rounds consumed).
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	since, wait, q, err := bindWatchQuery(r.URL.Query(), true)
+	since, wait, q, filter, err := bindWatchQuery(r.URL.Query(), true)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A parked long-poll outlives the server's write timeout by design;
+	// push the connection's write deadline past the wait bound instead
+	// (no-op on writers without deadline support).
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(wait + 10*time.Second))
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
 	for {
@@ -1036,7 +1094,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if cur.Version() > since {
-			env, status, err := s.catchUp(since, cur, q)
+			env, status, err := s.catchUp(since, cur, q, filter)
 			if err != nil {
 				writeError(w, status, err.Error())
 				return
@@ -1047,7 +1105,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		// Up to date: park on the shared subscription. Subscribe syncs the
 		// registry to the provider's current round first, so the baseline
 		// can never trail what we just observed.
-		sub, err := s.subs.Subscribe(q)
+		sub, err := s.subs.SubscribeWith(q, filter)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -1067,6 +1125,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			if snap, isAPI := ev.Snap.(Snapshot); isAPI {
 				s.remember(snap) // keep event-delivered rounds addressable for catch-up
 			}
+			if !filter.Zero() && len(ev.Changes) == 0 {
+				// Nothing passed the filter this tick: keep the poll
+				// parked on the advanced token instead of answering an
+				// empty delta.
+				since = ev.Snapshot
+				continue
+			}
 			writeWatch(w, r, NewWatchEnvelope(ev.Since, ev.Snapshot, ChangeItems(ev.Changes)))
 			return
 		case <-deadline.C:
@@ -1083,8 +1148,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 // catchUp answers the delta between a retained past round and the current
 // one — the shared re-sync path of both standing-query transports, so
-// watch and stream agree on 410 semantics by construction.
-func (s *Server) catchUp(since int64, cur Snapshot, q quality.Query) (WatchEnvelope, int, error) {
+// watch and stream agree on 410 semantics by construction. The delta
+// filter applies to the spanning diff exactly as it would to the per-tick
+// events it replaces.
+func (s *Server) catchUp(since int64, cur Snapshot, q quality.Query, f subscribe.Filter) (WatchEnvelope, int, error) {
 	old, ok := s.retained(since)
 	if !ok {
 		return WatchEnvelope{}, http.StatusGone, fmt.Errorf("snapshot %d is no longer retained; re-sync from the current round", since)
@@ -1097,7 +1164,8 @@ func (s *Server) catchUp(since int64, cur Snapshot, q quality.Query) (WatchEnvel
 	if err != nil {
 		return WatchEnvelope{}, http.StatusBadRequest, err
 	}
-	return NewWatchEnvelope(since, cur.Version(), ChangeItems(quality.DiffWindows(oldRes.Items, newRes.Items))), 0, nil
+	changes := f.Apply(quality.DiffWindows(oldRes.Items, newRes.Items), oldRes.Items)
+	return NewWatchEnvelope(since, cur.Version(), ChangeItems(changes)), 0, nil
 }
 
 // writeWatch answers one watch envelope (gzip-compressed when the client

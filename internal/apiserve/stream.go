@@ -71,11 +71,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
-	since, _, q, err := bindWatchQuery(r.URL.Query(), false)
+	since, _, q, filter, err := bindWatchQuery(r.URL.Query(), false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A stream holds its connection across ticks: exempt it from the
+	// host server's write timeout (no-op on writers without deadline
+	// support), or the timeout would sever every stream mid-flight.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	// The SSE reconnect header doubles as the since token and wins over
 	// the query parameter: a browser EventSource re-sends it unasked.
 	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
@@ -90,7 +94,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("snapshot %d has not been published (current is %d)", since, cur.Version()))
 		return
 	}
-	sub, err := s.subs.Subscribe(q)
+	sub, err := s.subs.SubscribeWith(q, filter)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -116,7 +120,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		env := NewWatchEnvelope(baseline, sub.Since(), ChangeItems(quality.DiffWindows(oldRes.Items, sub.Window())))
+		changes := filter.Apply(quality.DiffWindows(oldRes.Items, sub.Window()), oldRes.Items)
+		env := NewWatchEnvelope(baseline, sub.Since(), ChangeItems(changes))
 		catchup = &env
 	}
 
@@ -161,6 +166,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			if snap, isAPI := ev.Snap.(Snapshot); isAPI {
 				s.remember(snap) // keep streamed rounds addressable for reconnect catch-up
+			}
+			if !filter.Zero() && len(ev.Changes) == 0 {
+				// Nothing passed this stream's filter: the tick costs the
+				// subscriber zero bytes. A reconnect recovers any skipped
+				// ids through the filtered catch-up delta above.
+				continue
 			}
 			body, err := json.Marshal(NewWatchEnvelope(ev.Since, ev.Snapshot, ChangeItems(ev.Changes)))
 			if err != nil {

@@ -5,7 +5,10 @@
 // (parsing the embedded JSON data island) and optionally the RSS feed.
 //
 // The crawler is deliberately conventional: frontier per source, bounded
-// worker pool, per-request politeness delay, bounded retries with backoff.
+// worker pool, per-request politeness delay, bounded retries with the
+// shared exponential-backoff-plus-jitter policy of internal/retry (the
+// same policy the push-delivery engine applies outbound) — transient
+// failures (5xx, net timeouts) are retried, client errors fast-fail.
 package crawler
 
 import (
@@ -22,6 +25,7 @@ import (
 	"encoding/json"
 
 	"github.com/informing-observers/informer/internal/feed"
+	"github.com/informing-observers/informer/internal/retry"
 	"github.com/informing-observers/informer/internal/wire"
 )
 
@@ -233,7 +237,10 @@ func crawlSource(ctx context.Context, cfg Config, base, path string) (*SourceCra
 	return sc, errs
 }
 
-// fetch GETs a URL with politeness delay and bounded retries.
+// fetch GETs a URL with politeness delay and bounded retries: transient
+// failures (5xx, net/timeout errors) go through the shared
+// internal/retry exponential-backoff-plus-jitter policy; client errors
+// won't heal on retry and fast-fail via retry.Permanent.
 func fetch(ctx context.Context, cfg Config, url string) ([]byte, error) {
 	if cfg.Delay > 0 {
 		select {
@@ -242,19 +249,17 @@ func fetch(ctx context.Context, cfg Config, url string) ([]byte, error) {
 			return nil, ctx.Err()
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(attempt) * 50 * time.Millisecond
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
+	pol := retry.Policy{
+		Attempts: cfg.MaxRetries + 1,
+		Base:     50 * time.Millisecond,
+		Max:      2 * time.Second,
+		Jitter:   0.5,
+	}
+	var body []byte
+	err := retry.Do(ctx, pol, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
-			return nil, err
+			return retry.Permanent(err)
 		}
 		req.Header.Set("User-Agent", "informer-crawler/1.0")
 		var cached cacheEntry
@@ -266,37 +271,41 @@ func fetch(ctx context.Context, cfg Config, url string) ([]byte, error) {
 		}
 		resp, err := cfg.Client.Do(req)
 		if err != nil {
-			lastErr = err
-			continue
+			return err // net/timeout errors are transient
 		}
-		body, err := io.ReadAll(resp.Body)
+		b, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
 		if resp.StatusCode == http.StatusNotModified && haveCached {
 			cfg.Cache.mu.Lock()
 			cfg.Cache.hits++
 			cfg.Cache.mu.Unlock()
-			return cached.body, nil
+			body = cached.body
+			return nil
 		}
 		if resp.StatusCode == http.StatusOK {
 			if cfg.Cache != nil {
-				cfg.Cache.put(url, resp.Header.Get("ETag"), body)
+				cfg.Cache.put(url, resp.Header.Get("ETag"), b)
 				cfg.Cache.mu.Lock()
 				cfg.Cache.misses++
 				cfg.Cache.mu.Unlock()
 			}
-			return body, nil
+			body = b
+			return nil
 		}
-		lastErr = fmt.Errorf("status %d", resp.StatusCode)
+		statusErr := fmt.Errorf("status %d", resp.StatusCode)
 		// Client errors won't heal on retry.
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			break
+			return retry.Permanent(statusErr)
 		}
+		return statusErr
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
+	return body, nil
 }
 
 // aggregateInbound counts, for every crawled host, how many other sources

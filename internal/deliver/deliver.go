@@ -1,0 +1,666 @@
+// Package deliver is the push side of the standing-query subsystem
+// (DESIGN.md section 10): where internal/subscribe fans a tick's window
+// delta out to consumers who hold an open connection (in-process
+// channels, SSE streams), this package *pushes* the same deltas to remote
+// sinks — webhook endpoints first, anything implementing Sink — that
+// fail, stall and recover. It is the filter-placement setting of Erdös et
+// al. (PAPERS.md) taken to production: one evaluation point per standing
+// query feeds many unreliable downstream consumers, and no consumer's
+// failure may delay the tick or any other consumer.
+//
+// A Manager attaches sinks to a subscribe.Registry. Each sink gets:
+//
+//   - a bounded per-sink queue that *coalesces* under backpressure: when
+//     the queue is full, consecutive deltas merge into one spanning delta
+//     (the queued item keeps the span's base and latest windows; the
+//     spanning change set is DiffWindows(base, latest), provably equal to
+//     replaying the skipped per-tick deltas) — deliveries are never
+//     dropped, they converge;
+//   - a delivery loop with bounded retries, exponential backoff plus
+//     jitter (internal/retry — the crawler's inbound policy, applied
+//     outbound) and a per-attempt timeout, so a stalled sink cannot pin a
+//     delivery forever;
+//   - a circuit breaker that trips open after consecutive failed
+//     deliveries, half-opens after a probe interval, and closes again on
+//     a successful single-attempt probe;
+//   - eviction-with-resync mirroring subscribe.ErrSlowConsumer: a sink
+//     that stays broken past the eviction bound is detached (its queue
+//     dropped, its goroutines released) and keeps only its stats; on
+//     re-registration it receives a fresh "sync" baseline delivery before
+//     any delta, exactly the 410-Gone recovery of the HTTP transports.
+//
+// Delivery semantics: per sink, deliveries are in-order (one worker,
+// FIFO queue) and at-least-once (a delivery whose response is lost is
+// retried, so sinks must treat the since/snapshot tokens as idempotency
+// keys). Sinks registered with a delta Filter receive only qualifying
+// rows, and a tick whose filtered delta is empty costs zero bytes — it is
+// consumed without a network call.
+package deliver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/retry"
+	"github.com/informing-observers/informer/internal/subscribe"
+)
+
+// Delivery is one push to a sink. Kind "sync" carries the standing
+// query's full ranked window at Snapshot — the baseline a (re)attached
+// sink starts from; kind "delta" carries the window's movement between
+// the Since and Snapshot rounds. Treat all slices as read-only: they are
+// shared with the subscription registry.
+type Delivery struct {
+	Kind     string                 // "sync" | "delta"
+	Since    int64                  // delta only: the round the delta starts at
+	Snapshot int64                  // the round the delivery ends at
+	Changes  []quality.WindowChange // delta only
+	Window   []*quality.Assessment  // sync only: the full baseline window
+}
+
+// Sink receives deliveries. Deliver must honour the context's deadline
+// (the per-attempt timeout) and return nil only once the delivery is
+// durably accepted; any error counts as a failed attempt. Implementations
+// are called from one goroutine per sink, in order.
+type Sink interface {
+	Deliver(ctx context.Context, d *Delivery) error
+}
+
+// Targeter optionally names a sink's destination for stats listings;
+// WebhookSink returns its URL.
+type Targeter interface {
+	Target() string
+}
+
+// Sink lifecycle states reported by SinkStats.State.
+const (
+	StateHealthy  = "healthy"   // breaker closed, deliveries flowing
+	StateOpen     = "open"      // breaker tripped, waiting for the probe interval
+	StateHalfOpen = "half-open" // next delivery is a single-attempt probe
+	StateEvicted  = "evicted"   // detached after staying broken; re-register to resync
+	StateClosed   = "closed"    // removed, or manager shut down
+)
+
+// Options tunes a Manager. The zero value gets production-shaped
+// defaults; tests shrink the timings.
+type Options struct {
+	// Queue bounds the per-sink queue (minimum 2, default 32). When the
+	// queue is full, new deltas coalesce into the newest queued item
+	// instead of dropping.
+	Queue int
+	// Retry is the per-delivery attempt policy (default 3 attempts,
+	// 100ms base, 5s cap, 0.5 jitter).
+	Retry retry.Policy
+	// AttemptTimeout bounds one Deliver call (default 10s) — the
+	// slow-read guard.
+	AttemptTimeout time.Duration
+	// BreakerThreshold is the consecutive failed deliveries that trip
+	// the breaker open (default 2).
+	BreakerThreshold int
+	// BreakerProbe is how long an open breaker waits before half-opening
+	// for a single-attempt probe (default 5s).
+	BreakerProbe time.Duration
+	// EvictAfter is the consecutive failed deliveries after which the
+	// sink is evicted (default 6; it should exceed BreakerThreshold).
+	EvictAfter int
+}
+
+func (o Options) queue() int {
+	if o.Queue < 2 {
+		if o.Queue == 0 {
+			return 32
+		}
+		return 2
+	}
+	return o.Queue
+}
+
+func (o Options) retryPolicy() retry.Policy {
+	if o.Retry == (retry.Policy{}) {
+		return retry.Policy{Attempts: 3, Base: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.5}
+	}
+	return o.Retry
+}
+
+func (o Options) attemptTimeout() time.Duration {
+	if o.AttemptTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return o.AttemptTimeout
+}
+
+func (o Options) breakerThreshold() int {
+	if o.BreakerThreshold <= 0 {
+		return 2
+	}
+	return o.BreakerThreshold
+}
+
+func (o Options) breakerProbe() time.Duration {
+	if o.BreakerProbe <= 0 {
+		return 5 * time.Second
+	}
+	return o.BreakerProbe
+}
+
+func (o Options) evictAfter() int {
+	if o.EvictAfter <= 0 {
+		return 6
+	}
+	return o.EvictAfter
+}
+
+// SinkConfig registers one sink.
+type SinkConfig struct {
+	// Name is an optional label for listings.
+	Name string
+	// Sink receives the deliveries.
+	Sink Sink
+	// Query is the standing query whose window the sink observes; it
+	// binds exactly like a subscription (no pagination position).
+	Query quality.Query
+	// Filter optionally narrows the delta rows pushed to this sink.
+	Filter subscribe.Filter
+}
+
+// SinkStats is one sink's observable delivery state.
+type SinkStats struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Target string `json:"target,omitempty"`
+	State  string `json:"state"`
+	// QueueDepth is the number of pending deliveries right now.
+	QueueDepth int `json:"queue_depth"`
+	// Delivered counts successful network deliveries; Skipped counts
+	// deltas consumed without a network call because the sink's filter
+	// passed nothing; Coalesced counts ticks merged into a spanning
+	// delta under backpressure.
+	Delivered int64 `json:"delivered"`
+	Skipped   int64 `json:"skipped"`
+	Coalesced int64 `json:"coalesced"`
+	// Attempts counts Deliver calls; Retries counts the attempts beyond
+	// each delivery's first; Failures counts deliveries that exhausted
+	// their retry budget.
+	Attempts int64 `json:"attempts"`
+	Retries  int64 `json:"retries"`
+	Failures int64 `json:"failures"`
+	// Resyncs counts fresh sync baselines cut after the sink's own
+	// subscription was dropped as a slow consumer.
+	Resyncs int64 `json:"resyncs"`
+	// ConsecutiveFailures drives the breaker and eviction bounds.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastError is the most recent delivery error ("" when healthy).
+	LastError string `json:"last_error,omitempty"`
+	// LastDelivered is the ending round of the last successful (or
+	// filter-skipped) delivery, 0 before any.
+	LastDelivered int64 `json:"last_delivered"`
+}
+
+// Manager owns the push sinks attached to one subscription registry.
+type Manager struct {
+	reg  *subscribe.Registry
+	opts Options
+
+	ctx    context.Context // cancelled on force-stop: aborts in-flight attempts
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	sinks  map[string]*sinkState
+	seq    int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewManager builds a manager over the registry the serving layer already
+// fans out of, so push sinks share the one-evaluation-per-tick groups
+// with in-process and SSE subscribers.
+func NewManager(reg *subscribe.Registry, opts Options) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{reg: reg, opts: opts, ctx: ctx, cancel: cancel, sinks: map[string]*sinkState{}}
+}
+
+// item is one queued delivery span: the window at the span's base round
+// and at its latest round. The change set is computed at delivery time as
+// DiffWindows(base, window), so coalescing two consecutive items is just
+// dropping the middle windows — the spanning delta equals replaying the
+// merged per-tick deltas by construction.
+type item struct {
+	sync    bool
+	since   int64 // delta: base round
+	base    []*quality.Assessment
+	version int64 // ending round
+	window  []*quality.Assessment
+}
+
+// sinkState is one attached sink: its subscription pump, its bounded
+// queue and its delivery worker.
+type sinkState struct {
+	m      *Manager
+	id     string
+	name   string
+	target string
+	query  quality.Query
+	filter subscribe.Filter
+	sink   Sink
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sub      *subscribe.Subscription
+	queue    []item
+	tail     []*quality.Assessment // window at the newest queued round
+	inflight bool                  // worker is delivering queue[0]
+	state    string
+	stopped  bool
+	draining bool
+	pumpDone bool // pump exited: no more events will be enqueued
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	stats SinkStats
+}
+
+// Register attaches a sink: it subscribes to the query's shared group,
+// enqueues a "sync" delivery carrying the baseline window, and starts the
+// sink's pump and delivery worker. The returned id addresses the sink in
+// Stats/Get/Remove and the /api/v1/sinks endpoints. Re-registering after
+// an eviction is exactly this: the new registration starts from a fresh
+// baseline.
+func (m *Manager) Register(cfg SinkConfig) (string, error) {
+	if cfg.Sink == nil {
+		return "", errors.New("deliver: nil sink")
+	}
+	sub, err := m.reg.SubscribeWith(cfg.Query, cfg.Filter)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		sub.Close()
+		return "", errors.New("deliver: manager closed")
+	}
+	m.seq++
+	id := fmt.Sprintf("sink-%d", m.seq)
+	s := &sinkState{
+		m: m, id: id, name: cfg.Name, query: cfg.Query, filter: cfg.Filter,
+		sink: cfg.Sink, sub: sub, state: StateHealthy, stopCh: make(chan struct{}),
+	}
+	if t, ok := cfg.Sink.(Targeter); ok {
+		s.target = t.Target()
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// The baseline sync is the first queued delivery; every later delta
+	// chains off its window.
+	s.queue = []item{{sync: true, version: sub.Since(), window: sub.Window()}}
+	s.tail = sub.Window()
+	m.sinks[id] = s
+	m.wg.Add(2)
+	m.mu.Unlock()
+	go s.pump(sub)
+	go s.worker()
+	return id, nil
+}
+
+// Remove detaches a sink now: its subscription closes, its queue is
+// dropped, its goroutines exit. Reports whether the id existed.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sinks[id]
+	if ok {
+		delete(m.sinks, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.stop(StateClosed, false)
+	return true
+}
+
+// Get returns one sink's stats.
+func (m *Manager) Get(id string) (SinkStats, bool) {
+	m.mu.Lock()
+	s, ok := m.sinks[id]
+	m.mu.Unlock()
+	if !ok {
+		return SinkStats{}, false
+	}
+	return s.snapshot(), true
+}
+
+// Stats lists every attached sink's delivery stats (evicted sinks stay
+// listed until removed), ordered by registration.
+func (m *Manager) Stats() []SinkStats {
+	m.mu.Lock()
+	out := make([]SinkStats, 0, len(m.sinks))
+	for _, s := range m.sinks {
+		out = append(out, s.snapshot())
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return sinkSeq(out[i].ID) < sinkSeq(out[j].ID)
+	})
+	return out
+}
+
+// sinkSeq orders sink ids ("sink-N") by registration sequence.
+func sinkSeq(id string) int {
+	var n int
+	fmt.Sscanf(id, "sink-%d", &n)
+	return n
+}
+
+// Close shuts the manager down, flushing pending deliveries within the
+// context's deadline: each sink keeps draining its queue until empty;
+// when the deadline passes first, remaining queues are dropped and
+// in-flight attempts aborted. Returns the context's error when the drain
+// was cut short.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	sinks := make([]*sinkState, 0, len(m.sinks))
+	for _, s := range m.sinks {
+		sinks = append(sinks, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sinks {
+		s.stop(StateClosed, true)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		// Deadline: stop draining, abort in-flight attempts.
+		for _, s := range sinks {
+			s.abortDrain()
+		}
+		m.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// stop transitions a sink to a terminal state. drain keeps the worker
+// delivering the queued backlog before exiting; otherwise the queue is
+// dropped.
+func (s *sinkState) stop(state string, drain bool) {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		s.draining = drain
+		if s.state != StateEvicted {
+			s.state = state
+		}
+		s.sub.Close()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+}
+
+// abortDrain cuts a draining sink's flush short (Close deadline).
+func (s *sinkState) abortDrain() {
+	s.mu.Lock()
+	s.draining = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *sinkState) snapshot() SinkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ID, st.Name, st.Target, st.State = s.id, s.name, s.target, s.state
+	st.QueueDepth = len(s.queue)
+	return st
+}
+
+// pump drains the sink's subscription into the bounded queue. It can
+// never be slow — enqueue is O(1) under the sink lock — but if the
+// subscription is nevertheless dropped (ErrSlowConsumer), it
+// resubscribes and rebases the sink on a fresh sync baseline, mirroring
+// the HTTP transports' 410 recovery.
+func (s *sinkState) pump(sub *subscribe.Subscription) {
+	defer s.m.wg.Done()
+	defer func() {
+		// A draining worker must not exit while events could still land.
+		s.mu.Lock()
+		s.pumpDone = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	for {
+		for ev := range sub.Events() {
+			s.enqueue(ev)
+		}
+		if !errors.Is(sub.Err(), subscribe.ErrSlowConsumer) {
+			return // clean close, sink stopped, or registry shut down
+		}
+		next, err := s.m.reg.SubscribeWith(s.query, s.filter)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.LastError = err.Error()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			next.Close()
+			return
+		}
+		s.sub = next
+		s.resyncLocked(next)
+		s.mu.Unlock()
+		sub = next
+	}
+}
+
+// resyncLocked rebases the queue on a fresh baseline: queued deltas are
+// superseded (the since-chain broke when events were dropped), so only
+// the in-flight head survives, followed by the new sync.
+func (s *sinkState) resyncLocked(sub *subscribe.Subscription) {
+	syncIt := item{sync: true, version: sub.Since(), window: sub.Window()}
+	if s.inflight && len(s.queue) > 0 {
+		s.queue = []item{s.queue[0], syncIt}
+	} else {
+		s.queue = []item{syncIt}
+	}
+	s.tail = sub.Window()
+	s.stats.Resyncs++
+	s.cond.Signal()
+}
+
+// enqueue adds one tick's delta to the queue, coalescing into the newest
+// queued item when the queue is full: the merged item keeps its base
+// round/window and adopts the new ending round/window, so its delivery
+// spans every merged tick in one delta.
+func (s *sinkState) enqueue(ev subscribe.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A draining sink still accepts the events already published before
+	// the stop — flushing means delivering them.
+	if s.stopped && !s.draining {
+		return
+	}
+	if len(s.queue) >= s.m.opts.queue() {
+		li := len(s.queue) - 1
+		if li > 0 || !s.inflight {
+			last := &s.queue[li]
+			last.version, last.window = ev.Snapshot, ev.Window
+			s.tail = ev.Window
+			s.stats.Coalesced++
+			return
+		}
+		// The only queued item is in flight: append past the bound (by
+		// one) rather than mutate what the worker is delivering.
+	}
+	s.queue = append(s.queue, item{since: ev.Since, base: s.tail, version: ev.Snapshot, window: ev.Window})
+	s.tail = ev.Window
+	s.cond.Signal()
+}
+
+// worker is the sink's delivery loop: deliver the queue head, pop on
+// success, thread failures through the breaker, evict when the sink
+// stays broken.
+func (s *sinkState) worker() {
+	defer s.m.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && (!s.stopped || (s.draining && !s.pumpDone)) {
+			s.cond.Wait()
+		}
+		if s.stopped && (!s.draining || len(s.queue) == 0) {
+			s.queue = nil
+			s.mu.Unlock()
+			return
+		}
+		it := s.queue[0]
+		s.inflight = true
+		probe := s.state == StateHalfOpen
+		s.mu.Unlock()
+
+		d := s.buildDelivery(it)
+		var err error
+		if d != nil {
+			err = s.deliver(d, probe)
+		}
+		if err == nil {
+			s.settle(it, d != nil)
+			continue
+		}
+		if s.recordFailure(err) {
+			return // evicted
+		}
+		s.breakerWait()
+	}
+}
+
+// buildDelivery renders one queued item, applying the sink's delta
+// filter over the span. A delta whose filtered change set is empty
+// returns nil: the tick is consumed for zero bytes.
+func (s *sinkState) buildDelivery(it item) *Delivery {
+	if it.sync {
+		return &Delivery{Kind: "sync", Snapshot: it.version, Window: it.window}
+	}
+	changes := s.filter.Apply(quality.DiffWindows(it.base, it.window), it.base)
+	if len(changes) == 0 {
+		return nil
+	}
+	return &Delivery{Kind: "delta", Since: it.since, Snapshot: it.version, Changes: changes}
+}
+
+// deliver pushes one delivery through the retry policy (a single attempt
+// when probing a half-open breaker), bounding every attempt with the
+// per-attempt timeout.
+func (s *sinkState) deliver(d *Delivery, probe bool) error {
+	pol := s.m.opts.retryPolicy()
+	if probe {
+		pol = retry.Policy{Attempts: 1}
+	}
+	attempts := 0
+	err := retry.Do(s.m.ctx, pol, func(ctx context.Context) error {
+		attempts++
+		actx, cancel := context.WithTimeout(ctx, s.m.opts.attemptTimeout())
+		defer cancel()
+		return s.sink.Deliver(actx, d)
+	})
+	s.mu.Lock()
+	s.stats.Attempts += int64(attempts)
+	if attempts > 1 {
+		s.stats.Retries += int64(attempts - 1)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// settle pops a completed head item: the breaker closes, the failure
+// streak resets, and the sink's delivered horizon advances.
+func (s *sinkState) settle(it item, posted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight = false
+	if len(s.queue) > 0 {
+		s.queue = s.queue[1:]
+	}
+	if posted {
+		s.stats.Delivered++
+	} else {
+		s.stats.Skipped++
+	}
+	s.stats.LastDelivered = it.version
+	s.stats.ConsecutiveFailures = 0
+	s.stats.LastError = ""
+	if !s.stopped && s.state != StateEvicted {
+		s.state = StateHealthy
+	}
+}
+
+// recordFailure accounts one exhausted delivery: the failure streak
+// grows, the breaker trips past the threshold, and past the eviction
+// bound the sink is detached (reporting whether it was). The failed item
+// stays at the queue head — later ticks coalesce into the backlog — so a
+// recovering sink resumes exactly where it broke.
+func (s *sinkState) recordFailure(err error) (evicted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight = false
+	s.stats.Failures++
+	s.stats.ConsecutiveFailures++
+	s.stats.LastError = err.Error()
+	if s.stats.ConsecutiveFailures >= s.m.opts.evictAfter() {
+		s.state = StateEvicted
+		if !s.stopped {
+			s.stopped = true
+			s.draining = false
+			s.sub.Close()
+		}
+		s.queue = nil
+		s.cond.Broadcast()
+		s.stopOnce.Do(func() { close(s.stopCh) })
+		return true
+	}
+	if s.stats.ConsecutiveFailures >= s.m.opts.breakerThreshold() {
+		s.state = StateOpen
+	}
+	return false
+}
+
+// breakerWait holds an open breaker for the probe interval, then
+// half-opens. A draining or stopped sink skips the wait — eviction and
+// the Close deadline bound it instead.
+func (s *sinkState) breakerWait() {
+	s.mu.Lock()
+	open := s.state == StateOpen && !s.stopped
+	s.mu.Unlock()
+	if !open {
+		return
+	}
+	t := time.NewTimer(s.m.opts.breakerProbe())
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-s.stopCh:
+		return
+	}
+	s.mu.Lock()
+	if s.state == StateOpen {
+		s.state = StateHalfOpen
+	}
+	s.mu.Unlock()
+}

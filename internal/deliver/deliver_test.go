@@ -1,0 +1,736 @@
+package deliver
+
+// Fault-injection contracts of the push-delivery engine: ordered
+// at-least-once delivery under an injected fault mix (5xx bursts,
+// per-attempt timeouts, connection drops), breaker trip/half-open/probe
+// determinism, coalescing correctness (a spanning delta reconstructs the
+// exact window that replaying the merged per-tick deltas would), eviction
+// with fresh-sync re-registration, filter-skipped zero-byte ticks, flush
+// semantics of Close, and zero goroutine leaks after shutdown.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/retry"
+	"github.com/informing-observers/informer/internal/subscribe"
+)
+
+// --- harness: a registry fed deterministic ticks ---
+
+type tickSnap struct {
+	version int64
+	items   []*quality.Assessment
+}
+
+func (s *tickSnap) Version() int64 { return s.version }
+
+func (s *tickSnap) QuerySources(q quality.Query) (*quality.QueryResult, error) {
+	return &quality.QueryResult{Items: s.items, Total: len(s.items)}, nil
+}
+
+// win builds a ranked window: ids in rank order, scores strictly
+// descending so permutations are honest re-rankings.
+func win(ids ...int) []*quality.Assessment {
+	items := make([]*quality.Assessment, len(ids))
+	for i, id := range ids {
+		items[i] = &quality.Assessment{ID: id, Name: fmt.Sprintf("src-%d", id), Score: 1 - float64(i)*0.05}
+	}
+	return items
+}
+
+// harness owns a registry whose ticks the test publishes by hand.
+type harness struct {
+	mu  sync.Mutex
+	cur subscribe.Snapshot
+	reg *subscribe.Registry
+}
+
+func newHarness(ids ...int) *harness {
+	h := &harness{cur: &tickSnap{version: 1, items: win(ids...)}}
+	h.reg = subscribe.New(h.snapshot, subscribe.Options{})
+	return h
+}
+
+func (h *harness) snapshot() subscribe.Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cur
+}
+
+func (h *harness) tick(version int64, ids ...int) {
+	sn := &tickSnap{version: version, items: win(ids...)}
+	h.mu.Lock()
+	h.cur = sn
+	h.mu.Unlock()
+	h.reg.Publish(sn)
+}
+
+// memSink records deliveries in-process; fail scripts per-call errors and
+// gate, when set, blocks every call until released (or the attempt's
+// context expires).
+type memSink struct {
+	mu    sync.Mutex
+	calls int
+	got   []*Delivery
+	fail  func(call int) error
+	gate  chan struct{}
+}
+
+func (s *memSink) Deliver(ctx context.Context, d *Delivery) error {
+	s.mu.Lock()
+	s.calls++
+	n := s.calls
+	gate := s.gate
+	s.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if s.fail != nil {
+		if err := s.fail(n); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.got = append(s.got, d)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *memSink) snapshot() (int, []*Delivery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls, append([]*Delivery(nil), s.got...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// replay applies a delivery chain (sync + deltas, possibly spanning) and
+// returns the reconstructed window as ranked ids, verifying each link's
+// since/snapshot continuity on the way.
+func replay(t *testing.T, got []*Delivery) []int {
+	t.Helper()
+	if len(got) == 0 || got[0].Kind != "sync" {
+		t.Fatalf("delivery chain must start with a sync, got %+v", got)
+	}
+	rank := map[int]int{}
+	for i, a := range got[0].Window {
+		rank[a.ID] = i + 1
+	}
+	at := got[0].Snapshot
+	for _, d := range got[1:] {
+		if d.Kind != "delta" {
+			t.Fatalf("unexpected %q delivery mid-chain", d.Kind)
+		}
+		if d.Since != at {
+			t.Fatalf("broken chain: delta starts at %d, previous delivery ended at %d", d.Since, at)
+		}
+		if d.Snapshot <= d.Since {
+			t.Fatalf("non-advancing delta %d -> %d", d.Since, d.Snapshot)
+		}
+		at = d.Snapshot
+		for _, c := range d.Changes {
+			if c.NewRank == 0 {
+				delete(rank, c.ID)
+			} else {
+				rank[c.ID] = c.NewRank
+			}
+		}
+	}
+	ids := make([]int, len(rank))
+	for id, r := range rank {
+		if r < 1 || r > len(rank) {
+			t.Fatalf("reconstructed rank %d for id %d out of bounds", r, id)
+		}
+		ids[r-1] = id
+	}
+	return ids
+}
+
+func sameIDs(a []int, w []*quality.Assessment) bool {
+	if len(a) != len(w) {
+		return false
+	}
+	for i := range a {
+		if a[i] != w[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// --- the fault-injection matrix over HTTP ---
+
+// faultServer injects a deterministic fault schedule: "ok" accepts and
+// records the envelope, "500" rejects transiently, "drop" kills the
+// connection mid-response, "stall" exceeds the per-attempt timeout.
+type faultServer struct {
+	mu       sync.Mutex
+	schedule []string
+	reqs     int
+	accepted []Envelope
+	srv      *httptest.Server
+}
+
+func newFaultServer(schedule []string) *faultServer {
+	fs := &faultServer{schedule: schedule}
+	fs.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fs.mu.Lock()
+		mode := "ok"
+		if len(fs.schedule) > 0 {
+			mode = fs.schedule[fs.reqs%len(fs.schedule)]
+		}
+		fs.reqs++
+		fs.mu.Unlock()
+		switch mode {
+		case "500":
+			http.Error(w, "injected", http.StatusInternalServerError)
+		case "drop":
+			panic(http.ErrAbortHandler)
+		case "stall":
+			time.Sleep(300 * time.Millisecond)
+			http.Error(w, "too late", http.StatusServiceUnavailable)
+		default:
+			var env Envelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fs.mu.Lock()
+			fs.accepted = append(fs.accepted, env)
+			fs.mu.Unlock()
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	return fs
+}
+
+func (fs *faultServer) snapshot() []Envelope {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]Envelope(nil), fs.accepted...)
+}
+
+// replayEnvelopes mirrors replay over the webhook wire form.
+func replayEnvelopes(t *testing.T, got []Envelope) []int {
+	t.Helper()
+	ds := make([]*Delivery, len(got))
+	for i, env := range got {
+		d := &Delivery{Kind: env.Kind, Since: env.Since, Snapshot: env.Snapshot}
+		for _, row := range env.Window {
+			d.Window = append(d.Window, &quality.Assessment{ID: row.ID, Name: row.Name, Score: row.Score})
+		}
+		for _, c := range env.Changes {
+			d.Changes = append(d.Changes, quality.WindowChange{ID: c.ID, Name: c.Name, OldRank: c.OldRank, NewRank: c.NewRank, Score: c.Score})
+		}
+		ds[i] = d
+	}
+	return replay(t, ds)
+}
+
+// TestDeliverOrderedUnderFaults drives 30% injected faults (5xx, dropped
+// connections, stalls past the attempt timeout) against a webhook sink
+// while a healthy in-process sink shares the same standing-query group,
+// and requires both to converge on the exact final window through a
+// contiguous in-order delivery chain — with evaluations still one per
+// tick regardless of sink count.
+func TestDeliverOrderedUnderFaults(t *testing.T) {
+	h := newHarness(1, 2, 3, 4, 5, 6)
+	defer h.reg.Close()
+	fs := newFaultServer([]string{"ok", "500", "ok", "ok", "drop", "ok", "ok", "stall", "ok", "ok"})
+	defer fs.srv.Close()
+
+	m := NewManager(h.reg, Options{
+		Queue:            8,
+		Retry:            retry.Policy{Attempts: 5, Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: 0.5},
+		AttemptTimeout:   100 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerProbe:     10 * time.Millisecond,
+		EvictAfter:       1000,
+	})
+	defer m.Close(context.Background())
+
+	q := quality.Query{TopK: 6}
+	flakyID, err := m.Register(SinkConfig{Name: "flaky", Sink: &WebhookSink{URL: fs.srv.URL}, Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := &memSink{}
+	if _, err := m.Register(SinkConfig{Name: "healthy", Sink: healthy, Query: q}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 15 ticks of rotations, entries and departures.
+	windows := [][]int{
+		{2, 1, 3, 4, 5, 6}, {2, 3, 1, 4, 5, 6}, {7, 2, 3, 1, 4, 5}, {7, 3, 2, 1, 4, 5},
+		{3, 7, 2, 4, 1, 5}, {3, 2, 7, 4, 5, 8}, {8, 3, 2, 7, 4, 5}, {8, 2, 3, 4, 7, 5},
+		{2, 8, 4, 3, 7, 5}, {2, 4, 8, 3, 5, 7}, {9, 2, 4, 8, 3, 5}, {9, 4, 2, 8, 5, 3},
+		{4, 9, 2, 8, 5, 3}, {4, 2, 9, 5, 8, 3}, {4, 2, 5, 9, 8, 3},
+	}
+	final := int64(1 + len(windows))
+	for i, ids := range windows {
+		h.tick(int64(i+2), ids...)
+	}
+
+	waitFor(t, "flaky webhook sink to converge", func() bool {
+		st, ok := m.Get(flakyID)
+		return ok && st.LastDelivered == final && st.QueueDepth == 0
+	})
+	waitFor(t, "healthy sink to converge", func() bool {
+		_, got := healthy.snapshot()
+		return len(got) > 0 && got[len(got)-1].Snapshot == final
+	})
+
+	want := win(windows[len(windows)-1]...)
+	if ids := replayEnvelopes(t, fs.snapshot()); !sameIDs(ids, want) {
+		t.Fatalf("flaky sink reconstructed %v, want %v", ids, want)
+	}
+	_, got := healthy.snapshot()
+	if ids := replay(t, got); !sameIDs(ids, want) {
+		t.Fatalf("healthy sink reconstructed %v, want %v", ids, want)
+	}
+
+	// The fault mix must have actually exercised the retry loop.
+	st, _ := m.Get(flakyID)
+	if st.Retries == 0 {
+		t.Fatal("fault schedule injected no retries")
+	}
+	if st.State != StateHealthy || st.ConsecutiveFailures != 0 {
+		t.Fatalf("converged sink state %q (%d consecutive failures), want healthy/0", st.State, st.ConsecutiveFailures)
+	}
+
+	// One evaluation per tick however many sinks observe the group: the
+	// shared-placement invariant of the registry survives push fan-out.
+	rs := h.reg.Stats()
+	if rs.Evaluations > rs.Ticks+2 { // +2 subscribe-time baselines
+		t.Fatalf("evaluations %d over %d ticks: push sinks broke one-eval-per-tick", rs.Evaluations, rs.Ticks)
+	}
+}
+
+// TestBreakerProbeSingleAttempt pins the breaker walk deterministically
+// by counting sink calls: delivery 1 burns the full 3-attempt budget
+// (calls 1-3) and trips the threshold-1 breaker; each half-open probe is
+// exactly one call (call 4 fails and reopens, call 5 closes the breaker).
+func TestBreakerProbeSingleAttempt(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	defer h.reg.Close()
+	sink := &memSink{fail: func(call int) error {
+		if call <= 4 {
+			return errors.New("injected")
+		}
+		return nil
+	}}
+	m := NewManager(h.reg, Options{
+		Retry:            retry.Policy{Attempts: 3, Base: time.Millisecond},
+		BreakerThreshold: 1,
+		BreakerProbe:     5 * time.Millisecond,
+		EvictAfter:       1000,
+	})
+	defer m.Close(context.Background())
+
+	id, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "breaker to recover", func() bool {
+		st, _ := m.Get(id)
+		return st.Delivered == 1 && st.State == StateHealthy
+	})
+	calls, got := sink.snapshot()
+	if calls != 5 {
+		t.Fatalf("sink saw %d calls, want exactly 5 (3-attempt delivery, then single-attempt probes)", calls)
+	}
+	st, _ := m.Get(id)
+	if st.Failures != 2 || st.Retries != 2 || st.Attempts != 5 {
+		t.Fatalf("stats %+v, want 2 failures, 2 retries, 5 attempts", st)
+	}
+	if len(got) != 1 || got[0].Kind != "sync" {
+		t.Fatalf("recovered delivery %+v, want the baseline sync", got)
+	}
+}
+
+// TestBreakerOpensBetweenFailures: past the threshold the sink is left
+// alone for the probe interval instead of being hammered.
+func TestBreakerOpensBetweenFailures(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	defer h.reg.Close()
+	sink := &memSink{fail: func(int) error { return errors.New("injected") }}
+	m := NewManager(h.reg, Options{
+		Retry:            retry.Policy{Attempts: 1},
+		BreakerThreshold: 2,
+		BreakerProbe:     time.Hour, // the test must observe "open", not race past it
+		EvictAfter:       1000,
+	})
+	id, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "breaker to trip open", func() bool {
+		st, _ := m.Get(id)
+		return st.State == StateOpen
+	})
+	st, _ := m.Get(id)
+	if st.ConsecutiveFailures < 2 || st.LastError == "" {
+		t.Fatalf("open breaker stats %+v, want the failure streak recorded", st)
+	}
+	calls, _ := sink.snapshot()
+	time.Sleep(20 * time.Millisecond)
+	if after, _ := sink.snapshot(); after != calls {
+		t.Fatalf("open breaker kept calling the sink (%d -> %d)", calls, after)
+	}
+	// Force-stop cuts the probe wait short.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	m.Close(ctx)
+}
+
+// TestCoalescingSpanningDelta blocks a sink behind a gate while ten ticks
+// land on a queue bounded at two, and requires the released sink to see
+// exactly two deliveries — the baseline sync and one spanning delta —
+// whose replay reconstructs the same window as replaying all ten per-tick
+// deltas would.
+func TestCoalescingSpanningDelta(t *testing.T) {
+	h := newHarness(1, 2, 3, 4)
+	defer h.reg.Close()
+	gate := make(chan struct{})
+	sink := &memSink{gate: gate}
+	m := NewManager(h.reg, Options{
+		Queue:          2,
+		Retry:          retry.Policy{Attempts: 1},
+		AttemptTimeout: time.Minute,
+		EvictAfter:     1000,
+	})
+	defer m.Close(context.Background())
+
+	id, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the worker take the sync in flight so the queue holds it plus
+	// exactly one (growing) spanning delta.
+	waitFor(t, "worker to pick up the baseline sync", func() bool {
+		calls, _ := sink.snapshot()
+		return calls == 1
+	})
+	windows := [][]int{
+		{2, 1, 3, 4}, {2, 3, 1, 4}, {5, 2, 3, 1}, {5, 3, 2, 6},
+		{3, 5, 6, 2}, {3, 6, 5, 2}, {6, 3, 2, 5}, {6, 2, 3, 7},
+		{2, 6, 7, 3}, {2, 7, 6, 3},
+	}
+	for i, ids := range windows {
+		h.tick(int64(i+2), ids...)
+	}
+	waitFor(t, "ticks to coalesce behind the gate", func() bool {
+		st, _ := m.Get(id)
+		return st.Coalesced == int64(len(windows)-1)
+	})
+	close(gate)
+
+	final := int64(1 + len(windows))
+	waitFor(t, "spanning delta to deliver", func() bool {
+		st, _ := m.Get(id)
+		return st.LastDelivered == final
+	})
+	_, got := sink.snapshot()
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d deliveries, want 2 (sync + one spanning delta)", len(got))
+	}
+	if got[1].Since != 1 || got[1].Snapshot != final {
+		t.Fatalf("spanning delta covers %d -> %d, want 1 -> %d", got[1].Since, got[1].Snapshot, final)
+	}
+	// Spanning delta == replaying the skipped deltas: both reconstruct
+	// the final published window.
+	if ids := replay(t, got); !sameIDs(ids, win(windows[len(windows)-1]...)) {
+		t.Fatalf("spanning delta reconstructed %v, want %v", ids, windows[len(windows)-1])
+	}
+}
+
+// TestFilterSkipsZeroBytes: a sink registered with an entered-only filter
+// consumes pure-rotation ticks without a single network call, yet its
+// delivered horizon advances; a genuine entry is pushed with only the
+// qualifying rows.
+func TestFilterSkipsZeroBytes(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	defer h.reg.Close()
+	sink := &memSink{}
+	m := NewManager(h.reg, Options{Retry: retry.Policy{Attempts: 1}})
+	defer m.Close(context.Background())
+
+	id, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 3}, Filter: subscribe.Filter{EnteredOnly: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.tick(2, 2, 1, 3) // rotation only: zero bytes for this sink
+	h.tick(3, 3, 2, 1) // rotation only
+	waitFor(t, "rotations to be consumed bytelessly", func() bool {
+		st, _ := m.Get(id)
+		return st.LastDelivered == 3 && st.Skipped == 2
+	})
+	calls, _ := sink.snapshot()
+	if calls != 1 {
+		t.Fatalf("sink saw %d calls across rotation ticks, want 1 (the sync)", calls)
+	}
+
+	h.tick(4, 9, 3, 2) // id 9 enters, id 1 leaves
+	waitFor(t, "entry delta to deliver", func() bool {
+		st, _ := m.Get(id)
+		return st.LastDelivered == 4 && st.Delivered == 2
+	})
+	_, got := sink.snapshot()
+	last := got[len(got)-1]
+	if len(last.Changes) != 1 || last.Changes[0].ID != 9 || last.Changes[0].Event() != "entered" {
+		t.Fatalf("filtered delta %+v, want only id 9 entering", last.Changes)
+	}
+}
+
+// TestEvictionAndResync: a sink that stays broken is evicted without
+// delaying a healthy sink on the same group, and re-registering it cuts a
+// fresh sync baseline at the current round — the push-side mirror of the
+// slow-consumer 410.
+func TestEvictionAndResync(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	defer h.reg.Close()
+	broken := &memSink{fail: func(int) error { return errors.New("injected") }}
+	healthy := &memSink{}
+	m := NewManager(h.reg, Options{
+		Retry:            retry.Policy{Attempts: 1},
+		BreakerThreshold: 2,
+		BreakerProbe:     time.Millisecond,
+		EvictAfter:       4,
+	})
+	defer m.Close(context.Background())
+
+	q := quality.Query{TopK: 3}
+	brokenID, err := m.Register(SinkConfig{Name: "broken", Sink: broken, Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(SinkConfig{Name: "healthy", Sink: healthy, Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(2); v <= 6; v++ {
+		h.tick(v, []int{2, 1, 3, 3, 2, 1, 1, 3, 2, 2, 3, 1, 3, 1, 2}[(v-2)*3:(v-2)*3+3]...)
+	}
+	waitFor(t, "broken sink to evict", func() bool {
+		st, ok := m.Get(brokenID)
+		return ok && st.State == StateEvicted
+	})
+	st, _ := m.Get(brokenID)
+	if st.QueueDepth != 0 || st.Delivered != 0 || st.ConsecutiveFailures != 4 {
+		t.Fatalf("evicted stats %+v, want dropped queue and a 4-failure streak", st)
+	}
+	// The healthy sink observed every tick in order meanwhile.
+	waitFor(t, "healthy sink to converge", func() bool {
+		_, got := healthy.snapshot()
+		return len(got) == 6 // sync + 5 deltas: nothing coalesced, nothing delayed
+	})
+	_, got := healthy.snapshot()
+	if ids := replay(t, got); !sameIDs(ids, win(3, 1, 2)) {
+		t.Fatalf("healthy sink reconstructed %v, want [3 1 2]", ids)
+	}
+
+	// Evicted sinks stay listed for observability until removed.
+	stats := m.Stats()
+	if len(stats) != 2 || stats[0].ID != brokenID || stats[0].State != StateEvicted {
+		t.Fatalf("stats listing %+v, want the evicted sink first", stats)
+	}
+	if !m.Remove(brokenID) || m.Remove(brokenID) {
+		t.Fatal("Remove must report the evicted id exactly once")
+	}
+
+	// Re-registration = resync: the first delivery is a fresh sync at the
+	// current round, not a replay of the missed deltas.
+	broken.mu.Lock()
+	broken.fail = nil
+	broken.mu.Unlock()
+	againID, err := m.Register(SinkConfig{Name: "again", Sink: broken, Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "re-registered sink to sync", func() bool {
+		st, _ := m.Get(againID)
+		return st.Delivered == 1
+	})
+	_, got = broken.snapshot()
+	d := got[len(got)-1]
+	if d.Kind != "sync" || d.Snapshot != 6 || !sameIDs([]int{3, 1, 2}, d.Window) {
+		t.Fatalf("resync delivery %+v, want a sync of the current round 6", d)
+	}
+}
+
+// TestCloseFlushesPending: Close drains queued deliveries within its
+// deadline; an expired deadline drops the backlog, aborts the in-flight
+// attempt and still releases every goroutine.
+func TestCloseFlushesPending(t *testing.T) {
+	h := newHarness(1, 2, 3)
+	sink := &memSink{}
+	m := NewManager(h.reg, Options{Retry: retry.Policy{Attempts: 1}})
+	id, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.tick(2, 2, 1, 3)
+	h.tick(3, 3, 2, 1)
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Get(id)
+	if st.LastDelivered != 3 || st.QueueDepth != 0 {
+		t.Fatalf("Close left stats %+v, want the backlog flushed through round 3", st)
+	}
+	if st.State != StateClosed {
+		t.Fatalf("state %q after Close, want %q", st.State, StateClosed)
+	}
+	// Registering after Close refuses.
+	if _, err := m.Register(SinkConfig{Sink: sink, Query: quality.Query{TopK: 3}}); err == nil {
+		t.Fatal("Register after Close must refuse")
+	}
+	h.reg.Close()
+
+	// Deadline path: a gated sink can't flush; Close returns the
+	// context's error instead of hanging.
+	h2 := newHarness(1, 2, 3)
+	defer h2.reg.Close()
+	gated := &memSink{gate: make(chan struct{})}
+	m2 := NewManager(h2.reg, Options{AttemptTimeout: time.Minute})
+	if _, err := m2.Register(SinkConfig{Sink: gated, Query: quality.Query{TopK: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m2.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline Close err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestNoGoroutineLeaks exercises the full lifecycle — webhook faults,
+// eviction, removal, flush — and requires the goroutine count to return
+// to its baseline once manager and registry are closed.
+func TestNoGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	h := newHarness(1, 2, 3, 4)
+	fs := newFaultServer([]string{"ok", "500", "ok"})
+	m := NewManager(h.reg, Options{
+		Retry:            retry.Policy{Attempts: 2, Base: time.Millisecond},
+		AttemptTimeout:   100 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerProbe:     time.Millisecond,
+		EvictAfter:       3,
+	})
+	q := quality.Query{TopK: 4}
+	if _, err := m.Register(SinkConfig{Sink: &WebhookSink{URL: fs.srv.URL}, Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	dead := &memSink{fail: func(int) error { return errors.New("injected") }}
+	if _, err := m.Register(SinkConfig{Sink: dead, Query: q}); err != nil {
+		t.Fatal(err)
+	}
+	removedID, err := m.Register(SinkConfig{Sink: &memSink{}, Query: quality.Query{TopK: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(2); v <= 8; v++ {
+		h.tick(v, []int{1, 2, 3, 4, 2, 1, 4, 3}[v%2*4:v%2*4+4]...)
+	}
+	m.Remove(removedID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.reg.Close()
+	fs.srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d alive, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// TestWebhookStatusClasses: 2xx accepts, 4xx fast-fails the delivery's
+// remaining retries (Permanent), 5xx stays transient.
+func TestWebhookStatusClasses(t *testing.T) {
+	var status int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+	sink := &WebhookSink{URL: srv.URL}
+	d := &Delivery{Kind: "delta", Since: 1, Snapshot: 2, Changes: []quality.WindowChange{{ID: 1, OldRank: 1, NewRank: 2}}}
+
+	status = http.StatusOK
+	if err := sink.Deliver(context.Background(), d); err != nil {
+		t.Fatalf("2xx delivery err = %v", err)
+	}
+	status = http.StatusGone
+	if err := sink.Deliver(context.Background(), d); !retry.IsPermanent(err) {
+		t.Fatalf("4xx err = %v, want a Permanent fast-fail", err)
+	}
+	status = http.StatusBadGateway
+	if err := sink.Deliver(context.Background(), d); err == nil || retry.IsPermanent(err) {
+		t.Fatalf("5xx err = %v, want a transient failure", err)
+	}
+}
+
+// TestEnvelopeWireForm pins the webhook JSON contract.
+func TestEnvelopeWireForm(t *testing.T) {
+	sync := NewEnvelope(&Delivery{Kind: "sync", Snapshot: 7, Window: win(3, 1)})
+	if sync.APIVersion != "v1" || sync.Count != 2 || len(sync.Window) != 2 {
+		t.Fatalf("sync envelope %+v", sync)
+	}
+	if sync.Window[0].ID != 3 || sync.Window[0].Rank != 1 || sync.Window[1].Rank != 2 {
+		t.Fatalf("sync window rows %+v, want rank-ordered rows", sync.Window)
+	}
+	delta := NewEnvelope(&Delivery{Kind: "delta", Since: 7, Snapshot: 9, Changes: []quality.WindowChange{
+		{ID: 5, Name: "src-5", OldRank: 0, NewRank: 1, Score: 0.9},
+		{ID: 3, Name: "src-3", OldRank: 1, NewRank: 0, Score: 0.5},
+	}})
+	if delta.Since != 7 || delta.Snapshot != 9 || delta.Count != 2 {
+		t.Fatalf("delta envelope %+v", delta)
+	}
+	if delta.Changes[0].Event != "entered" || delta.Changes[1].Event != "left" {
+		t.Fatalf("delta change events %+v", delta.Changes)
+	}
+	b, err := json.Marshal(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"api_version":"v1"`, `"kind":"delta"`, `"since":7`, `"snapshot":9`, `"event":"entered"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshalled delta %s missing %s", b, key)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package deliver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/informing-observers/informer/internal/retry"
+)
+
+// Envelope is the JSON body a WebhookSink POSTs: the same self-contained
+// shape as the SSE frames (DESIGN.md section 10), so a receiver can treat
+// pushed deliveries and streamed frames interchangeably. A "sync"
+// envelope carries the full ranked window; a "delta" envelope carries the
+// window's movement between the Since and Snapshot rounds.
+type Envelope struct {
+	APIVersion string           `json:"api_version"`
+	Kind       string           `json:"kind"` // "sync" | "delta"
+	Since      int64            `json:"since,omitempty"`
+	Snapshot   int64            `json:"snapshot"`
+	Count      int              `json:"count"`
+	Window     []EnvelopeRow    `json:"window,omitempty"`
+	Changes    []EnvelopeChange `json:"changes,omitempty"`
+}
+
+// EnvelopeRow is one ranked window row in a sync envelope.
+type EnvelopeRow struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Rank  int     `json:"rank"`
+	Score float64 `json:"score"`
+}
+
+// EnvelopeChange is one window movement in a delta envelope.
+type EnvelopeChange struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	Event   string  `json:"event"` // "entered" | "left" | "moved"
+	OldRank int     `json:"old_rank,omitempty"`
+	NewRank int     `json:"new_rank,omitempty"`
+	Score   float64 `json:"score"`
+}
+
+// NewEnvelope renders a Delivery into its wire form.
+func NewEnvelope(d *Delivery) Envelope {
+	env := Envelope{APIVersion: "v1", Kind: d.Kind, Since: d.Since, Snapshot: d.Snapshot}
+	switch d.Kind {
+	case "sync":
+		env.Count = len(d.Window)
+		env.Window = make([]EnvelopeRow, len(d.Window))
+		for i, a := range d.Window {
+			env.Window[i] = EnvelopeRow{ID: a.ID, Name: a.Name, Rank: i + 1, Score: a.Score}
+		}
+	default:
+		env.Count = len(d.Changes)
+		env.Changes = make([]EnvelopeChange, len(d.Changes))
+		for i, c := range d.Changes {
+			env.Changes[i] = EnvelopeChange{
+				ID: c.ID, Name: c.Name, Event: c.Event(),
+				OldRank: c.OldRank, NewRank: c.NewRank, Score: c.Score,
+			}
+		}
+	}
+	return env
+}
+
+// WebhookSink POSTs envelopes to a remote URL. A 2xx response accepts the
+// delivery; 4xx responses fast-fail the delivery's remaining retries (the
+// receiver rejected the payload — repeating it won't heal) while still
+// counting against the breaker; everything else is transient.
+type WebhookSink struct {
+	// URL receives the POSTs.
+	URL string
+	// Client defaults to http.DefaultClient; per-attempt deadlines come
+	// from the delivery context either way.
+	Client *http.Client
+}
+
+// Target reports the destination URL for stats listings.
+func (w *WebhookSink) Target() string { return w.URL }
+
+// Deliver POSTs one envelope.
+func (w *WebhookSink) Deliver(ctx context.Context, d *Delivery) error {
+	body, err := json.Marshal(NewEnvelope(d))
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL, bytes.NewReader(body))
+	if err != nil {
+		return retry.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("User-Agent", "informer-deliver/1.0")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err // net/timeout errors are transient
+	}
+	// Drain so the transport can reuse the connection across attempts.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	statusErr := fmt.Errorf("deliver: %s: status %d", w.URL, resp.StatusCode)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		return retry.Permanent(statusErr)
+	}
+	return statusErr
+}

@@ -1,0 +1,153 @@
+// Package retry is the shared bounded-retry policy of the outbound HTTP
+// paths: the crawler's page fetches and the push-delivery engine's sink
+// attempts (internal/deliver) both face the same transient-failure shape —
+// 5xx bursts, net timeouts, connection drops — and should heal it the same
+// way: a bounded number of attempts separated by exponential backoff with
+// jitter, aborting early for errors that will not heal on retry (client
+// errors, cancelled contexts).
+//
+// The policy is pure arithmetic (Backoff) plus two small compositions over
+// it: Sleep (one context-aware backoff pause) and Do (the full
+// attempt/backoff loop with permanent-error fast-fail). Callers that need
+// to interleave their own state between attempts — the delivery engine
+// threads a circuit breaker through its loop — use Backoff/Sleep directly.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy bounds one retried operation. The zero value is usable and means
+// "one attempt, no backoff": retries are always opt-in.
+type Policy struct {
+	// Attempts is the total number of tries, first one included
+	// (minimum 1; 0 reads as 1).
+	Attempts int
+	// Base is the backoff before the second attempt; each further backoff
+	// multiplies by Factor (default 2) and is capped at Max (no cap when
+	// zero).
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter is the randomized fraction of each backoff, 0..1: the pause
+	// becomes backoff*(1-Jitter) + rand*backoff*Jitter, so a fleet of
+	// failing callers decorrelates instead of retrying in lockstep.
+	Jitter float64
+}
+
+// max attempts guard: a Policy built from user input (flags, JSON) cannot
+// spin forever between two ticks.
+const maxAttempts = 64
+
+// attempts normalizes the configured attempt bound.
+func (p Policy) attempts() int {
+	switch {
+	case p.Attempts < 1:
+		return 1
+	case p.Attempts > maxAttempts:
+		return maxAttempts
+	}
+	return p.Attempts
+}
+
+// Backoff returns the pause after the given 0-based failed attempt:
+// Backoff(0) separates attempts one and two. The exponential ramp is
+// deterministic; only the jitter fraction is randomized.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.Base <= 0 {
+		return 0
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if p.Max > 0 && d >= float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = d*(1-j) + rand.Float64()*d*j
+	}
+	return time.Duration(d)
+}
+
+// Sleep pauses for Backoff(attempt) or until the context is cancelled,
+// whichever comes first, returning the context's error on cancellation.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Backoff(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// permanentError marks an error as not worth retrying; see Permanent.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Do stops retrying immediately — the
+// crawler's "client errors won't heal on retry" fast-fail. Do unwraps the
+// marker before returning, so callers never see it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs f up to p.Attempts times, sleeping the policy's backoff between
+// failures. It stops early — returning the unwrapped error — when f
+// reports a Permanent error or the context is cancelled; otherwise it
+// returns f's last error (nil on success).
+func Do(ctx context.Context, p Policy, f func(ctx context.Context) error) error {
+	var lastErr error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := p.Sleep(ctx, attempt-1); err != nil {
+				return err
+			}
+		}
+		err := f(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}

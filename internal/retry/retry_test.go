@@ -1,0 +1,108 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBackoffRamp pins the deterministic exponential ramp and its cap.
+func TestBackoffRamp(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 60 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 60, 60}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if d := (Policy{}).Backoff(3); d != 0 {
+		t.Errorf("zero policy Backoff = %v, want 0", d)
+	}
+}
+
+// TestBackoffJitterBounds: jittered backoffs stay within the policy band.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{Base: 20 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(1) // deterministic part: 40ms
+		lo, hi := 20*time.Millisecond, 40*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("jittered Backoff(1) = %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+// TestDoRetriesTransient: Do keeps trying transient failures up to the
+// attempt bound and reports the last error.
+func TestDoRetriesTransient(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3}, func(context.Context) error {
+		calls++
+		return fmt.Errorf("boom %d", calls)
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if err == nil || err.Error() != "boom 3" {
+		t.Fatalf("err = %v, want last attempt's error", err)
+	}
+
+	calls = 0
+	if err := Do(context.Background(), Policy{Attempts: 5}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}); err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want success on third", err, calls)
+	}
+}
+
+// TestDoPermanentFastFail: a Permanent error stops the loop and is
+// returned unwrapped.
+func TestDoPermanentFastFail(t *testing.T) {
+	sentinel := errors.New("status 404")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5}, func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry of permanent errors)", calls)
+	}
+	if !errors.Is(err, sentinel) || IsPermanent(err) {
+		t.Fatalf("err = %v, want unwrapped sentinel", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+// TestDoContextCancel: cancellation interrupts the backoff pause.
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, Policy{Attempts: 10, Base: time.Hour}, func(context.Context) error {
+			calls++
+			return errors.New("transient")
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("want an error after cancellation")
+		}
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1 (cancelled during first backoff)", calls)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}

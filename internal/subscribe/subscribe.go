@@ -51,15 +51,89 @@ type Snapshot interface {
 // Event is one tick's delta for a standing query, shared by every
 // subscriber of the group: the window's rank movement between the Since
 // and Snapshot rounds. Changes is computed once per group per tick and
-// fanned out by reference — treat it as read-only. An Event with no
+// fanned out by reference — treat it as read-only; subscriptions carrying
+// a delta Filter receive the filtered view (also computed once per
+// distinct filter per group per tick and shared). An Event with no
 // Changes still advances the since-token (the window did not move that
-// tick). Snap is the round the delta ends at, so transports can retain it
-// for later catch-up diffs.
+// tick, or the filter passed nothing). Window is the standing query's
+// full ranked window at the Snapshot round, shared by reference — the
+// push-delivery engine uses it to coalesce skipped deltas into one
+// spanning delta and to cut fresh resync baselines. Snap is the round the
+// delta ends at, so transports can retain it for later catch-up diffs.
 type Event struct {
 	Since    int64
 	Snapshot int64
 	Changes  []quality.WindowChange
+	Window   []*quality.Assessment
 	Snap     Snapshot
+}
+
+// Filter is a per-subscription delta filter, applied on the shared
+// per-group changes at fan-out: subscribers not interested in a class of
+// movement receive events with the uninteresting rows already removed —
+// zero bytes of change payload when nothing qualifies — while the group
+// still evaluates its query exactly once per tick. The zero Filter passes
+// everything. Conditions compose conjunctively; rows that entered or left
+// the window always satisfy the magnitude conditions (their jump is the
+// whole window).
+type Filter struct {
+	// EnteredOnly keeps only rows that entered the window.
+	EnteredOnly bool
+	// MinRankJump keeps rows whose rank moved at least this many
+	// positions (entered/left rows always qualify). Zero disables.
+	MinRankJump int
+	// MinScoreDelta keeps rows whose overall score moved at least this
+	// much between the two rounds (entered/left rows always qualify).
+	// Zero disables.
+	MinScoreDelta float64
+}
+
+// Zero reports whether the filter passes every change.
+func (f Filter) Zero() bool { return f == Filter{} }
+
+// Apply filters one tick's changes. old is the group's window at the
+// delta's Since round — the score baseline MinScoreDelta compares
+// against. The shared input slice is never mutated; a filter that passes
+// everything returns it as-is.
+func (f Filter) Apply(changes []quality.WindowChange, old []*quality.Assessment) []quality.WindowChange {
+	if f.Zero() || len(changes) == 0 {
+		return changes
+	}
+	var oldScore map[int]float64
+	if f.MinScoreDelta > 0 {
+		oldScore = make(map[int]float64, len(old))
+		for _, a := range old {
+			oldScore[a.ID] = a.Score
+		}
+	}
+	kept := changes[:0:0] // fresh backing array: the input is shared
+	for _, c := range changes {
+		entered := c.OldRank == 0
+		left := c.NewRank == 0
+		if f.EnteredOnly && !entered {
+			continue
+		}
+		if f.MinRankJump > 0 && !entered && !left {
+			jump := c.NewRank - c.OldRank
+			if jump < 0 {
+				jump = -jump
+			}
+			if jump < f.MinRankJump {
+				continue
+			}
+		}
+		if f.MinScoreDelta > 0 && !entered && !left {
+			d := c.Score - oldScore[c.ID]
+			if d < 0 {
+				d = -d
+			}
+			if d < f.MinScoreDelta {
+				continue
+			}
+		}
+		kept = append(kept, c)
+	}
+	return kept
 }
 
 // Errors a Subscription's Err reports after its channel closes.
@@ -138,6 +212,7 @@ type Subscription struct {
 	reg    *Registry
 	grp    *group
 	ch     chan Event
+	filter Filter
 	since  int64
 	window []*quality.Assessment
 
@@ -179,6 +254,17 @@ func StandingForm(q quality.Query) quality.Query {
 // Queries carrying a pagination position (Offset, After) are rejected:
 // bound standing windows with TopK or Limit.
 func (r *Registry) Subscribe(q quality.Query) (*Subscription, error) {
+	return r.SubscribeWith(q, Filter{})
+}
+
+// SubscribeWith is Subscribe with a per-subscription delta filter: the
+// subscriber joins q's group — the filter is NOT part of the group key,
+// so filtered and unfiltered subscribers of one standing query share one
+// evaluation per tick — and receives each tick's changes with the
+// filtered-out rows removed (computed once per distinct filter per group
+// per tick). Empty filtered deltas still arrive, advancing the
+// since-token.
+func (r *Registry) SubscribeWith(q quality.Query, f Filter) (*Subscription, error) {
 	if q.After != nil || q.Offset != 0 {
 		return nil, errors.New("subscribe: standing windows do not paginate; bound them with TopK or Limit")
 	}
@@ -210,7 +296,7 @@ func (r *Registry) Subscribe(q quality.Query) (*Subscription, error) {
 	if buf <= 0 {
 		buf = defaultBuffer
 	}
-	s := &Subscription{reg: r, grp: g, ch: make(chan Event, buf), since: g.version, window: g.window}
+	s := &Subscription{reg: r, grp: g, ch: make(chan Event, buf), filter: f, since: g.version, window: g.window}
 	g.subs[s] = struct{}{}
 	r.startPumpLocked()
 	return s, nil
@@ -260,8 +346,24 @@ func (r *Registry) publishLocked(snap Snapshot) {
 			continue
 		}
 		r.evals++
-		ev := Event{Since: g.version, Snapshot: snap.Version(), Changes: quality.DiffWindows(g.window, res.Items), Snap: snap}
+		changes := quality.DiffWindows(g.window, res.Items)
+		// One filtered view per distinct filter per tick, shared by every
+		// subscriber carrying that filter (Filter is comparable).
+		var filtered map[Filter][]quality.WindowChange
 		for s := range g.subs {
+			ch := changes
+			if !s.filter.Zero() {
+				fc, ok := filtered[s.filter]
+				if !ok {
+					fc = s.filter.Apply(changes, g.window)
+					if filtered == nil {
+						filtered = map[Filter][]quality.WindowChange{}
+					}
+					filtered[s.filter] = fc
+				}
+				ch = fc
+			}
+			ev := Event{Since: g.version, Snapshot: snap.Version(), Changes: ch, Window: res.Items, Snap: snap}
 			select {
 			case s.ch <- ev:
 			default:

@@ -459,3 +459,120 @@ func TestConcurrentSubscribeUnsubscribeDuringPublish(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestFilterApply pins the per-subscription delta-filter semantics on
+// crafted changes: entered-only, rank-jump and score-delta conditions,
+// conjunction, entered/left rows always satisfying magnitude conditions,
+// and the shared input slice staying untouched.
+func TestFilterApply(t *testing.T) {
+	old := []*quality.Assessment{
+		{ID: 1, Name: "a", Score: 0.90},
+		{ID: 2, Name: "b", Score: 0.80},
+		{ID: 3, Name: "c", Score: 0.70},
+		{ID: 4, Name: "d", Score: 0.60},
+	}
+	changes := []quality.WindowChange{
+		{ID: 5, Name: "e", OldRank: 0, NewRank: 1, Score: 0.95},  // entered
+		{ID: 1, Name: "a", OldRank: 1, NewRank: 2, Score: 0.905}, // moved 1, score delta 0.005
+		{ID: 3, Name: "c", OldRank: 3, NewRank: 6, Score: 0.40},  // moved 3, score delta 0.30
+		{ID: 4, Name: "d", OldRank: 4, NewRank: 0, Score: 0.60},  // left
+	}
+	ids := func(cs []quality.WindowChange) []int {
+		out := make([]int, len(cs))
+		for i, c := range cs {
+			out[i] = c.ID
+		}
+		return out
+	}
+
+	if got := (Filter{}).Apply(changes, old); &got[0] != &changes[0] {
+		t.Fatal("zero filter must return the shared slice as-is")
+	}
+	if got := ids((Filter{EnteredOnly: true}).Apply(changes, old)); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("entered-only kept %v, want [5]", got)
+	}
+	if got := ids((Filter{MinRankJump: 2}).Apply(changes, old)); !reflect.DeepEqual(got, []int{5, 3, 4}) {
+		t.Fatalf("rank-jump>=2 kept %v, want [5 3 4] (entered/left always qualify)", got)
+	}
+	if got := ids((Filter{MinScoreDelta: 0.1}).Apply(changes, old)); !reflect.DeepEqual(got, []int{5, 3, 4}) {
+		t.Fatalf("score-delta>=0.1 kept %v, want [5 3 4]", got)
+	}
+	if got := ids((Filter{EnteredOnly: true, MinRankJump: 2}).Apply(changes, old)); !reflect.DeepEqual(got, []int{5}) {
+		t.Fatalf("conjunction kept %v, want [5]", got)
+	}
+	if got := (Filter{MinRankJump: 100}).Apply(changes[1:3], old); len(got) != 0 {
+		t.Fatalf("nothing qualifies, got %v", got)
+	}
+	// The shared slice was never mutated by any of the above.
+	if changes[0].ID != 5 || changes[1].ID != 1 || changes[2].ID != 3 || changes[3].ID != 4 {
+		t.Fatal("Apply mutated the shared changes slice")
+	}
+}
+
+// TestSubscribeWithFilterSharedEvaluation: filtered and unfiltered
+// subscribers of one standing query share one group and one evaluation
+// per tick; two subscribers with the same filter share one filtered view
+// by reference; an all-filtered-out tick still delivers an event (empty
+// changes) advancing the since-token; every event carries the new window.
+func TestSubscribeWithFilterSharedEvaluation(t *testing.T) {
+	snap1 := &stubSnap{version: 1, items: window(1, 2, 3)}
+	src := newSource(snap1)
+	r := New(src.snapshot, Options{})
+	defer r.Close()
+
+	q := quality.Query{TopK: 3}
+	plain, err := r.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Filter{EnteredOnly: true}
+	fa, err := r.SubscribeWith(q, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := r.SubscribeWith(q, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	defer fa.Close()
+	defer fb.Close()
+	if st := r.Stats(); st.Groups != 1 || st.Subscribers != 3 {
+		t.Fatalf("stats %+v, want one shared group with 3 subscribers", st)
+	}
+
+	// Tick: 4 enters at the top, 3 leaves, 1 and 2 shift down.
+	snap2 := &stubSnap{version: 2, items: window(4, 1, 2)}
+	r.Publish(snap2)
+	if snap2.evals.Load() != 1 {
+		t.Fatalf("evaluations = %d, want 1 (filters must not re-evaluate)", snap2.evals.Load())
+	}
+
+	pe, fe1, fe2 := <-plain.Events(), <-fa.Events(), <-fb.Events()
+	if len(pe.Changes) != 4 {
+		t.Fatalf("unfiltered delta has %d changes, want 4", len(pe.Changes))
+	}
+	if len(fe1.Changes) != 1 || fe1.Changes[0].ID != 4 {
+		t.Fatalf("filtered delta %v, want only the entered row 4", fe1.Changes)
+	}
+	if len(fe1.Changes) == 0 || len(fe2.Changes) == 0 || &fe1.Changes[0] != &fe2.Changes[0] {
+		t.Fatal("identical filters must share one filtered view by reference")
+	}
+	if fe1.Since != 1 || fe1.Snapshot != 2 {
+		t.Fatalf("filtered event tokens %d->%d, want 1->2", fe1.Since, fe1.Snapshot)
+	}
+	if len(pe.Window) != 3 || &pe.Window[0] != &fe1.Window[0] {
+		t.Fatal("events must carry the shared new window by reference")
+	}
+
+	// Tick with movement that the filter passes nothing of: 1 and 2 swap.
+	snap3 := &stubSnap{version: 3, items: window(4, 2, 1)}
+	r.Publish(snap3)
+	fe3 := <-fa.Events()
+	if len(fe3.Changes) != 0 {
+		t.Fatalf("filtered delta %v, want empty (nothing entered)", fe3.Changes)
+	}
+	if fe3.Since != 2 || fe3.Snapshot != 3 {
+		t.Fatalf("empty filtered event must still advance the token: %d->%d", fe3.Since, fe3.Snapshot)
+	}
+}
