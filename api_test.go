@@ -55,7 +55,7 @@ func TestAPISourcesByteIdenticalToInProcessQuery(t *testing.T) {
 			t.Fatal(err)
 		}
 		want, err := json.Marshal(apiserve.NewEnvelope(
-			c.SnapshotVersion(), res.Total, res.Start, apiserve.NextCursorOf(res), apiserve.AssessmentItems(res.Items)))
+			c.SnapshotVersion(), res.Total, res.Start, apiserve.NextCursorOf(res, c.ShardCount()), apiserve.AssessmentItems(res.Items)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestAPISourcesByteIdenticalToInProcessQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	want, _ := json.Marshal(apiserve.NewEnvelope(
-		c.SnapshotVersion(), res.Total, 0, apiserve.NextCursorOf(res), apiserve.AssessmentItems(res.Items)))
+		c.SnapshotVersion(), res.Total, 0, apiserve.NextCursorOf(res, c.ShardCount()), apiserve.AssessmentItems(res.Items)))
 	if rec.Body.String() != string(want) {
 		t.Fatalf("%s: HTTP body diverges from the in-process query", target)
 	}

@@ -160,6 +160,14 @@ type Config struct {
 	SpamRate float64
 	// DI scopes the analysis; empty means all of the world's categories.
 	DI DomainOfInterest
+	// Shards partitions the corpus' quality engines into that many
+	// contiguous record-range shards: queries run as scatter-gather plans
+	// with routing-based shard pruning, and an Advance tick re-evaluates
+	// only the shards its delta touched. Results — assessments, rankings,
+	// query windows, cursors — are bit-identical for any value (benchmarks
+	// stay corpus-global; see DESIGN.md section 11). 0 or 1 keeps the
+	// single-matrix engine, today's default.
+	Shards int
 }
 
 // Corpus is an assessed Web 2.0 world: the paper's analysis environment.
@@ -238,6 +246,17 @@ type assessState struct {
 	queryMu sync.Mutex
 	spines  map[string]*spineEntry
 	windows map[string]*windowEntry
+	// spinesDone records spines whose computation completed this round
+	// (recorded under queryMu after each entry's once resolves, so Advance
+	// never races a half-built entry). Advance copies it into the next
+	// snapshot's prevSpines.
+	spinesDone map[string]*quality.Spine
+	// prevSpines carries the previous round's completed spines, keyed by
+	// windowless canonical query: the substrate of the spine carry/repair
+	// path (quality.RepairSpine) that turns a sparse tick's standing-query
+	// re-evaluation into per-shard repairs instead of corpus re-scans.
+	// Written only before the snapshot publishes; read-only afterwards.
+	prevSpines map[string]*quality.Spine
 }
 
 // searchEngine lazily builds the snapshot's search baseline.
@@ -268,21 +287,36 @@ func New(cfg Config) *Corpus {
 		CommentText: cfg.CommentText,
 		SpamRate:    cfg.SpamRate,
 	})
-	return FromWorld(world, cfg.DI, cfg.Seed)
+	return FromWorldSharded(world, cfg.DI, cfg.Seed, cfg.Shards)
 }
 
-// FromWorld assesses an existing world (generated with custom options).
+// FromWorld assesses an existing world (generated with custom options)
+// with the single-matrix engine — FromWorldSharded with one shard.
 func FromWorld(world *World, di DomainOfInterest, seed int64) *Corpus {
+	return FromWorldSharded(world, di, seed, 1)
+}
+
+// FromWorldSharded assesses an existing world over the given shard count
+// (see Config.Shards; values below 2 select the single-matrix engine).
+func FromWorldSharded(world *World, di DomainOfInterest, seed int64, shards int) *Corpus {
 	if len(di.Categories) == 0 {
 		di.Categories = world.Categories
 	}
 	panel := analytics.Build(world, seed+1)
-	env := services.NewEnv(world, panel, di)
+	var opts *quality.AssessorOptions
+	if shards > 1 {
+		opts = &quality.AssessorOptions{Shards: shards}
+	}
+	env := services.NewEnvOpts(world, panel, di, opts)
 	c := &Corpus{DI: di, seed: seed}
 	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed, version: 1})
 	c.subs = subscribe.New(func() subscribe.Snapshot { return apiSnapshot{c.state.Load()} }, subscribe.Options{})
 	return c
 }
+
+// ShardCount reports how many shards the corpus' quality engines partition
+// the record populations into (1 = the single-matrix engine).
+func (c *Corpus) ShardCount() int { return c.state.Load().env.Sources.ShardCount() }
 
 // SnapshotVersion returns the current assessment round's monotonic version
 // — the snapshot token carried by the /api/v1 envelopes and ETags. It
@@ -475,6 +509,12 @@ type apiSnapshot struct{ st *assessState }
 
 func (s apiSnapshot) Version() int64 { return s.st.version }
 
+// ShardCount exposes the engine's shard count to the serving layer, which
+// tags cursor tokens with it: a token minted under one sharding fails
+// closed (410 Gone) if the corpus is rebuilt with another, instead of
+// resuming a walk whose per-shard cost model no longer holds.
+func (s apiSnapshot) ShardCount() int { return s.st.env.Sources.ShardCount() }
+
 func (s apiSnapshot) QuerySources(q Query) (*QueryResult, error) {
 	return s.st.querySources(q)
 }
@@ -596,17 +636,43 @@ func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	if world == cur.world {
 		return c // zero-delta tick: keep the snapshot, pointer-identical
 	}
+	c.publishAdvance(cur, world, delta)
+	return c
+}
+
+// AdvanceSameDay generates fresh comment activity without moving the
+// corpus timeline (webgen.AdvanceSameDay): discussions collect new
+// comments, no epoch moves, and re-assessment repairs only the touched
+// rows — the sparse-churn tick under which standing-query spines are
+// carried forward per shard and repaired instead of re-scanned.
+// onlySources, when non-nil, restricts the churn to those source IDs
+// (nil = everywhere); an empty non-nil slice produces a content-free tick
+// that still publishes a new assessment round. Deterministic per seed;
+// swaps the snapshot atomically exactly like Advance.
+func (c *Corpus) AdvanceSameDay(seed int64, onlySources []int) *Corpus {
+	c.advanceMu.Lock()
+	defer c.advanceMu.Unlock()
+	cur := c.state.Load()
+	world, delta := webgen.AdvanceSameDay(cur.world, seed, onlySources)
+	c.publishAdvance(cur, world, delta)
+	return c
+}
+
+// publishAdvance derives the next assessment snapshot from a ticked world,
+// carries the current round's completed spines forward for repair, swaps
+// the snapshot in and fans the round out to the subscription registry.
+func (c *Corpus) publishAdvance(cur *assessState, world *World, delta *webgen.Delta) {
 	panel := cur.panel.Refresh(world)
 	env := cur.env.Advance(world, panel, delta)
 	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta}
 	next.inheritScan(cur, delta)
+	next.prevSpines = cur.doneSpines()
 	c.state.Store(next)
 	// Publish the round to the subscription registry: every distinct
 	// standing query is evaluated once against the new snapshot (off its
 	// per-round query cache) and the window delta fans out to all of the
 	// query's subscribers before Advance returns.
 	c.subs.Publish(apiSnapshot{next})
-	return c
 }
 
 // Subscription is a standing-query subscription: the baseline window at

@@ -56,6 +56,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -82,6 +83,10 @@ import (
 type Snapshot interface {
 	// Version is the round's monotonic snapshot token.
 	Version() int64
+	// ShardCount is the engine sharding the round was assessed under
+	// (1 = the single-matrix engine). Cursor tokens are tagged with it;
+	// a token minted under a different sharding answers 410 Gone.
+	ShardCount() int
 	QuerySources(q quality.Query) (*quality.QueryResult, error)
 	QueryContributors(q quality.Query) (*quality.QueryResult, error)
 	Influencers(opts quality.InfluencerOptions) []quality.Influencer
@@ -235,7 +240,12 @@ func (s *Server) endpoint(fn handlerFunc) http.HandlerFunc {
 		}
 		pg, err := fn(st, v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			status := http.StatusBadRequest
+			var se *statusError
+			if errors.As(err, &se) {
+				status = se.status
+			}
+			writeError(w, status, err.Error())
 			return
 		}
 		body, err := json.Marshal(NewEnvelope(st.Version(), pg.total, pg.offset, pg.next, pg.items))
@@ -412,12 +422,41 @@ func NewEnvelope(snapshot int64, total, offset int, nextCursor string, items any
 
 // NextCursorOf renders a query result's resume cursor in its wire form —
 // the next_cursor value of the page's envelope ("" when the walk is
-// done).
-func NextCursorOf(res *quality.QueryResult) string {
+// done). shards is the serving snapshot's shard count, stamped into the
+// token so a resume against a re-sharded corpus fails closed.
+func NextCursorOf(res *quality.QueryResult, shards int) string {
 	if res.Next == nil {
 		return ""
 	}
-	return EncodeCursor(*res.Next)
+	return EncodeCursor(*res.Next, shards)
+}
+
+// statusError carries a non-400 HTTP status through the handler return
+// path (the endpoint wrapper answers 400 for plain binding errors).
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// checkCursorShards enforces the cursor token's shard tag against the
+// serving snapshot: a walk resumed across a corpus re-sharding answers
+// 410 Gone, mirroring the aged-out ?snapshot= pin. Called after BindQuery
+// succeeded, so the token is known to decode.
+func checkCursorShards(st Snapshot, v url.Values) error {
+	tok := v.Get("cursor")
+	if tok == "" {
+		return nil
+	}
+	_, shards, err := DecodeCursor(tok)
+	if err != nil {
+		return err
+	}
+	if have := st.ShardCount(); shards != have {
+		return &statusError{http.StatusGone, fmt.Sprintf("cursor was minted under %d shard(s) but the corpus now has %d; restart the walk", shards, have)}
+	}
+	return nil
 }
 
 // Item is the wire form of one Assessment. Raw and Normalized appear only
@@ -548,11 +587,14 @@ func handleSources(st Snapshot, v url.Values) (page, error) {
 	if err != nil {
 		return page{}, err
 	}
+	if err := checkCursorShards(st, v); err != nil {
+		return page{}, err
+	}
 	res, err := st.QuerySources(q)
 	if err != nil {
 		return page{}, err
 	}
-	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res)}, nil
+	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res, st.ShardCount())}, nil
 }
 
 func handleContributors(st Snapshot, v url.Values) (page, error) {
@@ -560,11 +602,14 @@ func handleContributors(st Snapshot, v url.Values) (page, error) {
 	if err != nil {
 		return page{}, err
 	}
+	if err := checkCursorShards(st, v); err != nil {
+		return page{}, err
+	}
 	res, err := st.QueryContributors(q)
 	if err != nil {
 		return page{}, err
 	}
-	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res)}, nil
+	return page{AssessmentItems(res.Items), res.Total, res.Start, NextCursorOf(res, st.ShardCount())}, nil
 }
 
 func handleInfluencers(st Snapshot, v url.Values) (page, error) {
@@ -738,7 +783,10 @@ func BindQuery(v url.Values) (quality.Query, error) {
 		if q.Offset != 0 {
 			return q, fmt.Errorf("cursor and offset are mutually exclusive")
 		}
-		c, err := DecodeCursor(tok)
+		// The shard tag is validated against the serving snapshot by
+		// checkCursorShards (410 semantics); the bound query itself is
+		// shard-agnostic.
+		c, _, err := DecodeCursor(tok)
 		if err != nil {
 			return q, err
 		}
@@ -803,7 +851,10 @@ func EncodeQuery(q quality.Query) url.Values {
 		v.Set("limit", strconv.Itoa(q.Limit))
 	}
 	if q.After != nil {
-		v.Set("cursor", EncodeCursor(*q.After))
+		// A re-encoded query carries no snapshot context; tag for the
+		// unsharded engine (the tag does not affect CanonicalKey, which is
+		// what the FuzzBindQuery round-trip pins).
+		v.Set("cursor", EncodeCursor(*q.After, 1))
 	}
 	if q.Fields == quality.ProjectScores {
 		v.Set("fields", "scores")

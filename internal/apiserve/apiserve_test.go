@@ -29,6 +29,8 @@ type stubSnapshot struct {
 
 func (s *stubSnapshot) Version() int64 { return s.version }
 
+func (s *stubSnapshot) ShardCount() int { return 1 }
+
 func (s *stubSnapshot) QuerySources(q quality.Query) (*quality.QueryResult, error) {
 	*s.lastQ = q
 	as := &quality.Assessment{ID: int(s.version), Name: "src", Score: 0.5}
@@ -187,6 +189,34 @@ func TestEndpointBadRequests(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST: status %d, want 405", rec.Code)
+	}
+}
+
+// TestCursorShardMismatch410 pins the v2 token's fail-closed contract:
+// a cursor minted under a different shard count than the serving
+// snapshot's answers 410 Gone (restart the walk), on both windowed
+// endpoints, while a matching tag keeps serving — and the page a
+// matching walk mints is tagged with the snapshot's own shard count.
+func TestCursorShardMismatch410(t *testing.T) {
+	s, _, _ := newStubServer(1) // stubSnapshot serves ShardCount() == 1
+	stale := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1}, 4)
+	for _, target := range []string{
+		"/api/v1/sources?cursor=" + stale,
+		"/api/v1/contributors?cursor=" + stale,
+	} {
+		if rec := get(t, s, target, nil); rec.Code != http.StatusGone {
+			t.Errorf("%s: status %d, want 410", target, rec.Code)
+		}
+	}
+	ok := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1}, 1)
+	rec := get(t, s, "/api/v1/sources?cursor="+ok, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching shard tag: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if next := decodeEnvelope(t, rec).NextCursor; next != "" {
+		if _, shards, err := DecodeCursor(next); err != nil || shards != 1 {
+			t.Fatalf("minted next_cursor %q: shards=%d err=%v, want the snapshot's shard count 1", next, shards, err)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@ package apiserve
 // ordinary `go test` invocation, so the harness cannot rot.
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"net/url"
 	"strings"
@@ -25,7 +27,8 @@ func FuzzBindQuery(f *testing.F) {
 	f.Add("category=place,pulse&kind=blog&sort=dim.time&fields=scores&limit=7")
 	f.Add("id=5&id=3&id=5&min_dim.time=0.5&min_att.relevance=0.4&offset=3&limit=4")
 	f.Add("min_measure.src.time.liveliness=0.25&spam_resistance=0.3&sort=att.traffic")
-	f.Add("cursor=" + EncodeCursor(quality.Cursor{Key: 0.731, ID: 42, Pos: 11}) + "&limit=5&k=20")
+	f.Add("cursor=" + EncodeCursor(quality.Cursor{Key: 0.731, ID: 42, Pos: 11}, 1) + "&limit=5&k=20")
+	f.Add("cursor=" + EncodeCursor(quality.Cursor{Key: 0.5, ID: 7, Pos: 3}, 16) + "&limit=5")
 	f.Add("cursor=AAAA&limit=5")
 	f.Add("min_score=NaN&k=-3&offset=-1")
 	f.Add("min_score=0x1p-2&min_dim.time=Inf")
@@ -51,28 +54,58 @@ func FuzzBindQuery(f *testing.F) {
 	})
 }
 
-// FuzzCursor pins the cursor token contract for arbitrary strings: decode
-// never panics, rejections are clean errors, and every accepted token is
-// the canonical encoding of an in-domain cursor (decode → encode is the
-// identity on the accepted set).
+// FuzzCursor pins the v2 cursor token contract for arbitrary strings:
+// decode never panics, rejections are clean errors (including v1 tokens
+// from before the shard tag), and every accepted token is the canonical
+// encoding of an in-domain (cursor, shard count) pair — decode → encode
+// is the identity on the accepted set, with the shard tag round-tripping
+// exactly.
 func FuzzCursor(f *testing.F) {
-	f.Add(EncodeCursor(quality.Cursor{}))
-	f.Add(EncodeCursor(quality.Cursor{Key: 0.7313, ID: 42, Pos: 11}))
-	f.Add(EncodeCursor(quality.Cursor{Key: math.Inf(-1), ID: 1 << 40, Pos: 999999}))
+	f.Add(EncodeCursor(quality.Cursor{}, 1))
+	f.Add(EncodeCursor(quality.Cursor{Key: 0.7313, ID: 42, Pos: 11}, 1))
+	f.Add(EncodeCursor(quality.Cursor{Key: 0.7313, ID: 42, Pos: 11}, 2))
+	f.Add(EncodeCursor(quality.Cursor{Key: -0.25, ID: 3, Pos: 0}, 7))
+	f.Add(EncodeCursor(quality.Cursor{Key: math.Inf(-1), ID: 1 << 40, Pos: 999999}, 16))
 	f.Add("")
 	f.Add("not-a-cursor")
 	f.Add(strings.Repeat("A", 200))
-	f.Add("AQAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	f.Add("AQAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA") // v1-length token: stale layout
+	f.Add(v1Token(quality.Cursor{Key: 0.5, ID: 9, Pos: 2}))
 	f.Fuzz(func(t *testing.T, s string) {
-		c, err := DecodeCursor(s)
+		c, shards, err := DecodeCursor(s)
 		if err != nil {
 			return // cleanly rejected token
 		}
-		if math.IsNaN(c.Key) || c.ID < 0 || c.Pos < 0 {
-			t.Fatalf("accepted cursor out of domain: %+v (from %q)", c, s)
+		if math.IsNaN(c.Key) || c.ID < 0 || c.Pos < 0 || shards < 1 {
+			t.Fatalf("accepted cursor out of domain: %+v shards=%d (from %q)", c, shards, s)
 		}
-		if s2 := EncodeCursor(c); s2 != s {
-			t.Fatalf("accepted token is not canonical: %q decodes to %+v which encodes to %q", s, c, s2)
+		if s2 := EncodeCursor(c, shards); s2 != s {
+			t.Fatalf("accepted token is not canonical: %q decodes to %+v shards=%d which encodes to %q", s, c, shards, s2)
 		}
 	})
+}
+
+// v1Token renders a cursor in the retired version-1 layout (no shard
+// tag) with a valid checksum — the exact bytes an old client might still
+// hold. DecodeCursor must reject it as an unknown version.
+func v1Token(c quality.Cursor) string {
+	buf := make([]byte, 1+8+8+8+4)
+	buf[0] = 1
+	binary.BigEndian.PutUint64(buf[1:], math.Float64bits(c.Key))
+	binary.BigEndian.PutUint64(buf[9:], uint64(c.ID))
+	binary.BigEndian.PutUint64(buf[17:], uint64(c.Pos))
+	h := fnv.New32a()
+	h.Write(buf[:25])
+	binary.BigEndian.PutUint32(buf[25:], h.Sum32())
+	return cursorEncoding.EncodeToString(buf)
+}
+
+// TestCursorV1Rejected pins the retirement of the untagged v1 layout: a
+// well-formed, correctly checksummed v1 token is refused outright (clients
+// restart their walks), never misparsed into a v2 cursor.
+func TestCursorV1Rejected(t *testing.T) {
+	tok := v1Token(quality.Cursor{Key: 0.731, ID: 42, Pos: 11})
+	if _, _, err := DecodeCursor(tok); err == nil {
+		t.Fatalf("v1 token %q was accepted", tok)
+	}
 }

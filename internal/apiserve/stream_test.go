@@ -194,7 +194,7 @@ func TestStreamErrorsMatchWatch(t *testing.T) {
 	// 410 and 400 are answered before any frame, with the same semantics
 	// as /api/v1/watch: aged since → Gone, unpublished since → Bad
 	// Request, pagination positions rejected.
-	cursorTok := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1})
+	cursorTok := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1}, 1)
 	for target, wantCode := range map[string]int{
 		"/api/v1/stream?since=1&k=10":                http.StatusGone, // never retained
 		"/api/v1/stream?since=9":                     http.StatusBadRequest,

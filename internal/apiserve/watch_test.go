@@ -7,7 +7,9 @@ package apiserve
 // root by api_test.go and watch_test.go.
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"hash/fnv"
 	"math"
 	"net/http"
 	"net/url"
@@ -27,19 +29,21 @@ func TestCursorRoundTrip(t *testing.T) {
 		{Key: math.Inf(1), ID: 1 << 40, Pos: 123456789},
 		{Key: math.Inf(-1), ID: math.MaxInt, Pos: math.MaxInt},
 	} {
-		tok := EncodeCursor(c)
-		got, err := DecodeCursor(tok)
-		if err != nil {
-			t.Fatalf("%+v: decode failed: %v", c, err)
-		}
-		if got != c {
-			t.Fatalf("round trip %+v -> %q -> %+v", c, tok, got)
+		for _, shards := range []int{1, 2, 7, 16} {
+			tok := EncodeCursor(c, shards)
+			got, gotShards, err := DecodeCursor(tok)
+			if err != nil {
+				t.Fatalf("%+v shards=%d: decode failed: %v", c, shards, err)
+			}
+			if got != c || gotShards != shards {
+				t.Fatalf("round trip %+v shards=%d -> %q -> %+v shards=%d", c, shards, tok, got, gotShards)
+			}
 		}
 	}
 }
 
 func TestCursorRejections(t *testing.T) {
-	valid := EncodeCursor(quality.Cursor{Key: 0.5, ID: 3, Pos: 10})
+	valid := EncodeCursor(quality.Cursor{Key: 0.5, ID: 3, Pos: 10}, 2)
 	flip := byte('A')
 	if valid[12] == 'A' {
 		flip = 'B'
@@ -49,17 +53,33 @@ func TestCursorRejections(t *testing.T) {
 		"not-base64":     "!!!!",
 		"short":          valid[:len(valid)-4],
 		"tampered":       valid[:12] + string(flip) + valid[13:],
-		"wrong-version":  EncodeCursor(quality.Cursor{})[:0] + "Av" + EncodeCursor(quality.Cursor{})[2:],
+		"wrong-version":  "Av" + valid[2:],
 		"padding-abuse":  valid + "=",
 		"trailing-bits":  valid[:len(valid)-1] + "/",
-		"negative-id":    EncodeCursor(quality.Cursor{ID: -1}),
-		"negative-pos":   EncodeCursor(quality.Cursor{Pos: -1}),
-		"nan-key-forged": EncodeCursor(quality.Cursor{Key: math.NaN()}),
+		"negative-id":    EncodeCursor(quality.Cursor{ID: -1}, 1),
+		"negative-pos":   EncodeCursor(quality.Cursor{Pos: -1}, 1),
+		"nan-key-forged": EncodeCursor(quality.Cursor{Key: math.NaN()}, 1),
+		"zero-shards":    forgeShards(quality.Cursor{Key: 0.5, ID: 3, Pos: 10}, 0),
 	} {
-		if _, err := DecodeCursor(tok); err == nil {
+		if _, _, err := DecodeCursor(tok); err == nil {
 			t.Errorf("%s (%q) must be rejected", name, tok)
 		}
 	}
+}
+
+// forgeShards re-stamps a token's shard tag (re-checksummed), producing
+// a well-formed token with an arbitrary shard count — how a hostile
+// client would forge one, and how tests mint out-of-domain tags.
+func forgeShards(c quality.Cursor, shards uint32) string {
+	buf, err := cursorEncoding.DecodeString(EncodeCursor(c, 1))
+	if err != nil {
+		panic(err)
+	}
+	binary.BigEndian.PutUint32(buf[1:], shards)
+	h := fnv.New32a()
+	h.Write(buf[:cursorSummed])
+	binary.BigEndian.PutUint32(buf[cursorSummed:], h.Sum32())
+	return cursorEncoding.EncodeToString(buf)
 }
 
 func TestEncodeQueryRoundTrip(t *testing.T) {
@@ -222,7 +242,7 @@ func TestWatchTimeoutAndErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want %d", target, rec.Code, wantCode)
 		}
 	}
-	cursorTok := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1})
+	cursorTok := EncodeCursor(quality.Cursor{Key: 0.5, ID: 1, Pos: 1}, 1)
 	if rec := get(t, s, "/api/v1/watch?since=5&cursor="+cursorTok, nil); rec.Code != http.StatusBadRequest {
 		t.Errorf("cursor on watch: status %d, want 400", rec.Code)
 	}

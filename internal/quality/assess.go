@@ -46,6 +46,15 @@ type AssessorOptions struct {
 	// Workers bounds the assessment worker pool (0 = GOMAXPROCS). Results
 	// are identical for any value; 1 forces the sequential path.
 	Workers int
+	// Shards partitions the corpus into that many contiguous record-range
+	// shards, each owning its own measure matrix, spine cache and
+	// incremental-update path; queries become scatter-gather plans with
+	// routing-based shard pruning, and a tick's update cost scales with the
+	// dirty shards, not the corpus (DESIGN.md section 11). Benchmarks stay
+	// corpus-global via a two-phase gather, so every output — assessments,
+	// rankings, query windows, cursors — is bit-identical for any value.
+	// 0 or 1 selects the single-matrix engine (today's behaviour).
+	Shards int
 	// ExtraSourceMeasures extends the Table 1 catalogue with caller-
 	// defined measures — the paper's "extension towards new kinds of
 	// domains, quality dimensions and analyses". IDs must not collide
@@ -105,7 +114,7 @@ type SourceAssessor struct {
 	DI         DomainOfInterest
 	opts       AssessorOptions
 	measures   []SourceMeasure
-	engine     *matrixEngine[SourceRecord]
+	engine     engineAPI[SourceRecord]
 	benchmarks map[string]Benchmark
 }
 
@@ -128,8 +137,12 @@ func NewSourceAssessor(corpus []*SourceRecord, di DomainOfInterest, opts *Assess
 		evals[i] = m.Eval
 	}
 	a := &SourceAssessor{DI: di, opts: o, measures: measures}
-	a.engine = newMatrixEngine(corpus, di, o, infos, evals,
-		func(r *SourceRecord) (int, string) { return r.ID, r.Name })
+	ident := func(r *SourceRecord) (int, string) { return r.ID, r.Name }
+	if o.Shards > 1 {
+		a.engine = newShardedEngine(corpus, di, o, infos, evals, ident, noteSourceRoute)
+	} else {
+		a.engine = newMatrixEngine(corpus, di, o, infos, evals, ident)
+	}
 	a.benchmarks = make(map[string]Benchmark, len(measures))
 	for i, m := range measures {
 		a.benchmarks[m.ID] = a.engine.benchmarkAt(i)
@@ -175,12 +188,34 @@ func (a *SourceAssessor) Rank(records []*SourceRecord) []*Assessment {
 // for concurrent readers of the pre-advance snapshot.
 func (a *SourceAssessor) UpdateRows(corpus []*SourceRecord, dirtyRows []int, epochMoved bool) *SourceAssessor {
 	na := &SourceAssessor{DI: a.DI, opts: a.opts, measures: a.measures}
-	na.engine = a.engine.updateRows(corpus, dirtyRows, epochMoved)
+	na.engine = a.engine.update(corpus, dirtyRows, epochMoved)
 	na.benchmarks = make(map[string]Benchmark, len(a.measures))
 	for i, m := range a.measures {
 		na.benchmarks[m.ID] = na.engine.benchmarkAt(i)
 	}
 	return na
+}
+
+// ShardCount reports how many shards the assessor's engine partitions the
+// corpus into (1 for the single-matrix engine).
+func (a *SourceAssessor) ShardCount() int { return a.engine.shardCount() }
+
+// SpineStats reports the standing-spine evaluation work this assessor has
+// performed since it was derived: full scans, incremental repairs, and
+// clean-shard carries. The dirty-shard concurrency tests pin these.
+func (a *SourceAssessor) SpineStats() SpineStats { return a.engine.spineStats().stats() }
+
+// RepairSpine derives the current round's spine for q from prev — built by
+// this assessor's predecessor over the previous round's records — by
+// re-evaluating only the rows the producing UpdateRows dirtied. ok is
+// false whenever a carry could be stale (fresh assessor, epoch moved,
+// benchmarks changed, invalid query); fall back to Spine then. On success
+// the result is bit-identical to a fresh Spine call.
+func (a *SourceAssessor) RepairSpine(records []*SourceRecord, prev *Spine, q Query) (*Spine, bool) {
+	if q.MinSpamResistance > 0 {
+		return nil, false
+	}
+	return a.engine.repairSpine(records, prev, q, sourceKeep(q), nil)
 }
 
 // ContributorAssessor assesses ContributorRecords (Table 2) with the same
@@ -189,7 +224,7 @@ type ContributorAssessor struct {
 	DI         DomainOfInterest
 	opts       AssessorOptions
 	measures   []ContributorMeasure
-	engine     *matrixEngine[ContributorRecord]
+	engine     engineAPI[ContributorRecord]
 	benchmarks map[string]Benchmark
 }
 
@@ -211,8 +246,12 @@ func NewContributorAssessor(corpus []*ContributorRecord, di DomainOfInterest, op
 		evals[i] = m.Eval
 	}
 	a := &ContributorAssessor{DI: di, opts: o, measures: measures}
-	a.engine = newMatrixEngine(corpus, di, o, infos, evals,
-		func(r *ContributorRecord) (int, string) { return r.ID, r.Name })
+	ident := func(r *ContributorRecord) (int, string) { return r.ID, r.Name }
+	if o.Shards > 1 {
+		a.engine = newShardedEngine(corpus, di, o, infos, evals, ident, noteContributorRoute)
+	} else {
+		a.engine = newMatrixEngine(corpus, di, o, infos, evals, ident)
+	}
 	a.benchmarks = make(map[string]Benchmark, len(measures))
 	for i, m := range measures {
 		a.benchmarks[m.ID] = a.engine.benchmarkAt(i)
@@ -247,10 +286,28 @@ func (a *ContributorAssessor) Rank(records []*ContributorRecord) []*Assessment {
 // contributor population; see SourceAssessor.UpdateRows.
 func (a *ContributorAssessor) UpdateRows(corpus []*ContributorRecord, dirtyRows []int, epochMoved bool) *ContributorAssessor {
 	na := &ContributorAssessor{DI: a.DI, opts: a.opts, measures: a.measures}
-	na.engine = a.engine.updateRows(corpus, dirtyRows, epochMoved)
+	na.engine = a.engine.update(corpus, dirtyRows, epochMoved)
 	na.benchmarks = make(map[string]Benchmark, len(a.measures))
 	for i, m := range a.measures {
 		na.benchmarks[m.ID] = na.engine.benchmarkAt(i)
 	}
 	return na
+}
+
+// ShardCount reports how many shards the assessor's engine partitions the
+// corpus into (1 for the single-matrix engine).
+func (a *ContributorAssessor) ShardCount() int { return a.engine.shardCount() }
+
+// SpineStats reports the standing-spine evaluation work this assessor has
+// performed since it was derived; see SourceAssessor.SpineStats.
+func (a *ContributorAssessor) SpineStats() SpineStats { return a.engine.spineStats().stats() }
+
+// RepairSpine derives the current round's contributor spine from prev via
+// the dirty rows of the producing UpdateRows; see
+// SourceAssessor.RepairSpine.
+func (a *ContributorAssessor) RepairSpine(records []*ContributorRecord, prev *Spine, q Query) (*Spine, bool) {
+	if len(q.Kinds) > 0 {
+		return nil, false
+	}
+	return a.engine.repairSpine(records, prev, q, contributorKeep(q), a.spamIdx(q))
 }

@@ -11,6 +11,7 @@ package quality
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"github.com/informing-observers/informer/internal/parallel"
 	"github.com/informing-observers/informer/internal/stats"
@@ -36,6 +37,54 @@ type measureInfo struct {
 	timeSensitive bool
 }
 
+// engineAPI is the assessment-engine surface the assessors program
+// against. Two implementations exist: the single measure matrix below
+// (today's default, AssessorOptions.Shards <= 1) and the sharded
+// scatter-gather engine of shard.go (Shards >= 2). The assessors never
+// know which one they hold, so every public method — Assess, Rank, Query,
+// Spine, UpdateRows — works identically at any shard count, and the
+// cross-shard equivalence suite pins the outputs bit-identical.
+type engineAPI[R any] interface {
+	assess(r *R) *Assessment
+	assessAll(records []*R) []*Assessment
+	rank(records []*R) []*Assessment
+	benchmarkAt(m int) Benchmark
+	measurePos(id string) int
+	rankTopK(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*QueryResult, error)
+	spine(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*Spine, error)
+	window(records []*R, sp *Spine, q Query) (*QueryResult, error)
+	repairSpine(records []*R, prev *Spine, q Query, keep func(*R) bool, spamIdx []int) (*Spine, bool)
+	update(corpus []*R, dirty []int, epochMoved bool) engineAPI[R]
+	shardCount() int
+	spineStats() *spineCounters
+}
+
+// SpineStats counts the standing-spine evaluation work an assessor has
+// performed since it was derived — the observability hook behind the
+// dirty-shard evaluation pins: a tick that dirties one shard of N must
+// cost one Repair (or Scan) plus N-1 Carries, never N Scans.
+type SpineStats struct {
+	// Scans counts full shard scans (fresh spine evaluations, one per
+	// shard actually scanned — routed-out shards never count).
+	Scans int64
+	// Repairs counts per-shard spine repairs: dirty rows re-evaluated and
+	// re-inserted into the carried ranked order instead of re-scanning.
+	Repairs int64
+	// Carries counts per-shard spines reused untouched from the previous
+	// round (clean shard, benchmarks unchanged).
+	Carries int64
+}
+
+// spineCounters is the atomic backing store of SpineStats; engines share
+// one per derivation behind a pointer (atomic types must not be copied).
+type spineCounters struct {
+	scans, repairs, carries atomic.Int64
+}
+
+func (c *spineCounters) stats() SpineStats {
+	return SpineStats{Scans: c.scans.Load(), Repairs: c.repairs.Load(), Carries: c.carries.Load()}
+}
+
 // matrixEngine evaluates a measure catalogue over a corpus once and serves
 // assessments from the cached values. R is the record type (SourceRecord or
 // ContributorRecord).
@@ -58,20 +107,77 @@ type matrixEngine[R any] struct {
 	attOff, nAtts int
 
 	nRecords int
-	col      map[*R]int // corpus record -> matrix column
-	vals     []float64  // vals[m*nRecords+c]: raw value of measure m on record c
-	present  []bool     // present[m*nRecords+c]: measure defined for record
+	recs     []*R       // the corpus the engine was built (or last derived) over
+	col      map[*R]int // corpus record -> matrix column; never mutated after construction, so derivations with identical record pointers share it
+	// vals[m][c] / present[m][c]: the raw value of measure m on record c
+	// and whether the measure is defined there, stored measure-major. Rows
+	// are immutable once an engine is published: derive shares every row
+	// header with its parent and the update paths copy a measure's row
+	// only before the first cell that actually changes, so a sparse tick
+	// allocates columns only for the measures it really moved.
+	vals    [][]float64
+	present [][]bool
 
 	// sorted[m] holds measure m's defined values in ascending order — the
 	// exact slice the benchmark quantiles were read from. It is retained
 	// so updateRows can repair it (remove+insert) instead of re-sorting
 	// when only a few records changed. Engines and their sorted columns
 	// are immutable after construction; updateRows copies before editing.
+	// Shard-member engines leave it nil: their benchmarks come from the
+	// corpus-global ledger (shard.go), which owns the sorted columns.
 	sorted [][]float64
+
+	// Incremental-update provenance, read by repairSpine: the rows the
+	// producing update dirtied, whether its tick moved the observation
+	// instant, and whether any benchmark changed bitwise. A from-scratch
+	// construction has no predecessor (fresh) and can never carry a spine
+	// forward.
+	fresh          bool
+	lastDirty      []int
+	lastEpochMoved bool
+	benchChanged   bool
+
+	counters *spineCounters
 }
 
 // newMatrixEngine fills the matrix and derives the benchmarks.
 func newMatrixEngine[R any](
+	corpus []*R,
+	di DomainOfInterest,
+	opts AssessorOptions,
+	infos []measureInfo,
+	evals []func(*R, *DomainOfInterest) (float64, bool),
+	ident func(*R) (int, string),
+) *matrixEngine[R] {
+	e := newMatrixEngineNoBench(corpus, di, opts, infos, evals, ident)
+	// Benchmarks: per measure, gather the defined values in record order
+	// and sort once; Lo and Hi both read from the same sorted slice, which
+	// is retained for incremental repair.
+	nm, nr := len(infos), e.nRecords
+	e.benchmarks = make([]Benchmark, nm)
+	e.sorted = make([][]float64, nm)
+	e.forEachChunk(nm, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			vrow, prow := e.vals[m], e.present[m]
+			values := make([]float64, 0, nr)
+			for c := 0; c < nr; c++ {
+				if prow[c] {
+					values = append(values, vrow[c])
+				}
+			}
+			sort.Float64s(values)
+			e.sorted[m] = values
+			e.benchmarks[m] = benchmarkFromPresorted(values, opts)
+		}
+	})
+	return e
+}
+
+// newMatrixEngineNoBench fills the matrix only: shard-member engines get
+// their benchmarks assigned by the sharded coordinator's corpus-global
+// ledger (the two-phase gather of shard.go), so normalisation stays
+// corpus-global however the records are partitioned.
+func newMatrixEngineNoBench[R any](
 	corpus []*R,
 	di DomainOfInterest,
 	opts AssessorOptions,
@@ -88,9 +194,12 @@ func newMatrixEngine[R any](
 		ident:    ident,
 		weights:  make([]float64, nm),
 		nRecords: nr,
+		recs:     corpus,
 		col:      make(map[*R]int, nr),
-		vals:     make([]float64, nm*nr),
-		present:  make([]bool, nm*nr),
+		vals:     makeRows[float64](nm, nr),
+		present:  makeRows[bool](nm, nr),
+		fresh:    true,
+		counters: &spineCounters{},
 	}
 	minDim, maxDim := Dimension(0), Dimension(numDimensions-1)
 	minAtt, maxAtt := Attribute(0), Attribute(numAttributes-1)
@@ -119,31 +228,25 @@ func newMatrixEngine[R any](
 			r := corpus[c]
 			for m := range evals {
 				if v, ok := evals[m](r, &e.di); ok {
-					e.vals[m*nr+c] = v
-					e.present[m*nr+c] = true
+					e.vals[m][c] = v
+					e.present[m][c] = true
 				}
 			}
-		}
-	})
-	// Benchmarks: per measure, gather the defined values in record order
-	// and sort once; Lo and Hi both read from the same sorted slice, which
-	// is retained for incremental repair.
-	e.benchmarks = make([]Benchmark, nm)
-	e.sorted = make([][]float64, nm)
-	e.forEachChunk(nm, func(lo, hi int) {
-		for m := lo; m < hi; m++ {
-			values := make([]float64, 0, nr)
-			for c := 0; c < nr; c++ {
-				if e.present[m*nr+c] {
-					values = append(values, e.vals[m*nr+c])
-				}
-			}
-			sort.Float64s(values)
-			e.sorted[m] = values
-			e.benchmarks[m] = benchmarkFromPresorted(values, opts)
 		}
 	})
 	return e
+}
+
+// makeRows allocates an nm-row, nr-column measure-major matrix over one
+// flat backing array (one allocation, full-capped rows so an append can
+// never bleed into a neighbour).
+func makeRows[T any](nm, nr int) [][]T {
+	rows := make([][]T, nm)
+	flat := make([]T, nm*nr)
+	for m := range rows {
+		rows[m] = flat[m*nr : (m+1)*nr : (m+1)*nr]
+	}
+	return rows
 }
 
 // benchmarkFromPresorted derives a Benchmark from an ascending-sorted value
@@ -157,6 +260,21 @@ func benchmarkFromPresorted(values []float64, opts AssessorOptions) Benchmark {
 	}
 	q := stats.SortedQuantiles(values, opts.BenchmarkLoQ, opts.BenchmarkHiQ)
 	return Benchmark{Lo: q[0], Hi: q[1]}
+}
+
+// benchmarksEqual reports bitwise equality of two benchmark slices — the
+// gate for carrying ranked spines across ticks: any benchmark movement
+// shifts every normalized value, so a carried ranking would be stale.
+func benchmarksEqual(a, b []Benchmark) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // resortDenominator bounds the remove+insert repair: past nRecords /
@@ -184,25 +302,9 @@ func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) 
 	if len(corpus) != nr {
 		return newMatrixEngine(corpus, e.di, e.opts, e.infos, e.evals, e.ident)
 	}
-	ne := &matrixEngine[R]{
-		di:      e.di,
-		opts:    e.opts,
-		infos:   e.infos,
-		evals:   e.evals,
-		ident:   e.ident,
-		weights: e.weights,
-		dimOff:  e.dimOff, nDims: e.nDims,
-		attOff: e.attOff, nAtts: e.nAtts,
-		nRecords:   nr,
-		col:        make(map[*R]int, nr),
-		vals:       append([]float64(nil), e.vals...),
-		present:    append([]bool(nil), e.present...),
-		benchmarks: append([]Benchmark(nil), e.benchmarks...),
-		sorted:     make([][]float64, nm),
-	}
-	for c, r := range corpus {
-		ne.col[r] = c
-	}
+	ne := e.derive(corpus, dirty, epochMoved)
+	ne.benchmarks = append([]Benchmark(nil), e.benchmarks...)
+	ne.sorted = make([][]float64, nm)
 	// Each worker owns a contiguous chunk of measure columns; columns are
 	// independent, so the result cannot depend on scheduling.
 	e.forEachChunk(nm, func(lo, hi int) {
@@ -210,28 +312,42 @@ func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) 
 			switch {
 			case e.infos[m].timeSensitive && epochMoved:
 				// The instant moved under every record: recompute the
-				// column wholesale, exactly like construction.
+				// column wholesale, exactly like construction, into a
+				// fresh row (the parent's stays shared and untouched).
+				vrow := make([]float64, nr)
+				prow := make([]bool, nr)
 				values := make([]float64, 0, nr)
 				for c := 0; c < nr; c++ {
 					v, ok := e.evals[m](corpus[c], &ne.di)
-					ne.vals[m*nr+c], ne.present[m*nr+c] = v, ok
+					vrow[c], prow[c] = v, ok
 					if ok {
 						values = append(values, v)
 					}
 				}
+				ne.vals[m], ne.present[m] = vrow, prow
 				sort.Float64s(values)
 				ne.sorted[m] = values
 				ne.benchmarks[m] = benchmarkFromPresorted(values, ne.opts)
 			case len(dirty)*resortDenominator > nr:
 				// Dirtiness threshold exceeded: re-evaluate the dirty rows
-				// and re-sort the column from scratch.
+				// (copy-on-first-change) and re-sort the column from scratch.
+				rowsOwned := false
 				for _, c := range dirty {
-					ne.vals[m*nr+c], ne.present[m*nr+c] = e.evals[m](corpus[c], &ne.di)
+					v, ok := e.evals[m](corpus[c], &ne.di)
+					if ok == e.present[m][c] && (!ok || v == e.vals[m][c]) {
+						continue // cell unchanged: keep sharing the row
+					}
+					if !rowsOwned {
+						ne.cowRows(m)
+						rowsOwned = true
+					}
+					ne.vals[m][c], ne.present[m][c] = v, ok
 				}
+				vrow, prow := ne.vals[m], ne.present[m]
 				values := make([]float64, 0, nr)
 				for c := 0; c < nr; c++ {
-					if ne.present[m*nr+c] {
-						values = append(values, ne.vals[m*nr+c])
+					if prow[c] {
+						values = append(values, vrow[c])
 					}
 				}
 				sort.Float64s(values)
@@ -239,16 +355,22 @@ func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) 
 				ne.benchmarks[m] = benchmarkFromPresorted(values, ne.opts)
 			default:
 				// Sparse dirt: repair the retained sorted column by
-				// remove+insert and re-read the quantiles.
+				// remove+insert and re-read the quantiles. Matrix rows and
+				// the sorted column are both copy-on-first-change.
 				col := e.sorted[m]
 				copied := false
+				rowsOwned := false
 				for _, c := range dirty {
-					oldV, oldOk := e.vals[m*nr+c], e.present[m*nr+c]
+					oldV, oldOk := e.vals[m][c], e.present[m][c]
 					v, ok := e.evals[m](corpus[c], &ne.di)
-					ne.vals[m*nr+c], ne.present[m*nr+c] = v, ok
 					if ok == oldOk && (!ok || v == oldV) {
-						continue // value unchanged: sorted column unaffected
+						continue // value unchanged: row and column unaffected
 					}
+					if !rowsOwned {
+						ne.cowRows(m)
+						rowsOwned = true
+					}
+					ne.vals[m][c], ne.present[m][c] = v, ok
 					if !copied {
 						col = append(make([]float64, 0, len(col)+len(dirty)), col...)
 						copied = true
@@ -267,8 +389,137 @@ func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) 
 			}
 		}
 	})
+	ne.benchChanged = !benchmarksEqual(e.benchmarks, ne.benchmarks)
 	return ne
 }
+
+// updateRowsNoBench is updateRows for shard-member engines: it repairs the
+// raw matrix (dirty rows for every measure; every row for time-sensitive
+// measures when the epoch moved) but leaves benchmarks and sorted columns
+// alone — the sharded coordinator repairs its corpus-global ledger from
+// the old and new matrices afterwards and assigns the shared benchmarks.
+func (e *matrixEngine[R]) updateRowsNoBench(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
+	nm, nr := len(e.infos), e.nRecords
+	ne := e.derive(corpus, dirty, epochMoved)
+	e.forEachChunk(nm, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			if e.infos[m].timeSensitive && epochMoved {
+				vrow := make([]float64, nr)
+				prow := make([]bool, nr)
+				for c := 0; c < nr; c++ {
+					vrow[c], prow[c] = e.evals[m](corpus[c], &ne.di)
+				}
+				ne.vals[m], ne.present[m] = vrow, prow
+				continue
+			}
+			rowsOwned := false
+			for _, c := range dirty {
+				v, ok := e.evals[m](corpus[c], &ne.di)
+				if ok == e.present[m][c] && (!ok || v == e.vals[m][c]) {
+					continue // cell unchanged: keep sharing the row
+				}
+				if !rowsOwned {
+					ne.cowRows(m)
+					rowsOwned = true
+				}
+				ne.vals[m][c], ne.present[m][c] = v, ok
+			}
+		}
+	})
+	return ne
+}
+
+// derive clones the engine's immutable metadata plus a fresh copy of the
+// matrix for an update over the given corpus, recording the update's
+// provenance for repairSpine.
+func (e *matrixEngine[R]) derive(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
+	ne := &matrixEngine[R]{
+		di:      e.di,
+		opts:    e.opts,
+		infos:   e.infos,
+		evals:   e.evals,
+		ident:   e.ident,
+		weights: e.weights,
+		dimOff:  e.dimOff, nDims: e.nDims,
+		attOff: e.attOff, nAtts: e.nAtts,
+		nRecords:       e.nRecords,
+		recs:           corpus,
+		vals:           append([][]float64(nil), e.vals...),
+		present:        append([][]bool(nil), e.present...),
+		lastDirty:      dirty,
+		lastEpochMoved: epochMoved,
+		counters:       &spineCounters{},
+	}
+	ne.col = e.shareOrRebuildCol(corpus)
+	return ne
+}
+
+// cowRows takes ownership of measure m's matrix rows in a freshly derived
+// engine: derive shares every row header with its parent, so the first
+// cell an update actually changes copies the value and presence rows
+// together. Callers track ownership per measure (each measure is repaired
+// by exactly one worker) and call this at most once.
+func (e *matrixEngine[R]) cowRows(m int) {
+	e.vals[m] = append([]float64(nil), e.vals[m]...)
+	e.present[m] = append([]bool(nil), e.present[m]...)
+}
+
+// shareOrRebuildCol returns the record→column map for a derivation over
+// corpus: when every record pointer is unchanged from the engine's own
+// corpus — the common case for clean shards and in-place churn — the
+// existing map is shared (it is never mutated after construction);
+// otherwise a fresh map is built for the refreshed pointers.
+func (e *matrixEngine[R]) shareOrRebuildCol(corpus []*R) map[*R]int {
+	if len(corpus) == len(e.recs) {
+		same := true
+		for i := range corpus {
+			if corpus[i] != e.recs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return e.col
+		}
+	}
+	col := make(map[*R]int, len(corpus))
+	for c, r := range corpus {
+		col[r] = c
+	}
+	return col
+}
+
+// remap returns a shallow derivation of a clean shard-member engine for
+// the current round's record pointers: matrix, sorted columns and weights
+// are shared (the shard's content did not change, so they are still
+// exact), the record→column map is shared or rebuilt depending on whether
+// the pointers actually moved, and the corpus-global benchmark slice
+// swapped in. The receiver keeps serving readers of the previous snapshot
+// untouched.
+func (e *matrixEngine[R]) remap(corpus []*R, benchmarks []Benchmark) *matrixEngine[R] {
+	ne := new(matrixEngine[R])
+	*ne = *e
+	ne.benchmarks = benchmarks
+	ne.recs = corpus
+	ne.col = e.shareOrRebuildCol(corpus)
+	ne.fresh = false
+	ne.lastDirty = nil
+	ne.lastEpochMoved = false
+	ne.benchChanged = false
+	ne.counters = &spineCounters{}
+	return ne
+}
+
+// update implements engineAPI for the single-matrix engine.
+func (e *matrixEngine[R]) update(corpus []*R, dirty []int, epochMoved bool) engineAPI[R] {
+	return e.updateRows(corpus, dirty, epochMoved)
+}
+
+// shardCount implements engineAPI: a single matrix is one shard.
+func (e *matrixEngine[R]) shardCount() int { return 1 }
+
+// spineStats implements engineAPI.
+func (e *matrixEngine[R]) spineStats() *spineCounters { return e.counters }
 
 // forEachChunk fans fn out over the assessor's worker pool with
 // deterministic contiguous chunking (see internal/parallel).
@@ -288,14 +539,14 @@ func (e *matrixEngine[R]) assess(r *R) *Assessment {
 // assessProject is assess with a projection: ProjectScores skips the
 // per-measure Raw/Normalized maps (the query serving path).
 func (e *matrixEngine[R]) assessProject(r *R, fields Projection) *Assessment {
-	nm, nr := len(e.infos), e.nRecords
+	nm := len(e.infos)
 
 	raw := make([]float64, nm)
 	def := make([]bool, nm)
 	if c, cached := e.col[r]; cached {
 		for m := 0; m < nm; m++ {
-			raw[m] = e.vals[m*nr+c]
-			def[m] = e.present[m*nr+c]
+			raw[m] = e.vals[m][c]
+			def[m] = e.present[m][c]
 		}
 	} else {
 		for m := range e.evals {

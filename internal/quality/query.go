@@ -350,11 +350,11 @@ func (e *matrixEngine[R]) newLeanBuf() *leanBuf {
 // number a query filters or sorts on is bit-identical to the materialized
 // Assessment.
 func (e *matrixEngine[R]) leanEval(r *R, b *leanBuf) {
-	nm, nr := len(e.infos), e.nRecords
+	nm := len(e.infos)
 	if c, cached := e.col[r]; cached {
 		for m := 0; m < nm; m++ {
-			b.raw[m] = e.vals[m*nr+c]
-			b.def[m] = e.present[m*nr+c]
+			b.raw[m] = e.vals[m][c]
+			b.def[m] = e.present[m][c]
 		}
 	} else {
 		for m := range e.evals {
@@ -489,12 +489,73 @@ func (e *matrixEngine[R]) resolveQuery(q Query) (*resolvedQuery, error) {
 	return rq, nil
 }
 
+// evalCand evaluates one record against the resolved scope and predicates
+// using buf as scratch. When the record matches, its ranked candidate —
+// sort key, record ID, row index — is returned with ok true. This is the
+// per-record body of every scan, repair and re-evaluation path, so each of
+// them filters and ranks with bit-identical arithmetic.
+func (e *matrixEngine[R]) evalCand(r *R, row int, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int, buf *leanBuf) (leanCand, bool) {
+	if keep != nil && !keep(r) {
+		return leanCand{}, false
+	}
+	e.leanEval(r, buf)
+	if buf.score < q.MinScore {
+		return leanCand{}, false
+	}
+	for _, th := range rq.minDim {
+		if buf.dimCnt[th.idx] == 0 || buf.dimSum[th.idx]/buf.dimCnt[th.idx] < th.v {
+			return leanCand{}, false
+		}
+	}
+	for _, th := range rq.minAtt {
+		if buf.attCnt[th.idx] == 0 || buf.attSum[th.idx]/buf.attCnt[th.idx] < th.v {
+			return leanCand{}, false
+		}
+	}
+	for _, th := range rq.minMeasure {
+		if !buf.def[th.m] || buf.norm[th.m] < th.v {
+			return leanCand{}, false
+		}
+	}
+	if q.MinSpamResistance > 0 {
+		var sum float64
+		n := 0
+		for _, m := range spamIdx {
+			if buf.def[m] {
+				sum += buf.norm[m]
+				n++
+			}
+		}
+		if n == 0 || sum/float64(n) < q.MinSpamResistance {
+			return leanCand{}, false
+		}
+	}
+	key := buf.score
+	switch {
+	case rq.sortDim >= 0:
+		key = 0
+		if buf.dimCnt[rq.sortDim] > 0 {
+			key = buf.dimSum[rq.sortDim] / buf.dimCnt[rq.sortDim]
+		}
+	case rq.sortAtt >= 0:
+		key = 0
+		if buf.attCnt[rq.sortAtt] > 0 {
+			key = buf.attSum[rq.sortAtt] / buf.attCnt[rq.sortAtt]
+		}
+	}
+	id, _ := e.ident(r)
+	return leanCand{key: key, id: id, row: row}, true
+}
+
 // scanMatches is the lean pass shared by rankTopK and spine: predicates
 // and sort keys straight off the cached matrix, no maps, no Assessment
 // structs. Every match counts toward total; when collect is set, the
 // candidates ranking strictly after the after-bound are kept — all of
 // them when bound == 0, the best `bound` through a min-heap otherwise.
-func (e *matrixEngine[R]) scanMatches(records []*R, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int, after *leanCand, bound int, collect bool) ([]leanCand, int) {
+// rowOff shifts stored row indices: a shard engine scanning its local
+// record slice passes its global range start so candidates carry global
+// rows and merge directly into the corpus-wide ranking.
+func (e *matrixEngine[R]) scanMatches(records []*R, rowOff int, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int, after *leanCand, bound int, collect bool) ([]leanCand, int) {
 	buf := e.newLeanBuf()
 	var cands []leanCand
 	if collect && bound > 0 {
@@ -505,62 +566,15 @@ func (e *matrixEngine[R]) scanMatches(records []*R, q Query, rq *resolvedQuery, 
 		cands = make([]leanCand, 0, capHint)
 	}
 	total := 0
-scan:
 	for i, r := range records {
-		if keep != nil && !keep(r) {
+		c, ok := e.evalCand(r, rowOff+i, q, rq, keep, spamIdx, buf)
+		if !ok {
 			continue
-		}
-		e.leanEval(r, buf)
-		if buf.score < q.MinScore {
-			continue
-		}
-		for _, th := range rq.minDim {
-			if buf.dimCnt[th.idx] == 0 || buf.dimSum[th.idx]/buf.dimCnt[th.idx] < th.v {
-				continue scan
-			}
-		}
-		for _, th := range rq.minAtt {
-			if buf.attCnt[th.idx] == 0 || buf.attSum[th.idx]/buf.attCnt[th.idx] < th.v {
-				continue scan
-			}
-		}
-		for _, th := range rq.minMeasure {
-			if !buf.def[th.m] || buf.norm[th.m] < th.v {
-				continue scan
-			}
-		}
-		if q.MinSpamResistance > 0 {
-			var sum float64
-			n := 0
-			for _, m := range spamIdx {
-				if buf.def[m] {
-					sum += buf.norm[m]
-					n++
-				}
-			}
-			if n == 0 || sum/float64(n) < q.MinSpamResistance {
-				continue
-			}
 		}
 		total++
 		if !collect {
 			continue
 		}
-		key := buf.score
-		switch {
-		case rq.sortDim >= 0:
-			key = 0
-			if buf.dimCnt[rq.sortDim] > 0 {
-				key = buf.dimSum[rq.sortDim] / buf.dimCnt[rq.sortDim]
-			}
-		case rq.sortAtt >= 0:
-			key = 0
-			if buf.attCnt[rq.sortAtt] > 0 {
-				key = buf.attSum[rq.sortAtt] / buf.attCnt[rq.sortAtt]
-			}
-		}
-		id, _ := e.ident(r)
-		c := leanCand{key: key, id: id, row: i}
 		if after != nil && !candWorse(c, *after) {
 			// At or before the resume cursor: already consumed by an
 			// earlier page. Counted in total, never ranked.
@@ -583,6 +597,90 @@ scan:
 	return cands, total
 }
 
+// scanPlan is the resolved pagination prelude of one rankTopK execution:
+// how the scan bounds its candidate collection and how the collected
+// ranking is clipped into the requested window afterwards. Deriving it
+// once — and sharing the derivation between the single-matrix engine and
+// the sharded scatter-gather plan — is what keeps the two plans'
+// windowing arithmetic provably identical.
+type scanPlan struct {
+	// start is the rank index of the window's first item: the clamped
+	// offset, or the cursor's Pos on a resumed page.
+	start int
+	// offset is the clamped q.Offset (0 on the cursor path).
+	offset int
+	// collect is false when the TopK budget is already exhausted: the scan
+	// only counts matches.
+	collect bool
+	// bound caps how many ranked candidates the window can possibly need
+	// (0 = keep all matches).
+	bound int
+	// after is the cursor's ranked position, nil for offset pagination.
+	after *leanCand
+}
+
+// planScan derives the pagination prelude from a resolved query.
+func planScan(q Query) scanPlan {
+	p := scanPlan{collect: true}
+	if p.offset = q.Offset; p.offset < 0 {
+		p.offset = 0
+	}
+	// start is the rank index of the window's first item; budget the
+	// remaining TopK allowance (-1 = unbounded); after the cursor bound.
+	p.start = p.offset
+	budget := -1
+	if q.After != nil {
+		if p.start = q.After.Pos; p.start < 0 {
+			p.start = 0
+		}
+		p.after = &leanCand{key: q.After.Key, id: q.After.ID}
+	}
+	if q.TopK > 0 {
+		if budget = q.TopK - p.start; budget < 0 {
+			budget = 0
+		}
+		if q.After == nil {
+			budget = q.TopK // the offset path slices the prefix off after the scan
+		}
+	}
+	p.collect = budget != 0
+	// bound is how many ranked candidates the window can possibly need.
+	if budget > 0 {
+		p.bound = budget
+	}
+	if q.Limit > 0 {
+		w := q.Limit
+		if q.After == nil {
+			if w > math.MaxInt-p.offset {
+				w = math.MaxInt // offset+limit would overflow: effectively unbounded
+			} else {
+				w += p.offset
+			}
+		}
+		if p.bound == 0 || w < p.bound {
+			p.bound = w
+		}
+	}
+	return p
+}
+
+// clipWindow cuts the ranked, best-first candidate list down to the
+// requested page: the cursor path already cut its prefix during the scan,
+// the offset path slices it here; Limit bounds the page width.
+func clipWindow(cands []leanCand, q Query, p scanPlan) []leanCand {
+	if q.After == nil {
+		if p.offset >= len(cands) {
+			cands = cands[:0]
+		} else {
+			cands = cands[p.offset:]
+		}
+	}
+	if q.Limit > 0 && len(cands) > q.Limit {
+		cands = cands[:q.Limit]
+	}
+	return cands
+}
+
 // rankTopK executes a query over the engine: one lean pass evaluates
 // scope, predicates and sort key per record straight from the cached
 // matrix, a bounded heap keeps the best candidates when the query carries
@@ -599,67 +697,14 @@ func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, sp
 	if rq.unmatchable {
 		return &QueryResult{Items: []*Assessment{}}, nil
 	}
-
-	offset := q.Offset
-	if offset < 0 {
-		offset = 0
-	}
-	// start is the rank index of the window's first item; budget the
-	// remaining TopK allowance (-1 = unbounded); after the cursor bound.
-	start := offset
-	budget := -1
-	var after *leanCand
-	if q.After != nil {
-		if start = q.After.Pos; start < 0 {
-			start = 0
-		}
-		after = &leanCand{key: q.After.Key, id: q.After.ID}
-	}
-	if q.TopK > 0 {
-		if budget = q.TopK - start; budget < 0 {
-			budget = 0
-		}
-		if q.After == nil {
-			budget = q.TopK // the offset path slices the prefix off below
-		}
-	}
-
-	// bound is how many ranked candidates the window can possibly need.
-	bound := 0
-	if budget > 0 {
-		bound = budget
-	}
-	if q.Limit > 0 {
-		w := q.Limit
-		if q.After == nil {
-			if w > math.MaxInt-offset {
-				w = math.MaxInt // offset+limit would overflow: effectively unbounded
-			} else {
-				w += offset
-			}
-		}
-		if bound == 0 || w < bound {
-			bound = w
-		}
-	}
-	cands, total := e.scanMatches(records, q, rq, keep, spamIdx, after, bound, budget != 0)
+	p := planScan(q)
+	cands, total := e.scanMatches(records, 0, q, rq, keep, spamIdx, p.after, p.bound, p.collect)
 
 	// Rank the survivors best-first (k log k — tiny in the bounded case).
 	sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
 
-	// Pagination window: the cursor already cut the prefix during the
-	// scan; the offset path slices it here.
-	if q.After == nil {
-		if offset >= len(cands) {
-			cands = cands[:0]
-		} else {
-			cands = cands[offset:]
-		}
-	}
-	if q.Limit > 0 && len(cands) > q.Limit {
-		cands = cands[:q.Limit]
-	}
-	return e.finishWindow(records, cands, start, total, q), nil
+	cands = clipWindow(cands, q, p)
+	return e.finishWindow(records, cands, p.start, total, q), nil
 }
 
 // Spine is the fully ranked candidate list of one (scope, predicates,
@@ -669,6 +714,13 @@ func (e *matrixEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, sp
 type Spine struct {
 	cands []leanCand
 	total int
+	// parts and totals are the per-shard decomposition of a spine built by
+	// the sharded engine: parts[s] holds shard s's ranked candidates
+	// (cands is their k-way merge) and totals[s] its match count. The next
+	// assessment round carries clean shards' parts forward untouched and
+	// repairs only the dirty ones. Nil on single-matrix spines.
+	parts  [][]leanCand
+	totals []int
 }
 
 // Total counts the matches in the spine.
@@ -683,9 +735,72 @@ func (e *matrixEngine[R]) spine(records []*R, q Query, keep func(*R) bool, spamI
 	if rq.unmatchable {
 		return &Spine{}, nil
 	}
-	cands, total := e.scanMatches(records, q, rq, keep, spamIdx, nil, 0, true)
+	e.counters.scans.Add(1)
+	cands, total := e.scanMatches(records, 0, q, rq, keep, spamIdx, nil, 0, true)
 	sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
 	return &Spine{cands: cands, total: total}, nil
+}
+
+// repairSpine derives the current round's spine for q from the previous
+// round's instead of re-scanning the corpus — the LastDelta carry-forward:
+// the rows the engine's producing update dirtied are dropped from the
+// carried ranking, re-evaluated against the current matrix, and the
+// survivors re-inserted at their ranked positions, at O(prev + dirty·log)
+// instead of O(corpus) cost. It refuses (ok false) whenever a carried key
+// could be stale: a from-scratch engine, a tick that moved the observation
+// instant (every time-sensitive value shifted), or bitwise-moved
+// benchmarks (every normalized value shifted). prev must be a spine for
+// the same scope/predicates/sort built against this engine's predecessor;
+// records must be the current corpus in construction order. The result is
+// bit-identical to a fresh spine scan — pinned by the repaired-vs-fresh
+// equivalence test.
+func (e *matrixEngine[R]) repairSpine(records []*R, prev *Spine, q Query, keep func(*R) bool, spamIdx []int) (*Spine, bool) {
+	if prev == nil || e.fresh || e.lastEpochMoved || e.benchChanged {
+		return nil, false
+	}
+	rq, err := e.resolveQuery(q)
+	if err != nil || rq.unmatchable {
+		return nil, false
+	}
+	e.counters.repairs.Add(1)
+	cands := e.repairCands(records, 0, e.lastDirty, prev.cands, q, rq, keep, spamIdx)
+	return &Spine{cands: cands, total: len(cands)}, true
+}
+
+// repairCands is the shared core of spine repair: drop the dirty rows'
+// carried candidates, re-evaluate the dirty records against the current
+// matrix, and re-insert the survivors at their ranked positions. rowOff is
+// the engine's global record-range start (0 for the single-matrix engine,
+// the shard's range start for a shard member); dirtyLocal indexes records
+// relative to it, while prev, records and the result all use global rows.
+func (e *matrixEngine[R]) repairCands(records []*R, rowOff int, dirtyLocal []int, prev []leanCand, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int) []leanCand {
+	dirty := make(map[int]bool, len(dirtyLocal))
+	for _, c := range dirtyLocal {
+		dirty[rowOff+c] = true
+	}
+	// Carry every clean row's candidate; dirty rows re-qualify from scratch.
+	cands := make([]leanCand, 0, len(prev)+len(dirtyLocal))
+	for _, c := range prev {
+		if !dirty[c.row] {
+			cands = append(cands, c)
+		}
+	}
+	buf := e.newLeanBuf()
+	for _, c0 := range dirtyLocal {
+		row := rowOff + c0
+		if row < 0 || row >= len(records) {
+			continue
+		}
+		c, ok := e.evalCand(records[row], row, q, rq, keep, spamIdx, buf)
+		if !ok {
+			continue
+		}
+		i := sort.Search(len(cands), func(i int) bool { return candWorse(cands[i], c) })
+		cands = append(cands, leanCand{})
+		copy(cands[i+1:], cands[i:])
+		cands[i] = c
+	}
+	return cands
 }
 
 // window slices q's page out of a ranked spine: offset indexes directly,
@@ -693,14 +808,26 @@ func (e *matrixEngine[R]) spine(records []*R, q Query, keep func(*R) bool, spamI
 // is materialized. Results are bit-identical to rankTopK over the same
 // records and query.
 func (e *matrixEngine[R]) window(records []*R, sp *Spine, q Query) (*QueryResult, error) {
+	cands, start, err := sliceSpineWindow(sp, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.finishWindow(records, cands, start, sp.total, q), nil
+}
+
+// sliceSpineWindow locates q's page inside a ranked spine — shared,
+// engine-independent arithmetic: offset indexes directly, a cursor
+// binary-searches its strict ranked position, TopK and Limit bound the
+// page end.
+func sliceSpineWindow(sp *Spine, q Query) (cands []leanCand, start int, err error) {
 	if q.After != nil && (math.IsNaN(q.After.Key) || q.After.ID < 0) {
-		return nil, fmt.Errorf("quality: invalid resume cursor")
+		return nil, 0, fmt.Errorf("quality: invalid resume cursor")
 	}
 	if q.After != nil && q.Offset > 0 {
-		return nil, fmt.Errorf("quality: cursor and offset pagination are mutually exclusive")
+		return nil, 0, fmt.Errorf("quality: cursor and offset pagination are mutually exclusive")
 	}
 	n := len(sp.cands)
-	var start, idx int
+	var idx int
 	if q.After != nil {
 		a := leanCand{key: q.After.Key, id: q.After.ID}
 		idx = sort.Search(n, func(i int) bool { return candWorse(sp.cands[i], a) })
@@ -734,7 +861,7 @@ func (e *matrixEngine[R]) window(records []*R, sp *Spine, q Query) (*QueryResult
 	if idx > end {
 		idx = end
 	}
-	return e.finishWindow(records, sp.cands[idx:end], start, sp.total, q), nil
+	return sp.cands[idx:end], start, nil
 }
 
 // finishWindow materializes the windowed candidates — in parallel, with
@@ -747,6 +874,13 @@ func (e *matrixEngine[R]) finishWindow(records []*R, cands []leanCand, start, to
 			items[j] = e.assessProject(records[cands[j].row], q.Fields)
 		}
 	})
+	return windowResult(items, cands, start, total, q)
+}
+
+// windowResult assembles the QueryResult envelope around a materialized
+// page and derives the next page's resume cursor — shared by the
+// single-matrix and sharded engines so both emit byte-identical envelopes.
+func windowResult(items []*Assessment, cands []leanCand, start, total int, q Query) *QueryResult {
 	effTotal := total
 	if q.TopK > 0 && q.TopK < effTotal {
 		effTotal = q.TopK

@@ -1,0 +1,474 @@
+package quality
+
+// The sharded scatter-gather engine: the corpus is partitioned into
+// contiguous record-range shards (internal/shard plans the ranges and
+// carries the routing metadata), each owning its own measure matrix,
+// ranked spine parts and incremental-update path. Reads become
+// scatter-gather plans — per-shard bounded scans merged k-way into the
+// global ranking — and a tick's update cost concentrates on the shards its
+// delta actually touched.
+//
+// The correctness contract is bit-identity with the single-matrix engine,
+// and it rests on three facts:
+//
+//  1. Benchmarks are corpus-global. Shard matrices are filled without
+//     benchmarks; a second phase gathers every measure's defined values
+//     across the shards in global record order — the exact sequence the
+//     unsharded construction feeds sort.Float64s — into one ledger of
+//     sorted columns, and every shard engine shares the ledger's benchmark
+//     slice. Normalized values are therefore bitwise the same numbers.
+//  2. The candidate order (key desc, ID asc) is a strict total order, so
+//     the k-way merge of per-shard ranked lists is deterministic and equal
+//     to ranking the union; a per-shard bound of k keeps every candidate
+//     the global top k can need.
+//  3. The pagination arithmetic — scan prelude, window clipping, cursor
+//     derivation — is the same code (planScan, clipWindow, windowResult,
+//     sliceSpineWindow) both engines call.
+//
+// The randomized cross-shard equivalence suite at the repo root pins all
+// of this at shard counts {1, 2, 7, 16}.
+
+import (
+	"sort"
+
+	"github.com/informing-observers/informer/internal/parallel"
+	"github.com/informing-observers/informer/internal/shard"
+	"github.com/informing-observers/informer/internal/stats"
+)
+
+// benchLedger is the corpus-global normalisation state of a sharded
+// engine: one ascending-sorted column of defined values per measure (the
+// same slice a single-matrix engine would retain) and the benchmarks read
+// from it. It is repaired incrementally on update — batch remove+insert
+// from the dirty rows' old and new values — so maintaining corpus-global
+// benchmarks never costs a corpus-wide re-evaluation.
+type benchLedger struct {
+	sorted     [][]float64
+	benchmarks []Benchmark
+}
+
+// noteSourceRoute records a source record's routing identity — ID, kind,
+// and the categories it is active in — in its shard's router entry.
+func noteSourceRoute(rt *shard.Router, s int, r *SourceRecord) {
+	rt.Note(s, r.ID, r.Kind)
+	for i := range r.Discussions {
+		rt.NoteCategory(s, r.Discussions[i].Category)
+	}
+}
+
+// noteContributorRoute records a contributor's routing identity.
+// Contributors have no kind; categories come from where they commented.
+func noteContributorRoute(rt *shard.Router, s int, r *ContributorRecord) {
+	rt.Note(s, r.ID, "")
+	for cat, n := range r.CommentsByCategory {
+		if n > 0 {
+			rt.NoteCategory(s, cat)
+		}
+	}
+}
+
+// shardedEngine implements engineAPI over a sharded corpus. Records keep
+// their global construction order; shard s owns the contiguous row range
+// plan.Bounds(s). All candidate rows, cursors and totals are global, so
+// results interoperate freely with single-matrix ones.
+type shardedEngine[R any] struct {
+	di    DomainOfInterest
+	opts  AssessorOptions
+	infos []measureInfo
+	evals []func(*R, *DomainOfInterest) (float64, bool)
+	ident func(*R) (int, string)
+	note  func(*shard.Router, int, *R)
+
+	plan    shard.Plan
+	engines []*matrixEngine[R] // one per shard; benchmarks slice shared from the ledger
+	router  *shard.Router
+	ledger  *benchLedger
+	// col routes a record ID to its global row. It is keyed by ID, not
+	// pointer, because it only picks the shard engine that serves a
+	// record — the shard's own pointer-keyed map still decides between
+	// matrix read and direct evaluation, and every shard normalizes
+	// against the same global benchmarks, so routing can never change a
+	// result. ID→row never changes while the corpus keeps its shape, so
+	// shape-preserving updates share the map instead of rebuilding it.
+	col map[int]int
+
+	// Update provenance for spine carry/repair, mirroring matrixEngine's:
+	// dirtyLocal[s] holds the producing update's dirty rows local to shard
+	// s (nil slices for clean shards).
+	fresh          bool
+	lastEpochMoved bool
+	benchChanged   bool
+	dirtyLocal     [][]int
+
+	counters *spineCounters
+}
+
+// newShardedEngine partitions the corpus and builds one fill-only matrix
+// per shard, then runs the two-phase benchmark gather so normalisation
+// stays corpus-global.
+func newShardedEngine[R any](
+	corpus []*R,
+	di DomainOfInterest,
+	opts AssessorOptions,
+	infos []measureInfo,
+	evals []func(*R, *DomainOfInterest) (float64, bool),
+	ident func(*R) (int, string),
+	note func(*shard.Router, int, *R),
+) *shardedEngine[R] {
+	s := &shardedEngine[R]{
+		di: di, opts: opts, infos: infos, evals: evals, ident: ident, note: note,
+		plan:     shard.NewPlan(len(corpus), opts.Shards),
+		fresh:    true,
+		counters: &spineCounters{},
+	}
+	ns := s.plan.Shards()
+	s.engines = make([]*matrixEngine[R], ns)
+	// Phase 1: fill each shard's matrix. The fill already fans out across
+	// the worker pool per shard, so the shard loop stays sequential.
+	for sh := 0; sh < ns; sh++ {
+		lo, hi := s.plan.Bounds(sh)
+		s.engines[sh] = newMatrixEngineNoBench(corpus[lo:hi], di, opts, infos, evals, ident)
+	}
+	// Phase 2: corpus-global gather — per measure, defined values across
+	// shards in global record order, sorted once, benchmarks read from the
+	// sort. Identical input sequence to the unsharded construction ⇒
+	// identical column ⇒ identical benchmarks.
+	nm := len(infos)
+	led := &benchLedger{sorted: make([][]float64, nm), benchmarks: make([]Benchmark, nm)}
+	parallel.ForEachChunk(nm, opts.Workers, func(mlo, mhi int) {
+		for m := mlo; m < mhi; m++ {
+			led.sorted[m], led.benchmarks[m] = gatherColumn(s.engines, m, len(corpus), opts)
+		}
+	})
+	s.ledger = led
+	for _, eng := range s.engines {
+		eng.benchmarks = led.benchmarks
+	}
+	// Routing metadata and the global ID→row map.
+	rt := shard.NewRouter(ns)
+	s.col = make(map[int]int, len(corpus))
+	for sh := 0; sh < ns; sh++ {
+		lo, hi := s.plan.Bounds(sh)
+		for row := lo; row < hi; row++ {
+			id, _ := ident(corpus[row])
+			s.col[id] = row
+			note(rt, sh, corpus[row])
+		}
+	}
+	s.router = rt
+	return s
+}
+
+// gatherColumn collects measure m's defined values across the shard
+// engines in global record order and sorts them — the corpus-global
+// column a single matrix would have produced.
+func gatherColumn[R any](engines []*matrixEngine[R], m, n int, opts AssessorOptions) ([]float64, Benchmark) {
+	values := make([]float64, 0, n)
+	for _, eng := range engines {
+		vrow, prow := eng.vals[m], eng.present[m]
+		for c := range prow {
+			if prow[c] {
+				values = append(values, vrow[c])
+			}
+		}
+	}
+	sort.Float64s(values)
+	return values, benchmarkFromPresorted(values, opts)
+}
+
+// shardOf routes a record to the engine owning its row; off-corpus records
+// fall back to shard 0, whose direct-evaluation path normalizes against
+// the same shared global benchmarks as every other shard.
+func (s *shardedEngine[R]) shardOf(r *R) *matrixEngine[R] {
+	id, _ := s.ident(r)
+	if row, ok := s.col[id]; ok {
+		return s.engines[s.plan.Of(row)]
+	}
+	return s.engines[0]
+}
+
+func (s *shardedEngine[R]) assess(r *R) *Assessment {
+	return s.shardOf(r).assess(r)
+}
+
+func (s *shardedEngine[R]) assessAll(records []*R) []*Assessment {
+	out := make([]*Assessment, len(records))
+	parallel.ForEachChunk(len(records), s.opts.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = s.assess(records[i])
+		}
+	})
+	return out
+}
+
+func (s *shardedEngine[R]) rank(records []*R) []*Assessment {
+	out := s.assessAll(records)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (s *shardedEngine[R]) benchmarkAt(m int) Benchmark { return s.ledger.benchmarks[m] }
+
+func (s *shardedEngine[R]) measurePos(id string) int { return s.engines[0].measurePos(id) }
+
+func (s *shardedEngine[R]) shardCount() int { return s.plan.Shards() }
+
+func (s *shardedEngine[R]) spineStats() *spineCounters { return s.counters }
+
+// candBetter is MergeK's order: a ranks strictly before b.
+func candBetter(a, b leanCand) bool { return candWorse(b, a) }
+
+// rankTopK is the scatter-gather query plan: every shard the router cannot
+// prune runs the same bounded lean scan over its own record range (rows
+// offset to global), the per-shard rankings are merged k-way under the
+// global strict order, and the shared clipping/materialization arithmetic
+// finishes the window. A per-shard bound of `bound` loses nothing: any
+// candidate in the global best `bound` is in its own shard's best `bound`.
+func (s *shardedEngine[R]) rankTopK(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*QueryResult, error) {
+	rq, err := s.engines[0].resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if rq.unmatchable {
+		return &QueryResult{Items: []*Assessment{}}, nil
+	}
+	p := planScan(q)
+	parts, totals := s.scatter(records, q, rq, keep, spamIdx, p, nil)
+	merged := shard.MergeK(parts, candBetter, p.bound)
+	merged = clipWindow(merged, q, p)
+	return s.finishWindow(records, merged, p.start, sum(totals), q), nil
+}
+
+// scatter runs the per-shard scans of one query evaluation in parallel.
+// Shards the router proves scope-incompatible are skipped: they cannot
+// contain a match, so they contribute zero candidates and zero total.
+// scanned, when non-nil, gets a counter bump per shard actually scanned.
+func (s *shardedEngine[R]) scatter(records []*R, q Query, rq *resolvedQuery, keep func(*R) bool, spamIdx []int, p scanPlan, onScan func(sh int)) (parts [][]leanCand, totals []int) {
+	ns := s.plan.Shards()
+	parts = make([][]leanCand, ns)
+	totals = make([]int, ns)
+	parallel.ForEachChunk(ns, s.opts.Workers, func(lo, hi int) {
+		for sh := lo; sh < hi; sh++ {
+			if !s.router.CanMatch(sh, q.IDs, q.Kinds, q.Categories) {
+				continue
+			}
+			if onScan != nil {
+				onScan(sh)
+			}
+			rlo, rhi := s.plan.Bounds(sh)
+			cands, total := s.engines[sh].scanMatches(records[rlo:rhi], rlo, q, rq, keep, spamIdx, p.after, p.bound, p.collect)
+			// The bounded heap is heap-ordered; rank it best-first for the
+			// merge (k log k per shard).
+			sort.Slice(cands, func(i, j int) bool { return candWorse(cands[j], cands[i]) })
+			parts[sh], totals[sh] = cands, total
+		}
+	})
+	return parts, totals
+}
+
+// spine evaluates the standing query per shard — unbounded, fully ranked —
+// and keeps the per-shard decomposition on the Spine so the next round can
+// carry clean shards and repair dirty ones.
+func (s *shardedEngine[R]) spine(records []*R, q Query, keep func(*R) bool, spamIdx []int) (*Spine, error) {
+	rq, err := s.engines[0].resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if rq.unmatchable {
+		return &Spine{}, nil
+	}
+	p := scanPlan{collect: true}
+	parts, totals := s.scatter(records, q, rq, keep, spamIdx, p, func(int) { s.counters.scans.Add(1) })
+	merged := shard.MergeK(parts, candBetter, 0)
+	return &Spine{cands: merged, total: sum(totals), parts: parts, totals: totals}, nil
+}
+
+// window slices a page out of a sharded spine with the shared arithmetic
+// and materializes each row on its owning shard.
+func (s *shardedEngine[R]) window(records []*R, sp *Spine, q Query) (*QueryResult, error) {
+	cands, start, err := sliceSpineWindow(sp, q)
+	if err != nil {
+		return nil, err
+	}
+	return s.finishWindow(records, cands, start, sp.total, q), nil
+}
+
+// repairSpine is the dirty-shard evaluation path of a standing query: when
+// the producing update moved no benchmark and no epoch, clean shards'
+// ranked parts are carried forward untouched (a map lookup, not a scan)
+// and only dirty shards repair — drop dirty rows, re-evaluate them,
+// re-insert. A tick dirtying one shard of N costs one repair and N-1
+// carries; the SpineStats counters record exactly that.
+func (s *shardedEngine[R]) repairSpine(records []*R, prev *Spine, q Query, keep func(*R) bool, spamIdx []int) (*Spine, bool) {
+	ns := s.plan.Shards()
+	if prev == nil || s.fresh || s.lastEpochMoved || s.benchChanged {
+		return nil, false
+	}
+	if len(prev.parts) != ns || len(prev.totals) != ns {
+		return nil, false // unsharded or differently-sharded spine: no carry
+	}
+	rq, err := s.engines[0].resolveQuery(q)
+	if err != nil || rq.unmatchable {
+		return nil, false
+	}
+	parts := make([][]leanCand, ns)
+	totals := make([]int, ns)
+	for sh := 0; sh < ns; sh++ {
+		if len(s.dirtyLocal[sh]) == 0 {
+			parts[sh], totals[sh] = prev.parts[sh], prev.totals[sh]
+			s.counters.carries.Add(1)
+			continue
+		}
+		rlo, _ := s.plan.Bounds(sh)
+		parts[sh] = s.engines[sh].repairCands(records, rlo, s.dirtyLocal[sh], prev.parts[sh], q, rq, keep, spamIdx)
+		totals[sh] = len(parts[sh])
+		s.counters.repairs.Add(1)
+	}
+	merged := shard.MergeK(parts, candBetter, 0)
+	return &Spine{cands: merged, total: sum(totals), parts: parts, totals: totals}, true
+}
+
+// finishWindow materializes a page of global-row candidates, routing each
+// record to its owning shard's matrix, and assembles the shared envelope.
+func (s *shardedEngine[R]) finishWindow(records []*R, cands []leanCand, start, total int, q Query) *QueryResult {
+	items := make([]*Assessment, len(cands))
+	parallel.ForEachChunk(len(cands), s.opts.Workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := cands[j].row
+			items[j] = s.engines[s.plan.Of(row)].assessProject(records[row], q.Fields)
+		}
+	})
+	return windowResult(items, cands, start, total, q)
+}
+
+// update derives the engine for an advanced corpus. Only shards the delta
+// touched (plus every shard when the epoch moved, since time-sensitive
+// columns shift wholesale) rebuild their matrices; clean shards share
+// their columns and only remap record pointers. The benchmark ledger is
+// repaired from the dirty rows' old and new values in one batch merge per
+// measure — O(column + dirty) instead of O(corpus × measures) — and the
+// router unions the dirty shards' new routing facts copy-on-write, so
+// concurrent readers of the previous snapshot never see a mutation.
+func (s *shardedEngine[R]) update(corpus []*R, dirty []int, epochMoved bool) engineAPI[R] {
+	n := s.plan.Len()
+	if len(corpus) != n {
+		// Population changed shape: rebuild from scratch (same knobs).
+		return newShardedEngine(corpus, s.di, s.opts, s.infos, s.evals, s.ident, s.note)
+	}
+	ns := s.plan.Shards()
+	split := s.plan.SplitRows(dirty)
+	ne := &shardedEngine[R]{
+		di: s.di, opts: s.opts, infos: s.infos, evals: s.evals, ident: s.ident, note: s.note,
+		plan:           s.plan,
+		lastEpochMoved: epochMoved,
+		dirtyLocal:     split,
+		counters:       &spineCounters{},
+	}
+	var dirtyShards []int
+	for sh := 0; sh < ns; sh++ {
+		if len(split[sh]) > 0 {
+			dirtyShards = append(dirtyShards, sh)
+		}
+	}
+	// Phase 1: repair the touched shards' matrices (all of them when the
+	// epoch moved — every time-sensitive column shifts).
+	ne.engines = make([]*matrixEngine[R], ns)
+	cur := make([]*matrixEngine[R], ns) // matrix to read post-update values from
+	for sh := 0; sh < ns; sh++ {
+		cur[sh] = s.engines[sh]
+		if len(split[sh]) > 0 || epochMoved {
+			lo, hi := s.plan.Bounds(sh)
+			ne.engines[sh] = s.engines[sh].updateRowsNoBench(corpus[lo:hi], split[sh], epochMoved)
+			cur[sh] = ne.engines[sh]
+		}
+	}
+	// Phase 2: repair the global ledger. Per measure: epoch-moved
+	// time-sensitive columns re-gather wholesale (their values shifted for
+	// every record); heavy dirt re-sorts; sparse dirt batch-repairs the
+	// retained sorted column from the dirty rows' old and new values.
+	nm := len(s.infos)
+	led := &benchLedger{sorted: make([][]float64, nm), benchmarks: make([]Benchmark, nm)}
+	parallel.ForEachChunk(nm, s.opts.Workers, func(mlo, mhi int) {
+		for m := mlo; m < mhi; m++ {
+			switch {
+			case s.infos[m].timeSensitive && epochMoved, len(dirty)*resortDenominator > n:
+				led.sorted[m], led.benchmarks[m] = gatherColumn(cur, m, n, s.opts)
+			default:
+				var removes, inserts []float64
+				for _, sh := range dirtyShards {
+					oldE, newE := s.engines[sh], ne.engines[sh]
+					if len(split[sh]) > 0 && &newE.vals[m][0] == &oldE.vals[m][0] {
+						continue // row still shared: no cell of this measure moved
+					}
+					for _, c := range split[sh] {
+						oldV, oldOk := oldE.vals[m][c], oldE.present[m][c]
+						v, ok := newE.vals[m][c], newE.present[m][c]
+						if ok == oldOk && (!ok || v == oldV) {
+							continue // value unchanged: column unaffected
+						}
+						if oldOk {
+							removes = append(removes, oldV)
+						}
+						if ok {
+							inserts = append(inserts, v)
+						}
+					}
+				}
+				col := stats.SortedBatchRepair(s.ledger.sorted[m], removes, inserts)
+				led.sorted[m] = col
+				if len(removes) == 0 && len(inserts) == 0 {
+					led.benchmarks[m] = s.ledger.benchmarks[m]
+				} else {
+					led.benchmarks[m] = benchmarkFromPresorted(col, s.opts)
+				}
+			}
+		}
+	})
+	ne.ledger = led
+	ne.benchChanged = !benchmarksEqual(s.ledger.benchmarks, led.benchmarks)
+	if !ne.benchChanged {
+		// Bitwise-unchanged benchmarks: keep the previous slice object so
+		// untouched engines and the ledger stay coherent by identity.
+		led.benchmarks = s.ledger.benchmarks
+	}
+	for sh := 0; sh < ns; sh++ {
+		if ne.engines[sh] != nil {
+			ne.engines[sh].benchmarks = led.benchmarks
+			continue
+		}
+		// Clean shard: share its matrix, remap the refreshed record
+		// pointers onto it.
+		lo, hi := s.plan.Bounds(sh)
+		ne.engines[sh] = s.engines[sh].remap(corpus[lo:hi], led.benchmarks)
+	}
+	// Routing metadata: union only the dirty rows' current facts into
+	// copy-on-write set copies; clean shards share the old sets. The sets
+	// grow monotonically — a kind or category a refreshed record dropped
+	// lingers in its shard's set — which is sound (the router is a
+	// may-match filter; stale facts only forfeit pruning opportunities,
+	// never rows) and keeps routing maintenance O(dirty), not O(shard).
+	rt := s.router.Derive(dirtyShards)
+	for _, sh := range dirtyShards {
+		lo, _ := s.plan.Bounds(sh)
+		for _, c := range split[sh] {
+			s.note(rt, sh, corpus[lo+c])
+		}
+	}
+	ne.router = rt
+	// Same shape, same IDs, same rows: the routing map carries over.
+	ne.col = s.col
+	return ne
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -47,6 +47,14 @@ type Env struct {
 
 // NewEnv assesses the world once and returns the shared environment.
 func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInterest) *Env {
+	return NewEnvOpts(world, panel, di, nil)
+}
+
+// NewEnvOpts is NewEnv with explicit assessor options — the hook through
+// which the facade's shard-count knob (AssessorOptions.Shards) reaches
+// both assessors. opts may be nil for defaults; it applies to sources and
+// contributors alike.
+func NewEnvOpts(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInterest, opts *quality.AssessorOptions) *Env {
 	env := &Env{
 		World:    world,
 		Panel:    panel,
@@ -54,14 +62,14 @@ func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInte
 		Analyzer: sentiment.NewAnalyzer(),
 	}
 	env.SourceRecords = quality.SourceRecordsFromWorld(world, panel)
-	env.Sources = quality.NewSourceAssessor(env.SourceRecords, di, nil)
+	env.Sources = quality.NewSourceAssessor(env.SourceRecords, di, opts)
 	env.SourceScores = make(map[int]float64, len(env.SourceRecords))
 	for _, a := range env.Sources.AssessAll(env.SourceRecords) {
 		env.SourceScores[a.ID] = a.Score
 	}
 	env.contribIx = quality.NewContributorIndex(world)
 	env.ContributorRecords = env.contribIx.Records()
-	env.Contributors = quality.NewContributorAssessor(env.ContributorRecords, di, nil)
+	env.Contributors = quality.NewContributorAssessor(env.ContributorRecords, di, opts)
 	return env
 }
 

@@ -1,0 +1,272 @@
+// Package shard coordinates the partitioned corpus: it plans contiguous
+// record-range shards, splits delta row sets per shard, k-way-merges the
+// per-shard ranked candidate lists of a scatter-gather query, and keeps the
+// routing metadata (source-ID ranges, kind and category sets) that lets a
+// scoped query skip shards which provably cannot match.
+//
+// The package is deliberately engine-agnostic: it knows nothing about
+// measures or assessments. internal/quality binds it to the measure-matrix
+// engine (quality/shard.go), which keeps matrix internals private while the
+// partitioning, merging and routing logic stays independently testable.
+// Correctness contract (pinned by the cross-shard equivalence suite at the
+// repo root): for any plan, scatter-gather over the shards is bit-identical
+// to the unsharded evaluation, because shards are contiguous subranges of
+// the global record order and the merge preserves the global strict
+// ranking order.
+package shard
+
+import "sort"
+
+// Plan is a partition of n contiguous records into near-equal contiguous
+// shards. Shard boundaries depend only on (n, shards) — never on content —
+// so the same plan derives identically on every tick of one corpus.
+type Plan struct {
+	n      int
+	bounds []int // len shards+1; shard s covers [bounds[s], bounds[s+1])
+}
+
+// NewPlan partitions n records into the requested number of shards,
+// clamping to [1, n] (an empty corpus keeps one empty shard so callers
+// never divide by zero). The first n%shards shards are one record larger.
+func NewPlan(n, shards int) Plan {
+	if shards < 1 {
+		shards = 1
+	}
+	if n > 0 && shards > n {
+		shards = n
+	}
+	p := Plan{n: n, bounds: make([]int, shards+1)}
+	base, rem := 0, 0
+	if shards > 0 {
+		base, rem = n/shards, n%shards
+	}
+	lo := 0
+	for s := 0; s < shards; s++ {
+		p.bounds[s] = lo
+		lo += base
+		if s < rem {
+			lo++
+		}
+	}
+	p.bounds[shards] = n
+	return p
+}
+
+// Shards returns the number of shards in the plan.
+func (p Plan) Shards() int { return len(p.bounds) - 1 }
+
+// Len returns the number of records the plan covers.
+func (p Plan) Len() int { return p.n }
+
+// Bounds returns shard s's record range [lo, hi).
+func (p Plan) Bounds(s int) (lo, hi int) { return p.bounds[s], p.bounds[s+1] }
+
+// Of returns the shard owning global row index `row`.
+func (p Plan) Of(row int) int {
+	// bounds is ascending; find the last bound <= row.
+	s := sort.SearchInts(p.bounds, row+1) - 1
+	if s < 0 {
+		s = 0
+	}
+	if s >= p.Shards() {
+		s = p.Shards() - 1
+	}
+	return s
+}
+
+// SplitRows groups ascending global row indices per shard, localized to
+// each shard's own range (global row -> row - lo). Out-of-range rows are
+// dropped. The result has one (possibly nil) slice per shard.
+func (p Plan) SplitRows(rows []int) [][]int {
+	out := make([][]int, p.Shards())
+	for _, row := range rows {
+		if row < 0 || row >= p.n {
+			continue
+		}
+		s := p.Of(row)
+		out[s] = append(out[s], row-p.bounds[s])
+	}
+	return out
+}
+
+// MergeK merges the per-shard sorted lists into one list ordered by less
+// (less(a, b) means a ranks strictly before b), keeping at most limit items
+// (0 = all). Lists must each already be sorted by less; ties across lists
+// cannot occur when less is a strict total order, which the quality
+// engine's (key desc, ID asc) candidate order guarantees — so the merge is
+// deterministic for any shard count.
+func MergeK[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
+	total := 0
+	live := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			live++
+		}
+	}
+	if limit <= 0 || limit > total {
+		limit = total
+	}
+	out := make([]T, 0, limit)
+	if live == 1 {
+		// Single contributing list: the merge is a bounded copy.
+		for _, l := range lists {
+			if len(l) > 0 {
+				return append(out, l[:limit]...)
+			}
+		}
+	}
+	heads := make([]int, len(lists))
+	for len(out) < limit {
+		best := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || less(l[heads[i]], lists[best][heads[best]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Router is the per-shard routing metadata of a sharded corpus: the record
+// ID range plus the kind and content-category sets present in each shard.
+// CanMatch prunes shards that provably contain no record matching a query
+// scope. Sets are conservative supersets — updates only ever union new
+// values in — so a stale entry can cost a wasted scan but never a wrong
+// answer. A Router is immutable once published; Derive copies the shards a
+// tick is about to touch so concurrent readers of the previous round are
+// never disturbed.
+type Router struct {
+	minID, maxID []int
+	kinds        []map[string]bool
+	cats         []map[string]bool
+}
+
+// NewRouter returns an empty router for the given shard count.
+func NewRouter(shards int) *Router {
+	rt := &Router{
+		minID: make([]int, shards),
+		maxID: make([]int, shards),
+		kinds: make([]map[string]bool, shards),
+		cats:  make([]map[string]bool, shards),
+	}
+	for s := range rt.minID {
+		rt.minID[s], rt.maxID[s] = -1, -1
+	}
+	return rt
+}
+
+// Shards returns the router's shard count.
+func (rt *Router) Shards() int { return len(rt.minID) }
+
+// Note records one record's identity in shard s's metadata.
+func (rt *Router) Note(s, id int, kind string) {
+	if rt.minID[s] < 0 || id < rt.minID[s] {
+		rt.minID[s] = id
+	}
+	if id > rt.maxID[s] {
+		rt.maxID[s] = id
+	}
+	if kind != "" {
+		if rt.kinds[s] == nil {
+			rt.kinds[s] = make(map[string]bool, 4)
+		}
+		rt.kinds[s][kind] = true
+	}
+}
+
+// NoteCategory records one content category in shard s's metadata.
+func (rt *Router) NoteCategory(s int, cat string) {
+	if rt.cats[s] == nil {
+		rt.cats[s] = make(map[string]bool, 8)
+	}
+	rt.cats[s][cat] = true
+}
+
+// Derive returns a router sharing every untouched shard's sets with the
+// receiver but owning fresh copies for the listed shards, so a tick can
+// union new metadata into them while readers of the previous round keep
+// using the receiver.
+func (rt *Router) Derive(dirtyShards []int) *Router {
+	n := rt.Shards()
+	nr := &Router{
+		minID: append([]int(nil), rt.minID...),
+		maxID: append([]int(nil), rt.maxID...),
+		kinds: append([]map[string]bool(nil), rt.kinds...),
+		cats:  append([]map[string]bool(nil), rt.cats...),
+	}
+	for _, s := range dirtyShards {
+		if s < 0 || s >= n {
+			continue
+		}
+		nr.kinds[s] = copySet(rt.kinds[s])
+		nr.cats[s] = copySet(rt.cats[s])
+	}
+	return nr
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	if m == nil {
+		return nil
+	}
+	c := make(map[string]bool, len(m))
+	for k := range m {
+		c[k] = true
+	}
+	return c
+}
+
+// CanMatch reports whether shard s could hold a record matching the scope:
+// at least one requested ID inside the shard's ID range, at least one
+// requested kind in its kind set, and at least one requested category in
+// its category set (empty slices mean "no restriction" and never prune).
+func (rt *Router) CanMatch(s int, ids []int, kinds, cats []string) bool {
+	if len(ids) > 0 {
+		if rt.minID[s] < 0 {
+			return false // empty shard
+		}
+		hit := false
+		for _, id := range ids {
+			if id >= rt.minID[s] && id <= rt.maxID[s] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	if len(kinds) > 0 {
+		hit := false
+		for _, k := range kinds {
+			if rt.kinds[s][k] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	if len(cats) > 0 {
+		hit := false
+		for _, c := range cats {
+			if rt.cats[s][c] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}

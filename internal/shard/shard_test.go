@@ -1,0 +1,182 @@
+package shard
+
+// Unit contracts of the engine-agnostic partitioning layer: plan
+// arithmetic (coverage, contiguity, Of/SplitRows inverses), the k-way
+// merge against a reference sort, and router pruning soundness (a pruned
+// shard never holds a matching record). The end-to-end guarantee — that
+// scatter-gather over these pieces is bit-identical to the unsharded
+// engine — is pinned by the equivalence suite at the repo root.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestPlanPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {0, 5}, {1, 1}, {1, 4}, {2, 7}, {10, 1}, {10, 2}, {10, 3},
+		{10, 7}, {10, 10}, {10, 16}, {100, 7}, {1000, 16}, {5, -3},
+	} {
+		p := NewPlan(tc.n, tc.shards)
+		if p.Len() != tc.n {
+			t.Fatalf("NewPlan(%d,%d): Len %d", tc.n, tc.shards, p.Len())
+		}
+		ns := p.Shards()
+		if ns < 1 {
+			t.Fatalf("NewPlan(%d,%d): %d shards", tc.n, tc.shards, ns)
+		}
+		if tc.n > 0 && ns > tc.n {
+			t.Fatalf("NewPlan(%d,%d): %d shards exceeds record count", tc.n, tc.shards, ns)
+		}
+		// Shards are contiguous, cover [0, n) exactly, and are near-equal:
+		// sizes differ by at most one.
+		prevHi, minSz, maxSz := 0, tc.n+1, -1
+		for s := 0; s < ns; s++ {
+			lo, hi := p.Bounds(s)
+			if lo != prevHi || hi < lo {
+				t.Fatalf("NewPlan(%d,%d): shard %d bounds [%d,%d) after %d", tc.n, tc.shards, s, lo, hi, prevHi)
+			}
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+			if sz := hi - lo; sz > maxSz {
+				maxSz = sz
+			}
+			prevHi = hi
+		}
+		if prevHi != tc.n {
+			t.Fatalf("NewPlan(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.shards, prevHi, tc.n)
+		}
+		if tc.n > 0 && maxSz-minSz > 1 {
+			t.Fatalf("NewPlan(%d,%d): shard sizes range [%d,%d], want near-equal", tc.n, tc.shards, minSz, maxSz)
+		}
+		// Of agrees with Bounds for every row.
+		for row := 0; row < tc.n; row++ {
+			s := p.Of(row)
+			if lo, hi := p.Bounds(s); row < lo || row >= hi {
+				t.Fatalf("NewPlan(%d,%d): Of(%d)=%d but bounds are [%d,%d)", tc.n, tc.shards, row, s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPlanSplitRows(t *testing.T) {
+	p := NewPlan(10, 3) // bounds 0,4,7,10
+	split := p.SplitRows([]int{0, 3, 4, 6, 9, -1, 10, 42})
+	want := [][]int{{0, 3}, {0, 2}, {2}}
+	if !reflect.DeepEqual(split, want) {
+		t.Fatalf("SplitRows: got %v, want %v", split, want)
+	}
+	// Localized rows invert back to the exact global rows.
+	var back []int
+	for s, rows := range split {
+		lo, _ := p.Bounds(s)
+		for _, r := range rows {
+			back = append(back, lo+r)
+		}
+	}
+	if !reflect.DeepEqual(back, []int{0, 3, 4, 6, 9}) {
+		t.Fatalf("SplitRows did not localize invertibly: %v", back)
+	}
+}
+
+func TestMergeKAgainstSort(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nLists := 1 + rng.Intn(6)
+		lists := make([][]int, nLists)
+		var all []int
+		next := 0 // strictly increasing values: a strict total order with no cross-list ties
+		for len(all) < rng.Intn(40) {
+			next += 1 + rng.Intn(3)
+			i := rng.Intn(nLists)
+			lists[i] = append(lists[i], next)
+			all = append(all, next)
+		}
+		for _, l := range lists {
+			sort.Ints(l)
+		}
+		sort.Ints(all)
+		for _, limit := range []int{0, 1, 3, len(all), len(all) + 5} {
+			got := MergeK(lists, less, limit)
+			want := all
+			if limit > 0 && limit < len(all) {
+				want = all[:limit]
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d limit %d: MergeK %v, want %v (lists %v)", trial, limit, got, want, lists)
+			}
+		}
+	}
+}
+
+func TestRouterPruningSound(t *testing.T) {
+	rt := NewRouter(3)
+	// Shard 0: ids 1-3, blogs about food. Shard 1: ids 10-20, forums about
+	// travel and food. Shard 2: left empty.
+	rt.Note(0, 1, "blog")
+	rt.Note(0, 3, "blog")
+	rt.NoteCategory(0, "food")
+	rt.Note(1, 10, "forum")
+	rt.Note(1, 20, "forum")
+	rt.NoteCategory(1, "travel")
+	rt.NoteCategory(1, "food")
+
+	for _, tc := range []struct {
+		s     int
+		ids   []int
+		kinds []string
+		cats  []string
+		want  bool
+	}{
+		{0, nil, nil, nil, true},                // no restriction never prunes
+		{2, nil, nil, nil, true},                // even on an empty shard
+		{0, []int{2}, nil, nil, true},           // in range (supersets may admit absent ids)
+		{0, []int{7}, nil, nil, false},          // outside the id range
+		{2, []int{1}, nil, nil, false},          // empty shard + id scope
+		{0, nil, []string{"forum"}, nil, false}, // kind not present
+		{1, nil, []string{"forum", "blog"}, nil, true},
+		{0, nil, nil, []string{"travel"}, false}, // category not present
+		{1, nil, nil, []string{"travel"}, true},
+		{1, []int{15}, []string{"forum"}, []string{"food"}, true},
+		{1, []int{15}, []string{"forum"}, []string{"sports"}, false}, // one failing axis prunes
+	} {
+		if got := rt.CanMatch(tc.s, tc.ids, tc.kinds, tc.cats); got != tc.want {
+			t.Errorf("CanMatch(%d, %v, %v, %v) = %v, want %v", tc.s, tc.ids, tc.kinds, tc.cats, got, tc.want)
+		}
+	}
+}
+
+func TestRouterDeriveIsolation(t *testing.T) {
+	rt := NewRouter(2)
+	rt.Note(0, 5, "blog")
+	rt.NoteCategory(0, "food")
+	rt.Note(1, 9, "forum")
+
+	nr := rt.Derive([]int{0})
+	nr.Note(0, 50, "microblog")
+	nr.NoteCategory(0, "travel")
+
+	// The parent's shard-0 sets are untouched by the derived router's unions.
+	if rt.CanMatch(0, nil, []string{"microblog"}, nil) {
+		t.Fatal("Derive leaked a kind union into the parent router")
+	}
+	if rt.CanMatch(0, nil, nil, []string{"travel"}) {
+		t.Fatal("Derive leaked a category union into the parent router")
+	}
+	if !nr.CanMatch(0, []int{50}, []string{"microblog"}, []string{"travel"}) {
+		t.Fatal("derived router lost its own unions")
+	}
+	// Untouched shard 1 is shared and still answers identically.
+	if !nr.CanMatch(1, []int{9}, []string{"forum"}, nil) {
+		t.Fatal("derived router lost the clean shard's metadata")
+	}
+}

@@ -33,3 +33,49 @@ func SortedRemove(xs []float64, v float64) ([]float64, bool) {
 	copy(xs[i:], xs[i+1:])
 	return xs[:len(xs)-1], true
 }
+
+// SortedBatchRepair applies many removals and insertions to an
+// ascending-sorted slice in one O(n + k log k) merge pass, where k is the
+// batch size — the bulk counterpart of SortedRemove+SortedInsert for ticks
+// whose delta spans a large column (the sharded corpus' global benchmark
+// ledger repairs 100k-value columns this way instead of paying one O(n)
+// memmove per changed value). removes and inserts are consumed as
+// multisets; a remove with no matching element is ignored, mirroring
+// SortedRemove's not-found tolerance. xs is left untouched; the result is
+// a fresh slice holding exactly the repaired multiset in ascending order —
+// bit-identical to re-sorting the repaired multiset from scratch.
+func SortedBatchRepair(xs, removes, inserts []float64) []float64 {
+	if len(removes) == 0 && len(inserts) == 0 {
+		return xs
+	}
+	rem := append([]float64(nil), removes...)
+	ins := append([]float64(nil), inserts...)
+	sort.Float64s(rem)
+	sort.Float64s(ins)
+	// Stale removes may outnumber what the slice holds; clamp the capacity
+	// hint rather than trusting the arithmetic.
+	capHint := len(xs) - len(rem) + len(ins)
+	if capHint < 0 {
+		capHint = len(ins)
+	}
+	out := make([]float64, 0, capHint)
+	ri, ii := 0, 0
+	for _, v := range xs {
+		// Emit pending insertions strictly below v first.
+		for ii < len(ins) && ins[ii] < v {
+			out = append(out, ins[ii])
+			ii++
+		}
+		// A remove below v can never match anymore: drop it (not-found).
+		for ri < len(rem) && rem[ri] < v {
+			ri++
+		}
+		if ri < len(rem) && rem[ri] == v {
+			ri++ // one occurrence consumed by the removal multiset
+			continue
+		}
+		out = append(out, v)
+	}
+	out = append(out, ins[ii:]...)
+	return out
+}

@@ -82,3 +82,62 @@ func TestSortedRepairMatchesResort(t *testing.T) {
 		}
 	}
 }
+
+// TestSortedBatchRepairMatchesSequential pins the batched repair — the
+// sharded ledger's single-pass column update — against the sequential
+// remove/insert path on random multisets: same output bytes, fresh slice,
+// untouched input.
+func TestSortedBatchRepairMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(20)) / 4 // ties on purpose
+		}
+		sort.Float64s(xs)
+		orig := append([]float64(nil), xs...)
+
+		// Removes drawn mostly from the multiset, sometimes absent (stale
+		// removes must be tolerated, like SortedRemove reporting false).
+		var removes, inserts []float64
+		for k := rng.Intn(8); k > 0; k-- {
+			if len(xs) > 0 && rng.Intn(4) > 0 {
+				removes = append(removes, xs[rng.Intn(len(xs))])
+			} else {
+				removes = append(removes, 99+float64(rng.Intn(5)))
+			}
+		}
+		for k := rng.Intn(8); k > 0; k-- {
+			inserts = append(inserts, float64(rng.Intn(20))/4)
+		}
+
+		want := append([]float64(nil), xs...)
+		for _, v := range removes {
+			want, _ = SortedRemove(want, v)
+		}
+		for _, v := range inserts {
+			want = SortedInsert(want, v)
+		}
+
+		got := SortedBatchRepair(xs, removes, inserts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: diverged at %d: %v != %v\n got  %v\n want %v", trial, i, got[i], want[i], got, want)
+			}
+		}
+		for i := range orig {
+			if xs[i] != orig[i] {
+				t.Fatalf("trial %d: input slice mutated at %d", trial, i)
+			}
+		}
+	}
+	// Both batches empty: the input comes back as-is.
+	xs := []float64{1, 2, 3}
+	if got := SortedBatchRepair(xs, nil, nil); &got[0] != &xs[0] {
+		t.Fatal("empty repair must return the input slice unchanged")
+	}
+}

@@ -271,6 +271,120 @@ func Advance(w *World, days int, seed int64) (*World, *Delta) {
 	return nw, delta
 }
 
+// AdvanceSameDay generates fresh comment activity WITHOUT moving the
+// world's timeline: existing open discussions collect new comments posted
+// inside the last day of the unchanged window, no discussions open or
+// close, and Config.End stays put — so the returned delta reports
+// EpochMoved() == false and every time-sensitive measure input is
+// untouched. This is the sparse-churn tick of the monitoring scenario (a
+// re-crawl between daily epochs) and the substrate of the incremental
+// spine-repair path, which only engages when the epoch holds still.
+//
+// onlySources, when non-nil, restricts the churn to the listed source IDs —
+// the lever the sharded-corpus tests use to dirty exactly one chosen
+// shard. Like Advance it is copy-on-write and deterministic per seed.
+func AdvanceSameDay(w *World, seed int64, onlySources []int) (*World, *Delta) {
+	rng := rand.New(rand.NewSource(seed))
+	tg := textgen.NewFromRand(rng)
+	end := w.Config.End
+	delta := &Delta{
+		Days: 0, OldEnd: end, NewEnd: end,
+		dirtySources:      map[int]bool{},
+		dirtyContributors: map[int]bool{},
+	}
+	var only map[int]bool
+	if onlySources != nil {
+		only = make(map[int]bool, len(onlySources))
+		for _, id := range onlySources {
+			only[id] = true
+		}
+	}
+
+	nextComID := 0
+	for _, s := range w.Sources {
+		for _, d := range s.Discussions {
+			for _, c := range d.Comments {
+				if c.ID >= nextComID {
+					nextComID = c.ID + 1
+				}
+			}
+		}
+	}
+	userWeights := make([]float64, len(w.Users))
+	for i, u := range w.Users {
+		userWeights[i] = math.Exp(u.Activity)
+	}
+	userTable := newCumulative(userWeights)
+	churn := w.Config.ChurnScale
+	if churn == 0 {
+		churn = 1
+	}
+
+	nw := &World{
+		Config:             w.Config,
+		Categories:         w.Categories,
+		Users:              w.Users,
+		Sources:            make([]*Source, len(w.Sources)),
+		MaxOpenDiscussions: w.MaxOpenDiscussions, // no discussion opens or closes
+	}
+	for si, s := range w.Sources {
+		if only != nil && !only[s.ID] {
+			nw.Sources[si] = s
+			continue
+		}
+		// Fresh comments on existing open discussions, posted within the
+		// final day of the unchanged window so timestamps stay ordered.
+		var grown map[int]*Discussion
+		for di, d := range s.Discussions {
+			if !d.Open || d.Opened.After(end) {
+				continue
+			}
+			extra := poissonish(rng, churn*0.2*math.Exp(0.5*s.Latent.Participation))
+			if extra == 0 {
+				continue
+			}
+			from := end.Add(-24 * time.Hour)
+			if d.Opened.After(from) {
+				from = d.Opened
+			}
+			nd := &Discussion{}
+			*nd = *d
+			nd.Comments = make([]*Comment, len(d.Comments), len(d.Comments)+extra)
+			copy(nd.Comments, d.Comments)
+			for c := 0; c < extra; c++ {
+				com := newAdvanceComment(rng, w, userTable, &nextComID, from, end.Sub(from))
+				if w.Config.CommentText && d.Category != "" {
+					com.Body = tg.Comment(d.Category, com.Polarity, 0)
+				}
+				nd.Comments = append(nd.Comments, com)
+				delta.dirtyContributors[com.UserID] = true
+				delta.Comments = append(delta.Comments, DeltaComment{SourceID: s.ID, Discussion: nd, Comment: com})
+			}
+			if grown == nil {
+				grown = map[int]*Discussion{}
+			}
+			grown[di] = nd
+		}
+		if len(grown) == 0 {
+			nw.Sources[si] = s
+			continue
+		}
+		ns := &Source{}
+		*ns = *s
+		ns.Discussions = make([]*Discussion, len(s.Discussions))
+		for di, d := range s.Discussions {
+			if nd, ok := grown[di]; ok {
+				ns.Discussions[di] = nd
+			} else {
+				ns.Discussions[di] = d
+			}
+		}
+		nw.Sources[si] = ns
+		delta.dirtySources[s.ID] = true
+	}
+	return nw, delta
+}
+
 // newAdvanceComment draws one fresh comment, posted uniformly inside
 // [from, from+window].
 func newAdvanceComment(rng *rand.Rand, w *World, userTable *cumulative, nextComID *int, from time.Time, window time.Duration) *Comment {

@@ -57,6 +57,7 @@ type queryable[R any] interface {
 	Query([]*R, Query) (*QueryResult, error)
 	Spine([]*R, Query) (*quality.Spine, error)
 	Window([]*R, *quality.Spine, Query) (*QueryResult, error)
+	RepairSpine([]*R, *quality.Spine, Query) (*quality.Spine, bool)
 }
 
 // querySources answers a source query from the snapshot's cache.
@@ -125,18 +126,61 @@ func cachedSpine[R any](st *assessState, kind byte, a queryable[R], records []*R
 	if !ok {
 		if len(st.spines) >= maxCachedSpines {
 			st.queryMu.Unlock()
-			return a.Spine(records, sq)
+			return buildSpine(st, sKey, a, records, sq)
 		}
 		se = &spineEntry{}
 		st.spines[sKey] = se
 	}
 	st.queryMu.Unlock()
 	se.once.Do(func() {
-		se.sp, se.err = a.Spine(records, sq)
+		se.sp, se.err = buildSpine(st, sKey, a, records, sq)
+		if se.err == nil && se.sp != nil {
+			// Record the completed spine under the lock so the next
+			// Advance can hand it to its snapshot as repair substrate;
+			// doneSpines never observes a half-built entry this way.
+			st.queryMu.Lock()
+			if st.spinesDone == nil {
+				st.spinesDone = make(map[string]*quality.Spine)
+			}
+			st.spinesDone[sKey] = se.sp
+			st.queryMu.Unlock()
+		}
 	})
 	if se.sp == nil && se.err == nil {
 		// Spent-but-empty once (a recovered panic): compute uncached.
-		return a.Spine(records, sq)
+		return buildSpine(st, sKey, a, records, sq)
 	}
 	return se.sp, se.err
+}
+
+// buildSpine computes a ranked spine, preferring the carry/repair path:
+// if the previous assessment round completed a spine for the same
+// standing filter, the engine repairs only the rows its last update
+// dirtied (per shard, under a sharded engine) instead of re-scanning the
+// corpus. The repaired spine is pinned bit-identical to a fresh scan by
+// TestRepairedSpineEquivalence; any ineligibility — epoch moved,
+// benchmarks shifted, shard layout changed — falls through to a scan.
+func buildSpine[R any](st *assessState, sKey string, a queryable[R], records []*R, sq Query) (*quality.Spine, error) {
+	if prev, ok := st.prevSpines[sKey]; ok {
+		if sp, ok := a.RepairSpine(records, prev, sq); ok {
+			return sp, nil
+		}
+	}
+	return a.Spine(records, sq)
+}
+
+// doneSpines snapshots the spines completed during this round, for the
+// next snapshot's prevSpines. It copies under queryMu: late readers of a
+// superseded snapshot may still be finishing spine computations.
+func (st *assessState) doneSpines() map[string]*quality.Spine {
+	st.queryMu.Lock()
+	defer st.queryMu.Unlock()
+	if len(st.spinesDone) == 0 {
+		return nil
+	}
+	out := make(map[string]*quality.Spine, len(st.spinesDone))
+	for k, sp := range st.spinesDone {
+		out[k] = sp
+	}
+	return out
 }
