@@ -1,0 +1,59 @@
+// Command informer-vet is the project's multichecker (DESIGN.md
+// section 12): it loads the module's packages and runs the
+// internal/analysis suite — snapshotsafe, detrand, chanhygiene,
+// errdrop, mdref — printing one line per finding and exiting nonzero
+// if anything fires. CI runs it as a required step; run it locally with
+//
+//	go run ./cmd/informer-vet ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/informing-observers/informer/internal/analysis"
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("informer-vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory of the module to vet")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := kit.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "informer-vet:", err)
+		return 2
+	}
+	diags, err := kit.Run(mod, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "informer-vet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(kit.DiagString(mod.Fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "informer-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

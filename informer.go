@@ -43,6 +43,8 @@
 //
 // The types below are aliases of the implementation packages so that
 // downstream code can name every value the facade returns.
+//
+//informer:deterministic
 package informer
 
 import (
@@ -208,6 +210,8 @@ type Corpus struct {
 // per-snapshot caches. States are never mutated after publication — the
 // lazy caches are internally synchronised — so any number of readers can
 // hold one while a writer prepares the next.
+//
+//informer:snapshot
 type assessState struct {
 	world *World
 	panel *analytics.Panel
@@ -260,6 +264,8 @@ type assessState struct {
 }
 
 // searchEngine lazily builds the snapshot's search baseline.
+//
+//informer:mutates memoised lazy init guarded by engineOnce
 func (st *assessState) searchEngine() *search.Engine {
 	st.engineOnce.Do(func() {
 		st.engine = search.NewEngine(st.world, st.panel, search.Config{Seed: st.seed + 2})
@@ -268,6 +274,8 @@ func (st *assessState) searchEngine() *search.Engine {
 }
 
 // webServer lazily builds the snapshot's crawlable HTTP surface.
+//
+//informer:mutates memoised lazy init guarded by serverOnce
 func (st *assessState) webServer() http.Handler {
 	st.serverOnce.Do(func() {
 		st.server = webserve.New(st.world)
@@ -460,6 +468,8 @@ func (c *Corpus) Handler() http.Handler {
 
 // PanelHandler serves the analytics panel (the Alexa substitute) as a
 // JSON API, always reading the current snapshot's panel.
+//
+//informer:mutates memoised lazy init guarded by panelHandlerOnce
 func (c *Corpus) PanelHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		st := c.state.Load()
@@ -661,6 +671,8 @@ func (c *Corpus) AdvanceSameDay(seed int64, onlySources []int) *Corpus {
 // publishAdvance derives the next assessment snapshot from a ticked world,
 // carries the current round's completed spines forward for repair, swaps
 // the snapshot in and fans the round out to the subscription registry.
+//
+//informer:mutates fills the successor snapshot before the atomic swap
 func (c *Corpus) publishAdvance(cur *assessState, world *World, delta *webgen.Delta) {
 	panel := cur.panel.Refresh(world)
 	env := cur.env.Advance(world, panel, delta)

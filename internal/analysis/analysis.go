@@ -1,0 +1,27 @@
+// Package analysis assembles the informer-vet suite: the project's
+// load-bearing conventions — immutable published snapshots,
+// scheduling-independent fan-out, bounded queues, delivery-path error
+// discipline, resolvable documentation references — expressed as
+// machine-checked analyzers (DESIGN.md section 12). cmd/informer-vet
+// runs the suite over the module and CI requires it to be clean.
+package analysis
+
+import (
+	"github.com/informing-observers/informer/internal/analysis/chanhygiene"
+	"github.com/informing-observers/informer/internal/analysis/detrand"
+	"github.com/informing-observers/informer/internal/analysis/errdrop"
+	"github.com/informing-observers/informer/internal/analysis/kit"
+	"github.com/informing-observers/informer/internal/analysis/mdref"
+	"github.com/informing-observers/informer/internal/analysis/snapshotsafe"
+)
+
+// Suite returns the informer-vet analyzers in stable order.
+func Suite() []*kit.Analyzer {
+	return []*kit.Analyzer{
+		snapshotsafe.Analyzer,
+		detrand.Analyzer,
+		chanhygiene.Analyzer,
+		errdrop.Analyzer,
+		mdref.Analyzer,
+	}
+}

@@ -1,0 +1,156 @@
+// Package chanhygiene polices the queue contracts of
+// `//informer:bounded` packages — internal/subscribe and
+// internal/deliver, where every queue is bounded-and-coalescing by
+// design (DESIGN.md sections 9 and 10). Data channels must be created
+// with an explicit capacity (an unbuffered data channel couples
+// producer to consumer and lets a slow sink block the tick), and every
+// goroutine launch must have a visible termination path: a
+// context/channel argument, or a receive, channel range, select, or
+// blocking sync join (Cond.Wait, WaitGroup.Wait) in the launched body.
+package chanhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+// Analyzer is the chanhygiene checker.
+var Analyzer = &kit.Analyzer{
+	Name: "chanhygiene",
+	Doc:  "explicit channel capacities and goroutine termination paths in //informer:bounded packages",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	if _, ok := pass.Dirs.Package("bounded"); !ok {
+		return nil
+	}
+	bodies := funcBodies(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMake(pass, n)
+			case *ast.GoStmt:
+				checkGo(pass, n, bodies)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcBodies maps declared function objects to their bodies so a
+// `go f(...)` launch can be checked against f's implementation.
+func funcBodies(pass *kit.Pass) map[types.Object]*ast.BlockStmt {
+	m := map[types.Object]*ast.BlockStmt{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					m[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return m
+}
+
+func checkMake(pass *kit.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return
+	}
+	ch, ok := kit.Deref(pass.TypeOf(call.Args[0])).Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	// chan struct{} carries no data; unbuffered close/signal channels
+	// are part of the termination idiom, not a queue.
+	if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "unbuffered data channel in bounded-queue package; give it an explicit capacity")
+}
+
+func checkGo(pass *kit.Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) {
+	// A context or channel handed to the goroutine is a termination
+	// contract in itself.
+	for _, arg := range g.Call.Args {
+		if isCtxOrChan(pass.TypeOf(arg)) {
+			return
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		body = bodies[pass.Info.Uses[fun]]
+	case *ast.SelectorExpr:
+		body = bodies[pass.Info.Uses[fun.Sel]]
+	}
+	if body != nil && hasTerminationPath(pass, body) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine launch without a visible termination path (no ctx/done/channel argument, no receive/select/channel-range in the body)")
+}
+
+func isCtxOrChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named := kit.NamedOf(t); named != nil {
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+	}
+	return false
+}
+
+func hasTerminationPath(pass *kit.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if _, ok := kit.Deref(pass.TypeOf(n.X)).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isSyncWait(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncWait reports whether call is Cond.Wait or WaitGroup.Wait — a
+// blocking rendezvous that ties the goroutine's lifetime to its peers
+// just as visibly as a channel receive does.
+func isSyncWait(pass *kit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Wait" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}

@@ -1,0 +1,12 @@
+package chanhygiene_test
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analysis/chanhygiene"
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+func TestChanHygiene(t *testing.T) {
+	kit.RunTest(t, "testdata", chanhygiene.Analyzer, "a")
+}

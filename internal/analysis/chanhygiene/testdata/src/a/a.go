@@ -1,0 +1,70 @@
+// Package a exercises chanhygiene: unbuffered data channels and
+// goroutines without a termination path must fire in a package
+// annotated bounded.
+//
+//informer:bounded
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type item struct{ n int }
+
+func makes() {
+	a := make(chan item) // want `unbuffered data channel`
+	b := make(chan item, 16)
+	c := make(chan struct{})
+	d := make(chan int) // want `unbuffered data channel`
+	_, _, _, _ = a, b, c, d
+}
+
+func launches(ctx context.Context, in chan item) {
+	go func() { // ok: ranges over a channel, ends on close
+		for range in {
+		}
+	}()
+	go worker(ctx) // ok: the context is the termination contract
+	go selective(nil, nil)
+	go naked()  // want `goroutine launch without a visible termination path`
+	go func() { // want `goroutine launch without a visible termination path`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+	go func() { //informer:ignore chanhygiene deliberate suppression exercised by the fixture
+		for {
+		}
+	}()
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func joins(wg *sync.WaitGroup, cond *sync.Cond) {
+	go func() { // ok: WaitGroup.Wait is a blocking join
+		wg.Wait()
+	}()
+	go func() { // ok: Cond.Wait ties the lifetime to its peers
+		cond.L.Lock()
+		cond.Wait()
+		cond.L.Unlock()
+	}()
+}
+
+func selective(a, done chan item) {
+	for {
+		select {
+		case <-a:
+		case <-done:
+			return
+		}
+	}
+}
+
+func naked() {
+	for {
+	}
+}

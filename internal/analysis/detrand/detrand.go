@@ -1,0 +1,184 @@
+// Package detrand keeps `//informer:deterministic` packages —
+// internal/quality, internal/shard, internal/stats and the facade scan
+// path — provably scheduling- and iteration-order-independent, the
+// property the parallel fan-out equivalence suites rely on (DESIGN.md
+// sections 6 and 11). It flags the constructs that smuggle
+// nondeterminism into results: map-range loops whose iteration order
+// escapes into ordered data (appends, slice writes, channel sends,
+// string concatenation) unless the destination is visibly sorted
+// afterwards, wall-clock reads (time.Now/Since/Until), math/rand, and
+// select statements that race multiple ready channels.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+// Analyzer is the detrand checker.
+var Analyzer = &kit.Analyzer{
+	Name: "detrand",
+	Doc:  "no order-escaping map iteration, wall-clock, math/rand or racy select in //informer:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	if _, ok := pass.Dirs.Package("deterministic"); !ok {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(), "import of %s in deterministic package", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkClock(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.BlockStmt:
+				checkStmts(pass, n.List)
+			case *ast.CaseClause:
+				checkStmts(pass, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkClock(pass *kit.Pass, sel *ast.SelectorExpr) {
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return
+	}
+	switch obj.Name() {
+	case "Now", "Since", "Until":
+		pass.Reportf(sel.Pos(), "call to time.%s in deterministic package (thread the timeline through explicitly)", obj.Name())
+	}
+}
+
+func checkSelect(pass *kit.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select over %d channels is scheduling-dependent in deterministic package", comm)
+	}
+}
+
+// checkStmts scans a statement list so that a map-range loop can be
+// related to the statements that follow it: appends whose destination
+// is sorted later in the same list are the canonical deterministic
+// idiom and pass clean.
+func checkStmts(pass *kit.Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		if _, isMap := kit.Deref(pass.TypeOf(rng.X)).Underlying().(*types.Map); !isMap {
+			continue
+		}
+		checkMapRange(pass, rng, stmts[i+1:])
+	}
+}
+
+func checkMapRange(pass *kit.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own, against the
+			// statements that follow *it* — attributing its writes to the
+			// outer loop would miss a sort placed just after the inner one.
+			if _, isMap := kit.Deref(pass.TypeOf(n.X)).Underlying().(*types.Map); isMap {
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "map iteration order escapes via channel send in deterministic package")
+		case *ast.AssignStmt:
+			checkAssign(pass, n, rest)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *kit.Pass, as *ast.AssignStmt, rest []ast.Stmt) {
+	// out = append(out, ...) — clean only if out is sorted after the loop.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			if sortedLater(types.ExprString(as.Lhs[0]), rest) {
+				return
+			}
+			pass.Reportf(as.Pos(), "map iteration order escapes via append in deterministic package (sort the result after the loop)")
+			return
+		}
+	}
+	for _, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			switch kit.Deref(pass.TypeOf(ix.X)).Underlying().(type) {
+			case *types.Slice, *types.Array:
+				pass.Reportf(as.Pos(), "map iteration order escapes via slice write in deterministic package")
+			}
+		}
+	}
+	if as.Tok == token.ADD_ASSIGN {
+		if b, ok := kit.Deref(pass.TypeOf(as.Lhs[0])).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			pass.Reportf(as.Pos(), "map iteration order escapes via string concatenation in deterministic package")
+		}
+	}
+}
+
+func isBuiltinAppend(pass *kit.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether a sort or slices call whose argument
+// renders to the same expression as the append target (`out`,
+// `rq.minDim`, …) appears in the statements after the loop.
+func sortedLater(target string, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == target {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

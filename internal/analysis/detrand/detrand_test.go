@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analysis/detrand"
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+func TestDetRand(t *testing.T) {
+	kit.RunTest(t, "testdata", detrand.Analyzer, "a")
+}

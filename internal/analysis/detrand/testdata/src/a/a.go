@@ -1,0 +1,124 @@
+// Package a exercises detrand: order-escaping map iteration,
+// wall-clock reads, math/rand and racy selects must fire in a package
+// annotated deterministic.
+//
+//informer:deterministic
+package a
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `call to time\.Now in deterministic package`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time\.Since in deterministic package`
+}
+
+func rnd() int { return rand.Intn(10) }
+
+func escapes(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order escapes via append`
+	}
+	return out
+}
+
+func sortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type box struct{ keys []string }
+
+func sortedAfterField(m map[string]int, b *box) {
+	for k := range m {
+		b.keys = append(b.keys, k)
+	}
+	sort.Slice(b.keys, func(i, j int) bool { return b.keys[i] < b.keys[j] })
+}
+
+func fieldEscapes(m map[string]int, b *box) {
+	for k := range m {
+		b.keys = append(b.keys, k) // want `map iteration order escapes via append`
+	}
+}
+
+func nestedSortedInner(mm map[string]map[string]int) map[string][]string {
+	out := make(map[string][]string, len(mm))
+	for cat, inner := range mm {
+		var keys []string
+		for k := range inner {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out[cat] = keys
+	}
+	return out
+}
+
+func sliceWrite(m map[string]int, dst []int) {
+	i := 0
+	for _, v := range m {
+		dst[i] = v // want `map iteration order escapes via slice write`
+		i++
+	}
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration order escapes via channel send`
+	}
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `map iteration order escapes via string concatenation`
+	}
+	return s
+}
+
+func commutative(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func racy(a, b chan int) int {
+	select { // want `select over 2 channels is scheduling-dependent`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func notRacy(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+	}
+	return 0
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//informer:ignore detrand order proven irrelevant by the fixture
+		out = append(out, k)
+	}
+	return out
+}

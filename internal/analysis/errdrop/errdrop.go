@@ -1,0 +1,150 @@
+// Package errdrop guards the delivery-critical packages annotated
+// `//informer:strict-errors` — internal/deliver, internal/retry and the
+// crawler — where a silently discarded error is a lost delivery or a
+// miscounted retry (DESIGN.md section 10). It flags call results whose
+// error is dropped (expression statements, defers, go statements,
+// blank assignments) and outbound network calls with no deadline path:
+// the package-level http helpers, http.DefaultClient, context-free
+// http.NewRequest, and net.Dial.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+// Analyzer is the errdrop checker.
+var Analyzer = &kit.Analyzer{
+	Name: "errdrop",
+	Doc:  "no dropped errors or deadline-free network calls in //informer:strict-errors packages",
+	Run:  run,
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func run(pass *kit.Pass) error {
+	if _, ok := pass.Dirs.Package("strict-errors"); !ok {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "call result")
+				}
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call, "deferred call result")
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "goroutine call result")
+			case *ast.AssignStmt:
+				checkBlank(pass, n)
+			case *ast.SelectorExpr:
+				checkDeadline(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func returnsError(pass *kit.Pass, call *ast.CallExpr) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+	default:
+		if t != nil && types.Identical(t, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDropped(pass *kit.Pass, call *ast.CallExpr, what string) {
+	if !returnsError(pass, call) || stdoutPrint(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s drops an error in strict-errors package", what)
+}
+
+// stdoutPrint reports fmt.Print/Printf/Println — console output whose
+// error return is conventionally meaningless. The writer-directed
+// fmt.Fprint* family stays flagged: in these packages the writer is
+// often a network connection.
+func stdoutPrint(pass *kit.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch obj.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+func checkBlank(pass *kit.Pass, as *ast.AssignStmt) {
+	// v, _ := f() with the blank in an error position, or _ = err.
+	types_ := make([]types.Type, len(as.Lhs))
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if tuple, ok := pass.TypeOf(as.Rhs[0]).(*types.Tuple); ok && tuple.Len() == len(as.Lhs) {
+			for i := range as.Lhs {
+				types_[i] = tuple.At(i).Type()
+			}
+		}
+	} else if len(as.Rhs) == len(as.Lhs) {
+		for i := range as.Lhs {
+			types_[i] = pass.TypeOf(as.Rhs[i])
+		}
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || types_[i] == nil {
+			continue
+		}
+		if types.Identical(types_[i], errType) {
+			pass.Reportf(lhs.Pos(), "error discarded into blank identifier in strict-errors package")
+		}
+	}
+}
+
+func checkDeadline(pass *kit.Pass, sel *ast.SelectorExpr) {
+	// Only qualified package-level references (http.Get, net.Dial) —
+	// methods that share a name, like http.Header.Get, are unrelated.
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isPkg := pass.Info.Uses[base].(*types.PkgName); !isPkg {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "net/http":
+		switch obj.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			pass.Reportf(sel.Pos(), "http.%s has no deadline; use a Client with Timeout and NewRequestWithContext", obj.Name())
+		case "NewRequest":
+			pass.Reportf(sel.Pos(), "http.NewRequest carries no context; use http.NewRequestWithContext")
+		case "DefaultClient":
+			pass.Reportf(sel.Pos(), "http.DefaultClient has no Timeout; construct a Client with one")
+		}
+	case "net":
+		if obj.Name() == "Dial" {
+			pass.Reportf(sel.Pos(), "net.Dial has no deadline; use a net.Dialer with Timeout or DialContext")
+		}
+	}
+}

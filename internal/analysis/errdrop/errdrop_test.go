@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analysis/errdrop"
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+func TestErrDrop(t *testing.T) {
+	kit.RunTest(t, "testdata", errdrop.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises errdrop: dropped errors and deadline-free
+// network calls must fire in a package annotated strict-errors.
+//
+//informer:strict-errors
+package a
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+func mayFail() error { return errors.New("x") }
+
+func value() (int, error) { return 0, errors.New("x") }
+
+func drops() {
+	mayFail()       // want `call result drops an error`
+	defer mayFail() // want `deferred call result drops an error`
+	go mayFail()    // want `goroutine call result drops an error`
+	v, _ := value() // want `error discarded into blank identifier`
+	_ = mayFail()   // want `error discarded into blank identifier`
+	_ = v
+	mayFail() //informer:ignore errdrop deliberate suppression exercised by the fixture
+}
+
+func handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := value()
+	fmt.Println(v)
+	return err
+}
+
+func network(c *http.Client) error {
+	req, err := http.NewRequest("GET", "http://example.com", nil) // want `http\.NewRequest carries no context`
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()                              // want `call result drops an error`
+	_ = http.DefaultClient                         // want `http\.DefaultClient has no Timeout`
+	conn, err := net.Dial("tcp", "example.com:80") // want `net\.Dial has no deadline`
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+func helpers() {
+	http.Get("http://example.com") // want `http\.Get has no deadline` `call result drops an error`
+}
+
+// methodsNamedGet shares names with the package helpers but carries no
+// deadline obligation — http.Header.Get must stay clean.
+func methodsNamedGet(resp *http.Response) string {
+	return resp.Header.Get("ETag")
+}

@@ -1,0 +1,116 @@
+package kit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// want comments follow the x/tools analysistest convention: a fixture
+// line carries `// want "re"` (one quoted regexp per expected
+// diagnostic on that line; backquotes also accepted).
+var wantRe = regexp.MustCompile("// want (.*)$")
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// RunTest loads testdata/src/<pkg> for each named fixture package, runs
+// the analyzer over it, and checks the produced diagnostics against the
+// fixture's `// want` comments — every diagnostic must be expected and
+// every expectation must fire, so seeded-bad fixtures prove the
+// analyzer actually detects the violation.
+func RunTest(t *testing.T, testdata string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	moduleDir, err := ModuleRootFromWD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		mod, err := LoadFixture(moduleDir, dir)
+		if err != nil {
+			t.Fatalf("%s: load: %v", pkg, err)
+		}
+		diags, err := Run(mod, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: run: %v", pkg, err)
+		}
+		checkWants(t, mod, diags)
+	}
+}
+
+func checkWants(t *testing.T, mod *Module, diags []Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]string{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			collectWants(mod.Fset, f, wants)
+		}
+	}
+	matched := map[wantKey][]bool{}
+	for k, ws := range wants {
+		matched[k] = make([]bool, len(ws))
+	}
+	for _, d := range diags {
+		pos := mod.Fset.Position(d.Pos)
+		k := wantKey{pos.Filename, pos.Line}
+		ok := false
+		for i, w := range wants[k] {
+			if matched[k][i] {
+				continue
+			}
+			re, err := regexp.Compile(w)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, w, err)
+				return
+			}
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", k.file, k.line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for i, w := range ws {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q did not fire", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+func collectWants(fset *token.FileSet, f *ast.File, wants map[wantKey][]string) {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			k := wantKey{pos.Filename, pos.Line}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				pat := arg[1]
+				if pat == "" {
+					pat = arg[2]
+				}
+				wants[k] = append(wants[k], pat)
+			}
+		}
+	}
+}
+
+// DiagString renders a diagnostic the way informer-vet prints it.
+func DiagString(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+}

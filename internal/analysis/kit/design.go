@@ -1,0 +1,42 @@
+package kit
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+)
+
+var headingRe = regexp.MustCompile(`^#{2,3}\s+([0-9]+(?:\.[0-9]+)?)[. ]`)
+
+// DesignAnchors parses DESIGN.md at the module root once and returns
+// the set of section anchors it defines: "6" for a `## 6. ...` heading,
+// "5.1" for `### 5.1 ...`. mdref resolves both `§N` tokens and
+// "DESIGN.md section N" phrases against this set.
+func (m *Module) DesignAnchors() (map[string]bool, error) {
+	if m.designLoaded {
+		return m.designAnchors, m.designErr
+	}
+	m.designLoaded = true
+	f, err := os.Open(filepath.Join(m.Root, "DESIGN.md"))
+	if err != nil {
+		m.designErr = fmt.Errorf("DESIGN.md not found at module root %s", m.Root)
+		return nil, m.designErr
+	}
+	defer f.Close()
+	anchors := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if mseg := headingRe.FindStringSubmatch(sc.Text()); mseg != nil {
+			anchors[mseg[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		m.designErr = err
+		return nil, err
+	}
+	m.designAnchors = anchors
+	return anchors, nil
+}

@@ -1,0 +1,215 @@
+package kit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar (DESIGN.md section 12). A directive is a comment
+// line of the form
+//
+//	//informer:<name> [args...]
+//
+// (no space after //, like //go: directives) and binds to the
+// declaration whose doc comment block contains it:
+//
+//	//informer:deterministic            package doc — the package promises
+//	                                    scheduling- and iteration-order-
+//	                                    independent results (detrand applies)
+//	//informer:bounded                  package doc — every queue in the
+//	                                    package is contractually bounded
+//	                                    (chanhygiene applies)
+//	//informer:strict-errors            package doc — no dropped errors, no
+//	                                    deadline-free network calls (errdrop
+//	                                    applies)
+//	//informer:snapshot                 type doc — values of this type are
+//	                                    published immutable snapshots
+//	                                    (snapshotsafe guards all writes)
+//	//informer:mutates <reason>         func doc — this function is allowed
+//	                                    to write through snapshot types
+//	                                    (constructors, copy-on-write repair)
+//	//informer:ignore <analyzer> <reason>
+//	                                    same line or line above a finding —
+//	                                    suppress that one diagnostic
+//
+// Reasons are mandatory wherever the grammar shows one; a directive
+// with a missing reason is itself a diagnostic (the vet analyzer for
+// the grammar lives in the drivers: Directives records the violation).
+type Directive struct {
+	Name string // e.g. "mutates"
+	Args string // raw text after the name, space-trimmed
+	Pos  token.Pos
+}
+
+// Directives indexes one package's //informer: directive comments.
+type Directives struct {
+	pkg     []Directive
+	funcs   map[*ast.FuncDecl][]Directive
+	types   map[string][]Directive
+	ignores map[string]map[int][]Directive // filename -> line -> directives
+	// Malformed records directives that violate the grammar (unknown
+	// name, missing mandatory reason); the drivers surface them.
+	Malformed []Directive
+}
+
+const directivePrefix = "//informer:"
+
+// knownDirectives maps each directive name to whether its argument
+// (reason) is mandatory.
+var knownDirectives = map[string]bool{
+	"deterministic": false,
+	"bounded":       false,
+	"strict-errors": false,
+	"snapshot":      false,
+	"mutates":       true,
+	"ignore":        true,
+}
+
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+func (d Directive) wellFormed() bool {
+	needsArgs, known := knownDirectives[d.Name]
+	if !known {
+		return false
+	}
+	if d.Name == "ignore" {
+		// ignore needs an analyzer name AND a reason.
+		_, reason, ok := strings.Cut(d.Args, " ")
+		return ok && strings.TrimSpace(reason) != ""
+	}
+	return !needsArgs || d.Args != ""
+}
+
+func groupDirectives(g *ast.CommentGroup) []Directive {
+	if g == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range g.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// extractDirectives walks a package's files and builds the index. The
+// ignore index is built from every comment in the file, not just doc
+// blocks, because suppressions ride on arbitrary statements.
+func extractDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	ds := &Directives{
+		funcs:   map[*ast.FuncDecl][]Directive{},
+		types:   map[string][]Directive{},
+		ignores: map[string]map[int][]Directive{},
+	}
+	note := func(d Directive) {
+		if !d.wellFormed() {
+			ds.Malformed = append(ds.Malformed, d)
+		}
+	}
+	for _, f := range files {
+		for _, d := range groupDirectives(f.Doc) {
+			note(d)
+			ds.pkg = append(ds.pkg, d)
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				for _, d := range groupDirectives(decl.Doc) {
+					note(d)
+					ds.funcs[decl] = append(ds.funcs[decl], d)
+				}
+			case *ast.GenDecl:
+				declDirs := groupDirectives(decl.Doc)
+				for _, d := range declDirs {
+					note(d)
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					specDirs := groupDirectives(ts.Doc)
+					for _, d := range specDirs {
+						note(d)
+					}
+					ds.types[ts.Name.Name] = append(ds.types[ts.Name.Name], declDirs...)
+					ds.types[ts.Name.Name] = append(ds.types[ts.Name.Name], specDirs...)
+				}
+			}
+		}
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := parseDirective(c)
+				if !ok || d.Name != "ignore" {
+					continue
+				}
+				note(d)
+				pos := fset.Position(c.Pos())
+				byLine := ds.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]Directive{}
+					ds.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return ds
+}
+
+// Package reports the package-level directive with the given name.
+func (ds *Directives) Package(name string) (Directive, bool) {
+	for _, d := range ds.pkg {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Func reports the directive on a function declaration's doc block.
+func (ds *Directives) Func(fd *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range ds.funcs[fd] {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// TypeHas reports whether the named type's declaration carries the
+// directive.
+func (ds *Directives) TypeHas(typeName, name string) bool {
+	for _, d := range ds.types[typeName] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IgnoredAt reports whether a well-formed
+// `//informer:ignore <analyzer> <reason>` sits on pos's line or the
+// line directly above it.
+func (ds *Directives) IgnoredAt(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	byLine := ds.ignores[p.Filename]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range byLine[line] {
+			target, reason, _ := strings.Cut(d.Args, " ")
+			if target == analyzer && strings.TrimSpace(reason) != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+// Package kit is the minimal analysis driver behind informer-vet
+// (DESIGN.md section 12). It mirrors the shape of the
+// golang.org/x/tools/go/analysis API — Analyzer, Pass, Diagnostic, an
+// analysistest-style fixture runner — but is built entirely on the
+// standard library so the suite needs no external modules: packages are
+// enumerated with `go list -deps -export -json`, module packages are
+// type-checked from source, and everything outside the module resolves
+// through compiler export data from the build cache.
+//
+// Analyzers communicate with the code they check through `//informer:`
+// directive comments; see the Directives type for the grammar.
+package kit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. Run inspects a single
+// package through its Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in
+	// `//informer:ignore <name> <reason>` suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes one package. Diagnostics are delivered through the
+	// pass; a non-nil error aborts the whole vet run (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one package's syntax, type information and directive
+// index to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's type-checked, non-test syntax trees.
+	Files []*ast.File
+	// CommentFiles are parse-only trees for the package's _test.go
+	// files. They carry no type information and exist so comment-only
+	// analyzers (mdref) cover the same files the old CI grep did.
+	CommentFiles []*ast.File
+	Pkg          *types.Package
+	Info         *types.Info
+	// Dirs indexes the package's //informer: directives.
+	Dirs *Directives
+	// Mod is the module (or fixture) the package was loaded from.
+	Mod *Module
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos. A `//informer:ignore <analyzer>
+// <reason>` directive on the same line, or on the line directly above,
+// suppresses it; the reason string is mandatory, so every suppression
+// is a documented decision.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Dirs != nil && p.Dirs.IgnoredAt(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf is a nil-safe shorthand for the pass's expression types.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Run applies every analyzer to every package of the module and returns
+// the surviving diagnostics sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		// The directive grammar itself is checked centrally: a directive
+		// with an unknown name or a missing mandatory reason is a
+		// finding, so suppressions can never silently rot.
+		for _, d := range pkg.Dirs.Malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("malformed //informer:%s directive (unknown name or missing reason)", d.Name),
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:     a,
+				Fset:         mod.Fset,
+				Files:        pkg.Files,
+				CommentFiles: pkg.CommentFiles,
+				Pkg:          pkg.Types,
+				Info:         pkg.Info,
+				Dirs:         pkg.Dirs,
+				Mod:          mod,
+				report:       func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := mod.Fset.Position(diags[i].Pos), mod.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// Deref unwraps pointers and (when the type-checker materializes them)
+// alias types. The alias unwrap is done through an interface assertion
+// so the package still compiles under toolchains that predate
+// go/types.Alias.
+func Deref(t types.Type) types.Type {
+	for t != nil {
+		if a, ok := t.(interface{ Rhs() types.Type }); ok {
+			t = a.Rhs()
+			continue
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	return t
+}
+
+// NamedOf returns the named type behind t (through pointers, aliases
+// and generic instantiation), or nil.
+func NamedOf(t types.Type) *types.Named {
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}

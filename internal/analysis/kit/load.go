@@ -1,0 +1,350 @@
+package kit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Module is a loaded set of packages plus the module-wide indexes the
+// analyzers share: the fileset, the directive-annotated type set, and
+// the filesystem root that markdown references resolve against.
+type Module struct {
+	// Path is the module path ("fixture" for analysistest loads).
+	Path string
+	// Root is the directory holding go.mod — and DESIGN.md, README.md
+	// etc., which mdref resolves against. Fixture loads point Root at
+	// the fixture directory so fixtures carry their own markdown.
+	Root string
+	Fset *token.FileSet
+	// Pkgs holds the module's packages in dependency order.
+	Pkgs []*Package
+	// typeDirs maps "pkgpath.TypeName" to the directive names on that
+	// type's declaration, so analyzers can test cross-package types.
+	typeDirs map[string]map[string]bool
+
+	designAnchors map[string]bool
+	designErr     error
+	designLoaded  bool
+}
+
+// A Package is one type-checked module package.
+type Package struct {
+	Path         string
+	Dir          string
+	Files        []*ast.File
+	CommentFiles []*ast.File
+	Types        *types.Package
+	Info         *types.Info
+	Dirs         *Directives
+}
+
+// TypeDirective reports whether the named type declared in pkgPath
+// carries the directive (e.g. "snapshot"). It spans every loaded
+// package, so an analyzer checking package A can test a type from
+// package B.
+func (m *Module) TypeDirective(pkgPath, typeName, directive string) bool {
+	return m.typeDirs[pkgPath+"."+typeName][directive]
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	Module       *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-export", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a path->export-file map to the gc importer's
+// lookup signature.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadModule enumerates patterns (typically "./...") with the go tool
+// and type-checks every package of the main module from source.
+// Dependencies outside the module — for this repo, only the standard
+// library — are imported from compiler export data, so loading works
+// fully offline.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	mod := &Module{Fset: fset, typeDirs: map[string]map[string]bool{}}
+	exports := map[string]string{}
+	byPath := map[string]listPkg{}
+	var order []string
+	for _, p := range listed {
+		if p.Module != nil && p.Module.Main {
+			if mod.Path == "" {
+				mod.Path = p.Module.Path
+				mod.Root = p.Module.Dir
+			}
+			byPath[p.ImportPath] = p
+			order = append(order, p.ImportPath)
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	if mod.Path == "" {
+		return nil, fmt.Errorf("no main-module packages matched %q in %s", patterns, dir)
+	}
+	base := importer.ForCompiler(fset, "gc", exportLookup(exports))
+
+	checked := map[string]*Package{}
+	var load func(path string) (*Package, error)
+	load = func(path string) (*Package, error) {
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		p := byPath[path]
+		files, err := parseAll(fset, p.Dir, p.GoFiles, p.CgoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp := importerFunc(func(ipath string) (*types.Package, error) {
+			if _, ok := byPath[ipath]; ok {
+				dep, err := load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return dep.Types, nil
+			}
+			return base.Import(ipath)
+		})
+		tpkg, info, err := check(fset, path, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		testFiles, err := parseAll(fset, p.Dir, p.TestGoFiles, p.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{
+			Path:         path,
+			Dir:          p.Dir,
+			Files:        files,
+			CommentFiles: testFiles,
+			Types:        tpkg,
+			Info:         info,
+			Dirs:         extractDirectives(fset, files),
+		}
+		checked[path] = pkg
+		mod.Pkgs = append(mod.Pkgs, pkg)
+		return pkg, nil
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		if _, err := load(path); err != nil {
+			return nil, err
+		}
+	}
+	mod.indexTypeDirectives()
+	return mod, nil
+}
+
+// LoadFixture type-checks a single directory as one package, with
+// moduleDir supplying export data for its (standard-library) imports.
+// Root — the directory mdref resolves markdown references against — is
+// the fixture directory itself.
+func LoadFixture(moduleDir, fixtureDir string) (*Module, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	files, err := parseAll(fset, fixtureDir, names, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", fixtureDir)
+	}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			imports = append(imports, strings.Trim(spec.Path.Value, `"`))
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		listed, err := goList(moduleDir, imports...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	pkgPath := "fixture/" + filepath.Base(fixtureDir)
+	tpkg, info, err := check(fset, pkgPath, files, importerFunc(imp.Import))
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Path: "fixture", Root: abs, Fset: fset, typeDirs: map[string]map[string]bool{}}
+	mod.Pkgs = []*Package{{
+		Path:  pkgPath,
+		Dir:   abs,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Dirs:  extractDirectives(fset, files),
+	}}
+	mod.indexTypeDirectives()
+	return mod, nil
+}
+
+func parseAll(fset *token.FileSet, dir string, lists ...[]string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, list := range lists {
+		for _, name := range list {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	info := newInfo()
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("type errors in %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	return tpkg, info, nil
+}
+
+func (m *Module) indexTypeDirectives() {
+	for _, pkg := range m.Pkgs {
+		for typeName, dirs := range pkg.Dirs.types {
+			for _, d := range dirs {
+				key := pkg.Path + "." + typeName
+				if m.typeDirs[key] == nil {
+					m.typeDirs[key] = map[string]bool{}
+				}
+				m.typeDirs[key][d.Name] = true
+			}
+		}
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ModuleRootFromWD walks up from the working directory to the
+// enclosing go.mod — how analyzer tests find the module so fixture
+// loads can resolve stdlib export data.
+func ModuleRootFromWD() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

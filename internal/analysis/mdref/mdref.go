@@ -1,0 +1,144 @@
+// Package mdref is the analyzer form of the old docs CI grep, with the
+// anchor checking the grep never had: every markdown file a Go comment
+// cites must exist at the module root, and every DESIGN.md section
+// reference — a `§N` / `§N.M` token or a "DESIGN.md section N" /
+// "sections N to M" phrase — must resolve to a real heading in
+// DESIGN.md. It scans _test.go comments too, so coverage is a strict
+// superset of the grep it replaces (ROADMAP standing constraint).
+package mdref
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+// Analyzer is the mdref checker.
+var Analyzer = &kit.Analyzer{
+	Name: "mdref",
+	Doc:  "markdown files and DESIGN.md section anchors cited in Go comments must resolve",
+	Run:  run,
+}
+
+var (
+	mdFileRe  = regexp.MustCompile(`[A-Za-z0-9_][A-Za-z0-9_.-]*\.md`)
+	anchorRe  = regexp.MustCompile(`§\s*([0-9]+(?:\.[0-9]+)?)`)
+	sectionRe = regexp.MustCompile(`DESIGN\.md,?\s+[Ss]ections?\s+((?:[0-9]+(?:\.[0-9]+)?|and|to|,|\s)+)`)
+	numOrToRe = regexp.MustCompile(`[0-9]+(?:\.[0-9]+)?|to`)
+)
+
+func run(pass *kit.Pass) error {
+	files := append([]*ast.File{}, pass.Files...)
+	files = append(files, pass.CommentFiles...)
+	for _, f := range files {
+		for _, g := range f.Comments {
+			text, posMap := flatten(g)
+			checkFiles(pass, text, posMap)
+			checkAnchors(pass, text, posMap)
+		}
+	}
+	return nil
+}
+
+// flatten joins a comment group into one searchable string (comment
+// markers stripped, lines space-joined so phrases may wrap) and a
+// parallel byte->token.Pos map for precise reporting.
+func flatten(g *ast.CommentGroup) (string, []token.Pos) {
+	var sb strings.Builder
+	var posMap []token.Pos
+	for _, c := range g.List {
+		text := c.Text
+		base := c.Pos()
+		if strings.HasPrefix(text, "//") {
+			text = text[2:]
+			base += 2
+		} else if strings.HasPrefix(text, "/*") && strings.HasSuffix(text, "*/") {
+			text = text[2 : len(text)-2]
+			base += 2
+		}
+		for i := 0; i < len(text); i++ {
+			// Inside block comments, newlines become spaces so the
+			// phrase regex can span them; positions still point at the
+			// source byte.
+			if text[i] == '\n' {
+				sb.WriteByte(' ')
+			} else {
+				sb.WriteByte(text[i])
+			}
+			posMap = append(posMap, base+token.Pos(i))
+		}
+		sb.WriteByte(' ')
+		posMap = append(posMap, c.End())
+	}
+	return sb.String(), posMap
+}
+
+func checkFiles(pass *kit.Pass, text string, posMap []token.Pos) {
+	for _, loc := range mdFileRe.FindAllStringIndex(text, -1) {
+		name := text[loc[0]:loc[1]]
+		if _, err := os.Stat(filepath.Join(pass.Mod.Root, name)); err != nil {
+			pass.Reportf(posMap[loc[0]], "comment references %s but no such file exists at the module root", name)
+		}
+	}
+}
+
+type secRef struct {
+	anchor string
+	at     token.Pos
+}
+
+func checkAnchors(pass *kit.Pass, text string, posMap []token.Pos) {
+	var refs []secRef
+	for _, m := range anchorRe.FindAllStringSubmatchIndex(text, -1) {
+		refs = append(refs, secRef{text[m[2]:m[3]], posMap[m[0]]})
+	}
+	for _, m := range sectionRe.FindAllStringSubmatchIndex(text, -1) {
+		at := posMap[m[0]]
+		span := text[m[2]:m[3]]
+		toks := numOrToRe.FindAllString(span, -1)
+		for i, tok := range toks {
+			if tok == "to" {
+				if i > 0 && i+1 < len(toks) {
+					refs = append(refs, expandRange(toks[i-1], toks[i+1], at)...)
+				}
+				continue
+			}
+			refs = append(refs, secRef{tok, at})
+		}
+	}
+	if len(refs) == 0 {
+		return
+	}
+	anchors, err := pass.Mod.DesignAnchors()
+	for _, r := range refs {
+		if err != nil {
+			pass.Reportf(r.at, "comment references DESIGN.md section %s but %v", r.anchor, err)
+			continue
+		}
+		if !anchors[r.anchor] {
+			pass.Reportf(r.at, "comment references DESIGN.md section %s but DESIGN.md has no such heading", r.anchor)
+		}
+	}
+
+}
+
+// expandRange fills in the interior anchors of "sections N to M"; the
+// endpoints themselves are already collected as plain number tokens.
+func expandRange(lo, hi string, at token.Pos) []secRef {
+	l, err1 := strconv.Atoi(lo)
+	h, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || h-l > 32 {
+		return nil
+	}
+	var out []secRef
+	for n := l + 1; n < h; n++ {
+		out = append(out, secRef{strconv.Itoa(n), at})
+	}
+	return out
+}

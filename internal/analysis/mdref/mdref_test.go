@@ -1,0 +1,12 @@
+package mdref_test
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+	"github.com/informing-observers/informer/internal/analysis/mdref"
+)
+
+func TestMdRef(t *testing.T) {
+	kit.RunTest(t, "testdata", mdref.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Package a exercises mdref. Markdown references resolve against the
+// fixture root: OK.md and DESIGN.md exist there, so this doc comment is
+// clean.
+package a
+
+// The overview lives in OK.md and the design in DESIGN.md section 2.
+func ok() {}
+
+// Details were moved to GONE.md some time ago. // want `comment references GONE\.md but no such file`
+func badFile() {}
+
+// The incremental path is covered by DESIGN.md section 9 at length. // want `DESIGN\.md section 9 but DESIGN\.md has no such heading`
+func badAnchor() {}
+
+// See §2.1 for the split.
+func okAnchor() {}
+
+// See §4.2 for the merge. // want `DESIGN\.md section 4\.2 but DESIGN\.md has no such heading`
+func badSub() {}
+
+// Sections wrap across comment lines too: the pipeline of DESIGN.md
+// sections 1 to 3 ends at the ledger.
+func okRange() {}
+
+// The full story spans DESIGN.md sections 2 and 6. // want `DESIGN\.md section 6 but DESIGN\.md has no such heading`
+func badPair() {}
+
+func suppressed() {
+	//informer:ignore mdref historical reference kept on purpose
+	// Suppressed: ANCIENT.md predates the repo.
+}

@@ -1,0 +1,131 @@
+// Package snapshotsafe enforces the copy-on-write discipline behind
+// the engine's published immutable snapshots (DESIGN.md sections 6 and
+// 11): once a value of a type annotated `//informer:snapshot` —
+// assessState, the quality measure matrix, webgen.World — is published
+// behind an atomic pointer, nothing may write through it. The analyzer
+// flags every assignment, increment, delete or copy whose target chain
+// passes through a snapshot type, anywhere in the module, unless the
+// enclosing function's doc block carries `//informer:mutates <reason>`
+// (constructors and the copy-on-write repair paths, which mutate fresh
+// private copies before publication).
+package snapshotsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+)
+
+// Analyzer is the snapshotsafe checker.
+var Analyzer = &kit.Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "no writes through //informer:snapshot types outside //informer:mutates functions",
+	Run:  run,
+}
+
+func run(pass *kit.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, allowed := pass.Dirs.Func(fd, "mutates"); allowed {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *kit.Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isBareIdent(lhs) {
+					continue // rebinding a variable, not a write through it
+				}
+				checkWrite(pass, lhs, "assignment")
+			}
+		case *ast.IncDecStmt:
+			if !isBareIdent(n.X) {
+				checkWrite(pass, n.X, "increment")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags the mutating builtins: delete on a snapshot map,
+// copy into a snapshot slice.
+func checkCall(pass *kit.Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin || (obj.Name() != "delete" && obj.Name() != "copy") {
+		return
+	}
+	checkWrite(pass, call.Args[0], id.Name)
+}
+
+// isBareIdent reports whether e is a plain (possibly parenthesised)
+// identifier. Assigning to one rebinds the variable rather than writing
+// through the value it held, so `st := c.state.Load()` is clean even
+// though st has a snapshot type; `*st = v` and `st.f = v` are not.
+func isBareIdent(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkWrite walks the lvalue's access chain (x.f, x[i], *x, parens);
+// if any link has a snapshot-annotated type the write mutates state
+// reachable from a published snapshot.
+func checkWrite(pass *kit.Pass, lhs ast.Expr, what string) {
+	for e := lhs; ; {
+		if name := snapshotTypeName(pass, e); name != "" {
+			pass.Reportf(lhs.Pos(), "%s writes through snapshot type %s outside an //informer:mutates function", what, name)
+			return
+		}
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func snapshotTypeName(pass *kit.Pass, e ast.Expr) string {
+	named := kit.NamedOf(pass.TypeOf(e))
+	if named == nil {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if pass.Mod.TypeDirective(obj.Pkg().Path(), obj.Name(), "snapshot") {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}

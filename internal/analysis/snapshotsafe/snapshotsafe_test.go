@@ -1,0 +1,12 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analysis/kit"
+	"github.com/informing-observers/informer/internal/analysis/snapshotsafe"
+)
+
+func TestSnapshotSafe(t *testing.T) {
+	kit.RunTest(t, "testdata", snapshotsafe.Analyzer, "a")
+}

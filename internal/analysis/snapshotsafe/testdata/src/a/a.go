@@ -1,0 +1,65 @@
+// Package a exercises snapshotsafe: writes through //informer:snapshot
+// types must fire outside //informer:mutates functions.
+package a
+
+// State is a published snapshot.
+//
+//informer:snapshot
+type State struct {
+	Count int
+	Rows  [][]float64
+	Meta  map[string]int
+	Next  *State
+}
+
+type plain struct {
+	n int
+	m map[string]int
+}
+
+func bad(st *State) {
+	st.Count = 1                   // want `assignment writes through snapshot type a\.State`
+	st.Rows[0][1] = 2              // want `assignment writes through snapshot type a\.State`
+	st.Meta["k"] = 3               // want `assignment writes through snapshot type a\.State`
+	st.Count++                     // want `increment writes through snapshot type a\.State`
+	st.Next.Count = 4              // want `assignment writes through snapshot type a\.State`
+	delete(st.Meta, "k")           // want `delete writes through snapshot type a\.State`
+	copy(st.Rows[0], []float64{1}) // want `copy writes through snapshot type a\.State`
+}
+
+func okLocal() {
+	var p plain
+	p.n = 1
+	p.m = map[string]int{"k": 1}
+	p.m["k"] = 2
+}
+
+func load() *State { return nil }
+
+// okBind rebinds variables of snapshot type without writing through
+// them — loading a snapshot from an atomic pointer must stay clean.
+func okBind(st *State) {
+	st = load()
+	cur := load()
+	cur = st
+	_ = cur
+}
+
+func badDeref(st *State) {
+	*st = State{} // want `assignment writes through snapshot type a\.State`
+}
+
+// build constructs the next snapshot before publication, so its writes
+// are deliberate.
+//
+//informer:mutates copy-on-write constructor, snapshot not yet published
+func build() *State {
+	st := &State{Meta: map[string]int{}}
+	st.Count = 1
+	st.Meta["k"] = 2
+	return st
+}
+
+func suppressed(st *State) {
+	st.Count = 5 //informer:ignore snapshotsafe deliberate suppression exercised by the fixture
+}

@@ -9,6 +9,8 @@
 // shared exponential-backoff-plus-jitter policy of internal/retry (the
 // same policy the push-delivery engine applies outbound) — transient
 // failures (5xx, net timeouts) are retried, client errors fast-fail.
+//
+//informer:strict-errors
 package crawler
 
 import (
@@ -274,7 +276,7 @@ func fetch(ctx context.Context, cfg Config, url string) ([]byte, error) {
 			return err // net/timeout errors are transient
 		}
 		b, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		resp.Body.Close() //informer:ignore errdrop close after full read; ReadAll already surfaced any transport error
 		if err != nil {
 			return err
 		}

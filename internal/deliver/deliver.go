@@ -35,6 +35,9 @@
 // keys). Sinks registered with a delta Filter receive only qualifying
 // rows, and a tick whose filtered delta is empty costs zero bytes — it is
 // consumed without a network call.
+//
+//informer:bounded
+//informer:strict-errors
 package deliver
 
 import (
@@ -351,7 +354,7 @@ func (m *Manager) Stats() []SinkStats {
 // sinkSeq orders sink ids ("sink-N") by registration sequence.
 func sinkSeq(id string) int {
 	var n int
-	fmt.Sscanf(id, "sink-%d", &n)
+	fmt.Sscanf(id, "sink-%d", &n) //informer:ignore errdrop a non-matching id deliberately sorts first with n=0
 	return n
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/informing-observers/informer/internal/retry"
 )
@@ -74,10 +75,16 @@ func NewEnvelope(d *Delivery) Envelope {
 type WebhookSink struct {
 	// URL receives the POSTs.
 	URL string
-	// Client defaults to http.DefaultClient; per-attempt deadlines come
-	// from the delivery context either way.
+	// Client defaults to a shared client with a 30s Timeout backstop;
+	// per-attempt deadlines come from the delivery context either way.
 	Client *http.Client
 }
+
+// defaultWebhookClient backstops sinks that leave Client nil: the
+// per-attempt context already bounds each POST, but a transport-level
+// Timeout also covers paths the context cannot reach (e.g. a response
+// body that stalls after the attempt's settle).
+var defaultWebhookClient = &http.Client{Timeout: 30 * time.Second}
 
 // Target reports the destination URL for stats listings.
 func (w *WebhookSink) Target() string { return w.URL }
@@ -96,15 +103,15 @@ func (w *WebhookSink) Deliver(ctx context.Context, d *Delivery) error {
 	req.Header.Set("User-Agent", "informer-deliver/1.0")
 	client := w.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultWebhookClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err // net/timeout errors are transient
 	}
 	// Drain so the transport can reuse the connection across attempts.
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //informer:ignore errdrop best-effort drain; a failed drain only costs connection reuse
+	resp.Body.Close()                                    //informer:ignore errdrop close after drain; the delivery outcome is already decided by the status code
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return nil
 	}

@@ -88,6 +88,8 @@ func (c *spineCounters) stats() SpineStats {
 // matrixEngine evaluates a measure catalogue over a corpus once and serves
 // assessments from the cached values. R is the record type (SourceRecord or
 // ContributorRecord).
+//
+//informer:snapshot
 type matrixEngine[R any] struct {
 	di    DomainOfInterest
 	opts  AssessorOptions
@@ -141,6 +143,8 @@ type matrixEngine[R any] struct {
 }
 
 // newMatrixEngine fills the matrix and derives the benchmarks.
+//
+//informer:mutates constructor fills the engine before it is published
 func newMatrixEngine[R any](
 	corpus []*R,
 	di DomainOfInterest,
@@ -177,6 +181,8 @@ func newMatrixEngine[R any](
 // their benchmarks assigned by the sharded coordinator's corpus-global
 // ledger (the two-phase gather of shard.go), so normalisation stays
 // corpus-global however the records are partitioned.
+//
+//informer:mutates constructor fills the engine before it is published
 func newMatrixEngineNoBench[R any](
 	corpus []*R,
 	di DomainOfInterest,
@@ -297,6 +303,8 @@ const resortDenominator = 8
 // corpus; records not in dirty must hold the same measure inputs as before
 // (up to time-sensitive fields). If the population changed shape, fall
 // back to building a fresh engine.
+//
+//informer:mutates fills the derived successor engine before it is published
 func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
 	nm, nr := len(e.infos), e.nRecords
 	if len(corpus) != nr {
@@ -398,6 +406,8 @@ func (e *matrixEngine[R]) updateRows(corpus []*R, dirty []int, epochMoved bool) 
 // measures when the epoch moved) but leaves benchmarks and sorted columns
 // alone — the sharded coordinator repairs its corpus-global ledger from
 // the old and new matrices afterwards and assigns the shared benchmarks.
+//
+//informer:mutates fills the derived successor engine before it is published
 func (e *matrixEngine[R]) updateRowsNoBench(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
 	nm, nr := len(e.infos), e.nRecords
 	ne := e.derive(corpus, dirty, epochMoved)
@@ -432,6 +442,8 @@ func (e *matrixEngine[R]) updateRowsNoBench(corpus []*R, dirty []int, epochMoved
 // derive clones the engine's immutable metadata plus a fresh copy of the
 // matrix for an update over the given corpus, recording the update's
 // provenance for repairSpine.
+//
+//informer:mutates initialises the clone before it is published
 func (e *matrixEngine[R]) derive(corpus []*R, dirty []int, epochMoved bool) *matrixEngine[R] {
 	ne := &matrixEngine[R]{
 		di:      e.di,
@@ -459,6 +471,8 @@ func (e *matrixEngine[R]) derive(corpus []*R, dirty []int, epochMoved bool) *mat
 // cell an update actually changes copies the value and presence rows
 // together. Callers track ownership per measure (each measure is repaired
 // by exactly one worker) and call this at most once.
+//
+//informer:mutates copy-on-write step on a not-yet-published derived engine
 func (e *matrixEngine[R]) cowRows(m int) {
 	e.vals[m] = append([]float64(nil), e.vals[m]...)
 	e.present[m] = append([]bool(nil), e.present[m]...)
@@ -496,6 +510,8 @@ func (e *matrixEngine[R]) shareOrRebuildCol(corpus []*R) map[*R]int {
 // the pointers actually moved, and the corpus-global benchmark slice
 // swapped in. The receiver keeps serving readers of the previous snapshot
 // untouched.
+//
+//informer:mutates fills the derived successor engine before it is published
 func (e *matrixEngine[R]) remap(corpus []*R, benchmarks []Benchmark) *matrixEngine[R] {
 	ne := new(matrixEngine[R])
 	*ne = *e

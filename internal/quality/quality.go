@@ -15,6 +15,8 @@
 // highly-ranked sources in the corpus, and aggregated as a weighted
 // average. A Domain of Interest (DI) — categories, time window, locations —
 // scopes the domain-dependent measures.
+//
+//informer:deterministic
 package quality
 
 import (

@@ -457,6 +457,7 @@ func (e *matrixEngine[R]) resolveQuery(q Query) (*resolvedQuery, error) {
 		}
 		rq.minDim = append(rq.minDim, axisThreshold{idx, v})
 	}
+	sort.Slice(rq.minDim, func(i, j int) bool { return rq.minDim[i].idx < rq.minDim[j].idx })
 	for at, v := range q.MinAttribute {
 		idx := int(at) + e.attOff
 		if idx < 0 || idx >= e.nAtts {
@@ -465,6 +466,7 @@ func (e *matrixEngine[R]) resolveQuery(q Query) (*resolvedQuery, error) {
 		}
 		rq.minAtt = append(rq.minAtt, axisThreshold{idx, v})
 	}
+	sort.Slice(rq.minAtt, func(i, j int) bool { return rq.minAtt[i].idx < rq.minAtt[j].idx })
 	switch q.Sort.By {
 	case SortByScore:
 	case SortByDimension:

@@ -71,6 +71,8 @@ func noteContributorRoute(rt *shard.Router, s int, r *ContributorRecord) {
 // their global construction order; shard s owns the contiguous row range
 // plan.Bounds(s). All candidate rows, cursors and totals are global, so
 // results interoperate freely with single-matrix ones.
+//
+//informer:snapshot
 type shardedEngine[R any] struct {
 	di    DomainOfInterest
 	opts  AssessorOptions
@@ -106,6 +108,8 @@ type shardedEngine[R any] struct {
 // newShardedEngine partitions the corpus and builds one fill-only matrix
 // per shard, then runs the two-phase benchmark gather so normalisation
 // stays corpus-global.
+//
+//informer:mutates constructor fills the coordinator before it is published
 func newShardedEngine[R any](
 	corpus []*R,
 	di DomainOfInterest,
@@ -354,6 +358,8 @@ func (s *shardedEngine[R]) finishWindow(records []*R, cands []leanCand, start, t
 // measure — O(column + dirty) instead of O(corpus × measures) — and the
 // router unions the dirty shards' new routing facts copy-on-write, so
 // concurrent readers of the previous snapshot never see a mutation.
+//
+//informer:mutates fills the derived successor coordinator before it is published
 func (s *shardedEngine[R]) update(corpus []*R, dirty []int, epochMoved bool) engineAPI[R] {
 	n := s.plan.Len()
 	if len(corpus) != n {

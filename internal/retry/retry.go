@@ -11,6 +11,8 @@
 // attempt/backoff loop with permanent-error fast-fail). Callers that need
 // to interleave their own state between attempts — the delivery engine
 // threads a circuit breaker through its loop — use Backoff/Sleep directly.
+//
+//informer:strict-errors
 package retry
 
 import (

@@ -13,6 +13,8 @@
 // to the unsharded evaluation, because shards are contiguous subranges of
 // the global record order and the merge preserves the global strict
 // ranking order.
+//
+//informer:deterministic
 package shard
 
 import "sort"

@@ -9,6 +9,8 @@
 // dense matrix type, a Jacobi eigensolver for symmetric matrices, and the
 // incomplete beta / gamma functions that back the Student t and Fisher F
 // distributions.
+//
+//informer:deterministic
 package stats
 
 import (

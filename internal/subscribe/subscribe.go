@@ -30,6 +30,8 @@
 // source (a ChangeNotifier-style rotating channel) or a poll interval, one
 // goroutine — not one per waiter — observes the provider and publishes new
 // rounds to every group.
+//
+//informer:bounded
 package subscribe
 
 import (

@@ -122,6 +122,8 @@ func (d *Delta) ForEachNewComment(fn func(sourceID int, disc *Discussion, c *Com
 // Advance is deterministic given the seed and preserves all generator
 // invariants: IDs stay globally unique, timestamps stay ordered within the
 // (new) timeline, and MaxOpenDiscussions is recomputed.
+//
+//informer:mutates copy-on-write tick fills the successor world before it is published
 func Advance(w *World, days int, seed int64) (*World, *Delta) {
 	if days <= 0 {
 		return w, &Delta{OldEnd: w.Config.End, NewEnd: w.Config.End,
@@ -283,6 +285,8 @@ func Advance(w *World, days int, seed int64) (*World, *Delta) {
 // onlySources, when non-nil, restricts the churn to the listed source IDs —
 // the lever the sharded-corpus tests use to dirty exactly one chosen
 // shard. Like Advance it is copy-on-write and deterministic per seed.
+//
+//informer:mutates copy-on-write tick fills the successor world before it is published
 func AdvanceSameDay(w *World, seed int64, onlySources []int) (*World, *Delta) {
 	rng := rand.New(rand.NewSource(seed))
 	tg := textgen.NewFromRand(rng)

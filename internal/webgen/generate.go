@@ -11,6 +11,8 @@ import (
 )
 
 // Generate builds a deterministic World from the configuration.
+//
+//informer:mutates constructor fills the world before it is published
 func Generate(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -31,6 +33,7 @@ func Generate(cfg Config) *World {
 	return w
 }
 
+//informer:mutates generator stage filling the world under construction
 func genUsers(w *World, rng *rand.Rand, tg *textgen.Generator) {
 	cfg := w.Config
 	w.Users = make([]*User, cfg.NumUsers)
@@ -55,6 +58,7 @@ func genUsers(w *World, rng *rand.Rand, tg *textgen.Generator) {
 	}
 }
 
+//informer:mutates generator stage filling the world under construction
 func genSources(w *World, rng *rand.Rand, tg *textgen.Generator) {
 	cfg := w.Config
 	w.Sources = make([]*Source, cfg.NumSources)
@@ -104,6 +108,8 @@ func genSources(w *World, rng *rand.Rand, tg *textgen.Generator) {
 // genLinkGraph wires outbound links with preferential attachment toward
 // high-traffic sources, so that inbound-link counts become a noisy
 // observable of the traffic latent (as they are on the real Web).
+//
+//informer:mutates generator stage filling the world under construction
 func genLinkGraph(w *World, rng *rand.Rand) {
 	n := len(w.Sources)
 	if n < 2 {

@@ -122,6 +122,8 @@ type User struct {
 }
 
 // World is the full synthetic corpus.
+//
+//informer:snapshot
 type World struct {
 	Config     Config
 	Categories []string

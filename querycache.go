@@ -75,6 +75,8 @@ func (st *assessState) queryContributors(q Query) (*QueryResult, error) {
 // uncached execution. Every path returns results bit-identical to
 // a.Query(records, q); the equivalence is pinned by the randomized
 // property tests in internal/quality/query_test.go.
+//
+//informer:mutates memoised per-round query cache guarded by queryMu and entry onces
 func cachedQuery[R any](st *assessState, kind byte, a queryable[R], records []*R, q Query) (*QueryResult, error) {
 	wKey := string(kind) + "\x00" + q.CanonicalKey()
 	st.queryMu.Lock()
@@ -118,6 +120,8 @@ func cachedQuery[R any](st *assessState, kind byte, a queryable[R], records []*R
 
 // cachedSpine returns the ranked spine shared by every window of q's
 // scope + predicates + sort, building it on first demand this round.
+//
+//informer:mutates memoised per-round spine cache guarded by queryMu and entry onces
 func cachedSpine[R any](st *assessState, kind byte, a queryable[R], records []*R, q Query) (*quality.Spine, error) {
 	sq := q.Windowless()
 	sKey := string(kind) + "\x00" + sq.CanonicalKey()

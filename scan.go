@@ -69,6 +69,8 @@ type sourcePartial struct {
 // never scanned (the pass is lazy), any pending staleness it inherited is
 // propagated instead, so a chain of unread ticks still resolves to a
 // minimal re-scan.
+//
+//informer:mutates fills the successor snapshot before publishAdvance swaps it in
 func (st *assessState) inheritScan(prev *assessState, delta interface{ DirtySourceIDs() []int }) {
 	prev.scanMu.Lock()
 	base, stale := prev.scan, map[int]bool{}
@@ -96,6 +98,8 @@ func (st *assessState) inheritScan(prev *assessState, delta interface{ DirtySour
 
 // commentScan builds (or incrementally repairs) and returns the snapshot's
 // corpus comment scan.
+//
+//informer:mutates memoised lazy scan guarded by scanMu
 func (st *assessState) commentScan() *commentScan {
 	st.scanMu.Lock()
 	defer st.scanMu.Unlock()
@@ -115,6 +119,7 @@ func (st *assessState) commentScan() *commentScan {
 		for row := range st.scanStale {
 			stale = append(stale, row)
 		}
+		sort.Ints(stale)
 		parallel.ForEachChunk(len(stale), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				row := stale[i]
