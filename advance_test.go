@@ -7,9 +7,11 @@ package informer
 // must stay safe while a writer ticks the world (run under -race in CI).
 
 import (
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 
@@ -138,6 +140,153 @@ func TestAdvanceOldSnapshotStaysValid(t *testing.T) {
 	if !reflect.DeepEqual(fullOld.SentimentByCategory(), oldSenti) {
 		t.Fatal("pre-advance sentiment mutated by the tick")
 	}
+}
+
+// skewedTicks draws a hot/tail per-source tick schedule: ~90% of the
+// polls land on the hottest ~5% of sources (by open discussions, the
+// generator's churn capacity), the rest scatter over the tail — the
+// bursty-few/quiet-many distribution the adaptive scheduler exploits.
+func skewedTicks(rng *rand.Rand, world *webgen.World, n int) []int {
+	ids := make([]int, 0, len(world.Sources))
+	for _, s := range world.Sources {
+		ids = append(ids, s.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		oi, oj := world.Source(ids[i]).OpenDiscussions(), world.Source(ids[j]).OpenDiscussions()
+		if oi != oj {
+			return oi > oj
+		}
+		return ids[i] < ids[j]
+	})
+	hot := ids[:1+len(ids)/20]
+	ticks := make([]int, n)
+	for i := range ticks {
+		if rng.Intn(10) < 9 {
+			ticks[i] = hot[rng.Intn(len(hot))]
+		} else {
+			ticks[i] = ids[rng.Intn(len(ids))]
+		}
+	}
+	return ticks
+}
+
+// TestIngestDrainMatchesSequentialAndRebuild is the tentpole's randomized
+// acceptance pin at the facade: a skewed run of per-source Ingest ticks
+// followed by ONE DrainTick (one coalesced UpdateRows repair, one
+// published round) must be bit-identical both to publishing every tick as
+// its own assessment round and to a cold rebuild of the final world — and
+// the drain must feed the subscription registry exactly one round.
+func TestIngestDrainMatchesSequentialAndRebuild(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		world := webgen.Generate(webgen.Config{
+			Seed: int64(921 + run), NumSources: 40, NumUsers: 120,
+			CommentText: true, ChurnScale: 3,
+		})
+		inc := FromWorld(world, DomainOfInterest{}, 921)
+		seq := FromWorld(world, DomainOfInterest{}, 921)
+		inc.SentimentByCategory() // warm the scan: exercise per-source invalidation
+
+		sub, err := inc.Subscribe(NewQuery().TopK(10).Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+
+		rng := rand.New(rand.NewSource(int64(5200 + run)))
+		buffered := 0
+		for i, id := range skewedTicks(rng, world, 24) {
+			seed := int64(6000 + run*100 + i)
+			d := inc.Ingest(id, seed)
+			if !d.Empty() {
+				buffered++
+			}
+			// The sequential twin publishes every tick as its own round.
+			seq.Ingest(id, seed)
+			seq.DrainTick()
+		}
+		if buffered == 0 {
+			t.Fatal("skewed schedule produced no activity; raise ChurnScale")
+		}
+		ticks, comments := inc.PendingIngest()
+		if ticks != buffered || comments == 0 {
+			t.Fatalf("PendingIngest = (%d, %d), want (%d, >0)", ticks, comments, buffered)
+		}
+		if got := inc.SnapshotVersion(); got != 1 {
+			t.Fatalf("Ingest published a round: version %d", got)
+		}
+
+		n, published := inc.DrainTick()
+		if !published || n != buffered {
+			t.Fatalf("DrainTick = (%d, %v), want (%d, true)", n, published, buffered)
+		}
+		if got := inc.SnapshotVersion(); got != 2 {
+			t.Fatalf("one drain must publish exactly one round: version %d", got)
+		}
+		select {
+		case ev := <-sub.Events():
+			if ev.Snapshot != 2 {
+				t.Fatalf("subscriber saw round %d, want 2", ev.Snapshot)
+			}
+		default:
+			t.Fatal("drain published no subscription round")
+		}
+		select {
+		case <-sub.Events():
+			t.Fatal("drain fanned out more than one round")
+		default:
+		}
+		if n, p := inc.DrainTick(); n != 0 || p {
+			t.Fatal("draining an empty accumulator must publish nothing")
+		}
+
+		// Bit-identity: coalesced drain vs per-tick publication vs rebuild.
+		assertCorpusEquals(t, inc, seq)
+		full := FromWorld(inc.World(), inc.DI, 921)
+		assertCorpusEquals(t, inc, full)
+	}
+}
+
+// TestAdvanceFoldsPendingIngest pins the composition rule: a global tick
+// arriving while per-source ingestion is buffered folds the pending span
+// into its own round — one publication, nothing abandoned, nothing
+// double-applied — and stays bit-identical to a rebuild.
+func TestAdvanceFoldsPendingIngest(t *testing.T) {
+	world := webgen.Generate(webgen.Config{
+		Seed: 931, NumSources: 35, NumUsers: 100, CommentText: true, ChurnScale: 3,
+	})
+	c := FromWorld(world, DomainOfInterest{}, 931)
+	rng := rand.New(rand.NewSource(5300))
+	buffered := 0
+	for i, id := range skewedTicks(rng, world, 12) {
+		if !c.Ingest(id, int64(6500+i)).Empty() {
+			buffered++
+		}
+	}
+	if buffered == 0 {
+		t.Fatal("no ingestion buffered; raise ChurnScale")
+	}
+
+	c.Advance(2, 6600)
+	if got := c.SnapshotVersion(); got != 2 {
+		t.Fatalf("Advance over pending ingestion published %d rounds, want 1", got-1)
+	}
+	if ticks, _ := c.PendingIngest(); ticks != 0 {
+		t.Fatalf("Advance left %d ticks buffered", ticks)
+	}
+	if d := c.LastDelta(); d == nil || !d.EpochMoved() {
+		t.Fatal("folded round must carry the epoch movement")
+	}
+	assertCorpusEquals(t, c, FromWorld(c.World(), c.DI, 931))
+
+	// Same-day flavor on top of fresh ingestion.
+	for i, id := range skewedTicks(rng, c.World(), 8) {
+		c.Ingest(id, int64(6700+i))
+	}
+	c.AdvanceSameDay(6800, nil)
+	if ticks, _ := c.PendingIngest(); ticks != 0 {
+		t.Fatal("AdvanceSameDay left ingestion buffered")
+	}
+	assertCorpusEquals(t, c, FromWorld(c.World(), c.DI, 931))
 }
 
 // TestAdvanceConcurrentReaders serves every reading surface while a writer

@@ -887,3 +887,65 @@ func BenchmarkServeLoad(b *testing.B) {
 	cancel()
 	wg.Wait()
 }
+
+// BenchmarkAdvanceSkewed is the adaptive-ingestion acceptance benchmark:
+// a batch of 16 per-source ticks under a 90/5 skew (90% of polls landing
+// on the ~5% hottest of 2000 sources) applied three ways — published one
+// round per tick ("sequential", 16 UpdateRows repairs and 16 fan-outs),
+// buffered and drained as ONE coalesced round ("coalesced", 16 cheap
+// folds + 1 repair), and a from-scratch rebuild of the final world
+// ("rebuild"). All three end bit-identical (the equivalence suites pin
+// it); the coalesced drain must beat the sequential publishes on both
+// ns/op and allocs/op for the decoupling to pay for itself.
+func BenchmarkAdvanceSkewed(b *testing.B) {
+	const batch = 16
+	di := quality.DomainOfInterest{}
+	b.Run("sequential", func(b *testing.B) {
+		c := FromWorld(webgen.Generate(webgen.Config{Seed: 93, NumSources: 2000, ChurnScale: 3}), di, 93)
+		rng := rand.New(rand.NewSource(93))
+		seed := int64(930000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, id := range skewedTicks(rng, c.World(), batch) {
+				seed++
+				c.Ingest(id, seed)
+				c.DrainTick()
+			}
+		}
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		c := FromWorld(webgen.Generate(webgen.Config{Seed: 93, NumSources: 2000, ChurnScale: 3}), di, 93)
+		rng := rand.New(rand.NewSource(93))
+		seed := int64(930000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, id := range skewedTicks(rng, c.World(), batch) {
+				seed++
+				c.Ingest(id, seed)
+			}
+			c.DrainTick()
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		world := webgen.Generate(webgen.Config{Seed: 93, NumSources: 2000, ChurnScale: 3})
+		rng := rand.New(rand.NewSource(93))
+		seed := int64(930000)
+		cur := webgen.NewIDCursor(world)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var c *Corpus
+		for i := 0; i < b.N; i++ {
+			for _, id := range skewedTicks(rng, world, batch) {
+				seed++
+				world, _ = webgen.AdvanceSource(world, id, seed, cur)
+			}
+			c = FromWorld(world, di, 93)
+		}
+		b.StopTimer()
+		if c == nil || len(c.RankSources()) != 2000 {
+			b.Fatal("short ranking after skewed rebuild")
+		}
+	})
+}

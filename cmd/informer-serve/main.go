@@ -22,6 +22,16 @@
 //
 //	informer-serve -tick-days 7 -tick-every 5s -watch 'min_score=0.5&k=10'
 //
+// -ingest replaces that lockstep with continuous adaptive ingestion: every
+// source is polled on its own schedule (hot sources converge to -poll-min,
+// the quiet tail backs off to -poll-max), each poll's delta folds into a
+// pending-delta accumulator without publishing, and a drain policy
+// (-ingest-drain-ticks / -ingest-drain-age) decides when the buffered
+// ticks coalesce into ONE published assessment round — one UpdateRows
+// repair, one watch/stream/sink fan-out, however many polls were folded:
+//
+//	informer-serve -ingest -poll-min 250ms -poll-max 30s -ingest-drain-ticks 12
+//
 // -sink attaches a push sink at startup: each tick's delta is POSTed to
 // the webhook through the delivery engine (bounded queue with coalescing,
 // retries with backoff, circuit breaker, eviction); more sinks can be
@@ -54,6 +64,7 @@ import (
 	"time"
 
 	informer "github.com/informing-observers/informer"
+	"github.com/informing-observers/informer/internal/ingest"
 )
 
 func main() {
@@ -76,6 +87,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sources   = fs.Int("sources", 60, "number of sources")
 		tickDays  = fs.Int("tick-days", 0, "advance the corpus by this many days per tick (0 = static)")
 		tickWait  = fs.Duration("tick-every", 30*time.Second, "wall-clock interval between ticks")
+		ingestOn  = fs.Bool("ingest", false, "continuous adaptive ingestion: poll each source on its own activity-driven schedule, coalesce the deltas, publish one assessment round per drain (replaces the -tick-days lockstep)")
+		pollMin   = fs.Duration("poll-min", 250*time.Millisecond, "-ingest: poll interval hot sources converge to")
+		pollMax   = fs.Duration("poll-max", 30*time.Second, "-ingest: poll interval the quiet tail backs off to")
+		drainMax  = fs.Int("ingest-drain-ticks", 12, "-ingest: publish a round once this many active polls are buffered")
+		drainAge  = fs.Duration("ingest-drain-age", 2*time.Second, "-ingest: publish a round once the oldest buffered poll is this stale")
 		watchQ    = fs.String("watch", "", "demo observer: consume /api/v1/stream with this query string (e.g. 'min_score=0.5&k=10') and print rank movement per tick")
 		sinkURL   = fs.String("sink", "", "attach a webhook push sink: POST each tick's delta envelope to this URL")
 		sinkQuery = fs.String("sink-query", "k=10", "standing query of the -sink webhook, in /api/v1/watch query-string form (delta filters included)")
@@ -99,21 +115,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "push sink %s -> %s (%q)\n", id, *sinkURL, *sinkQuery)
 	}
 
-	if *tickDays > 0 {
+	// The advancement loop — lockstep ticks or adaptive ingestion — owns
+	// all corpus writes. loopDone closes when it has fully stopped: the
+	// shutdown path waits on it BEFORE Corpus.Shutdown closes the
+	// subscription registry, so a tick landing during SIGTERM drain can
+	// never publish into a closing fan-out.
+	loopDone := make(chan struct{})
+	switch {
+	case *ingestOn && *tickDays > 0:
+		return fmt.Errorf("-ingest replaces the -tick-days/-tick-every lockstep; pick one")
+	case *ingestOn:
 		go func() {
-			ticker := time.NewTicker(*tickWait)
-			defer ticker.Stop()
-			for tick := int64(1); ; tick++ {
-				select {
-				case <-ticker.C:
-				case <-ctx.Done():
-					return
-				}
-				c.Advance(*tickDays, *seed+tick)
-				fmt.Fprintf(out, "tick: +%dd, snapshot %d, %d dirty sources\n",
-					*tickDays, c.SnapshotVersion(), len(c.LastDelta().DirtySourceIDs()))
-			}
+			defer close(loopDone)
+			ingestLoop(ctx, c, out, *seed, ingest.SchedulerConfig{Min: *pollMin, Max: *pollMax},
+				ingest.DrainPolicy{MaxPendingTicks: *drainMax, MaxAge: *drainAge})
 		}()
+	case *tickDays > 0:
+		go func() {
+			defer close(loopDone)
+			tickLoop(ctx, c, out, *tickDays, *seed, *tickWait)
+		}()
+	default:
+		close(loopDone)
 	}
 
 	// Bind before announcing, so ephemeral ports (-addr 127.0.0.1:0) print
@@ -154,10 +177,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful degradation, in dependency order: flush pending sink
-	// deliveries within the drain budget and close the standing-query
-	// fan-out (open SSE streams get their terminal resync frame, parked
-	// long-polls return), then drain in-flight requests off the listener.
+	// Graceful degradation, in dependency order: stop the advancement
+	// loop first (its final drain publishes into a still-open registry),
+	// then flush pending sink deliveries within the drain budget and close
+	// the standing-query fan-out (open SSE streams get their terminal
+	// resync frame, parked long-polls return), then drain in-flight
+	// requests off the listener.
+	<-loopDone
 	fmt.Fprintf(out, "shutting down: flushing sinks (budget %s), closing streams\n", *drain)
 	flushCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -172,6 +198,76 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	<-errCh // Serve has returned http.ErrServerClosed
 	fmt.Fprintln(out, "shutdown: done")
 	return nil
+}
+
+// tickLoop is the -tick-days lockstep: one global Advance per wall-clock
+// interval, each an immediately published assessment round.
+func tickLoop(ctx context.Context, c *informer.Corpus, out io.Writer, days int, seed int64, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for tick := int64(1); ; tick++ {
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return
+		}
+		c.Advance(days, seed+tick)
+		fmt.Fprintf(out, "tick: +%dd, snapshot %d, %d dirty sources\n",
+			days, c.SnapshotVersion(), len(c.LastDelta().DirtySourceIDs()))
+	}
+}
+
+// ingestLoop is the -ingest continuous mode: an adaptive per-source
+// scheduler decides which sources are worth polling each round (activity
+// halves a source's interval toward cfg.Min, quiet polls back it off
+// toward cfg.Max), every active poll folds into the corpus' pending-delta
+// accumulator without publishing, and the drain policy turns the buffered
+// span into one published assessment round. On shutdown it drains once
+// more — run() waits for this loop to exit before closing the
+// subscription registry, so the final publish lands in an open fan-out.
+func ingestLoop(ctx context.Context, c *informer.Corpus, out io.Writer, seed int64, cfg ingest.SchedulerConfig, pol ingest.DrainPolicy) {
+	ids := make([]int, 0, len(c.World().Sources))
+	for _, s := range c.World().Sources {
+		ids = append(ids, s.ID)
+	}
+	sched := ingest.NewScheduler(ids, time.Now(), cfg)
+	var oldest time.Time // wall-clock age of the first buffered poll
+	pollSeed := seed
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if n, ok := c.DrainTick(); ok {
+				fmt.Fprintf(out, "drain: %d coalesced polls -> snapshot %d (final)\n", n, c.SnapshotVersion())
+			}
+			return
+		case now := <-timer.C:
+			for _, id := range sched.Due(now) {
+				pollSeed++
+				d := c.Ingest(id, pollSeed)
+				sched.Observe(id, d.NewCommentCount(), now)
+				if !d.Empty() && oldest.IsZero() {
+					oldest = now
+				}
+			}
+			ticks, comments := c.PendingIngest()
+			if pol.Due(ticks, comments, oldest, time.Now()) {
+				n, _ := c.DrainTick()
+				fmt.Fprintf(out, "drain: %d coalesced polls -> snapshot %d, %d new comments\n",
+					n, c.SnapshotVersion(), comments)
+				oldest = time.Time{}
+			}
+			wait := cfg.Min
+			if next, ok := sched.NextDue(); ok {
+				wait = time.Until(next)
+			}
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			timer.Reset(wait)
+		}
+	}
 }
 
 // registerSink attaches the -sink webhook through the same binding as

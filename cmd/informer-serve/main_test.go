@@ -200,6 +200,18 @@ func TestServeE2E(t *testing.T) {
 	if !strings.Contains(out.String(), "shutdown: done") {
 		t.Fatalf("lifecycle log missing clean shutdown:\n%s", out.String())
 	}
+	// The tick loop is stopped BEFORE the registry closes: with a 40ms
+	// tick racing the cancel, no tick may land once the shutdown sequence
+	// has been announced — a tick after that marker would have published
+	// into a closing fan-out.
+	log := out.String()
+	_, afterMarker, ok := strings.Cut(log, "shutting down:")
+	if !ok {
+		t.Fatalf("lifecycle log missing the shutdown marker:\n%s", log)
+	}
+	if strings.Contains(afterMarker, "tick:") {
+		t.Fatalf("a tick published after shutdown began:\n%s", log)
+	}
 
 	// The port is released: a fresh instance can bind and serve again.
 	addr := strings.TrimPrefix(base, "http://")
@@ -218,6 +230,83 @@ func TestServeE2E(t *testing.T) {
 	}
 }
 
+// TestServeIngestE2E boots the continuous-ingestion mode: adaptive
+// per-source polling buffers activity, the drain policy publishes
+// coalesced rounds (the "drain:" log lines), the API serves moving
+// snapshots throughout, and shutdown stops ingestion before the registry
+// closes — any final drain lands before the shutdown marker, never after.
+func TestServeIngestE2E(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &logBuf{}
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-sources", "30",
+			"-seed", "7",
+			"-ingest",
+			"-poll-min", "2ms",
+			"-poll-max", "50ms",
+			"-ingest-drain-ticks", "1",
+		}, out)
+	}()
+
+	var base string
+	waitFor(t, "listen announcement", func() bool {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if _, addr, ok := strings.Cut(line, " on http://"); ok && strings.HasPrefix(line, "serving") {
+				base = "http://" + strings.TrimSpace(addr)
+				return true
+			}
+		}
+		return false
+	})
+
+	// At least two drains publish rounds while the server keeps answering.
+	waitFor(t, "coalesced drains", func() bool {
+		return strings.Count(out.String(), "drain:") >= 2
+	})
+	resp, err := http.Get(base + "/api/v1/sources?k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Snapshot int64 `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body.Snapshot < 2 {
+		t.Fatalf("GET /api/v1/sources: status %d snapshot %d, want OK and >= 2", resp.StatusCode, body.Snapshot)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	log := out.String()
+	if !strings.Contains(log, "shutdown: done") {
+		t.Fatalf("lifecycle log missing clean shutdown:\n%s", log)
+	}
+	// Ingestion halts — final drain included — before the registry close
+	// is announced: a drain after the marker would have published into a
+	// closing fan-out.
+	_, afterMarker, ok := strings.Cut(log, "shutting down:")
+	if !ok {
+		t.Fatalf("lifecycle log missing the shutdown marker:\n%s", log)
+	}
+	if strings.Contains(afterMarker, "drain:") {
+		t.Fatalf("a drain published after shutdown began:\n%s", log)
+	}
+}
+
 // TestRunBadFlags pins flag/binding failures to clean errors, not a
 // half-booted server.
 func TestRunBadFlags(t *testing.T) {
@@ -225,6 +314,7 @@ func TestRunBadFlags(t *testing.T) {
 		{"-addr", "127.0.0.1:0", "-sink", "::bad-url::"},
 		{"-addr", "127.0.0.1:0", "-sink", "http://127.0.0.1:1/x", "-sink-query", "k=nope"},
 		{"-addr", "256.0.0.1:99999"},
+		{"-addr", "127.0.0.1:0", "-ingest", "-tick-days", "7"},
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args, io.Discard); err == nil {

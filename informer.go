@@ -188,7 +188,12 @@ type Corpus struct {
 	seed int64
 
 	state     atomic.Pointer[assessState]
-	advanceMu sync.Mutex // serialises writers (Advance)
+	advanceMu sync.Mutex // serialises writers (Advance, Ingest, DrainTick)
+
+	// ingestState buffers per-source ingestion ticks (Ingest) between
+	// assessment drains (DrainTick); nil until the first Ingest. Guarded
+	// by advanceMu; see ingestion.go.
+	ingestState *ingestion
 
 	// subs is the corpus' standing-query subscription registry
 	// (internal/subscribe): Advance publishes every new snapshot into it,
@@ -638,13 +643,29 @@ func AssessMicroblog(records []*ContributorRecord) []*Assessment {
 // disturbed — the previous world and its assessments stay valid and
 // immutable. Writers are serialised internally. A tick that changes
 // nothing (days <= 0) is a no-op returning the receiver unchanged.
+//
+// When per-source ingestion (Ingest) has buffered activity since the last
+// drain, the global tick departs from the ingestion frontier and the
+// pending span folds into this tick's round, so one coherent assessment
+// publishes — the pending content is never abandoned or double-applied.
 func (c *Corpus) Advance(days int, seed int64) *Corpus {
 	c.advanceMu.Lock()
 	defer c.advanceMu.Unlock()
 	cur := c.state.Load()
-	world, delta := webgen.Advance(cur.world, days, seed)
-	if world == cur.world {
-		return c // zero-delta tick: keep the snapshot, pointer-identical
+	from := c.ingestFrontier(cur)
+	world, delta := webgen.Advance(from, days, seed)
+	if world == from {
+		// Zero-delta tick: publish any pending ingestion as-is, else keep
+		// the snapshot, pointer-identical.
+		c.drainLocked(cur)
+		return c
+	}
+	if c.ingestState != nil && !c.ingestState.acc.Empty() {
+		if err := c.ingestState.acc.Add(from, world, delta); err != nil {
+			panic("informer: ingestion frontier moved under the writer lock: " + err.Error())
+		}
+		c.drainLocked(cur)
+		return c
 	}
 	c.publishAdvance(cur, world, delta)
 	return c
@@ -658,12 +679,21 @@ func (c *Corpus) Advance(days int, seed int64) *Corpus {
 // onlySources, when non-nil, restricts the churn to those source IDs
 // (nil = everywhere); an empty non-nil slice produces a content-free tick
 // that still publishes a new assessment round. Deterministic per seed;
-// swaps the snapshot atomically exactly like Advance.
+// swaps the snapshot atomically exactly like Advance, and like Advance it
+// folds any pending per-source ingestion (Ingest) into its round.
 func (c *Corpus) AdvanceSameDay(seed int64, onlySources []int) *Corpus {
 	c.advanceMu.Lock()
 	defer c.advanceMu.Unlock()
 	cur := c.state.Load()
-	world, delta := webgen.AdvanceSameDay(cur.world, seed, onlySources)
+	from := c.ingestFrontier(cur)
+	world, delta := webgen.AdvanceSameDay(from, seed, onlySources)
+	if c.ingestState != nil && !c.ingestState.acc.Empty() {
+		if err := c.ingestState.acc.Add(from, world, delta); err != nil {
+			panic("informer: ingestion frontier moved under the writer lock: " + err.Error())
+		}
+		c.drainLocked(cur)
+		return c
+	}
 	c.publishAdvance(cur, world, delta)
 	return c
 }

@@ -1,0 +1,147 @@
+// Package ingest decouples per-source ingestion from assessment: an
+// adaptive Scheduler decides when each source is worth polling (hot
+// sources often, the quiet tail rarely), every poll's webgen.Delta folds
+// into a pending-delta Accumulator, and an assessment tick drains the
+// accumulator to run ONE UpdateRows repair over the coalesced spanning
+// delta instead of N per-poll repairs. The shape mirrors
+// internal/deliver's queue coalescing — keep the base, adopt the newest
+// frontier, union what happened in between — and leans on the
+// replay-equivalence proof pinned at webgen.Delta.Merge: consumers of the
+// drained delta see exactly what N sequential applications would have
+// seen (the randomized suites in advance_test.go and shard_equiv_test.go
+// at the repo root pin the end-to-end bit-identity).
+//
+// The package is pure bookkeeping: no goroutines, no channels, no clocks
+// and no randomness — callers pass explicit `now` timestamps, so every
+// decision replays deterministically and the wall-clock loop stays in
+// cmd/informer-serve. Neither type is internally synchronized: the
+// Accumulator is serialized by the facade's writer lock (informer.go's
+// advanceMu), the Scheduler by its single owning poll loop.
+//
+//informer:deterministic
+//informer:bounded
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+// Accumulator buffers the worlds and deltas of per-source ingestion ticks
+// between assessment drains. It tracks the ingestion frontier (the newest
+// unpublished world) and one spanning delta from the last drained world
+// to that frontier; Add folds each new tick in via webgen.Delta.Merge,
+// Drain hands both over and resets.
+//
+// The continuity invariant: every Add must depart from the current
+// frontier, so base → frontier is one unbroken chain of ticks and the
+// spanning delta is provably equivalent to replaying them. Add fails
+// loudly on a gap rather than coalescing nonsense.
+type Accumulator struct {
+	base     *webgen.World // world the pending span departs from (nil = empty)
+	frontier *webgen.World // newest unpublished world
+	pending  *webgen.Delta // spanning delta base -> frontier
+	ticks    int
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Empty reports whether no ticks are pending.
+func (a *Accumulator) Empty() bool { return a.ticks == 0 }
+
+// Ticks returns the number of per-source ticks folded since the last
+// drain.
+func (a *Accumulator) Ticks() int { return a.ticks }
+
+// Frontier returns the newest unpublished world, or the given published
+// world when nothing is pending — the world the next ingestion tick must
+// depart from.
+func (a *Accumulator) Frontier(published *webgen.World) *webgen.World {
+	if a.ticks == 0 {
+		return published
+	}
+	return a.frontier
+}
+
+// PendingComments returns the coalesced new-comment count — the
+// max-pending drain trigger's unit of "how much is buffered".
+func (a *Accumulator) PendingComments() int {
+	if a.pending == nil {
+		return 0
+	}
+	return a.pending.NewCommentCount()
+}
+
+// Add folds one ingestion tick (from -> to, described by d) into the
+// pending span. from must be the current frontier — or, on the first Add
+// after a drain, it becomes the span's base. The delta is cloned before
+// the first fold so the caller's copy is never mutated by later merges.
+//
+//informer:mutates repoints the accumulator at unpublished pre-snapshot worlds; the worlds themselves stay immutable
+func (a *Accumulator) Add(from, to *webgen.World, d *webgen.Delta) error {
+	if a.ticks == 0 {
+		a.base, a.frontier, a.pending, a.ticks = from, to, d.Clone(), 1
+		return nil
+	}
+	if from != a.frontier {
+		return fmt.Errorf("ingest: tick departs from a stale world: accumulator frontier has moved")
+	}
+	a.pending.Merge(d)
+	a.frontier = to
+	a.ticks++
+	return nil
+}
+
+// Drain returns the frontier world, the spanning delta covering every
+// tick since the last drain, and the tick count, then resets the
+// accumulator. Draining an empty accumulator returns (nil, nil, 0).
+//
+//informer:mutates resets the accumulator's world pointers; the handed-over world stays immutable
+func (a *Accumulator) Drain() (*webgen.World, *webgen.Delta, int) {
+	if a.ticks == 0 {
+		return nil, nil, 0
+	}
+	w, d, n := a.frontier, a.pending, a.ticks
+	a.base, a.frontier, a.pending, a.ticks = nil, nil, nil, 0
+	return w, d, n
+}
+
+// DrainPolicy decides when buffered ingestion is worth an assessment
+// tick. The zero value never fires on its own — drains become explicit
+// (the caller's flush, shutdown, or a fixed cadence).
+type DrainPolicy struct {
+	// MaxPendingTicks drains once this many per-source ticks are buffered
+	// (0 = no tick-count trigger).
+	MaxPendingTicks int
+	// MaxPendingComments drains once the coalesced delta holds this many
+	// new comments (0 = no volume trigger).
+	MaxPendingComments int
+	// MaxAge drains once the oldest buffered tick is older than this
+	// (0 = no age trigger). Age is measured by the caller's clock: the
+	// caller records when the span started buffering and passes both
+	// timestamps to Due.
+	MaxAge time.Duration
+}
+
+// Due reports whether a drain should fire given the buffered state:
+// pendingTicks and pendingComments from the Accumulator, oldest the
+// caller-recorded time of the first buffered tick, now the caller's
+// current time. An empty buffer is never due.
+func (p DrainPolicy) Due(pendingTicks, pendingComments int, oldest, now time.Time) bool {
+	if pendingTicks == 0 {
+		return false
+	}
+	if p.MaxPendingTicks > 0 && pendingTicks >= p.MaxPendingTicks {
+		return true
+	}
+	if p.MaxPendingComments > 0 && pendingComments >= p.MaxPendingComments {
+		return true
+	}
+	if p.MaxAge > 0 && !oldest.IsZero() && now.Sub(oldest) >= p.MaxAge {
+		return true
+	}
+	return false
+}

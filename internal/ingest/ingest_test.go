@@ -1,0 +1,261 @@
+package ingest
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+var t0 = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// hotSources returns the IDs of the k sources with the most open
+// discussions — the ones a per-source tick can realistically churn (the
+// generator's lognormal draw makes low-participation sources almost
+// always quiet, exactly the skew the scheduler exploits).
+func hotSources(w *webgen.World, k int) []int {
+	ids := make([]int, 0, len(w.Sources))
+	for _, s := range w.Sources {
+		ids = append(ids, s.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		oi := w.Source(ids[i]).OpenDiscussions()
+		oj := w.Source(ids[j]).OpenDiscussions()
+		if oi != oj {
+			return oi > oj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}
+
+// tickSome runs AdvanceSource until a seed produces activity, so tests
+// never depend on a particular seed's poissonish draw.
+func tickSome(t *testing.T, w *webgen.World, sourceID int, cur *webgen.IDCursor, seedBase int64) (*webgen.World, *webgen.Delta) {
+	t.Helper()
+	for seed := seedBase; seed < seedBase+500; seed++ {
+		nw, d := webgen.AdvanceSource(w, sourceID, seed, cur)
+		if !d.Empty() {
+			return nw, d
+		}
+	}
+	t.Fatalf("no seed in 500 produced activity for source %d", sourceID)
+	return nil, nil
+}
+
+func TestAccumulatorCoalesces(t *testing.T) {
+	w0 := webgen.Generate(webgen.Config{Seed: 11, NumSources: 20, NumUsers: 60})
+	cur := webgen.NewIDCursor(w0)
+	acc := NewAccumulator()
+
+	if !acc.Empty() || acc.Frontier(w0) != w0 {
+		t.Fatal("fresh accumulator must be empty with pass-through frontier")
+	}
+	if w, d, n := acc.Drain(); w != nil || d != nil || n != 0 {
+		t.Fatal("draining an empty accumulator must return nothing")
+	}
+
+	hot := hotSources(w0, 2)
+	w1, d1 := tickSome(t, w0, hot[0], cur, 100)
+	w2, d2 := tickSome(t, w1, hot[1], cur, 200)
+	w3, d3 := tickSome(t, w2, hot[0], cur, 300)
+
+	want := d1.Clone()
+	want.Merge(d2)
+	want.Merge(d3)
+
+	for _, step := range []struct {
+		from, to *webgen.World
+		d        *webgen.Delta
+	}{{w0, w1, d1}, {w1, w2, d2}, {w2, w3, d3}} {
+		if err := acc.Add(step.from, step.to, step.d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Empty() || acc.Ticks() != 3 || acc.Frontier(w0) != w3 {
+		t.Fatalf("accumulator state: empty=%v ticks=%d", acc.Empty(), acc.Ticks())
+	}
+	if acc.PendingComments() != want.NewCommentCount() {
+		t.Fatalf("PendingComments = %d, want %d", acc.PendingComments(), want.NewCommentCount())
+	}
+
+	w, d, n := acc.Drain()
+	if w != w3 || n != 3 {
+		t.Fatalf("Drain returned world=%p ticks=%d, want %p/3", w, n, w3)
+	}
+	if d.NewCommentCount() != want.NewCommentCount() ||
+		len(d.DirtySourceIDs()) != len(want.DirtySourceIDs()) ||
+		len(d.DirtyContributorIDs()) != len(want.DirtyContributorIDs()) {
+		t.Fatal("drained delta differs from a manual clone+merge of the ticks")
+	}
+	if !acc.Empty() || acc.Frontier(w0) != w0 {
+		t.Fatal("Drain must reset the accumulator")
+	}
+}
+
+// TestAccumulatorFirstAddClones pins that folding later ticks never
+// mutates the first tick's delta — the caller may have published or
+// stored it.
+func TestAccumulatorFirstAddClones(t *testing.T) {
+	w0 := webgen.Generate(webgen.Config{Seed: 12, NumSources: 15, NumUsers: 50})
+	cur := webgen.NewIDCursor(w0)
+	hot := hotSources(w0, 2)
+	w1, d1 := tickSome(t, w0, hot[0], cur, 400)
+	w2, d2 := tickSome(t, w1, hot[1], cur, 500)
+
+	before := d1.NewCommentCount()
+	acc := NewAccumulator()
+	if err := acc.Add(w0, w1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(w1, w2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.NewCommentCount() != before {
+		t.Fatalf("first tick's delta mutated by the fold: %d -> %d", before, d1.NewCommentCount())
+	}
+}
+
+func TestAccumulatorRejectsStaleFrom(t *testing.T) {
+	w0 := webgen.Generate(webgen.Config{Seed: 13, NumSources: 15, NumUsers: 50})
+	cur := webgen.NewIDCursor(w0)
+	hot := hotSources(w0, 2)
+	w1, d1 := tickSome(t, w0, hot[0], cur, 600)
+	_, dStale := tickSome(t, w0, hot[1], cur, 700) // departs from w0, not w1
+
+	acc := NewAccumulator()
+	if err := acc.Add(w0, w1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(w0, w1, dStale); err == nil {
+		t.Fatal("Add must reject a tick departing from a stale world")
+	}
+	if acc.Ticks() != 1 {
+		t.Fatalf("rejected Add changed state: ticks = %d", acc.Ticks())
+	}
+}
+
+func TestSchedulerAdapts(t *testing.T) {
+	cfg := SchedulerConfig{Min: time.Second, Max: 16 * time.Second, Initial: 4 * time.Second}
+	s := NewScheduler([]int{0, 1, 2}, t0, cfg)
+
+	if due := s.Due(t0); len(due) != 3 || due[0] != 0 || due[1] != 1 || due[2] != 2 {
+		t.Fatalf("all sources must start due in registration order, got %v", due)
+	}
+
+	// Hot source 0 converges to Min; cold source 1 decays to Max.
+	now := t0
+	for i := 0; i < 10; i++ {
+		s.Observe(0, 5, now)
+		s.Observe(1, 0, now)
+		now = now.Add(time.Second)
+	}
+	if got := s.Interval(0); got != cfg.Min {
+		t.Errorf("hot interval = %v, want Min %v", got, cfg.Min)
+	}
+	if got := s.Interval(1); got != cfg.Max {
+		t.Errorf("cold interval = %v, want Max %v", got, cfg.Max)
+	}
+
+	// Due respects per-source schedules: right after observing, neither 0
+	// nor 1 is due, while untouched 2 still is.
+	if due := s.Due(now.Add(-time.Second)); len(due) != 1 || due[0] != 2 {
+		t.Fatalf("due = %v, want [2]", due)
+	}
+	next, ok := s.NextDue()
+	if !ok || next.After(now.Add(cfg.Max)) {
+		t.Fatalf("NextDue = %v ok=%v", next, ok)
+	}
+
+	// A hot source going quiet backs off again.
+	cold := s.Interval(0)
+	for i := 0; i < 12; i++ {
+		s.Observe(0, 0, now)
+	}
+	if got := s.Interval(0); got <= cold {
+		t.Errorf("quiet polls must raise the interval: %v -> %v", cold, got)
+	}
+
+	s.Observe(99, 1, now) // unknown ID: no-op
+	if s.Interval(99) != 0 {
+		t.Error("unknown ID must report zero interval")
+	}
+}
+
+func TestSchedulerDefaults(t *testing.T) {
+	s := NewScheduler([]int{7}, t0, SchedulerConfig{})
+	if got := s.Interval(7); got != time.Second {
+		t.Fatalf("default initial interval = %v, want 1s", got)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(7, 0, t0)
+	}
+	if got := s.Interval(7); got != 64*time.Second {
+		t.Fatalf("default max = %v, want 64s", got)
+	}
+}
+
+func TestDrainPolicyDue(t *testing.T) {
+	oldest := t0
+	cases := []struct {
+		name            string
+		p               DrainPolicy
+		ticks, comments int
+		now             time.Time
+		want            bool
+	}{
+		{"empty buffer never due", DrainPolicy{MaxPendingTicks: 1}, 0, 0, t0.Add(time.Hour), false},
+		{"zero policy never fires", DrainPolicy{}, 100, 1000, t0.Add(time.Hour), false},
+		{"tick trigger", DrainPolicy{MaxPendingTicks: 8}, 8, 0, t0, true},
+		{"tick trigger below", DrainPolicy{MaxPendingTicks: 8}, 7, 0, t0, false},
+		{"comment trigger", DrainPolicy{MaxPendingComments: 50}, 1, 50, t0, true},
+		{"comment trigger below", DrainPolicy{MaxPendingComments: 50}, 1, 49, t0, false},
+		{"age trigger", DrainPolicy{MaxAge: time.Minute}, 1, 0, t0.Add(time.Minute), true},
+		{"age trigger below", DrainPolicy{MaxAge: time.Minute}, 1, 0, t0.Add(59 * time.Second), false},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Due(tc.ticks, tc.comments, oldest, tc.now); got != tc.want {
+			t.Errorf("%s: Due = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkAccumulatorMerge prices one fold: Add-ing a per-source tick's
+// delta onto an already-spanning pending delta (slice appends + dirty-set
+// unions, no world walks) — the per-poll cost continuous ingestion pays
+// between drains.
+func BenchmarkAccumulatorMerge(b *testing.B) {
+	w0 := webgen.Generate(webgen.Config{Seed: 14, NumSources: 40, NumUsers: 120, ChurnScale: 3})
+	cur := webgen.NewIDCursor(w0)
+	hot := hotSources(w0, 4)
+	type tick struct {
+		from, to *webgen.World
+		d        *webgen.Delta
+	}
+	var ticks []tick
+	w := w0
+	for i := 0; i < 16; i++ {
+		nw, d := webgen.AdvanceSource(w, hot[i%len(hot)], int64(800+i), cur)
+		if d.Empty() {
+			continue
+		}
+		ticks = append(ticks, tick{w, nw, d})
+		w = nw
+	}
+	if len(ticks) < 2 {
+		b.Fatal("not enough active ticks to fold")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := NewAccumulator()
+		for _, tk := range ticks {
+			if err := acc.Add(tk.from, tk.to, tk.d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		acc.Drain()
+	}
+	b.ReportMetric(float64(len(ticks)), "folds/op")
+}

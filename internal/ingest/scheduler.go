@@ -1,0 +1,129 @@
+package ingest
+
+import "time"
+
+// SchedulerConfig bounds the adaptive per-source poll interval.
+type SchedulerConfig struct {
+	// Min and Max clamp the interval (defaults 1s and 64s). A source that
+	// keeps producing is polled every Min; one that stays quiet backs off
+	// multiplicatively toward Max.
+	Min, Max time.Duration
+	// Initial is the first interval of every source (default Min), so a
+	// fresh scheduler sweeps the whole corpus once before adapting.
+	Initial time.Duration
+}
+
+func (c SchedulerConfig) min() time.Duration {
+	if c.Min > 0 {
+		return c.Min
+	}
+	return time.Second
+}
+
+func (c SchedulerConfig) max() time.Duration {
+	if c.Max > c.min() {
+		return c.Max
+	}
+	return 64 * c.min()
+}
+
+func (c SchedulerConfig) initial() time.Duration {
+	if c.Initial > 0 {
+		return c.Initial
+	}
+	return c.min()
+}
+
+type sourceState struct {
+	id       int
+	interval time.Duration
+	due      time.Time
+}
+
+// Scheduler adapts each source's poll interval to its recent activity:
+// a poll that found new content halves the interval (down to Min), an
+// empty poll multiplies it by 3/2 (up to Max) — the additive-increase-
+// flavored decrease/increase shape of adaptive samplers, deterministic
+// given the observation sequence. Hot sources converge on Min-cadence
+// polling while the quiet tail decays to Max, so poll budget concentrates
+// where churn lives.
+//
+// The scheduler never touches the wall clock: Due and Observe take the
+// caller's `now`, and ties resolve in registration order, so a poll loop
+// replayed with the same timestamps polls the same sources in the same
+// order.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	sources []sourceState
+	byID    map[int]int // source ID -> index in sources (lookup only)
+}
+
+// NewScheduler registers the given source IDs, all first due at start.
+func NewScheduler(ids []int, start time.Time, cfg SchedulerConfig) *Scheduler {
+	s := &Scheduler{
+		cfg:     cfg,
+		sources: make([]sourceState, len(ids)),
+		byID:    make(map[int]int, len(ids)),
+	}
+	for i, id := range ids {
+		s.sources[i] = sourceState{id: id, interval: cfg.initial(), due: start}
+		s.byID[id] = i
+	}
+	return s
+}
+
+// Due returns the IDs of every source whose poll is due at now, in
+// registration order.
+func (s *Scheduler) Due(now time.Time) []int {
+	var due []int
+	for i := range s.sources {
+		if !s.sources[i].due.After(now) {
+			due = append(due, s.sources[i].id)
+		}
+	}
+	return due
+}
+
+// Observe records the outcome of one poll of id at now — newComments is
+// the delta's fresh-comment count (0 for an empty poll) — adapts the
+// source's interval and schedules its next due time.
+func (s *Scheduler) Observe(id, newComments int, now time.Time) {
+	i, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	st := &s.sources[i]
+	if newComments > 0 {
+		st.interval /= 2
+		if st.interval < s.cfg.min() {
+			st.interval = s.cfg.min()
+		}
+	} else {
+		st.interval += st.interval / 2
+		if st.interval > s.cfg.max() {
+			st.interval = s.cfg.max()
+		}
+	}
+	st.due = now.Add(st.interval)
+}
+
+// NextDue returns the earliest upcoming due time — the poll loop's sleep
+// target. ok is false when no sources are registered.
+func (s *Scheduler) NextDue() (next time.Time, ok bool) {
+	for i := range s.sources {
+		if !ok || s.sources[i].due.Before(next) {
+			next, ok = s.sources[i].due, true
+		}
+	}
+	return next, ok
+}
+
+// Interval returns id's current poll interval (0 for an unknown ID) —
+// observability for tests and the serve loop's logging.
+func (s *Scheduler) Interval(id int) time.Duration {
+	i, ok := s.byID[id]
+	if !ok {
+		return 0
+	}
+	return s.sources[i].interval
+}

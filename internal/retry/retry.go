@@ -18,7 +18,7 @@ package retry
 import (
 	"context"
 	"errors"
-	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,10 +55,62 @@ func (p Policy) attempts() int {
 	return p.Attempts
 }
 
+// Jitter is a caller-owned source for the randomized backoff fraction: a
+// splitmix64 state the owner advances locally, with no shared memory
+// touched per draw. The package-global math/rand it replaces hands every
+// draw to one process-wide source — under a 5xx burst, hundreds of
+// delivery and crawler goroutines back off at once, all funneled through
+// that single source (a mutex convoy when legacy-seeded, shared state
+// either way). A Jitter lives on its owner's stack or struct: Do keeps
+// one per invocation, a long-lived worker keeps one per goroutine.
+//
+// The zero value is NOT usable — it would replay the same sequence in
+// every owner and re-correlate the fleet the jitter exists to spread out.
+// Use NewJitter.
+type Jitter struct{ state uint64 }
+
+// jitterSeq seeds new Jitters: each NewJitter takes one atomic step on a
+// Weyl sequence, so concurrently created sources start decorrelated. The
+// per-process random offset keeps a fleet of restarting processes from
+// sharing sequences, as the auto-seeded global source did.
+var jitterSeq atomic.Uint64
+
+func init() {
+	jitterSeq.Store(uint64(time.Now().UnixNano()))
+}
+
+// NewJitter returns an independently seeded jitter source. The only
+// cross-goroutine touch is this one seeding step; every later draw is
+// local to the returned value.
+func NewJitter() Jitter {
+	return Jitter{state: jitterSeq.Add(0x9E3779B97F4A7C15)}
+}
+
+// float64 returns a uniform draw in [0, 1): one splitmix64 step on the
+// local state.
+func (j *Jitter) float64() float64 {
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
 // Backoff returns the pause after the given 0-based failed attempt:
 // Backoff(0) separates attempts one and two. The exponential ramp is
-// deterministic; only the jitter fraction is randomized.
+// deterministic; only the jitter fraction is randomized, from a source
+// seeded per call. Loops drawing repeatedly should hold a Jitter and use
+// BackoffWith, as Do does.
 func (p Policy) Backoff(attempt int) time.Duration {
+	j := NewJitter()
+	return p.BackoffWith(attempt, &j)
+}
+
+// BackoffWith is Backoff drawing from the caller's jitter source — the
+// allocation- and contention-free form for retry loops and per-sink
+// worker goroutines.
+func (p Policy) BackoffWith(attempt int, j *Jitter) time.Duration {
 	if p.Base <= 0 {
 		return 0
 	}
@@ -78,11 +130,11 @@ func (p Policy) Backoff(attempt int) time.Duration {
 		d = float64(p.Max)
 	}
 	if p.Jitter > 0 {
-		j := p.Jitter
-		if j > 1 {
-			j = 1
+		frac := p.Jitter
+		if frac > 1 {
+			frac = 1
 		}
-		d = d*(1-j) + rand.Float64()*d*j
+		d = d*(1-frac) + j.float64()*d*frac
 	}
 	return time.Duration(d)
 }
@@ -90,7 +142,13 @@ func (p Policy) Backoff(attempt int) time.Duration {
 // Sleep pauses for Backoff(attempt) or until the context is cancelled,
 // whichever comes first, returning the context's error on cancellation.
 func (p Policy) Sleep(ctx context.Context, attempt int) error {
-	d := p.Backoff(attempt)
+	j := NewJitter()
+	return p.SleepWith(ctx, attempt, &j)
+}
+
+// SleepWith is Sleep drawing from the caller's jitter source.
+func (p Policy) SleepWith(ctx context.Context, attempt int, j *Jitter) error {
+	d := p.BackoffWith(attempt, j)
 	if d <= 0 {
 		return ctx.Err()
 	}
@@ -132,9 +190,10 @@ func IsPermanent(err error) bool {
 // returns f's last error (nil on success).
 func Do(ctx context.Context, p Policy, f func(ctx context.Context) error) error {
 	var lastErr error
+	j := NewJitter()
 	for attempt := 0; attempt < p.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := p.Sleep(ctx, attempt-1); err != nil {
+			if err := p.SleepWith(ctx, attempt-1, &j); err != nil {
 				return err
 			}
 		}

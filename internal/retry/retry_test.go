@@ -106,3 +106,61 @@ func TestDoContextCancel(t *testing.T) {
 		t.Fatal("Do did not return after cancellation")
 	}
 }
+
+// TestJitterSpread: a caller-owned source behaves like a uniform [0,1)
+// draw — every value in range, consecutive draws distinct (the Weyl
+// step never repeats within 2^64 calls), the mean near 1/2 — and two
+// independently seeded sources produce different sequences, so the
+// fleet-decorrelation property survives the switch off math/rand.
+func TestJitterSpread(t *testing.T) {
+	const n = 4096
+	j := NewJitter()
+	sum, prev := 0.0, -1.0
+	for i := 0; i < n; i++ {
+		f := j.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("jitter draw = %v outside [0, 1)", f)
+		}
+		if f == prev {
+			t.Fatalf("consecutive draws collided at %v", f)
+		}
+		prev = f
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("jitter mean = %v, want ~0.5", mean)
+	}
+	a, b := NewJitter(), NewJitter()
+	if a.float64() == b.float64() && a.float64() == b.float64() {
+		t.Fatal("independently seeded sources replayed the same sequence")
+	}
+}
+
+// BenchmarkBackoffParallel is the contention receipt for caller-owned
+// jitter: every goroutine of a failing fleet draws backoffs at once,
+// exactly the access pattern that used to funnel through the package-
+// global math/rand source. "local" holds one Jitter per goroutine (the
+// Do / per-sink-worker pattern); "seeded-per-call" is the stateless
+// Backoff fallback, paying one shared atomic step per draw.
+func BenchmarkBackoffParallel(b *testing.B) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	b.Run("local", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			j := NewJitter()
+			var sink time.Duration
+			for i := 0; pb.Next(); i++ {
+				sink += p.BackoffWith(i&7, &j)
+			}
+			_ = sink
+		})
+	})
+	b.Run("seeded-per-call", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			var sink time.Duration
+			for i := 0; pb.Next(); i++ {
+				sink += p.Backoff(i & 7)
+			}
+			_ = sink
+		})
+	})
+}

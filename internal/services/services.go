@@ -77,9 +77,12 @@ func NewEnvOpts(world *webgen.World, panel *analytics.Panel, di quality.DomainOf
 // records of the delta's dirty sources and contributors are rebuilt or
 // additively updated, the assessors repair their measure matrices via
 // UpdateRows instead of re-evaluating the corpus, and the source-score
-// join is re-read from the updated assessor. Every derived number is
-// bit-identical to NewEnv over the same world and panel; the receiver is
-// left untouched, still serving readers of the pre-advance snapshot.
+// join is re-read from the updated assessor. The delta may span several
+// coalesced ticks (webgen.Delta.Merge) — dirty sets union and the epoch
+// flag composes, so one repair over the spanning delta equals repairing
+// each tick in turn. Every derived number is bit-identical to NewEnv over
+// the same world and panel; the receiver is left untouched, still serving
+// readers of the pre-advance snapshot.
 func (env *Env) Advance(world *webgen.World, panel *analytics.Panel, delta *webgen.Delta) *Env {
 	ne := &Env{
 		World:    world,
@@ -89,7 +92,17 @@ func (env *Env) Advance(world *webgen.World, panel *analytics.Panel, delta *webg
 	}
 	records, dirtyRows := quality.UpdateSourceRecordsFromWorld(env.SourceRecords, world, panel, delta.DirtySourceIDs())
 	ne.SourceRecords = records
-	ne.Sources = env.Sources.UpdateRows(records, dirtyRows, delta.EpochMoved())
+	// A per-source tick (webgen.AdvanceSource) can raise the corpus-global
+	// MaxOpenDiscussions high-water mark without moving the epoch. That
+	// denominator feeds time-sensitive source measures on EVERY row, so the
+	// repair must re-evaluate them corpus-wide exactly as an epoch move
+	// would — otherwise non-dirty rows keep values computed against the old
+	// ceiling and diverge from a fresh rebuild.
+	srcReEval := delta.EpochMoved()
+	if len(env.SourceRecords) > 0 && env.SourceRecords[0].MaxOpenDiscussions != world.MaxOpenDiscussions {
+		srcReEval = true
+	}
+	ne.Sources = env.Sources.UpdateRows(records, dirtyRows, srcReEval)
 	ne.SourceScores = make(map[int]float64, len(records))
 	for _, a := range ne.Sources.AssessAll(records) {
 		ne.SourceScores[a.ID] = a.Score

@@ -360,3 +360,55 @@ func TestRepairedSpineEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSkewedIngestDrainShardEquivalence pins the adaptive-ingestion drain
+// path on the sharded engine: several skewed per-source ticks (90% of
+// polls landing on the ~5% hottest sources, webgen.AdvanceSource) buffer
+// in the pending-delta accumulator, one DrainTick coalesces them into a
+// single repair round, and the drained corpus answers every standing
+// query byte-identically to a freshly built corpus over the same world —
+// at the degenerate shard count 1 and the boundary-rich prime 7. The
+// per-source ticks raise the corpus-global MaxOpenDiscussions ceiling
+// without moving the epoch, so this is the sharded regression pin for the
+// churn-path staleness bug fixed in services.Env.Advance.
+func TestSkewedIngestDrainShardEquivalence(t *testing.T) {
+	world := webgen.Generate(webgen.Config{Seed: 7011, NumSources: 60, NumUsers: 160, CommentText: true, ChurnScale: 3})
+	queries := []Query{
+		NewQuery().ScoresOnly().Build(),
+		NewQuery().MinScore(0.3).SortByDimension(quality.Time).TopK(20).Build(),
+		NewQuery().SortByAttribute(quality.Traffic).Build(),
+	}
+	for _, ns := range []int{1, 7} {
+		c := FromWorldSharded(world, DomainOfInterest{}, 7011, ns)
+		rng := rand.New(rand.NewSource(int64(9300 + ns)))
+		for round := 0; round < 3; round++ {
+			// Record this round's spines, then buffer a skewed batch of
+			// per-source ticks without publishing.
+			for _, q := range queries {
+				if _, err := c.QuerySources(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, id := range skewedTicks(rng, c.World(), 10) {
+				c.Ingest(id, int64(9400+round*100+i))
+			}
+			ticks, _ := c.PendingIngest()
+			if _, published := c.DrainTick(); published != (ticks > 0) {
+				t.Fatalf("shards %d round %d: DrainTick published=%v with %d pending ticks", ns, round, !published, ticks)
+			}
+			fresh := FromWorldSharded(c.World(), DomainOfInterest{}, 7011, ns)
+			for qi, q := range queries {
+				got, err := c.QuerySources(q) // repaired spine over the coalesced delta
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.QuerySources(q) // cold scan
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResult(t, fmt.Sprintf("shards %d round %d query %d", ns, round, qi), want, got)
+			}
+			assertCorpusEquals(t, c, fresh)
+		}
+	}
+}
