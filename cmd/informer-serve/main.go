@@ -96,12 +96,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sinkURL   = fs.String("sink", "", "attach a webhook push sink: POST each tick's delta envelope to this URL")
 		sinkQuery = fs.String("sink-query", "k=10", "standing query of the -sink webhook, in /api/v1/watch query-string form (delta filters included)")
 		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown budget for flushing pending sink deliveries")
+		syndicate = fs.Float64("syndication", 0, "fraction of comments syndicated from other sources (0..1); feeds the correlation engine behind /api/v1/stories")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	c := informer.New(informer.Config{Seed: *seed, NumSources: *sources, CommentText: true})
+	c := informer.New(informer.Config{Seed: *seed, NumSources: *sources, CommentText: true, SyndicationRate: *syndicate})
 	mux := http.NewServeMux()
 	mux.Handle("/", c.Handler())
 	mux.Handle("/panel/", http.StripPrefix("/panel", c.PanelHandler()))

@@ -52,6 +52,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,7 @@ import (
 	"github.com/informing-observers/informer/internal/analytics"
 	"github.com/informing-observers/informer/internal/apiserve"
 	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/correlate"
 	"github.com/informing-observers/informer/internal/crawler"
 	"github.com/informing-observers/informer/internal/deliver"
 	"github.com/informing-observers/informer/internal/mashup"
@@ -107,6 +110,14 @@ type (
 	MashupEvent = mashup.Item
 	// SentimentIndicator is a per-category sentiment summary.
 	SentimentIndicator = sentiment.Indicator
+	// Story is one cross-source near-duplicate cluster; StorySet is the
+	// immutable per-round set of them (see Corpus.Stories). StoryQuery,
+	// StoryCursor and StoryPage page through a set in freshness order.
+	Story       = correlate.Story
+	StorySet    = correlate.StorySet
+	StoryQuery  = correlate.StoryQuery
+	StoryCursor = correlate.StoryCursor
+	StoryPage   = correlate.StoryPage
 	// MicroblogDataset is the annotated account dataset of Section 4.2.
 	MicroblogDataset = social.Dataset
 	// MicroblogConfig configures microblog generation.
@@ -156,8 +167,14 @@ type Config struct {
 	// NumSources and NumUsers size the world (defaults 100 / 200).
 	NumSources, NumUsers int
 	// CommentText generates full comment bodies (needed for sentiment
-	// analysis and crawling demos).
+	// analysis and crawling demos). It also activates the correlation
+	// engine: near-duplicate detection, story clustering (Stories) and the
+	// src.originality measure.
 	CommentText bool
+	// SyndicationRate injects syndicated near-duplicate copies into the
+	// generated comment stream (webgen.Config.SyndicationRate) — ground
+	// truth for the correlation engine. Needs CommentText; 0 disables.
+	SyndicationRate float64
 	// SpamRate injects spam/bot users for robustness experiments.
 	SpamRate float64
 	// DI scopes the analysis; empty means all of the world's categories.
@@ -195,6 +212,13 @@ type Corpus struct {
 	// by advanceMu; see ingestion.go.
 	ingestState *ingestion
 
+	// correlator is the correlation engine's writer-owned dedup index
+	// (internal/correlate), active only when the world carries comment
+	// text; nil otherwise. Mutated exclusively under advanceMu — readers
+	// see its output through the immutable StorySet and the per-record
+	// counters published on each snapshot, never the index itself.
+	correlator *correlate.Index
+
 	// subs is the corpus' standing-query subscription registry
 	// (internal/subscribe): Advance publishes every new snapshot into it,
 	// each distinct standing query is evaluated once per tick, and the
@@ -229,6 +253,24 @@ type assessState struct {
 	// delta is the tick that produced this snapshot (nil for the
 	// construction snapshot).
 	delta *webgen.Delta
+
+	// stories is the round's story-cluster snapshot, materialized by the
+	// correlation engine at publish time; nil when the corpus carries no
+	// comment text.
+	stories *correlate.StorySet
+
+	// infMu guards the per-round influencer roster cache: full rosters
+	// (TopK unbounded) keyed by canonical options, computed once per
+	// round and per key. prevInf carries the previous round's completed
+	// rosters; when infRepairOK holds (epoch still, contributor
+	// benchmarks bitwise unchanged) a roster is repaired from its
+	// predecessor over infDirty instead of being rebuilt. Both are
+	// written only before the snapshot publishes.
+	infMu       sync.Mutex
+	infRosters  map[string][]Influencer
+	prevInf     map[string][]Influencer
+	infRepairOK bool
+	infDirty    []int
 
 	engineOnce sync.Once
 	engine     *search.Engine
@@ -294,11 +336,12 @@ func New(cfg Config) *Corpus {
 		cfg.Seed = 1
 	}
 	world := webgen.Generate(webgen.Config{
-		Seed:        cfg.Seed,
-		NumSources:  cfg.NumSources,
-		NumUsers:    cfg.NumUsers,
-		CommentText: cfg.CommentText,
-		SpamRate:    cfg.SpamRate,
+		Seed:            cfg.Seed,
+		NumSources:      cfg.NumSources,
+		NumUsers:        cfg.NumUsers,
+		CommentText:     cfg.CommentText,
+		SpamRate:        cfg.SpamRate,
+		SyndicationRate: cfg.SyndicationRate,
 	})
 	return FromWorldSharded(world, cfg.DI, cfg.Seed, cfg.Shards)
 }
@@ -320,9 +363,23 @@ func FromWorldSharded(world *World, di DomainOfInterest, seed int64, shards int)
 	if shards > 1 {
 		opts = &quality.AssessorOptions{Shards: shards}
 	}
-	env := services.NewEnvOpts(world, panel, di, opts)
-	c := &Corpus{DI: di, seed: seed}
-	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed, version: 1})
+	// The correlation engine runs only over corpora with comment text:
+	// the index is built once here and repaired through every publish.
+	// Its counters join the source records before the assessor derives
+	// benchmarks, so src.originality is a first-class measure column.
+	var (
+		ix      *correlate.Index
+		stories *correlate.StorySet
+		counts  services.CorrelationCounts
+	)
+	if world.Config.CommentText {
+		ix = correlate.NewIndex()
+		stories = ix.Build(world)
+		counts = ix.Counts
+	}
+	env := services.NewEnvCorrelated(world, panel, di, opts, counts)
+	c := &Corpus{DI: di, seed: seed, correlator: ix}
+	c.state.Store(&assessState{world: world, panel: panel, env: env, seed: seed, version: 1, stories: stories})
 	c.subs = subscribe.New(func() subscribe.Snapshot { return apiSnapshot{c.state.Load()} }, subscribe.Options{})
 	return c
 }
@@ -411,8 +468,70 @@ func (c *Corpus) RankContributors() []*Assessment {
 
 // Influencers detects opinion leaders (Section 3.2).
 func (c *Corpus) Influencers(opts InfluencerOptions) []Influencer {
-	st := c.state.Load()
-	return quality.Influencers(st.env.Contributors, st.env.ContributorRecords, opts)
+	return c.state.Load().influencers(opts)
+}
+
+// influencers answers an influencer query from the round's roster cache.
+// The full roster (TopK unbounded) per canonical option key is computed
+// once per round; when the repair licence holds it is derived from the
+// previous round's roster by re-scoring only the tick's dirty
+// contributors (quality.RepairInfluencers), otherwise built fresh. TopK
+// truncation happens on a per-call copy so cached rosters stay shared.
+//
+//informer:mutates memoised roster cache guarded by infMu
+func (st *assessState) influencers(opts InfluencerOptions) []Influencer {
+	minInteractions := opts.MinInteractions
+	if minInteractions <= 0 {
+		minInteractions = 1
+	}
+	full := InfluencerOptions{Strategy: opts.Strategy, MinInteractions: minInteractions}
+	key := full.Strategy.String() + "|" + strconv.Itoa(minInteractions)
+
+	st.infMu.Lock()
+	roster, ok := st.infRosters[key]
+	if !ok {
+		if prev, has := st.prevInf[key]; has && st.infRepairOK {
+			roster = quality.RepairInfluencers(prev, st.env.Contributors, st.env.ContributorRecords, st.infDirty, full)
+		} else {
+			roster = quality.Influencers(st.env.Contributors, st.env.ContributorRecords, full)
+		}
+		if st.infRosters == nil {
+			st.infRosters = make(map[string][]Influencer)
+		}
+		st.infRosters[key] = roster
+	}
+	st.infMu.Unlock()
+
+	if opts.TopK > 0 && len(roster) > opts.TopK {
+		roster = roster[:opts.TopK]
+	}
+	out := make([]Influencer, len(roster))
+	copy(out, roster)
+	return out
+}
+
+// doneInfluencers snapshots the rosters completed during this round, for
+// the next snapshot's prevInf. It copies under infMu: late readers of a
+// superseded snapshot may still be filling the cache.
+func (st *assessState) doneInfluencers() map[string][]Influencer {
+	st.infMu.Lock()
+	defer st.infMu.Unlock()
+	if len(st.infRosters) == 0 {
+		return nil
+	}
+	out := make(map[string][]Influencer, len(st.infRosters))
+	for k, r := range st.infRosters {
+		out[k] = r
+	}
+	return out
+}
+
+// Stories returns the current round's story-cluster snapshot: groups of
+// near-duplicate discussions syndicated across sources, maintained
+// incrementally by the correlation engine (DESIGN.md section 14). Nil
+// when the corpus carries no comment text (Config.CommentText false).
+func (c *Corpus) Stories() *StorySet {
+	return c.state.Load().stories
 }
 
 // Search queries the built-in search-engine baseline (the paper's Google
@@ -539,7 +658,49 @@ func (s apiSnapshot) QueryContributors(q Query) (*QueryResult, error) {
 }
 
 func (s apiSnapshot) Influencers(opts InfluencerOptions) []Influencer {
-	return quality.Influencers(s.st.env.Contributors, s.st.env.ContributorRecords, opts)
+	return s.st.influencers(opts)
+}
+
+// Stories serves the story-cluster listing, enriching each cluster with
+// the member sources' names and quality scores — ranked best-assessed
+// first — and the title of the representative discussion. A corpus
+// without comment text (no correlation engine) answers an empty result.
+func (s apiSnapshot) Stories(q correlate.StoryQuery) *apiserve.StoriesResult {
+	pg := s.st.stories.Query(q)
+	res := &apiserve.StoriesResult{Items: make([]apiserve.StoryItem, 0, len(pg.Stories)), Total: pg.Total, Next: pg.Next}
+	world, scores := s.st.world, s.st.env.SourceScores
+	for _, story := range pg.Stories {
+		item := apiserve.StoryItem{
+			ID:           story.ID,
+			Size:         story.Size,
+			Latest:       story.Latest,
+			SourceID:     story.SourceID,
+			DiscussionID: story.DiscussionID,
+			Members:      make([]apiserve.StoryMember, 0, len(story.Sources)),
+		}
+		if src := world.Sources[story.SourceID]; src != nil {
+			for _, d := range src.Discussions {
+				if d.ID == story.DiscussionID {
+					item.Title = d.Title
+					break
+				}
+			}
+		}
+		for _, sid := range story.Sources {
+			item.Members = append(item.Members, apiserve.StoryMember{
+				SourceID: sid,
+				Name:     world.Sources[sid].Name,
+				Score:    scores[sid],
+			})
+		}
+		// Best-assessed member first; the member list arrives sorted by
+		// source ID, which stays the deterministic tiebreak.
+		sort.SliceStable(item.Members, func(i, j int) bool {
+			return item.Members[i].Score > item.Members[j].Score
+		})
+		res.Items = append(res.Items, item)
+	}
+	return res
 }
 
 func (s apiSnapshot) SentimentByCategory() map[string]SentimentIndicator {
@@ -705,10 +866,21 @@ func (c *Corpus) AdvanceSameDay(seed int64, onlySources []int) *Corpus {
 //informer:mutates fills the successor snapshot before the atomic swap
 func (c *Corpus) publishAdvance(cur *assessState, world *World, delta *webgen.Delta) {
 	panel := cur.panel.Refresh(world)
+	var stories *correlate.StorySet
+	if c.correlator != nil {
+		// Repair the dedup index for exactly the delta's new comments
+		// BEFORE the environment advances: env.Advance re-reads the
+		// counters for the tick's dirty sources (the only ones whose
+		// counters can have moved).
+		stories = c.correlator.Fold(world, delta)
+	}
 	env := cur.env.Advance(world, panel, delta)
-	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta}
+	next := &assessState{world: world, panel: panel, env: env, seed: c.seed, version: cur.version + 1, delta: delta, stories: stories}
 	next.inheritScan(cur, delta)
 	next.prevSpines = cur.doneSpines()
+	next.prevInf = cur.doneInfluencers()
+	next.infRepairOK = !delta.EpochMoved() && env.Contributors.BenchmarksEqual(cur.env.Contributors)
+	next.infDirty = delta.DirtyContributorIDs()
 	c.state.Store(next)
 	// Publish the round to the subscription registry: every distinct
 	// standing query is evaluated once against the new snapshot (off its

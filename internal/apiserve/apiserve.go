@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/correlate"
 	"github.com/informing-observers/informer/internal/deliver"
 	"github.com/informing-observers/informer/internal/etag"
 	"github.com/informing-observers/informer/internal/quality"
@@ -90,6 +91,11 @@ type Snapshot interface {
 	QuerySources(q quality.Query) (*quality.QueryResult, error)
 	QueryContributors(q quality.Query) (*quality.QueryResult, error)
 	Influencers(opts quality.InfluencerOptions) []quality.Influencer
+	// Stories answers the story-cluster listing (nil-safe: a corpus
+	// without comment text serves an empty result, never an error). The
+	// snapshot enriches each story with member names and quality scores,
+	// which live on its side of the interface.
+	Stories(q correlate.StoryQuery) *StoriesResult
 	SentimentByCategory() map[string]sentiment.Indicator
 	TrendingTerms(category string, k int) []buzz.Term
 	Search(query string, k int) []search.Result
@@ -175,6 +181,7 @@ func New(p Provider) *Server {
 	s.mux.HandleFunc("/api/v1/sources", s.endpoint(handleSources))
 	s.mux.HandleFunc("/api/v1/contributors", s.endpoint(handleContributors))
 	s.mux.HandleFunc("/api/v1/influencers", s.endpoint(handleInfluencers))
+	s.mux.HandleFunc("/api/v1/stories", s.endpoint(handleStories))
 	s.mux.HandleFunc("/api/v1/sentiment", s.endpoint(handleSentiment))
 	s.mux.HandleFunc("/api/v1/trending", s.endpoint(handleTrending))
 	s.mux.HandleFunc("/api/v1/search", s.endpoint(handleSearch))

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"github.com/informing-observers/informer/internal/buzz"
+	"github.com/informing-observers/informer/internal/correlate"
 	"github.com/informing-observers/informer/internal/quality"
 	"github.com/informing-observers/informer/internal/search"
 	"github.com/informing-observers/informer/internal/sentiment"
@@ -23,8 +24,9 @@ import (
 // stubSnapshot answers queries with canned data stamped with its version,
 // so tests can tell which round served a response.
 type stubSnapshot struct {
-	version int64
-	lastQ   *quality.Query // records the bound query for binding assertions
+	version    int64
+	lastQ      *quality.Query // records the bound query for binding assertions
+	lastStoryQ correlate.StoryQuery
 }
 
 func (s *stubSnapshot) Version() int64 { return s.version }
@@ -48,6 +50,18 @@ func (s *stubSnapshot) QueryContributors(q quality.Query) (*quality.QueryResult,
 
 func (s *stubSnapshot) Influencers(opts quality.InfluencerOptions) []quality.Influencer {
 	return nil
+}
+
+func (s *stubSnapshot) Stories(q correlate.StoryQuery) *StoriesResult {
+	s.lastStoryQ = q
+	return &StoriesResult{
+		Items: []StoryItem{{
+			ID: 5, Size: 3, SourceID: 2, DiscussionID: 5, Title: "stub story",
+			Members: []StoryMember{{SourceID: 2, Name: "a", Score: 0.9}, {SourceID: 4, Name: "b", Score: 0.4}},
+		}},
+		Total: 6,
+		Next:  &correlate.StoryCursor{LatestNano: 1234, ID: 5},
+	}
 }
 
 func (s *stubSnapshot) SentimentByCategory() map[string]sentiment.Indicator {
@@ -302,5 +316,51 @@ func TestSentimentCategoryFilterAndOrder(t *testing.T) {
 	env = decodeEnvelope(t, get(t, s, "/api/v1/sentiment?category=pulse", nil))
 	if env.Count != 1 {
 		t.Fatalf("filtered count = %d", env.Count)
+	}
+}
+
+// TestStoriesEndpointBindingAndEnvelope pins the stories endpoint over
+// the stub: parameter binding reaches the snapshot, the envelope carries
+// the pre-pagination total, and the next cursor is the canonical token of
+// the snapshot's resume position. Bad parameters answer 400.
+func TestStoriesEndpointBindingAndEnvelope(t *testing.T) {
+	s, p, _ := newStubServer(3)
+	cur := EncodeStoryCursor(correlate.StoryCursor{LatestNano: 777, ID: 9})
+	rec := get(t, s, "/api/v1/stories?k=4&min_sources=3&cursor="+cur, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	q := p.cur.lastStoryQ
+	if q.Limit != 4 || q.MinSources != 3 || q.After == nil || q.After.LatestNano != 777 || q.After.ID != 9 {
+		t.Fatalf("snapshot saw query %+v", q)
+	}
+	env := decodeEnvelope(t, rec)
+	if env.Total != 6 {
+		t.Errorf("total = %d, want the stub's 6", env.Total)
+	}
+	if want := EncodeStoryCursor(correlate.StoryCursor{LatestNano: 1234, ID: 5}); env.NextCursor != want {
+		t.Errorf("next_cursor = %q, want %q", env.NextCursor, want)
+	}
+	items, ok := env.Items.([]any)
+	if !ok || len(items) != 1 {
+		t.Fatalf("items = %#v", env.Items)
+	}
+	story := items[0].(map[string]any)
+	if story["title"] != "stub story" {
+		t.Errorf("title = %v", story["title"])
+	}
+	if members := story["members"].([]any); len(members) != 2 {
+		t.Errorf("members = %#v", members)
+	}
+
+	for _, bad := range []string{
+		"/api/v1/stories?k=0",
+		"/api/v1/stories?k=x",
+		"/api/v1/stories?min_sources=1",
+		"/api/v1/stories?cursor=not-a-token",
+	} {
+		if rec := get(t, s, bad, nil); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, rec.Code)
+		}
 	}
 }

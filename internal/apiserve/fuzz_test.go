@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/informing-observers/informer/internal/correlate"
 	"github.com/informing-observers/informer/internal/quality"
 )
 
@@ -107,5 +108,79 @@ func TestCursorV1Rejected(t *testing.T) {
 	tok := v1Token(quality.Cursor{Key: 0.731, ID: 42, Pos: 11})
 	if _, _, err := DecodeCursor(tok); err == nil {
 		t.Fatalf("v1 token %q was accepted", tok)
+	}
+}
+
+// FuzzBindStories pins the stories binding for arbitrary query strings:
+// it never panics, and every accepted query is in-domain — a positive
+// page size, a min_sources of at least 2, and a cursor (when present)
+// whose decoded form re-encodes to the exact token that was accepted.
+func FuzzBindStories(f *testing.F) {
+	f.Add("k=10&min_sources=2")
+	f.Add("k=3")
+	f.Add("cursor=" + EncodeStoryCursor(correlate.StoryCursor{LatestNano: 1_600_000_000_000_000_000, ID: 42}) + "&k=5")
+	f.Add("cursor=" + EncodeStoryCursor(correlate.StoryCursor{LatestNano: -7, ID: 0}))
+	f.Add("k=0")
+	f.Add("k=-3&min_sources=1")
+	f.Add("min_sources=999&k=2")
+	f.Add("cursor=AAAA")
+	f.Add("%zz=&&&=;;;")
+	f.Fuzz(func(t *testing.T, raw string) {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		q, err := BindStoryQuery(v)
+		if err != nil {
+			return // cleanly rejected input
+		}
+		if q.Limit <= 0 || q.MinSources < 2 {
+			t.Fatalf("accepted out-of-domain stories query %+v from %q", q, raw)
+		}
+		if q.After != nil {
+			if tok := EncodeStoryCursor(*q.After); tok != v.Get("cursor") {
+				t.Fatalf("accepted cursor %q is not canonical (re-encodes to %q)", v.Get("cursor"), tok)
+			}
+		}
+	})
+}
+
+// FuzzStoryCursor pins the story token contract for arbitrary strings:
+// decode never panics, rejections are clean errors — including every
+// assessment-cursor token, whose layout length differs — and decode →
+// encode is the identity on the accepted set.
+func FuzzStoryCursor(f *testing.F) {
+	f.Add(EncodeStoryCursor(correlate.StoryCursor{}))
+	f.Add(EncodeStoryCursor(correlate.StoryCursor{LatestNano: 1_600_000_000_000_000_000, ID: 42}))
+	f.Add(EncodeStoryCursor(correlate.StoryCursor{LatestNano: -1, ID: 7}))
+	f.Add(EncodeCursor(quality.Cursor{Key: 0.7, ID: 3, Pos: 1}, 2)) // assessment token: wrong family
+	f.Add("")
+	f.Add("not-a-cursor")
+	f.Add(strings.Repeat("A", 28))
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := DecodeStoryCursor(s)
+		if err != nil {
+			return // cleanly rejected token
+		}
+		if c.ID < 0 {
+			t.Fatalf("accepted story cursor with negative ID from %q", s)
+		}
+		if s2 := EncodeStoryCursor(c); s2 != s {
+			t.Fatalf("accepted token is not canonical: %q decodes to %+v which encodes to %q", s, c, s2)
+		}
+	})
+}
+
+// TestCursorFamiliesReject pins that the two token families can never be
+// confused: an assessment cursor is refused by the story decoder and vice
+// versa (distinct payload lengths make this structural, not incidental).
+func TestCursorFamiliesReject(t *testing.T) {
+	assess := EncodeCursor(quality.Cursor{Key: 0.731, ID: 42, Pos: 11}, 7)
+	if _, err := DecodeStoryCursor(assess); err == nil {
+		t.Fatal("story decoder accepted an assessment token")
+	}
+	story := EncodeStoryCursor(correlate.StoryCursor{LatestNano: 99, ID: 3})
+	if _, _, err := DecodeCursor(story); err == nil {
+		t.Fatal("assessment decoder accepted a story token")
 	}
 }

@@ -1,0 +1,159 @@
+package apiserve
+
+// The /api/v1/stories endpoint: story clusters from the correlation
+// engine (DESIGN.md section 14), each rendered with its member sources
+// ranked by the serving snapshot's quality scores and the representative
+// discussion the cluster is named after. The walk paginates by keyset
+// (latest-activity desc, story ID asc) through a dedicated cursor token:
+// the story ordering axis — a timestamp plus a comment-ID tiebreak — is
+// not the (score, ID, rank) triple the assessment cursor carries, so the
+// two codecs are separate and their token lengths differ, keeping a token
+// pasted across endpoints a clean rejection rather than a misparse.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"time"
+
+	"github.com/informing-observers/informer/internal/correlate"
+)
+
+// StoryMember is the wire form of one source carrying a story.
+type StoryMember struct {
+	SourceID int     `json:"source_id"`
+	Name     string  `json:"name"`
+	Score    float64 `json:"score"`
+}
+
+// StoryItem is the wire form of one story cluster.
+type StoryItem struct {
+	ID   int `json:"id"`
+	Size int `json:"size"`
+	// Latest is the posting instant of the cluster's newest comment —
+	// the freshness axis the listing is ordered by.
+	Latest time.Time `json:"latest"`
+	// Title names the representative discussion (the cluster's earliest
+	// copy of the story).
+	Title        string `json:"title"`
+	SourceID     int    `json:"source_id"`
+	DiscussionID int    `json:"discussion_id"`
+	// Members lists every source carrying the story, best-assessed
+	// first.
+	Members []StoryMember `json:"members"`
+}
+
+// StoriesResult is one stories page, produced by the snapshot (which
+// owns the world and score data the items are enriched from).
+type StoriesResult struct {
+	Items []StoryItem
+	Total int
+	Next  *correlate.StoryCursor
+}
+
+// storyCursorVersion tags the story token layout. The payload length
+// (1 + 8 + 8 + 4) differs from the assessment cursor's, so the two token
+// families can never decode as each other.
+const storyCursorVersion = 1
+
+const storyCursorLen = 1 + 8 + 8 + 4
+
+const storyCursorSummed = storyCursorLen - 4
+
+// EncodeStoryCursor renders a stories resume position as its opaque wire
+// token: version byte, latest-activity nanosecond timestamp, story ID,
+// FNV-1a checksum, base64url (strict, unpadded).
+func EncodeStoryCursor(c correlate.StoryCursor) string {
+	buf := make([]byte, storyCursorLen)
+	buf[0] = storyCursorVersion
+	binary.BigEndian.PutUint64(buf[1:], uint64(c.LatestNano))
+	binary.BigEndian.PutUint64(buf[9:], uint64(c.ID))
+	h := fnv.New32a()
+	h.Write(buf[:storyCursorSummed])
+	binary.BigEndian.PutUint32(buf[storyCursorSummed:], h.Sum32())
+	return cursorEncoding.EncodeToString(buf)
+}
+
+// DecodeStoryCursor parses a stories token, rejecting anything that is
+// not a canonical, checksummed, in-domain encoding: bad base64, wrong
+// length, unknown version, checksum mismatch, or a negative story ID.
+// DecodeStoryCursor and EncodeStoryCursor are exact inverses on the
+// accepted set (FuzzStoryCursor pins this).
+func DecodeStoryCursor(s string) (correlate.StoryCursor, error) {
+	var c correlate.StoryCursor
+	buf, err := cursorEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("bad cursor: not base64url")
+	}
+	if len(buf) != storyCursorLen {
+		return c, fmt.Errorf("bad cursor: wrong length")
+	}
+	if buf[0] != storyCursorVersion {
+		return c, fmt.Errorf("bad cursor: unknown version %d", buf[0])
+	}
+	h := fnv.New32a()
+	h.Write(buf[:storyCursorSummed])
+	if binary.BigEndian.Uint32(buf[storyCursorSummed:]) != h.Sum32() {
+		return c, fmt.Errorf("bad cursor: checksum mismatch")
+	}
+	id := binary.BigEndian.Uint64(buf[9:])
+	if id > maxIntU64 {
+		return c, fmt.Errorf("bad cursor: out of domain")
+	}
+	c.LatestNano = int64(binary.BigEndian.Uint64(buf[1:]))
+	c.ID = int(id)
+	return c, nil
+}
+
+const maxIntU64 = uint64(^uint(0) >> 1)
+
+// BindStoryQuery binds a URL query string to a stories query:
+//
+//	k=10             page size (default 10)
+//	min_sources=2    minimum distinct sources per story (default 2)
+//	cursor=<token>   keyset resume from a previous page's next_cursor
+//
+// Exported so tests and the fuzz harness can exercise the binding
+// directly.
+func BindStoryQuery(v url.Values) (correlate.StoryQuery, error) {
+	var q correlate.StoryQuery
+	var err error
+	if q.Limit, err = intParam(v, "k", 10); err != nil {
+		return q, err
+	}
+	if q.Limit <= 0 {
+		return q, fmt.Errorf("k must be positive")
+	}
+	if q.MinSources, err = intParam(v, "min_sources", 2); err != nil {
+		return q, err
+	}
+	if q.MinSources < 2 {
+		return q, fmt.Errorf("min_sources must be at least 2 (a story spans sources)")
+	}
+	if tok := v.Get("cursor"); tok != "" {
+		c, err := DecodeStoryCursor(tok)
+		if err != nil {
+			return q, err
+		}
+		q.After = &c
+	}
+	return q, nil
+}
+
+func handleStories(st Snapshot, v url.Values) (page, error) {
+	q, err := BindStoryQuery(v)
+	if err != nil {
+		return page{}, err
+	}
+	res := st.Stories(q)
+	next := ""
+	if res.Next != nil {
+		next = EncodeStoryCursor(*res.Next)
+	}
+	items := res.Items
+	if items == nil {
+		items = []StoryItem{}
+	}
+	return page{items: items, total: res.Total, next: next}, nil
+}

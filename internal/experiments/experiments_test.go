@@ -241,8 +241,8 @@ func TestTable1OverCrawledCorpus(t *testing.T) {
 	if r.CrawlErrs != 0 {
 		t.Errorf("crawl errors = %d", r.CrawlErrs)
 	}
-	if len(r.Measures) != 19 {
-		t.Errorf("measures = %d, want 19 (full Table 1)", len(r.Measures))
+	if len(r.Measures) != 20 {
+		t.Errorf("measures = %d, want 20 (full Table 1 plus src.originality)", len(r.Measures))
 	}
 	for _, m := range r.Measures {
 		if m.Defined == 0 {

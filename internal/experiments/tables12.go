@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/correlate"
 	"github.com/informing-observers/informer/internal/crawler"
 	"github.com/informing-observers/informer/internal/quality"
 	"github.com/informing-observers/informer/internal/social"
@@ -39,12 +40,17 @@ type Table1Result struct {
 }
 
 // RunTable1 serves a world over a loopback HTTP listener, crawls it, joins
-// the panel, evaluates all 19 Table 1 measures and summarises them.
+// the panel, evaluates all 20 Table 1 measures (the paper's 19 plus
+// src.originality from the correlation engine) and summarises them.
 func RunTable1(seed int64, numSources int) (*Table1Result, error) {
 	if numSources == 0 {
 		numSources = 60
 	}
-	world := webgen.Generate(webgen.Config{Seed: seed, NumSources: numSources, CommentText: true})
+	world := webgen.Generate(webgen.Config{
+		Seed: seed, NumSources: numSources, CommentText: true,
+		// Inject syndicated copies so the originality column has spread.
+		SyndicationRate: 0.1,
+	})
 	panel := analytics.Build(world, seed+1)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -65,6 +71,11 @@ func RunTable1(seed int64, numSources int) (*Table1Result, error) {
 		return nil, fmt.Errorf("table1: crawl: %w", err)
 	}
 	records := quality.SourceRecordsFromSnapshot(snap, panel, world.Config.End, world.Days())
+	dedup := correlate.NewIndex()
+	dedup.Build(world)
+	for _, r := range records {
+		r.CorrelatedComments, r.DuplicateComments = dedup.Counts(r.ID)
+	}
 	di := quality.DomainOfInterest{Categories: world.Categories}
 	assessor := quality.NewSourceAssessor(records, di, nil)
 	ranked := assessor.Rank(records)

@@ -156,6 +156,15 @@ func (a *SourceAssessor) Benchmark(id string) (Benchmark, bool) {
 	return b, ok
 }
 
+// BenchmarksEqual reports whether this assessor's normalisation intervals
+// are bitwise identical to prev's. When true, any record whose raw
+// observations did not change assesses to exactly the same result under
+// both assessors — the licence for reusing a clean row's Assessment by
+// reference across an Advance (and likewise an influencer roster entry).
+func (a *SourceAssessor) BenchmarksEqual(prev *SourceAssessor) bool {
+	return benchmarkMapsEqual(a.benchmarks, prev.benchmarks)
+}
+
 // Assess returns the full Table 1 evaluation of the record. Corpus records
 // are served from the construction-time matrix (their state as of
 // NewSourceAssessor); records outside the corpus are evaluated directly.
@@ -263,6 +272,27 @@ func NewContributorAssessor(corpus []*ContributorRecord, di DomainOfInterest, op
 func (a *ContributorAssessor) Benchmark(id string) (Benchmark, bool) {
 	b, ok := a.benchmarks[id]
 	return b, ok
+}
+
+// BenchmarksEqual reports whether this assessor's normalisation intervals
+// are bitwise identical to prev's; see SourceAssessor.BenchmarksEqual.
+func (a *ContributorAssessor) BenchmarksEqual(prev *ContributorAssessor) bool {
+	return benchmarkMapsEqual(a.benchmarks, prev.benchmarks)
+}
+
+// benchmarkMapsEqual compares two benchmark maps bitwise. Map-range order
+// does not escape: the result folds into a single bool.
+func benchmarkMapsEqual(a, b map[string]Benchmark) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, ba := range a {
+		bb, ok := b[id]
+		if !ok || ba != bb {
+			return false
+		}
+	}
+	return true
 }
 
 // Assess returns the full Table 2 evaluation of the record. Corpus records

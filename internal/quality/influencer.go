@@ -82,36 +82,95 @@ func Influencers(a *ContributorAssessor, records []*ContributorRecord, opts Infl
 	out := make([]Influencer, 0, len(kept))
 	for i, r := range kept {
 		as := assessments[i]
-		// Absolute signal: the user's own contribution volume and its raw
-		// visibility. Reactions received stay out of this signal — they
-		// belong to the relative side, which is exactly what lets the
-		// combination expose spammers (huge own volume, no reactions).
-		abs := avgOf(as.Normalized,
-			"usr.completeness.activity",
-			"usr.time.activity",
-		)
-		// Relative signal: normalised per-contribution reaction rates.
-		rel := avgOf(as.Normalized, relativeReactionMeasures...)
-		var score float64
-		switch opts.Strategy {
-		case ByActivity:
-			score = abs
-		case ByRelative:
-			score = rel
-		default:
-			score = abs * rel
-		}
-		out = append(out, Influencer{Record: r, Assessment: as, InfluenceScore: score})
+		out = append(out, Influencer{Record: r, Assessment: as,
+			InfluenceScore: scoreInfluencer(as, opts.Strategy)})
 	}
+	sortInfluencers(out)
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	return out
+}
+
+// scoreInfluencer computes the strategy-specific influence score from a
+// contributor's assessment.
+func scoreInfluencer(as *Assessment, strategy InfluencerStrategy) float64 {
+	// Absolute signal: the user's own contribution volume and its raw
+	// visibility. Reactions received stay out of this signal — they
+	// belong to the relative side, which is exactly what lets the
+	// combination expose spammers (huge own volume, no reactions).
+	abs := avgOf(as.Normalized,
+		"usr.completeness.activity",
+		"usr.time.activity",
+	)
+	// Relative signal: normalised per-contribution reaction rates.
+	rel := avgOf(as.Normalized, relativeReactionMeasures...)
+	switch strategy {
+	case ByActivity:
+		return abs
+	case ByRelative:
+		return rel
+	default:
+		return abs * rel
+	}
+}
+
+func sortInfluencers(out []Influencer) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].InfluenceScore != out[j].InfluenceScore {
 			return out[i].InfluenceScore > out[j].InfluenceScore
 		}
 		return out[i].Record.ID < out[j].Record.ID
 	})
-	if opts.TopK > 0 && len(out) > opts.TopK {
-		out = out[:opts.TopK]
+}
+
+// RepairInfluencers derives the current round's roster from prev — the
+// FULL roster (TopK == 0) the previous round's assessor produced — by
+// re-scoring only the contributors a tick dirtied. The caller must hold
+// the repair licence: the epoch did not move and a.BenchmarksEqual(the
+// previous assessor) — then a clean contributor's record, assessment and
+// score are all unchanged and ride over by reference; dirty contributors
+// are re-assessed against the current matrix, re-applying the
+// MinInteractions floor (newly qualifying contributors join, disqualified
+// ones drop). The result is identical to Influencers(a, records, opts)
+// with TopK == 0.
+func RepairInfluencers(prev []Influencer, a *ContributorAssessor, records []*ContributorRecord, dirty []int, opts InfluencerOptions) []Influencer {
+	minInteractions := opts.MinInteractions
+	if minInteractions <= 0 {
+		minInteractions = 1
 	}
+	byID := make(map[int]*ContributorRecord, len(records))
+	for _, r := range records {
+		byID[r.ID] = r
+	}
+	dirtySet := make(map[int]bool, len(dirty))
+	for _, id := range dirty {
+		dirtySet[id] = true
+	}
+	out := make([]Influencer, 0, len(prev)+len(dirty))
+	for _, inf := range prev {
+		id := inf.Record.ID
+		if dirtySet[id] {
+			continue // re-scored below
+		}
+		if rec, ok := byID[id]; ok {
+			// Clean row: the record content is unchanged; refresh the
+			// pointer to the current round's record and keep the shared
+			// assessment and score.
+			inf.Record = rec
+			out = append(out, inf)
+		}
+	}
+	for _, id := range dirty {
+		r, ok := byID[id]
+		if !ok || r.Interactions < minInteractions {
+			continue
+		}
+		as := a.Assess(r)
+		out = append(out, Influencer{Record: r, Assessment: as,
+			InfluenceScore: scoreInfluencer(as, opts.Strategy)})
+	}
+	sortInfluencers(out)
 	return out
 }
 

@@ -80,9 +80,10 @@ func TestDomainOfInterestWindow(t *testing.T) {
 
 func TestMeasureCatalogueSizes(t *testing.T) {
 	// Table 1 has 19 non-N/A measures (authority x relevance holds two and
-	// authority x traffic three); Table 2 has 15.
-	if got := len(SourceMeasures()); got != 19 {
-		t.Errorf("source measures = %d, want 19", got)
+	// authority x traffic three); the correlation engine joins a 20th
+	// (src.originality). Table 2 has 15.
+	if got := len(SourceMeasures()); got != 20 {
+		t.Errorf("source measures = %d, want 20", got)
 	}
 	if got := len(ContributorMeasures()); got != 15 {
 		t.Errorf("contributor measures = %d, want 15", got)

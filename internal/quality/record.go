@@ -55,6 +55,13 @@ type SourceRecord struct {
 	// source in the corpus, the paper's base for the "compared to largest
 	// Web blog/forum" measure.
 	MaxOpenDiscussions int
+	// CorrelatedComments / DuplicateComments feed src.originality: how
+	// many of the source's comments the correlation engine indexed, and
+	// how many of those it flagged as near-duplicates of earlier material
+	// on other sources. Both zero (measure undefined) when the corpus
+	// carries no comment text or no correlation index runs.
+	CorrelatedComments int
+	DuplicateComments  int
 }
 
 // OpenDiscussions counts open discussion threads.

@@ -357,6 +357,26 @@ var sourceMeasures = []SourceMeasure{
 			return sum / float64(n), true
 		},
 	},
+	{
+		// Joined in by the correlation engine (internal/correlate,
+		// DESIGN.md section 14): not one of the paper's original 19, but it
+		// flows through the same columnar/benchmark/sorted-column pipeline
+		// as every Table 1 measure, so it is queryable, sortable, and
+		// standing-query-filterable in both the single-matrix and sharded
+		// engines.
+		ID:             "src.originality",
+		Description:    "share of the source's indexed comments that are not near-duplicates of earlier material on other sources",
+		Dimension:      Accuracy,
+		Attribute:      Relevance,
+		Provenance:     Crawling,
+		HigherIsBetter: true,
+		Eval: func(r *SourceRecord, _ *DomainOfInterest) (float64, bool) {
+			if r.CorrelatedComments == 0 {
+				return 0, false // no index ran (or no text): undefined, not zero
+			}
+			return float64(r.CorrelatedComments-r.DuplicateComments) / float64(r.CorrelatedComments), true
+		},
+	},
 }
 
 // SourceMeasures returns the Table 1 measure catalogue (a copy).

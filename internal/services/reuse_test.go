@@ -1,0 +1,70 @@
+package services
+
+// Satellite pin: Env.Advance's score join stops rebuilding unchanged
+// per-record assessments at sparse churn. When the tick kept the epoch
+// still and the repaired engine's benchmarks are bitwise unchanged, clean
+// rows' Assessments (and so their Raw/Normalized maps) ride into the next
+// Env by reference — only the dirty rows are re-assessed. The test scans
+// a fixed seed range for a sparse tick whose licence engages and pins
+// pointer identity; it fails loudly if no seed engages, so the fast path
+// cannot silently rot into never firing.
+
+import (
+	"testing"
+
+	"github.com/informing-observers/informer/internal/analytics"
+	"github.com/informing-observers/informer/internal/quality"
+	"github.com/informing-observers/informer/internal/webgen"
+)
+
+func TestAdvanceReusesCleanAssessments(t *testing.T) {
+	engaged := false
+	for seed := int64(1); seed <= 20 && !engaged; seed++ {
+		world := webgen.Generate(webgen.Config{
+			Seed: seed, NumSources: 40, NumUsers: 120, CommentText: true,
+		})
+		panel := analytics.Build(world, seed+100)
+		di := quality.DomainOfInterest{Categories: world.Categories}
+		env := NewEnv(world, panel, di)
+
+		// A sparse tick: same-day churn restricted to two sources keeps
+		// the epoch still and usually leaves the corpus-wide benchmark
+		// quantiles untouched.
+		w2, delta := webgen.AdvanceSameDay(world, seed+500, []int{0, 1})
+		ne := env.Advance(w2, panel.Refresh(w2), delta)
+
+		if delta.EpochMoved() || !ne.Sources.BenchmarksEqual(env.Sources) {
+			continue // licence did not engage under this seed; try the next
+		}
+		dirty := map[int]bool{}
+		for _, id := range delta.DirtySourceIDs() {
+			dirty[id] = true
+		}
+		clean := 0
+		for row, a := range ne.sourceAssessments {
+			if dirty[env.SourceRecords[row].ID] {
+				continue
+			}
+			clean++
+			if a != env.sourceAssessments[row] {
+				t.Fatalf("seed %d: clean row %d re-assessed (licence held: epoch still, benchmarks equal)", seed, row)
+			}
+		}
+		if clean == 0 {
+			continue // every row dirty; nothing to pin under this seed
+		}
+		engaged = true
+
+		// The reused snapshot must still be correct: scores equal a full
+		// re-assessment.
+		fresh := ne.Sources.AssessAll(ne.SourceRecords)
+		for i, a := range fresh {
+			if got := ne.sourceAssessments[i]; got.Score != a.Score || got.ID != a.ID {
+				t.Fatalf("seed %d: reused assessment diverges on row %d: %v vs %v", seed, i, got.Score, a.Score)
+			}
+		}
+	}
+	if !engaged {
+		t.Fatal("no seed in 1..20 produced a sparse tick with equal benchmarks and clean rows; the reuse fast path never engaged")
+	}
+}

@@ -26,6 +26,14 @@ import (
 	"github.com/informing-observers/informer/internal/webgen"
 )
 
+// CorrelationCounts supplies a source's correlation counters (indexed
+// comments and near-duplicates among them) from the correlation engine's
+// dedup index — the raw inputs of the src.originality measure. The
+// callback is invoked only during Env construction and Env.Advance, both
+// of which run under the facade's writer lock, so it may read the
+// writer-owned index directly.
+type CorrelationCounts func(sourceID int) (correlated, duplicates int)
+
 // Env is the assessed world every domain component draws from: the corpus,
 // its analytics panel, the DI, and the derived quality assessments.
 type Env struct {
@@ -40,9 +48,19 @@ type Env struct {
 	Contributors       *quality.ContributorAssessor
 	Analyzer           *sentiment.Analyzer
 
+	// Correlation, when set, fills the per-record correlation counters
+	// before assessment; carried across Advance.
+	Correlation CorrelationCounts
+
 	// contribIx keeps the per-user activity aggregation incremental
 	// across Advance ticks.
 	contribIx *quality.ContributorIndex
+
+	// sourceAssessments caches the per-row source assessments backing
+	// SourceScores, row-aligned with SourceRecords, so a sparse-churn
+	// Advance can reuse clean rows' assessment maps by reference instead
+	// of rebuilding every map only to read one float from it.
+	sourceAssessments []*quality.Assessment
 }
 
 // NewEnv assesses the world once and returns the shared environment.
@@ -55,16 +73,32 @@ func NewEnv(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInte
 // both assessors. opts may be nil for defaults; it applies to sources and
 // contributors alike.
 func NewEnvOpts(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInterest, opts *quality.AssessorOptions) *Env {
+	return NewEnvCorrelated(world, panel, di, opts, nil)
+}
+
+// NewEnvCorrelated is NewEnvOpts with a correlation-counter source: the
+// counters are joined into every source record before the assessor
+// derives its benchmarks, so src.originality flows through the columnar
+// pipeline like any other measure. counts may be nil (the measure stays
+// undefined on every record).
+func NewEnvCorrelated(world *webgen.World, panel *analytics.Panel, di quality.DomainOfInterest, opts *quality.AssessorOptions, counts CorrelationCounts) *Env {
 	env := &Env{
-		World:    world,
-		Panel:    panel,
-		DI:       di,
-		Analyzer: sentiment.NewAnalyzer(),
+		World:       world,
+		Panel:       panel,
+		DI:          di,
+		Analyzer:    sentiment.NewAnalyzer(),
+		Correlation: counts,
 	}
 	env.SourceRecords = quality.SourceRecordsFromWorld(world, panel)
+	if counts != nil {
+		for _, r := range env.SourceRecords {
+			r.CorrelatedComments, r.DuplicateComments = counts(r.ID)
+		}
+	}
 	env.Sources = quality.NewSourceAssessor(env.SourceRecords, di, opts)
+	env.sourceAssessments = env.Sources.AssessAll(env.SourceRecords)
 	env.SourceScores = make(map[int]float64, len(env.SourceRecords))
-	for _, a := range env.Sources.AssessAll(env.SourceRecords) {
+	for _, a := range env.sourceAssessments {
 		env.SourceScores[a.ID] = a.Score
 	}
 	env.contribIx = quality.NewContributorIndex(world)
@@ -85,13 +119,22 @@ func NewEnvOpts(world *webgen.World, panel *analytics.Panel, di quality.DomainOf
 // readers of the pre-advance snapshot.
 func (env *Env) Advance(world *webgen.World, panel *analytics.Panel, delta *webgen.Delta) *Env {
 	ne := &Env{
-		World:    world,
-		Panel:    panel,
-		DI:       env.DI,
-		Analyzer: env.Analyzer,
+		World:       world,
+		Panel:       panel,
+		DI:          env.DI,
+		Analyzer:    env.Analyzer,
+		Correlation: env.Correlation,
 	}
 	records, dirtyRows := quality.UpdateSourceRecordsFromWorld(env.SourceRecords, world, panel, delta.DirtySourceIDs())
 	ne.SourceRecords = records
+	if env.Correlation != nil {
+		// Correlation counters only move for sources the tick dirtied
+		// (duplicate verdicts are written on the newer comment and never
+		// revised), so clean rows' counters ride the shared record.
+		for _, row := range dirtyRows {
+			records[row].CorrelatedComments, records[row].DuplicateComments = env.Correlation(records[row].ID)
+		}
+	}
 	// A per-source tick (webgen.AdvanceSource) can raise the corpus-global
 	// MaxOpenDiscussions high-water mark without moving the epoch. That
 	// denominator feeds time-sensitive source measures on EVERY row, so the
@@ -103,8 +146,25 @@ func (env *Env) Advance(world *webgen.World, panel *analytics.Panel, delta *webg
 		srcReEval = true
 	}
 	ne.Sources = env.Sources.UpdateRows(records, dirtyRows, srcReEval)
+	// Score join. At sparse churn, a clean row's full Assessment is
+	// unchanged — its raw observations did not move and, when the repaired
+	// benchmarks come out bitwise identical, neither did its
+	// normalisation — so the cached assessment is reused by reference and
+	// only dirty rows re-assess (served from the repaired matrix). Any
+	// doubt (epoch moved, benchmarks shifted, row count changed) falls
+	// back to the full rebuild.
 	ne.SourceScores = make(map[int]float64, len(records))
-	for _, a := range ne.Sources.AssessAll(records) {
+	if !srcReEval && len(env.sourceAssessments) == len(records) && ne.Sources.BenchmarksEqual(env.Sources) {
+		as := make([]*quality.Assessment, len(records))
+		copy(as, env.sourceAssessments)
+		for _, row := range dirtyRows {
+			as[row] = ne.Sources.Assess(records[row])
+		}
+		ne.sourceAssessments = as
+	} else {
+		ne.sourceAssessments = ne.Sources.AssessAll(records)
+	}
+	for _, a := range ne.sourceAssessments {
 		ne.SourceScores[a.ID] = a.Score
 	}
 	ix, contribDirty := env.contribIx.Apply(world, delta)

@@ -230,6 +230,26 @@ func (g *Generator) Tags(category string, n int) []string {
 	return tags
 }
 
+// syndicationLeads are the short attribution markers a syndicated copy
+// is prefixed with — single tokens, RT-style, so a prefixed copy keeps
+// every original shingle and gains exactly one: it lands near — but not
+// at — its original's simhash, the paraphrase tier of the correlation
+// engine's ground truth. Multi-word leads would shift enough shingles to
+// push short comments past the story tier entirely.
+var syndicationLeads = []string{
+	"RT:",
+	"Via:",
+	"Repost:",
+	"Quoting:",
+	"Syndicated:",
+}
+
+// SyndicationLead produces the attribution phrase prefixed to a
+// syndicated (near-duplicate) copy of another source's comment.
+func (g *Generator) SyndicationLead() string {
+	return g.pick(syndicationLeads)
+}
+
 // UserName produces a deterministic pseudonymous user handle.
 func (g *Generator) UserName() string {
 	first := []string{"milan", "travel", "urban", "city", "euro", "globe", "vista", "meta", "nova", "terra"}

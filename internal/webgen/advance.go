@@ -203,6 +203,9 @@ func Advance(w *World, days int, seed int64) (*World, *Delta) {
 				com := newAdvanceComment(rng, w, userTable, &nextComID, opened, newEnd.Sub(opened))
 				if w.Config.CommentText {
 					com.Body = tg.Comment(cat, com.Polarity, 0)
+					// Donors come from the pre-tick world: stable, fully
+					// populated, and every donor ID precedes the copy's.
+					maybeSyndicate(w, rng, tg, s.ID, com)
 				}
 				delta.dirtyContributors[com.UserID] = true
 				d.Comments = append(d.Comments, com)
@@ -230,6 +233,7 @@ func Advance(w *World, days int, seed int64) (*World, *Delta) {
 				com := newAdvanceComment(rng, w, userTable, &nextComID, oldEnd, span)
 				if w.Config.CommentText && d.Category != "" {
 					com.Body = tg.Comment(d.Category, com.Polarity, 0)
+					maybeSyndicate(w, rng, tg, s.ID, com)
 				}
 				nd.Comments = append(nd.Comments, com)
 				delta.dirtyContributors[com.UserID] = true
@@ -359,6 +363,7 @@ func AdvanceSameDay(w *World, seed int64, onlySources []int) (*World, *Delta) {
 				com := newAdvanceComment(rng, w, userTable, &nextComID, from, end.Sub(from))
 				if w.Config.CommentText && d.Category != "" {
 					com.Body = tg.Comment(d.Category, com.Polarity, 0)
+					maybeSyndicate(w, rng, tg, s.ID, com)
 				}
 				nd.Comments = append(nd.Comments, com)
 				delta.dirtyContributors[com.UserID] = true

@@ -296,6 +296,7 @@ func genContent(w *World, rng *rand.Rand, tg *textgen.Generator) {
 					default:
 						com.Body = tg.Comment(cat, polarity, 0)
 					}
+					maybeSyndicate(w, rng, tg, s.ID, com)
 				}
 				if rng.Float64() < 0.3 {
 					loc := s.Locations[rng.Intn(len(s.Locations))]
@@ -310,6 +311,45 @@ func genContent(w *World, rng *rand.Rand, tg *textgen.Generator) {
 			}
 			s.Discussions = append(s.Discussions, disc)
 		}
+	}
+}
+
+// maybeSyndicate replaces a freshly generated comment body with a copy of
+// an earlier comment from another source — verbatim about half the time
+// (guaranteed duplicate-tier hit), otherwise prefixed with a short
+// attribution lead (a near-duplicate at the looser story tier). The donor
+// is drawn uniformly from the world as populated so far; a draw landing
+// on the commenting source itself, an empty discussion, or an already
+// syndicated comment leaves the body as generated (still deterministic —
+// the draws are consumed either way). With SyndicationRate == 0 the gate
+// consumes no randomness, so pre-existing generation streams are
+// byte-identical.
+func maybeSyndicate(w *World, rng *rand.Rand, tg *textgen.Generator, sourceID int, com *Comment) {
+	cfg := w.Config
+	if cfg.SyndicationRate <= 0 || com.Body == "" {
+		return
+	}
+	if rng.Float64() >= cfg.SyndicationRate {
+		return
+	}
+	donor := w.Sources[rng.Intn(len(w.Sources))]
+	if donor.ID == sourceID || len(donor.Discussions) == 0 {
+		return
+	}
+	d := donor.Discussions[rng.Intn(len(donor.Discussions))]
+	if len(d.Comments) == 0 {
+		return
+	}
+	c := d.Comments[rng.Intn(len(d.Comments))]
+	if c.Body == "" || c.Syndicated {
+		return // copy originals only, so ground truth stays two-level
+	}
+	com.Syndicated = true
+	com.SyndicatedFrom = donor.ID
+	if rng.Float64() < 0.5 {
+		com.Body = c.Body
+	} else {
+		com.Body = tg.SyndicationLead() + " " + c.Body
 	}
 }
 

@@ -202,6 +202,7 @@ func AdvanceSource(w *World, sourceID int, seed int64, cur *IDCursor) (*World, *
 			com := newAdvanceComment(rng, w, userTable, &cur.NextCommentID, opened, end.Sub(opened))
 			if w.Config.CommentText {
 				com.Body = tg.Comment(cat, com.Polarity, 0)
+				maybeSyndicate(w, rng, tg, s.ID, com)
 			}
 			delta.dirtyContributors[com.UserID] = true
 			d.Comments = append(d.Comments, com)
@@ -233,6 +234,7 @@ func AdvanceSource(w *World, sourceID int, seed int64, cur *IDCursor) (*World, *
 			com := newAdvanceComment(rng, w, userTable, &cur.NextCommentID, cfrom, end.Sub(cfrom))
 			if w.Config.CommentText && d.Category != "" {
 				com.Body = tg.Comment(d.Category, com.Polarity, 0)
+				maybeSyndicate(w, rng, tg, s.ID, com)
 			}
 			nd.Comments = append(nd.Comments, com)
 			delta.dirtyContributors[com.UserID] = true

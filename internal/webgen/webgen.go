@@ -73,6 +73,12 @@ type Comment struct {
 	Feedbacks int // likes / ratings received
 	Reads     int // times read by other users
 	Geo       *GeoPoint
+	// Syndicated marks a comment whose body copies (verbatim or with a
+	// short lead-in) an earlier comment on another source; SyndicatedFrom
+	// is that source's ID. Ground truth for the correlation engine — the
+	// dedup index never reads these fields.
+	Syndicated     bool
+	SyndicatedFrom int
 }
 
 // Discussion is a thread (blog post with comments, forum topic, or review
@@ -165,6 +171,13 @@ type Config struct {
 	// benchmarks use small values to model slow daily churn over a large
 	// corpus.
 	ChurnScale float64
+	// SyndicationRate is the probability that a generated comment body is
+	// replaced by a copy of an earlier comment from another source
+	// (roughly half verbatim, half prefixed with a short lead-in) —
+	// deterministic ground truth for near-duplicate detection. Requires
+	// CommentText; 0 disables injection and leaves every existing stream
+	// untouched (the gate draws no random numbers when off).
+	SyndicationRate float64
 }
 
 // withDefaults fills unset Config fields.
